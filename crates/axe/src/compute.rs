@@ -1,0 +1,210 @@
+//! The optional on-FPGA compute engines of §4.1: an FP32 GEMM engine and
+//! a vector processing unit (VPU).
+//!
+//! The paper adds these for two scenarios: latency-sensitive inference
+//! with simple models (computing on the FPGA avoids moving data to a
+//! GPU), and in-fabric reductions during sampling (e.g. GCN-mean) that
+//! shrink communication. This module provides their timing models and
+//! the two scenario analyses.
+
+use crate::config::AxeConfig;
+use lsdgnn_desim::Time;
+use lsdgnn_memfabric::LinkModel;
+
+/// A systolic-array FP32 GEMM engine.
+///
+/// `C[m×n] = A[m×k] · B[k×n]` executes as `ceil(m/rows) · ceil(n/cols)`
+/// tile passes of `k + fill` cycles each.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_axe::compute::GemmEngine;
+/// let gemm = GemmEngine::poc();
+/// let t = gemm.time_for(512, 256, 128);
+/// assert!(t.as_micros_f64() > 0.0);
+/// assert!(gemm.peak_gflops() > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmEngine {
+    /// Systolic array rows.
+    pub rows: u32,
+    /// Systolic array columns.
+    pub cols: u32,
+    /// Clock in MHz.
+    pub clock_mhz: u64,
+}
+
+impl GemmEngine {
+    /// The PoC-scale engine: 32×32 array at 250 MHz (FPGA FP32 is "not
+    /// competitive with GPU", §4.1 — this is deliberately modest).
+    pub fn poc() -> Self {
+        GemmEngine {
+            rows: 32,
+            cols: 32,
+            clock_mhz: 250,
+        }
+    }
+
+    /// Peak throughput in GFLOP/s (2 flops per MAC per cell per cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        2.0 * self.rows as f64 * self.cols as f64 * self.clock_mhz as f64 / 1e3
+    }
+
+    /// Cycles for an `m×k · k×n` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn cycles_for(&self, m: u64, k: u64, n: u64) -> u64 {
+        assert!(m > 0 && k > 0 && n > 0, "dimensions must be non-zero");
+        let tiles = m.div_ceil(self.rows as u64) * n.div_ceil(self.cols as u64);
+        let fill = (self.rows + self.cols) as u64;
+        tiles * (k + fill)
+    }
+
+    /// Wall time for an `m×k · k×n` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn time_for(&self, m: u64, k: u64, n: u64) -> Time {
+        Time::from_ticks(self.cycles_for(m, k, n) * 1_000_000 / self.clock_mhz)
+    }
+}
+
+/// A SIMD vector unit for element-wise ops and reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorUnit {
+    /// Parallel lanes (f32 each).
+    pub lanes: u32,
+    /// Clock in MHz.
+    pub clock_mhz: u64,
+}
+
+impl VectorUnit {
+    /// The PoC-scale unit: 16 lanes at 250 MHz.
+    pub fn poc() -> Self {
+        VectorUnit {
+            lanes: 16,
+            clock_mhz: 250,
+        }
+    }
+
+    /// Cycles to reduce `vectors` vectors of `len` floats element-wise
+    /// (max/mean tree: one pass per vector plus pipeline drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn reduce_cycles(&self, vectors: u64, len: u64) -> u64 {
+        assert!(vectors > 0 && len > 0, "arguments must be non-zero");
+        vectors * len.div_ceil(self.lanes as u64) + 8
+    }
+
+    /// Wall time of the reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn reduce_time(&self, vectors: u64, len: u64) -> Time {
+        Time::from_ticks(self.reduce_cycles(vectors, len) * 1_000_000 / self.clock_mhz)
+    }
+}
+
+/// Scenario 1 (§4.1): latency of a small-model inference batch computed
+/// on the FPGA (GEMM + VPU, zero movement) versus shipping the sampled
+/// attributes to a GPU over `link` and computing there at
+/// `gpu_gflops`.
+///
+/// Returns `(fpga_latency, gpu_latency)`.
+pub fn inference_latency_comparison(
+    cfg: &AxeConfig,
+    gemm: &GemmEngine,
+    batch: u64,
+    attr_len: u64,
+    hidden: u64,
+    link: &LinkModel,
+    gpu_gflops: f64,
+) -> (Time, Time) {
+    let _ = cfg;
+    // One projection layer batch×attr_len -> hidden, on either side.
+    let fpga = gemm.time_for(batch, attr_len, hidden);
+    let bytes = batch * attr_len * 4;
+    let move_time = link.round_trip(bytes);
+    let flops = 2.0 * batch as f64 * attr_len as f64 * hidden as f64;
+    let gpu_compute = Time::from_ticks((flops / gpu_gflops * 1e3) as u64); // GFLOP/s -> ns -> ps
+    (fpga, move_time + gpu_compute)
+}
+
+/// Scenario 2 (§4.1): communication saved by reducing (e.g. GCN-mean)
+/// sampled neighbor attributes *before* they cross the fabric: `fanout`
+/// vectors shrink to one. Returns `(bytes_without, bytes_with)` per
+/// sampled node set.
+pub fn reduction_communication_savings(fanout: u64, attr_bytes: u64) -> (u64, u64) {
+    (fanout * attr_bytes, attr_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cycles_scale_with_tiles() {
+        let g = GemmEngine::poc();
+        // 32x32 fits one tile: k + fill cycles.
+        assert_eq!(g.cycles_for(32, 100, 32), 100 + 64);
+        // 64x64 output needs 4 tiles.
+        assert_eq!(g.cycles_for(64, 100, 64), 4 * (100 + 64));
+    }
+
+    #[test]
+    fn gemm_peak_is_modest_vs_gpu() {
+        // §4.1: FPGA FP32 "is not competitive with GPU or even CPU".
+        let g = GemmEngine::poc();
+        assert!(g.peak_gflops() < 1_000.0);
+        assert!(g.peak_gflops() > 100.0);
+    }
+
+    #[test]
+    fn vpu_reduction_time() {
+        let v = VectorUnit::poc();
+        // 10 vectors of 128 floats at 16 lanes: 10*8 + 8 = 88 cycles.
+        assert_eq!(v.reduce_cycles(10, 128), 88);
+        assert_eq!(v.reduce_time(10, 128), Time::from_nanos(88 * 4));
+    }
+
+    #[test]
+    fn small_model_inference_prefers_fpga_on_slow_links() {
+        // Over a cloud NIC, moving the batch costs more than computing a
+        // small layer locally; over NVLink the GPU wins.
+        let cfg = AxeConfig::poc();
+        let gemm = GemmEngine::poc();
+        let nic = LinkModel::cloud_nic_remote();
+        let (fpga, gpu_via_nic) =
+            inference_latency_comparison(&cfg, &gemm, 64, 128, 128, &nic, 10_000.0);
+        assert!(
+            fpga < gpu_via_nic,
+            "fpga {fpga} vs gpu-over-nic {gpu_via_nic}"
+        );
+        let nvlink = LinkModel::gpu_fast_link();
+        let (fpga2, gpu_via_nvlink) =
+            inference_latency_comparison(&cfg, &gemm, 2_048, 128, 128, &nvlink, 10_000.0);
+        assert!(
+            gpu_via_nvlink < fpga2,
+            "gpu-over-nvlink {gpu_via_nvlink} vs fpga {fpga2} on big batches"
+        );
+    }
+
+    #[test]
+    fn gcn_reduction_saves_fanout_factor() {
+        let (without, with) = reduction_communication_savings(10, 512);
+        assert_eq!(without / with, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_gemm_panics() {
+        GemmEngine::poc().cycles_for(0, 1, 1);
+    }
+}

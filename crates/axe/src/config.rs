@@ -1,0 +1,216 @@
+//! Access Engine configuration (the "highly parametrizable" architecture
+//! of §4.1 / Table 10).
+
+use lsdgnn_memfabric::TierConfig;
+
+/// Configuration of one AxE instance.
+///
+/// Defaults follow the PoC build of Table 10: dual-core at 250 MHz,
+/// 4-channel FPGA-local DDR4, MoF remote access, PCIe command/data IO,
+/// 8 KB coalescing cache, streaming sampling, 2-hop fanout-10 workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxeConfig {
+    /// Number of homogeneous sampler cores.
+    pub cores: usize,
+    /// Logic clock in MHz (PoC: 250 MHz).
+    pub clock_mhz: u64,
+    /// Maximum in-flight memory requests per core (the OoO load unit's
+    /// tag budget).
+    pub max_outstanding_per_core: usize,
+    /// Coalescing cache capacity in bytes per core (Tech-4: 8 KB).
+    pub cache_bytes: usize,
+    /// Neighbors sampled per node per hop.
+    pub fanout: usize,
+    /// Sampling hops.
+    pub hops: u32,
+    /// Use streaming step-based sampling (Tech-2); `false` selects the
+    /// conventional buffered sampler for ablation.
+    pub streaming_sampling: bool,
+    /// Memory tier wiring (local / remote / output paths).
+    pub tier: TierConfig,
+    /// Number of graph partitions in the deployment (this node owns one).
+    pub partitions: u32,
+    /// Model the output (PCIe/GPU-link) bandwidth limit. Figure 15's
+    /// "w/o PCIe limitation" bars disable this.
+    pub model_output_limit: bool,
+    /// Model the symmetric serving load: in an all-to-all deployment
+    /// this node also *serves* its peers' remote fetches from local
+    /// memory at (statistically) the same rate it issues its own —
+    /// consuming local bandwidth. Off by default (the paper's PoC
+    /// measurement also reflects a live 4-card system, but the published
+    /// per-card numbers don't separate this term).
+    pub model_symmetric_serving: bool,
+    /// Negative samples drawn per root (Table 2 runs rate 10; the DES
+    /// defaults to 0 so calibrated figures are unaffected — enable via
+    /// [`AxeConfig::with_negative_rate`]).
+    pub negative_rate: usize,
+    /// Mini-batch size in root nodes.
+    pub batch_size: usize,
+    /// RNG seed for sampling decisions.
+    pub seed: u64,
+}
+
+impl AxeConfig {
+    /// The PoC configuration of Table 10.
+    pub fn poc() -> Self {
+        AxeConfig {
+            cores: 2,
+            clock_mhz: 250,
+            max_outstanding_per_core: 64,
+            cache_bytes: 8 * 1024,
+            fanout: 10,
+            hops: 2,
+            streaming_sampling: true,
+            tier: TierConfig::poc(true),
+            partitions: 4,
+            model_output_limit: true,
+            model_symmetric_serving: false,
+            negative_rate: 0,
+            batch_size: 64,
+            seed: 0x15D6_0001,
+        }
+    }
+
+    /// Sets the core count (scaling-up knob of §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the memory tier wiring.
+    pub fn with_tier(mut self, tier: TierConfig) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Sets the partition count (1 = all accesses local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn with_partitions(mut self, partitions: u32) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the per-core outstanding-request budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_max_outstanding(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one outstanding request");
+        self.max_outstanding_per_core = n;
+        self
+    }
+
+    /// Enables/disables the output bandwidth limit.
+    pub fn with_output_limit(mut self, on: bool) -> Self {
+        self.model_output_limit = on;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be non-zero");
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets the sampling fanout and hop count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn with_sampling(mut self, hops: u32, fanout: usize) -> Self {
+        assert!(hops > 0 && fanout > 0, "hops and fanout must be non-zero");
+        self.hops = hops;
+        self.fanout = fanout;
+        self
+    }
+
+    /// Selects streaming (Tech-2) or conventional sampling.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming_sampling = streaming;
+        self
+    }
+
+    /// Enables/disables modeling the symmetric serving load.
+    pub fn with_symmetric_serving(mut self, on: bool) -> Self {
+        self.model_symmetric_serving = on;
+        self
+    }
+
+    /// Sets the negative-sampling rate per root.
+    pub fn with_negative_rate(mut self, rate: usize) -> Self {
+        self.negative_rate = rate;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// One clock period in simulation ticks (picoseconds).
+    pub fn clock_period_ticks(&self) -> u64 {
+        1_000_000 / self.clock_mhz
+    }
+}
+
+impl Default for AxeConfig {
+    fn default() -> Self {
+        Self::poc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poc_matches_table10() {
+        let c = AxeConfig::poc();
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.clock_mhz, 250);
+        assert_eq!(c.cache_bytes, 8 * 1024);
+        assert_eq!(c.clock_period_ticks(), 4_000); // 4 ns at 250 MHz
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = AxeConfig::poc()
+            .with_cores(4)
+            .with_partitions(8)
+            .with_max_outstanding(128)
+            .with_batch_size(32)
+            .with_sampling(3, 5)
+            .with_streaming(false)
+            .with_output_limit(false)
+            .with_seed(9);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.partitions, 8);
+        assert_eq!(c.max_outstanding_per_core, 128);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!((c.hops, c.fanout), (3, 5));
+        assert!(!c.streaming_sampling);
+        assert!(!c.model_output_limit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = AxeConfig::poc().with_cores(0);
+    }
+}

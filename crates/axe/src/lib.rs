@@ -1,0 +1,51 @@
+//! The Access Engine (AxE) — the paper's core contribution (§4.2) as a
+//! cycle-approximate simulation.
+//!
+//! AxE is a multi-core, decoupled access-execution accelerator for graph
+//! sampling. Each core runs the `GetNeighbor → GetSample → GetAttribute`
+//! flow over a load unit that keeps massive numbers of out-of-order memory
+//! requests in flight. This crate models all four of the paper's
+//! micro-architecture techniques:
+//!
+//! * **Tech-1** fine-grained FIFO-connected asynchronous pipelining —
+//!   [`pipeline`] (Figure 7's depth/latency relationship).
+//! * **Tech-2** streaming step-based sampling — provided by
+//!   [`lsdgnn_sampler::StreamingSampler`] and selected in [`AxeConfig`].
+//! * **Tech-3** OoO massive outstanding-request generation with score-board
+//!   ordering — [`load_unit`] (the ~30× throughput claim).
+//! * **Tech-4** the small (8 KB) coalescing cache — [`cache`].
+//!
+//! [`engine::AccessEngine`] assembles them into the full device and
+//! produces the sampling-throughput measurements that anchor the FaaS
+//! design-space exploration (Figures 14, 15, 17–21).
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_axe::{AccessEngine, AxeConfig};
+//! use lsdgnn_graph::generators;
+//!
+//! let graph = generators::power_law(2_000, 8, 1);
+//! let cfg = AxeConfig::poc().with_cores(2);
+//! let engine = AccessEngine::new(cfg);
+//! let m = engine.run(&graph, 72, 4);
+//! assert!(m.samples_per_sec > 0.0);
+//! ```
+
+pub mod cache;
+pub mod command;
+pub mod compute;
+pub mod config;
+pub mod engine;
+pub mod load_unit;
+pub mod pipeline;
+pub mod scheduler;
+
+pub use cache::CoalescingCache;
+pub use command::{AxeCommand, AxeResponse, CommandExecutor};
+pub use compute::{GemmEngine, VectorUnit};
+pub use config::AxeConfig;
+pub use engine::{AccessEngine, Measurement};
+pub use load_unit::{LoadUnitConfig, LoadUnitReport};
+pub use pipeline::{pipeline_batch_latency, pipeline_throughput, PipelineSpec, StagePipeline};
+pub use scheduler::SchedulePolicy;

@@ -1,0 +1,221 @@
+//! Tech-3: the OoO load unit with massive outstanding-request generation.
+//!
+//! Context that a CPU would keep in thread state is packed into a 128-bit
+//! tag carried by each memory request, so the only limit on memory-level
+//! parallelism is the tag budget. Two score-boards re-establish order on
+//! the response side: one across root nodes (training loss needs
+//! root-ordered results) and one across each root's neighbors.
+//!
+//! [`simulate_stream`] runs a request stream through the unit and measures
+//! the throughput gain of out-of-order issue over in-order issue — the
+//! paper reports ~30×.
+
+use lsdgnn_desim::DetRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Load unit parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadUnitConfig {
+    /// In-flight request budget (number of context tags). In-order
+    /// operation is the degenerate budget of 1.
+    pub max_outstanding: usize,
+    /// Bits per context tag (the paper embeds 128-bit contexts).
+    pub context_tag_bits: u32,
+}
+
+impl LoadUnitConfig {
+    /// OoO configuration with the given tag budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outstanding` is zero.
+    pub fn ooo(max_outstanding: usize) -> Self {
+        assert!(max_outstanding > 0, "need at least one tag");
+        LoadUnitConfig {
+            max_outstanding,
+            context_tag_bits: 128,
+        }
+    }
+
+    /// In-order configuration: one request at a time.
+    pub fn in_order() -> Self {
+        Self::ooo(1)
+    }
+
+    /// Context storage in bytes for the full tag budget — the paper's
+    /// point is that this replaces per-thread software context.
+    pub fn context_storage_bytes(&self) -> u64 {
+        self.max_outstanding as u64 * self.context_tag_bits as u64 / 8
+    }
+}
+
+/// Results of one simulated request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadUnitReport {
+    /// Requests processed.
+    pub requests: u64,
+    /// Total cycles until the last in-order release.
+    pub elapsed_cycles: u64,
+    /// Requests per cycle.
+    pub throughput: f64,
+    /// Responses that arrived ahead of an older outstanding request
+    /// (evidence of out-of-order completion absorbed by the score-board).
+    pub out_of_order_arrivals: u64,
+    /// Peak score-board occupancy (responses waiting for older ones).
+    pub peak_scoreboard: usize,
+}
+
+/// Simulates `requests` memory operations with uniformly distributed
+/// latency in `[min_latency, max_latency]` cycles, one issue slot per
+/// cycle, and in-order release through the score-board.
+///
+/// # Panics
+///
+/// Panics if `requests` is zero or the latency range is inverted.
+pub fn simulate_stream(
+    cfg: &LoadUnitConfig,
+    requests: u64,
+    min_latency: u64,
+    max_latency: u64,
+    seed: u64,
+) -> LoadUnitReport {
+    assert!(requests > 0, "need at least one request");
+    assert!(min_latency <= max_latency, "latency range inverted");
+    let mut rng = DetRng::seed_from(seed);
+    // (completion_time, request_index)
+    let mut inflight: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut scoreboard: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut next_issue: u64 = 0; // next request index to issue
+    let mut next_release: u64 = 0; // next request index to release in order
+    let mut now: u64 = 0;
+    let mut ooo_arrivals = 0u64;
+    let mut peak_sb = 0usize;
+    let mut last_release_time = 0u64;
+
+    while next_release < requests {
+        // Issue while we have budget and requests left. A context tag is
+        // held from issue until in-order release, so the budget covers
+        // both in-flight requests and score-board residents.
+        while next_issue < requests && inflight.len() + scoreboard.len() < cfg.max_outstanding {
+            let span = max_latency - min_latency;
+            let lat = min_latency + if span == 0 { 0 } else { rng.next_below(span + 1) };
+            inflight.push(Reverse((now + lat, next_issue)));
+            next_issue += 1;
+            now += 1; // one issue slot per cycle
+        }
+        // Advance to the next completion.
+        let Reverse((t, idx)) = inflight.pop().expect("inflight while releases remain");
+        now = now.max(t);
+        if idx != next_release {
+            ooo_arrivals += 1;
+        }
+        scoreboard.push(Reverse(idx));
+        peak_sb = peak_sb.max(scoreboard.len());
+        // Release the in-order prefix.
+        while scoreboard
+            .peek()
+            .is_some_and(|Reverse(i)| *i == next_release)
+        {
+            scoreboard.pop();
+            next_release += 1;
+            last_release_time = now;
+        }
+    }
+
+    LoadUnitReport {
+        requests,
+        elapsed_cycles: last_release_time,
+        throughput: requests as f64 / last_release_time as f64,
+        out_of_order_arrivals: ooo_arrivals,
+        peak_scoreboard: peak_sb,
+    }
+}
+
+/// Throughput ratio of an OoO configuration over in-order on the same
+/// stream — the paper's "30×" measurement.
+pub fn ooo_speedup(
+    tag_budget: usize,
+    requests: u64,
+    min_latency: u64,
+    max_latency: u64,
+    seed: u64,
+) -> f64 {
+    let ooo = simulate_stream(
+        &LoadUnitConfig::ooo(tag_budget),
+        requests,
+        min_latency,
+        max_latency,
+        seed,
+    );
+    let ino = simulate_stream(
+        &LoadUnitConfig::in_order(),
+        requests,
+        min_latency,
+        max_latency,
+        seed,
+    );
+    ooo.throughput / ino.throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_throughput_is_latency_bound() {
+        let r = simulate_stream(&LoadUnitConfig::in_order(), 100, 1_000, 1_000, 1);
+        // Each request takes ~latency cycles serially.
+        assert!(r.elapsed_cycles >= 100 * 1_000);
+        assert_eq!(r.out_of_order_arrivals, 0);
+        assert_eq!(r.peak_scoreboard, 1);
+    }
+
+    #[test]
+    fn ooo_hides_latency() {
+        let r = simulate_stream(&LoadUnitConfig::ooo(64), 1_000, 1_000, 1_000, 2);
+        // 64 in flight: elapsed ≈ requests * latency / 64.
+        assert!(r.elapsed_cycles < 1_000 * 1_000 / 32);
+        assert!(r.throughput > 0.03);
+    }
+
+    #[test]
+    fn paper_30x_claim_reproduced() {
+        // Remote-access latencies (~1250 cycles = 5 µs at 250 MHz) with a
+        // 32-tag budget: ~30x throughput over in-order issue.
+        let s = ooo_speedup(32, 2_000, 1_100, 1_400, 3);
+        assert!((20.0..40.0).contains(&s), "OoO speedup {s}");
+    }
+
+    #[test]
+    fn speedup_saturates_at_tag_budget() {
+        let s8 = ooo_speedup(8, 1_000, 1_000, 1_000, 4);
+        let s64 = ooo_speedup(64, 1_000, 1_000, 1_000, 4);
+        assert!(s8 < s64);
+        assert!(s8 > 6.0 && s8 < 10.0, "s8 {s8}");
+    }
+
+    #[test]
+    fn scoreboard_absorbs_reordering() {
+        // Wide latency spread: many responses arrive out of order yet the
+        // release sequence is strictly in order (verified internally by
+        // construction: release index only advances in order).
+        let r = simulate_stream(&LoadUnitConfig::ooo(64), 2_000, 10, 2_000, 5);
+        assert!(r.out_of_order_arrivals > 100);
+        assert!(r.peak_scoreboard > 1);
+        assert!(r.peak_scoreboard <= 64);
+    }
+
+    #[test]
+    fn context_storage_is_tiny() {
+        // 128-bit tags for 64 requests: 1 KB, versus ~KBs *per thread* of
+        // software context.
+        assert_eq!(LoadUnitConfig::ooo(64).context_storage_bytes(), 1_024);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency range")]
+    fn inverted_range_panics() {
+        simulate_stream(&LoadUnitConfig::in_order(), 1, 10, 5, 0);
+    }
+}

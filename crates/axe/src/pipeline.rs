@@ -1,0 +1,352 @@
+//! Tech-1: fine-grained FIFO-connected asynchronous pipelining.
+//!
+//! Figure 6 decomposes `GetNeighbor` into five FIFO-coupled sub-modules,
+//! some further pipelined; Figure 7 measures how batch latency falls as the
+//! pipeline deepens. This module provides both the analytic model and a
+//! discrete-event validation of it (see the crate tests).
+//!
+//! For a batch of `M` items through work of `W` cycles per item split into
+//! a depth-`D` pipeline (stage service `W/D`), the batch latency is the
+//! fill time plus one stage interval per remaining item:
+//! `L(D) = W + (M-1) * ceil(W/D)` — deeper pipelines approach one-item-per-
+//! stage-interval throughput, which is why the paper pushes depth so hard.
+
+use lsdgnn_desim::{Fifo, Simulation, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A pipeline shape: total per-item work split into equal stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Total per-item work in cycles.
+    pub work_cycles: u64,
+    /// Number of pipeline stages.
+    pub depth: u32,
+    /// FIFO capacity between stages.
+    pub fifo_capacity: usize,
+}
+
+impl PipelineSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero or `depth > work_cycles`.
+    pub fn new(work_cycles: u64, depth: u32, fifo_capacity: usize) -> Self {
+        assert!(work_cycles > 0, "work must be non-zero");
+        assert!(depth > 0, "depth must be non-zero");
+        assert!(fifo_capacity > 0, "fifo capacity must be non-zero");
+        assert!(
+            depth as u64 <= work_cycles,
+            "cannot split {work_cycles} cycles into {depth} stages"
+        );
+        PipelineSpec {
+            work_cycles,
+            depth,
+            fifo_capacity,
+        }
+    }
+
+    /// Cycles per stage (ceiling split).
+    pub fn stage_cycles(&self) -> u64 {
+        self.work_cycles.div_ceil(self.depth as u64)
+    }
+}
+
+/// Analytic batch latency in cycles for `items` through the pipeline.
+pub fn pipeline_batch_latency(spec: &PipelineSpec, items: u64) -> u64 {
+    if items == 0 {
+        return 0;
+    }
+    spec.stage_cycles() * spec.depth as u64 + (items - 1) * spec.stage_cycles()
+}
+
+/// Analytic steady-state throughput in items per cycle.
+pub fn pipeline_throughput(spec: &PipelineSpec) -> f64 {
+    1.0 / spec.stage_cycles() as f64
+}
+
+/// Simulates the pipeline on the event kernel and returns the measured
+/// batch latency in cycles — validates the analytic model and exercises
+/// the FIFO back-pressure path.
+pub fn simulate_batch_latency(spec: &PipelineSpec, items: u64) -> u64 {
+    if items == 0 {
+        return 0;
+    }
+    let depth = spec.depth as usize;
+    let stage_time = Time::from_ticks(spec.stage_cycles());
+
+    struct Stage {
+        fifo: Fifo<u64>,
+        busy: bool,
+    }
+    struct Pipe {
+        stages: Vec<Stage>,
+        done: u64,
+        finish: Time,
+        items: u64,
+    }
+    let pipe = Rc::new(RefCell::new(Pipe {
+        stages: (0..depth)
+            .map(|_| Stage {
+                fifo: Fifo::new(spec.fifo_capacity),
+                busy: false,
+            })
+            .collect(),
+        done: 0,
+        finish: Time::ZERO,
+        items,
+    }));
+
+    // A stage tries to start work whenever it becomes idle or input lands.
+    fn pump(sim: &mut Simulation, pipe: &Rc<RefCell<Pipe>>, stage_idx: usize, stage_time: Time) {
+        let can_start = {
+            let p = pipe.borrow();
+            !p.stages[stage_idx].busy && !p.stages[stage_idx].fifo.is_empty()
+        };
+        if !can_start {
+            return;
+        }
+        let item = {
+            let mut p = pipe.borrow_mut();
+            p.stages[stage_idx].busy = true;
+            p.stages[stage_idx].fifo.pop().expect("non-empty checked")
+        };
+        let pipe = pipe.clone();
+        sim.schedule(stage_time, move |sim| {
+            let depth = pipe.borrow().stages.len();
+            {
+                let mut p = pipe.borrow_mut();
+                p.stages[stage_idx].busy = false;
+                if stage_idx + 1 < depth {
+                    // Infinite-capacity hand-off would hide back-pressure;
+                    // retry until the FIFO accepts (capacity >= 1 keeps
+                    // this bounded in practice for equal stage times).
+                    p.stages[stage_idx + 1]
+                        .fifo
+                        .push(item)
+                        .unwrap_or_else(|_| panic!("fifo overflow between stages"));
+                } else {
+                    p.done += 1;
+                    p.finish = sim.now();
+                }
+            }
+            if stage_idx + 1 < depth {
+                pump(sim, &pipe, stage_idx + 1, stage_time);
+            }
+            pump(sim, &pipe, stage_idx, stage_time);
+        });
+    }
+
+    let mut sim = Simulation::new();
+    // Feed items as fast as stage 0 accepts them.
+    fn feed(sim: &mut Simulation, pipe: &Rc<RefCell<Pipe>>, next: u64, stage_time: Time) {
+        let total = pipe.borrow().items;
+        if next >= total {
+            return;
+        }
+        let accepted = pipe.borrow_mut().stages[0].fifo.push(next).is_ok();
+        if accepted {
+            pump(sim, pipe, 0, stage_time);
+            feed(sim, pipe, next + 1, stage_time);
+        } else {
+            let pipe = pipe.clone();
+            sim.schedule(stage_time, move |sim| feed(sim, &pipe, next, stage_time));
+        }
+    }
+    {
+        let pipe_rc = pipe.clone();
+        sim.schedule(Time::ZERO, move |sim| {
+            feed(sim, &pipe_rc, 0, stage_time);
+        });
+    }
+    sim.run();
+    let p = pipe.borrow();
+    assert_eq!(p.done, items, "all items must drain");
+    p.finish.as_ticks()
+}
+
+/// A heterogeneous pipeline: named stages with individual service times —
+/// the Figure 6 GetNeighbor decomposition (address generation, tag
+/// allocation, request issue, and the two score-boards), where stages are
+/// *not* equal and the slowest one sets throughput.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePipeline {
+    names: Vec<&'static str>,
+    cycles: Vec<u64>,
+}
+
+impl StagePipeline {
+    /// Builds a pipeline from `(name, cycles)` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stage list or a zero-cycle stage.
+    pub fn new(stages: &[(&'static str, u64)]) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        assert!(
+            stages.iter().all(|&(_, c)| c > 0),
+            "stages must take at least one cycle"
+        );
+        StagePipeline {
+            names: stages.iter().map(|&(n, _)| n).collect(),
+            cycles: stages.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// The Figure 6 GetNeighbor sub-module pipeline.
+    pub fn get_neighbor() -> Self {
+        Self::new(&[
+            ("addr-gen", 1),
+            ("tag-alloc", 1),
+            ("request-issue", 2),
+            ("scoreboard-root", 2),
+            ("scoreboard-neighbor", 2),
+        ])
+    }
+
+    /// Stage count.
+    pub fn depth(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total fill latency (sum of stages).
+    pub fn fill_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// The throughput-setting (slowest) stage: `(name, cycles)`.
+    pub fn bottleneck(&self) -> (&'static str, u64) {
+        let (i, &c) = self
+            .cycles
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .expect("non-empty by construction");
+        (self.names[i], c)
+    }
+
+    /// Batch latency: fill plus one bottleneck interval per remaining
+    /// item.
+    pub fn batch_latency(&self, items: u64) -> u64 {
+        if items == 0 {
+            return 0;
+        }
+        self.fill_cycles() + (items - 1) * self.bottleneck().1
+    }
+
+    /// Steady-state throughput in items/cycle.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.bottleneck().1 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_latency_shrinks_with_depth() {
+        // Figure 7's shape: deeper pipeline, (much) lower batch latency.
+        let items = 256;
+        let l: Vec<u64> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&d| pipeline_batch_latency(&PipelineSpec::new(16, d, 4), items))
+            .collect();
+        assert!(l.windows(2).all(|w| w[0] > w[1]), "{l:?}");
+        // Depth 16 vs depth 1: close to 16x for large batches.
+        let speedup = l[0] as f64 / l[4] as f64;
+        assert!(speedup > 10.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn throughput_is_stage_rate() {
+        let spec = PipelineSpec::new(16, 4, 4);
+        assert_eq!(spec.stage_cycles(), 4);
+        assert!((pipeline_throughput(&spec) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_model() {
+        for depth in [1u32, 2, 4, 8] {
+            let spec = PipelineSpec::new(16, depth, 8);
+            let analytic = pipeline_batch_latency(&spec, 50);
+            let measured = simulate_batch_latency(&spec, 50);
+            assert_eq!(measured, analytic, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn uneven_split_rounds_up() {
+        let spec = PipelineSpec::new(10, 3, 2);
+        assert_eq!(spec.stage_cycles(), 4);
+        assert_eq!(pipeline_batch_latency(&spec, 1), 12);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let spec = PipelineSpec::new(8, 2, 2);
+        assert_eq!(pipeline_batch_latency(&spec, 0), 0);
+        assert_eq!(simulate_batch_latency(&spec, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn overdeep_pipeline_panics() {
+        let _ = PipelineSpec::new(4, 8, 2);
+    }
+
+    #[test]
+    fn figure6_pipeline_shape() {
+        let p = StagePipeline::get_neighbor();
+        assert_eq!(p.depth(), 5);
+        assert_eq!(p.fill_cycles(), 8);
+        // One of the 2-cycle stages bottlenecks at 0.5 items/cycle.
+        assert_eq!(p.bottleneck().1, 2);
+        assert!((p.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_latency_matches_equal_split_special_case() {
+        // All-equal stages reduce to the PipelineSpec formula.
+        let hetero = StagePipeline::new(&[("a", 4), ("b", 4), ("c", 4), ("d", 4)]);
+        let equal = PipelineSpec::new(16, 4, 4);
+        for items in [1u64, 10, 100] {
+            assert_eq!(
+                hetero.batch_latency(items),
+                pipeline_batch_latency(&equal, items)
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates_large_batches() {
+        let p = StagePipeline::new(&[("fast", 1), ("slow", 10), ("fast2", 1)]);
+        assert_eq!(p.bottleneck(), ("slow", 10));
+        let l = p.batch_latency(1_000);
+        // Asymptotically 10 cycles per item.
+        assert!((l as f64 / 1_000.0 - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn balancing_the_bottleneck_improves_throughput() {
+        // The micro-architecture lesson behind Figure 6: splitting the
+        // slow stage (e.g. pipelining the scoreboard update) raises
+        // whole-pipeline throughput.
+        let unbalanced = StagePipeline::new(&[("a", 1), ("slow", 6), ("c", 1)]);
+        let balanced = StagePipeline::new(&[
+            ("a", 1),
+            ("slow-1", 3),
+            ("slow-2", 3),
+            ("c", 1),
+        ]);
+        assert!(balanced.throughput() > 1.5 * unbalanced.throughput());
+        assert!(balanced.batch_latency(500) < unbalanced.batch_latency(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycle_stage_panics() {
+        let _ = StagePipeline::new(&[("x", 0)]);
+    }
+}

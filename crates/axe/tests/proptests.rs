@@ -1,0 +1,80 @@
+//! Property-based tests for AxE components: the coalescing cache, the
+//! pipeline model, and conservation laws of the engine DES.
+
+use lsdgnn_axe::pipeline::{pipeline_batch_latency, PipelineSpec};
+use lsdgnn_axe::{AccessEngine, AxeConfig, CoalescingCache};
+use lsdgnn_graph::generators;
+use proptest::prelude::*;
+
+proptest! {
+    /// Cache miss bytes per access are bounded by the line-rounded span,
+    /// and probes are conserved (hits + misses == lines touched).
+    #[test]
+    fn cache_accounting_is_conserved(
+        accesses in proptest::collection::vec((0u64..1_000_000, 1u64..512), 1..200),
+        kb in 1usize..32,
+    ) {
+        let mut c = CoalescingCache::new(kb * 1024);
+        let mut lines_touched = 0u64;
+        let mut miss_bytes = 0u64;
+        for (addr, len) in accesses {
+            let first = addr / 64;
+            let last = (addr + len - 1) / 64;
+            lines_touched += last - first + 1;
+            let miss = c.access(addr, len);
+            prop_assert!(miss <= (last - first + 1) * 64);
+            prop_assert_eq!(miss % 64, 0);
+            miss_bytes += miss;
+        }
+        prop_assert_eq!(c.hits() + c.misses(), lines_touched);
+        prop_assert_eq!(c.misses() * 64, miss_bytes);
+    }
+
+    /// The pipeline latency model is monotone for even stage splits:
+    /// deeper never slower, more items never faster. (With ceiling
+    /// rounding an uneven split can cost a cycle on tiny batches, so the
+    /// property quantifies over power-of-two depths dividing the work.)
+    #[test]
+    fn pipeline_latency_monotone(
+        work_units in 1u64..8,
+        items in 1u64..1_000,
+        e1 in 0u32..5,
+        e2 in 0u32..5,
+    ) {
+        let work = work_units * 16;
+        let (d1, d2) = (1u32 << e1, 1u32 << e2);
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        let shallow = pipeline_batch_latency(&PipelineSpec::new(work, lo, 4), items);
+        let deep = pipeline_batch_latency(&PipelineSpec::new(work, hi, 4), items);
+        prop_assert!(deep <= shallow);
+        let more = pipeline_batch_latency(&PipelineSpec::new(work, lo, 4), items + 1);
+        prop_assert!(more >= shallow);
+    }
+
+    /// Engine conservation: every sampled node and every root produces
+    /// exactly one attribute's worth of output bytes, for arbitrary
+    /// small configurations.
+    #[test]
+    fn engine_output_conservation(
+        cores in 1usize..4,
+        batch in 4usize..24,
+        partitions in 1u32..5,
+        seed in 0u64..50,
+    ) {
+        let g = generators::power_law(400, 6, seed + 100);
+        let cfg = AxeConfig::poc()
+            .with_cores(cores)
+            .with_batch_size(batch)
+            .with_partitions(partitions)
+            .with_sampling(1, 4)
+            .with_seed(seed);
+        let m = AccessEngine::new(cfg).run(&g, 16, 1);
+        prop_assert_eq!(m.batches, 1);
+        prop_assert_eq!(m.output_bytes, (m.samples + batch as u64) * 16 * 4);
+        // All traffic is local when there is one partition.
+        if partitions == 1 {
+            prop_assert_eq!(m.remote_bytes, 0);
+        }
+        prop_assert!(m.samples <= (batch * 4) as u64);
+    }
+}

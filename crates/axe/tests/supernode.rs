@@ -1,0 +1,94 @@
+//! The supernode scenario (§4.2 Tech-1: "such loosely coupled dataflow
+//! naturally supports the supernode scenario"): e-commerce graphs have
+//! hub nodes with extreme degree, and a rigid design would stall its
+//! whole pipeline behind one multi-thousand-cycle edge-list scan.
+
+use lsdgnn_axe::{AccessEngine, AxeConfig};
+use lsdgnn_graph::{GraphBuilder, NodeId};
+use lsdgnn_sampler::{NeighborSampler, StandardSampler, StreamingSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A graph with one extreme hub and a uniform background.
+fn supernode_graph(n: u64, hub_degree: u64) -> lsdgnn_graph::CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    // Hub = node 0, connected to a large slice of the graph.
+    for v in 1..=hub_degree.min(n - 1) {
+        b.add_undirected_edge(NodeId(0), NodeId(v));
+    }
+    // Background ring so every node has some neighbors.
+    for v in 1..n {
+        b.add_undirected_edge(NodeId(v), NodeId((v % (n - 1)) + 1));
+    }
+    b.build()
+}
+
+#[test]
+fn engine_completes_batches_containing_the_supernode() {
+    let g = supernode_graph(4_000, 3_000);
+    assert!(g.degree(NodeId(0)) >= 3_000);
+    // Seed the batch so the hub is definitely expanded (seeded roots are
+    // random; run enough batches that hub expansion is overwhelmingly
+    // likely, then verify completion and liveness).
+    let cfg = AxeConfig::poc().with_batch_size(64).with_sampling(2, 10);
+    let m = AccessEngine::new(cfg).run(&g, 72, 3);
+    assert_eq!(m.batches, 3);
+    assert!(m.samples > 0);
+    assert!(m.samples_per_sec > 1e6, "throughput collapsed: {}", m.samples_per_sec);
+}
+
+#[test]
+fn supernode_slowdown_is_work_proportional_not_a_stall() {
+    // A 3000-degree hub adjacent to most of the graph genuinely
+    // multiplies the sampling work (every hub expansion streams 3000
+    // candidates — Tech-2's N cycles). The claim to check is that the
+    // engine's slowdown tracks that inherent work growth instead of
+    // deadlocking or collapsing super-linearly.
+    let flat = supernode_graph(4_000, 16);
+    let hubby = supernode_graph(4_000, 3_000);
+    let cfg = AxeConfig::poc().with_batch_size(64).with_sampling(2, 10);
+    let m_flat = AccessEngine::new(cfg.clone()).run(&flat, 72, 3);
+    let m_hub = AccessEngine::new(cfg).run(&hubby, 72, 3);
+    let ratio = m_flat.samples_per_sec / m_hub.samples_per_sec;
+    // Work proxy: a sampled node is reached with probability ∝ its
+    // degree, so expected cycles per expansion scale with the
+    // size-biased mean degree E[deg²]/E[deg].
+    let size_biased = |g: &lsdgnn_graph::CsrGraph| {
+        let (mut d1, mut d2) = (0.0f64, 0.0f64);
+        for v in 0..g.num_nodes() {
+            let d = g.degree(NodeId(v)) as f64;
+            d1 += d;
+            d2 += d * d;
+        }
+        d2 / d1
+    };
+    let work_growth = size_biased(&hubby) / size_biased(&flat);
+    assert!(
+        ratio > 2.0,
+        "a hub this size must cost something: ratio {ratio:.1}x"
+    );
+    assert!(
+        ratio < work_growth,
+        "supernode degraded throughput by {ratio:.1}x, exceeding the \
+         inherent work growth {work_growth:.1}x — a pipeline stall"
+    );
+    // And the engine stays live — no deadlock, full batch completion.
+    assert_eq!(m_hub.batches, 3);
+    assert!(m_hub.samples_per_sec > 1e6);
+}
+
+#[test]
+fn streaming_sampler_handles_the_hub_in_one_pass() {
+    // Functional check at the sampler level: the hub's full neighbor
+    // list samples correctly and cheaply (N cycles, no buffer) versus
+    // the conventional N-entry-buffer + N+K cycles.
+    let g = supernode_graph(4_000, 3_000);
+    let hub_neighbors = g.neighbors(NodeId(0));
+    let n = hub_neighbors.len();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let picks = StreamingSampler.sample(&mut rng, hub_neighbors, 10);
+    assert_eq!(picks.len(), 10);
+    assert!(StreamingSampler.cycles(n, 10) == n as u64);
+    assert_eq!(StreamingSampler.buffer_entries(n), 0);
+    assert_eq!(StandardSampler.buffer_entries(n), n, "conventional needs the full buffer");
+}

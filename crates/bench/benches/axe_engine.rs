@@ -1,0 +1,42 @@
+//! Figures 14/15 anchor benchmark: the full AxE discrete-event
+//! simulation per mini-batch, across core counts and memory tiers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdgnn_core::axe::{AccessEngine, AxeConfig};
+use lsdgnn_core::graph::{generators, CsrGraph};
+use lsdgnn_core::memfabric::TierConfig;
+
+fn graph() -> CsrGraph {
+    generators::power_law(4_000, 9, 3)
+}
+
+fn bench_core_scaling(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("axe_des_2batches");
+    group.sample_size(10);
+    for cores in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &n| {
+            let cfg = AxeConfig::poc().with_cores(n).with_batch_size(32);
+            b.iter(|| black_box(AccessEngine::new(cfg.clone()).run(&g, 72, 2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_tiers(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("axe_des_tiers");
+    group.sample_size(10);
+    for (name, fpga_local) in [("pcie_host", false), ("fpga_dram", true)] {
+        group.bench_with_input(BenchmarkId::new("tier", name), &fpga_local, |b, &fl| {
+            let cfg = AxeConfig::poc()
+                .with_tier(TierConfig::poc(fl))
+                .with_batch_size(32);
+            b.iter(|| black_box(AccessEngine::new(cfg.clone()).run(&g, 72, 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_scaling, bench_memory_tiers);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figures 17–21 benchmark: the full DSE grid (8 architectures x 6
+//! datasets x 3 instance sizes) plus the cost-model fit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsdgnn_core::faas::dse::run_dse;
+use lsdgnn_core::faas::{CostModel, QuoteSet};
+use lsdgnn_core::framework::CpuClusterModel;
+
+fn bench_dse_grid(c: &mut Criterion) {
+    let cpu = CpuClusterModel::default();
+    let cost = CostModel::default_fitted();
+    c.bench_function("dse_full_grid_144cells", |b| {
+        b.iter(|| black_box(run_dse(&cpu, &cost)));
+    });
+}
+
+fn bench_cost_fit(c: &mut Criterion) {
+    let quotes = QuoteSet::alibaba_like();
+    c.bench_function("cost_model_fit_10quotes", |b| {
+        b.iter(|| black_box(CostModel::fit(&quotes)));
+    });
+}
+
+criterion_group!(benches, bench_dse_grid, bench_cost_fit);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Tech-3 benchmark: the OoO load-unit simulation across tag budgets —
+//! the "30x" measurement as a perf target.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdgnn_core::axe::load_unit::simulate_stream;
+use lsdgnn_core::axe::LoadUnitConfig;
+
+fn bench_load_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_unit_stream_2000req");
+    for tags in [1usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("tags", tags), &tags, |b, &t| {
+            b.iter(|| {
+                black_box(simulate_stream(
+                    &LoadUnitConfig::ooo(t),
+                    2_000,
+                    1_100,
+                    1_400,
+                    7,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_unit);
+criterion_main!(benches);

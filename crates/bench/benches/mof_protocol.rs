@@ -1,0 +1,41 @@
+//! Tables 5/6 benchmarks: MoF frame encode/decode, packing accounting
+//! and BDI compression throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsdgnn_core::mof::{bdi_compress, bdi_decompress, PackingScheme, ReadRequestPackage};
+
+fn bench_frames(c: &mut Criterion) {
+    let offsets: Vec<u32> = (0..64u32).map(|i| i * 288).collect();
+    let pkg = ReadRequestPackage::new(1, 0x4000_0000, &offsets, 64).unwrap();
+    let bytes = pkg.encode();
+    c.bench_function("mof_request_encode_64req", |b| {
+        b.iter(|| black_box(pkg.encode()));
+    });
+    c.bench_function("mof_request_decode_64req", |b| {
+        b.iter(|| black_box(ReadRequestPackage::decode(&bytes).unwrap()));
+    });
+}
+
+fn bench_packing_accounting(c: &mut Criterion) {
+    c.bench_function("packing_breakdown_both_schemes", |b| {
+        b.iter(|| {
+            let g = PackingScheme::GenZ.breakdown(black_box(128), 16);
+            let m = PackingScheme::Mof.breakdown(black_box(128), 16);
+            black_box((g.data_fraction(), m.data_fraction()))
+        });
+    });
+}
+
+fn bench_bdi(c: &mut Criterion) {
+    let addrs: Vec<u64> = (0..128u64).map(|i| 0x7F00_0000_0000 + i * 288).collect();
+    c.bench_function("bdi_compress_128_addresses", |b| {
+        b.iter(|| black_box(bdi_compress(&addrs)));
+    });
+    let block = bdi_compress(&addrs);
+    c.bench_function("bdi_decompress_128_addresses", |b| {
+        b.iter(|| black_box(bdi_decompress(&block).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_frames, bench_packing_accounting, bench_bdi);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7 benchmark: the event-driven pipeline simulation across
+//! depths (also a stress test of the desim kernel).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdgnn_core::axe::pipeline::{simulate_batch_latency, PipelineSpec};
+use lsdgnn_core::desim::{Simulation, Time};
+
+fn bench_pipeline_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim_256items");
+    for depth in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            let spec = PipelineSpec::new(16, d, 8);
+            b.iter(|| black_box(simulate_batch_latency(&spec, 256)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_throughput(c: &mut Criterion) {
+    c.bench_function("desim_kernel_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            for i in 0..10_000u64 {
+                sim.schedule(Time::from_ticks(i % 97), |_| {});
+            }
+            sim.run();
+            black_box(sim.events_processed())
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline_depths, bench_kernel_throughput);
+criterion_main!(benches);

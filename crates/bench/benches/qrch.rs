@@ -1,0 +1,22 @@
+//! Table 7 benchmark: the three accelerator-interaction styles measured
+//! on the RV32 interpreter.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdgnn_core::riscv::{measure_interaction_cost, InteractionStyle};
+
+fn bench_interaction_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qrch_interaction_500ops");
+    for (name, style) in [
+        ("mmio", InteractionStyle::Mmio),
+        ("isa_ext", InteractionStyle::IsaExt),
+        ("qrch", InteractionStyle::Qrch),
+    ] {
+        group.bench_with_input(BenchmarkId::new("style", name), &style, |b, &s| {
+            b.iter(|| black_box(measure_interaction_cost(s, 500)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interaction_styles);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Tech-2 benchmark: streaming step-based sampling versus the
+//! conventional buffered sampler and the weighted sampler, across
+//! candidate-list sizes (supports the Table 2 sampling workloads).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdgnn_core::graph::NodeId;
+use lsdgnn_core::sampler::{NeighborSampler, StandardSampler, StreamingSampler, WeightedSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_sampling_k10");
+    for n in [32usize, 256, 2048, 16_384] {
+        let candidates: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let weights: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32).collect();
+        group.bench_with_input(BenchmarkId::new("standard", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(StandardSampler.sample(&mut rng, &candidates, 10)));
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(StreamingSampler.sample(&mut rng, &candidates, 10)));
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(WeightedSampler.sample(&mut rng, &candidates, &weights, 10)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multihop(c: &mut Criterion) {
+    use lsdgnn_core::graph::generators;
+    use lsdgnn_core::sampler::MultiHopSampler;
+    let g = generators::power_law(20_000, 9, 5);
+    let roots: Vec<NodeId> = (0..64).map(NodeId).collect();
+    let mh = MultiHopSampler::new(2, 10);
+    c.bench_function("multihop_2x10_batch64", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(mh.sample(&mut rng, &g, &StreamingSampler, &roots)));
+    });
+}
+
+criterion_group!(benches, bench_samplers, bench_multihop);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! `tables` — regenerates every table and figure of the paper's
+//! evaluation from the reproduction library.
+//!
+//! ```text
+//! cargo run -p lsdgnn-bench --release -- all
+//! cargo run -p lsdgnn-bench --release -- fig14 fig21
+//! ```
+//!
+//! Environment:
+//! * `LSDGNN_SCALE`   — max nodes for scaled-down graphs (default 4000)
+//! * `LSDGNN_BATCHES` — mini-batches per DES measurement (default 3)
+
+mod ablations;
+mod characterization;
+mod faas_exp;
+mod microarch;
+mod poc;
+mod util;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_u64("LSDGNN_SCALE", 4_000);
+    let batches = env_u64("LSDGNN_BATCHES", 3) as u32;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig3", "fig7", "table5", "table6",
+            "table7", "tech2", "tech3", "table11", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "ablations", "limit2", "discussion", "planner",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for exp in selected {
+        match exp {
+            "fig2a" => characterization::fig2a(),
+            "fig2b" => characterization::fig2b(),
+            "fig2c" => characterization::fig2c(scale),
+            "fig2d" => characterization::fig2d(),
+            "fig2e" => characterization::fig2e(),
+            "fig3" => characterization::fig3(),
+            "fig7" => microarch::fig7(),
+            "table5" => microarch::table5(),
+            "table6" => microarch::table6(),
+            "table7" => microarch::table7(),
+            "tech2" => microarch::tech2(),
+            "tech3" => microarch::tech3(),
+            "table11" => microarch::table11(),
+            "fig14" => poc::fig14(scale, batches),
+            "fig15" => poc::fig15(scale, batches),
+            "fig16" => faas_exp::fig16(),
+            "fig17" => faas_exp::fig17(),
+            "fig18" => faas_exp::fig18(),
+            "fig19" => faas_exp::fig19(),
+            "fig20" => faas_exp::fig20(),
+            "fig21" => faas_exp::fig21(),
+            "ablations" => ablations::all(scale, batches),
+            "limit2" => faas_exp::limit2(),
+            "discussion" => faas_exp::discussion(),
+            "planner" => faas_exp::planner(),
+            "export-csv" => faas_exp::export_csv(),
+            "ablation-cache" => ablations::cache_sweep(scale, batches),
+            "ablation-cores" => ablations::core_sweep(scale, batches),
+            "ablation-packing" => ablations::packing_sweep(),
+            "ablation-outstanding" => ablations::outstanding_sweep(scale, batches),
+            "ablation-serving" => ablations::serving_sweep(scale, batches),
+            other => {
+                eprintln!("unknown experiment `{other}`; see DESIGN.md for the experiment index");
+                std::process::exit(2);
+            }
+        }
+    }
+}

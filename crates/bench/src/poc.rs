@@ -1,0 +1,134 @@
+//! PoC measurement experiments: Figure 14 (FPGA vs per-vCPU sampling
+//! rate) and Figure 15 (analytical model validation against the DES).
+
+use crate::util::{banner, eng, row};
+use lsdgnn_core::axe::{AccessEngine, AxeConfig};
+use lsdgnn_core::faas::perf::{bottleneck_rates, PerfInputs};
+use lsdgnn_core::framework::CpuClusterModel;
+use lsdgnn_core::graph::{FootprintModel, PAPER_DATASETS};
+use lsdgnn_core::memfabric::{MemoryTier, TierConfig};
+
+/// Figure 14: simulated PoC FPGA sampling rate versus the per-vCPU CPU
+/// baseline, per dataset.
+pub fn fig14(scale_nodes: u64, batches: u32) {
+    banner(
+        "Fig 14",
+        "PoC sampling rate vs CPU software baseline (per vCPU)",
+    );
+    let cpu = CpuClusterModel::default();
+    let fm = FootprintModel::default();
+    let w = [6, 16, 16, 14];
+    row(
+        &["graph", "FPGA samples/s", "vCPU samples/s", "vCPU-equiv"].map(String::from),
+        &w,
+    );
+    let mut log_sum = 0.0;
+    for d in &PAPER_DATASETS {
+        let (g, _) = d.instantiate_scaled(scale_nodes, 10);
+        let cfg = AxeConfig::poc().with_batch_size(64);
+        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        let vcpu = cpu.vcpu_rate_for(d, &fm);
+        let equiv = m.samples_per_sec / vcpu;
+        log_sum += equiv.ln();
+        row(
+            &[
+                d.name.to_string(),
+                format!("{}/s", eng(m.samples_per_sec)),
+                format!("{}/s", eng(vcpu)),
+                format!("{equiv:.0}"),
+            ],
+            &w,
+        );
+    }
+    let geomean = (log_sum / PAPER_DATASETS.len() as f64).exp();
+    println!("geomean vCPU equivalence: {geomean:.0} (paper: one FPGA ~ 894 vCPUs)");
+}
+
+/// One Figure 15 sweep point.
+fn poc_tier(fpga_channels: Option<u32>) -> TierConfig {
+    TierConfig {
+        local: match fpga_channels {
+            None => MemoryTier::PcieHostDram,
+            Some(c) => MemoryTier::FpgaLocalDram { channels: c },
+        },
+        remote: MemoryTier::Mof { links: 3 },
+        output: MemoryTier::PciePeerToPeer,
+    }
+}
+
+/// Figure 15: validating the analytical performance model against the
+/// AxE discrete-event simulation across the PoC sweep
+/// (1/2/4 cores x PCIe/1/2/4-channel x 1-node/4-node), plus the modelled
+/// "w/o PCIe output limitation" series.
+pub fn fig15(scale_nodes: u64, batches: u32) {
+    banner(
+        "Fig 15",
+        "analytical model vs DES measurement (PoC sweeps)",
+    );
+    let d = lsdgnn_core::graph::DatasetConfig::by_name("ss").unwrap();
+    let (g, _) = d.instantiate_scaled(scale_nodes, 11);
+    let avg_deg = g.avg_degree();
+    let attr_bytes = d.attr_len as f64 * 4.0;
+
+    let w = [8, 8, 8, 16, 16, 10, 18];
+    row(
+        &["cores", "mem", "nodes", "DES samples/s", "model samples/s", "err", "model w/o PCIe"]
+            .map(String::from),
+        &w,
+    );
+    let mem_configs: [(&str, Option<u32>); 4] =
+        [("PCIe", None), ("1-chn", Some(1)), ("2-chn", Some(2)), ("4-chn", Some(4))];
+    let mut errs = Vec::new();
+    for nodes in [1u32, 4] {
+        for (mem_name, chans) in mem_configs {
+            for cores in [1usize, 2, 4] {
+                let tier = poc_tier(chans);
+                let cfg = AxeConfig::poc()
+                    .with_cores(cores)
+                    .with_tier(tier)
+                    .with_partitions(nodes)
+                    .with_batch_size(48);
+                let des = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+                let inputs = PerfInputs {
+                    local: tier.local.link_model(),
+                    remote: tier.remote.link_model(),
+                    output: Some(tier.output.link_model()),
+                    output_shares_remote: false,
+                    cores: cores as u32,
+                    tags_per_core: 64,
+                    clock_hz: 250e6,
+                    avg_degree: avg_deg,
+                    fanout: 10.0,
+                    attr_bytes,
+                    remote_fraction: 1.0 - 1.0 / nodes as f64,
+                };
+                let model = bottleneck_rates(&inputs).samples_per_sec();
+                let no_pcie = bottleneck_rates(&PerfInputs {
+                    output: None,
+                    ..inputs
+                })
+                .samples_per_sec();
+                let err = (model - des.samples_per_sec).abs() / des.samples_per_sec;
+                errs.push(err);
+                row(
+                    &[
+                        cores.to_string(),
+                        mem_name.to_string(),
+                        format!("{nodes}n"),
+                        format!("{}/s", eng(des.samples_per_sec)),
+                        format!("{}/s", eng(model)),
+                        format!("{:.0}%", err * 100.0),
+                        format!("{}/s", eng(no_pcie)),
+                    ],
+                    &w,
+                );
+            }
+        }
+    }
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    println!(
+        "mean |model - DES| error: {:.1}% over {} configurations (paper reports ~1% against its PoC)",
+        mean_err * 100.0,
+        errs.len()
+    );
+}

@@ -1,0 +1,35 @@
+//! Formatting helpers for the table/figure printers.
+
+/// Prints a header banner for one experiment.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("==== {id}: {caption} ====");
+}
+
+/// Formats a float with engineering-style suffixes (K/M/G).
+pub fn eng(v: f64) -> String {
+    let (scaled, suffix) = if v.abs() >= 1e9 {
+        (v / 1e9, "G")
+    } else if v.abs() >= 1e6 {
+        (v / 1e6, "M")
+    } else if v.abs() >= 1e3 {
+        (v / 1e3, "K")
+    } else {
+        (v, "")
+    };
+    format!("{scaled:.2}{suffix}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Prints one row of left-aligned cells at the given widths.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$} ", w = w));
+    }
+    println!("{}", line.trim_end());
+}

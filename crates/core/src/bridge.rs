@@ -1,0 +1,226 @@
+//! The QRCH ↔ AxE bridge: the point where the control plane meets the
+//! data plane.
+//!
+//! The paper's §4.4/§5 stack has user C code on the RISC-V issuing AxE
+//! commands through QRCH queues. [`QrchAxeBridge`] implements the
+//! [`lsdgnn_riscv::Device`] trait over a live
+//! [`lsdgnn_axe::CommandExecutor`], so an assembled RV32 program samples
+//! a *real graph*: queue 0 carries the command words, queue 1 the
+//! responses.
+//!
+//! Wire protocol (one word per queue push):
+//!
+//! * `q0 <- root id`, then `q0 <- (hops << 16) | fanout` triggers a
+//!   sample command; the sampled node ids stream back on `q1` preceded by
+//!   their count.
+//! * `q2 <- node id` triggers an attribute checksum read: `q1` receives
+//!   the attribute vector's float sum as `f32` bits (a compact way for a
+//!   32-bit control core to verify payloads).
+
+use lsdgnn_axe::command::SampleMethod;
+use lsdgnn_axe::{AxeCommand, AxeResponse, CommandExecutor};
+use lsdgnn_graph::NodeId;
+use lsdgnn_riscv::Device;
+use std::collections::VecDeque;
+
+/// The bridge device: owns a command executor over borrowed graph data.
+pub struct QrchAxeBridge<'a> {
+    executor: CommandExecutor<'a>,
+    /// Pending root for the two-word sample command.
+    staged_root: Option<u32>,
+    /// Response queue toward the CPU (q1).
+    responses: VecDeque<u32>,
+    /// Scratch queues (q2..) for raw values.
+    commands_served: u64,
+}
+
+impl std::fmt::Debug for QrchAxeBridge<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrchAxeBridge")
+            .field("commands_served", &self.commands_served)
+            .finish()
+    }
+}
+
+impl<'a> QrchAxeBridge<'a> {
+    /// Creates a bridge over graph + attributes.
+    pub fn new(
+        graph: &'a lsdgnn_graph::CsrGraph,
+        attributes: &'a lsdgnn_graph::AttributeStore,
+        seed: u64,
+    ) -> Self {
+        QrchAxeBridge {
+            executor: CommandExecutor::new(graph, attributes, seed),
+            staged_root: None,
+            responses: VecDeque::new(),
+            commands_served: 0,
+        }
+    }
+
+    /// Commands executed so far.
+    pub fn commands_served(&self) -> u64 {
+        self.commands_served
+    }
+
+    fn run_sample(&mut self, root: u32, spec: u32) {
+        let hops = (spec >> 16).max(1);
+        let fanout = (spec & 0xFFFF).max(1) as usize;
+        let resp = self.executor.execute(&AxeCommand::SampleNHop {
+            roots: vec![NodeId(root as u64)],
+            hops,
+            fanout,
+            method: SampleMethod::Streaming,
+            with_attributes: false,
+        });
+        if let AxeResponse::Sampled { batch, .. } = resp {
+            let sampled: Vec<u32> = batch
+                .hops
+                .iter()
+                .flatten()
+                .map(|v| v.0 as u32)
+                .collect();
+            self.responses.push_back(sampled.len() as u32);
+            self.responses.extend(sampled);
+            self.commands_served += 1;
+        }
+    }
+
+    fn run_attr_checksum(&mut self, node: u32) {
+        let resp = self.executor.execute(&AxeCommand::ReadNodeAttr {
+            nodes: vec![NodeId(node as u64)],
+        });
+        if let AxeResponse::NodeAttrs(attrs) = resp {
+            let sum: f32 = attrs.iter().sum();
+            self.responses.push_back(sum.to_bits());
+            self.commands_served += 1;
+        }
+    }
+}
+
+impl Device for QrchAxeBridge<'_> {
+    fn mmio_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            // Status register: pending responses.
+            8 => self.responses.len() as u32,
+            _ => 0,
+        }
+    }
+
+    fn mmio_write(&mut self, _offset: u32, _value: u32) {}
+
+    fn qrch_push(&mut self, q: u8, value: u32) {
+        match q {
+            0 => match self.staged_root.take() {
+                Some(root) => self.run_sample(root, value),
+                None => self.staged_root = Some(value),
+            },
+            2 => self.run_attr_checksum(value),
+            _ => {}
+        }
+    }
+
+    fn qrch_pop(&mut self, q: u8) -> Option<u32> {
+        if q == 1 {
+            self.responses.pop_front()
+        } else {
+            Some(0)
+        }
+    }
+
+    fn qrch_len(&mut self, q: u8) -> u32 {
+        if q == 1 {
+            self.responses.len() as u32
+        } else {
+            0
+        }
+    }
+
+    fn accel_op(&mut self, a: u32, _b: u32) -> u32 {
+        // Tightly-coupled degree query: deg(node a).
+        self.executor
+            .graph_degree(NodeId(a as u64))
+            .try_into()
+            .unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdgnn_graph::{generators, AttributeStore};
+    use lsdgnn_riscv::{assemble, Cpu};
+
+    fn setup() -> (lsdgnn_graph::CsrGraph, AttributeStore) {
+        (
+            generators::power_law(300, 8, 55),
+            AttributeStore::synthetic(300, 8, 55),
+        )
+    }
+
+    #[test]
+    fn riscv_program_samples_a_real_graph() {
+        let (g, a) = setup();
+        // Sample 1 hop, fanout 4, from root 5; count the returned ids.
+        let program = assemble(
+            "       addi x11, x0, 5        # root
+                    qpush q0, x11
+                    addi x12, x0, 0x1      # hops=... build (1<<16)|4
+                    slli x12, x12, 16
+                    addi x12, x12, 4
+                    qpush q0, x12          # triggers the command
+                    qpop  x13, q1          # sample count
+                    addi x14, x0, 0        # ids read
+                    mv   x15, x13
+            read:   beq  x15, x0, done
+                    qpop x16, q1
+                    addi x14, x14, 1
+                    addi x15, x15, -1
+                    jal  x0, read
+            done:   halt",
+        )
+        .unwrap();
+        let bridge = QrchAxeBridge::new(&g, &a, 9);
+        let mut cpu = Cpu::with_device(8 * 1024, bridge);
+        cpu.load_program(&program);
+        cpu.run(100_000).unwrap();
+        let count = cpu.reg(13);
+        assert!(count > 0 && count <= 4, "sampled {count}");
+        assert_eq!(cpu.reg(14), count, "read back every id");
+        assert_eq!(cpu.device().commands_served(), 1);
+    }
+
+    #[test]
+    fn attr_checksum_round_trips_exactly() {
+        let (g, a) = setup();
+        let program = assemble(
+            "addi x11, x0, 42
+             qpush q2, x11
+             qpop  x12, q1
+             halt",
+        )
+        .unwrap();
+        let bridge = QrchAxeBridge::new(&g, &a, 10);
+        let mut cpu = Cpu::with_device(4 * 1024, bridge);
+        cpu.load_program(&program);
+        cpu.run(10_000).unwrap();
+        let got = f32::from_bits(cpu.reg(12));
+        let want: f32 = a.get(NodeId(42)).iter().sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tightly_coupled_degree_query() {
+        let (g, a) = setup();
+        let program = assemble(
+            "addi x11, x0, 7
+             accel x12, x11, x0
+             halt",
+        )
+        .unwrap();
+        let bridge = QrchAxeBridge::new(&g, &a, 11);
+        let mut cpu = Cpu::with_device(4 * 1024, bridge);
+        cpu.load_program(&program);
+        cpu.run(10_000).unwrap();
+        assert_eq!(cpu.reg(12) as u64, g.degree(NodeId(7)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Bounded FIFOs with back-pressure accounting.
+//!
+//! The Access Engine's "fine-grained FIFO-connected asynchronous
+//! producer-consumer" pipeline (paper §4.2, Tech-1) is modeled as stages
+//! separated by these queues; the stall counters expose where back-pressure
+//! forms.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue with occupancy statistics.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::Fifo;
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.push(3).is_err()); // full — producer stalls
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.stalls(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+    stalls: u64,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            pops: 0,
+            stalls: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Attempts to enqueue; on a full queue returns the item back and
+    /// records a stall.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.stalls += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total successful enqueues.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful dequeues.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Rejected enqueues (producer stall cycles).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Maximum occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Drains all items, preserving order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.pops += self.items.len() as u64;
+        self.items.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_orders_items() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        let out: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn backpressure_counts_stalls() {
+        let mut f = Fifo::new(1);
+        f.push('a').unwrap();
+        assert_eq!(f.push('b'), Err('b'));
+        assert_eq!(f.push('c'), Err('c'));
+        assert_eq!(f.stalls(), 2);
+        assert!(f.is_full());
+        f.pop().unwrap();
+        assert!(f.push('b').is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.pop();
+        f.pop();
+        assert_eq!(f.high_water(), 3);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.free(), 3);
+    }
+
+    #[test]
+    fn drain_empties_and_counts() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let v: Vec<_> = f.drain().collect();
+        assert_eq!(v, vec![1, 2]);
+        assert!(f.is_empty());
+        assert_eq!(f.pops(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared-resource timing models: bandwidth-serialized links, fixed-latency
+//! pipes, and k-server queues.
+
+use crate::time::Time;
+
+/// A resource that serializes transfers at a fixed byte rate — a bus, link
+/// or DRAM channel.
+///
+/// `acquire(now, bytes)` books the next available slot and returns
+/// `(start, finish)`: the transfer occupies the resource from `start` until
+/// `finish`. Contention shows up as `start > now`.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::{BandwidthResource, Time};
+/// // 16 GB/s PCIe: 16 bytes per ns.
+/// let mut pcie = BandwidthResource::from_gbytes_per_sec(16.0);
+/// let (s1, f1) = pcie.acquire(Time::ZERO, 64);
+/// let (s2, _) = pcie.acquire(Time::ZERO, 64);
+/// assert_eq!(s1, Time::ZERO);
+/// assert_eq!(s2, f1); // second transfer queues behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthResource {
+    /// Ticks (picoseconds) needed per byte, as a rational to avoid drift.
+    ticks_per_byte_num: u64,
+    ticks_per_byte_den: u64,
+    next_free: Time,
+    busy: Time,
+    bytes_moved: u64,
+}
+
+impl BandwidthResource {
+    /// Creates a resource from a bandwidth in GB/s (10^9 bytes per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive and finite.
+    pub fn from_gbytes_per_sec(gbps: f64) -> Self {
+        assert!(
+            gbps.is_finite() && gbps > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        // ticks/byte = 1000 / gbps (1 GB/s == 1 byte/ns == 1000 ticks/byte).
+        // Scale to a rational with 10^6 denominator for precision.
+        let num = (1000.0 * 1_000_000.0 / gbps).round() as u64;
+        BandwidthResource {
+            ticks_per_byte_num: num.max(1),
+            ticks_per_byte_den: 1_000_000,
+            next_free: Time::ZERO,
+            busy: Time::ZERO,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The configured bandwidth in GB/s.
+    pub fn gbytes_per_sec(&self) -> f64 {
+        1000.0 * self.ticks_per_byte_den as f64 / self.ticks_per_byte_num as f64
+    }
+
+    /// Time to move `bytes` with no contention.
+    pub fn service_time(&self, bytes: u64) -> Time {
+        Time::from_ticks(
+            (bytes as u128 * self.ticks_per_byte_num as u128 / self.ticks_per_byte_den as u128)
+                .max(1) as u64,
+        )
+    }
+
+    /// Books a transfer of `bytes` requested at `now`; returns
+    /// `(start, finish)`.
+    pub fn acquire(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        let start = self.next_free.max(now);
+        let finish = start + self.service_time(bytes);
+        self.next_free = finish;
+        self.busy += finish - start;
+        self.bytes_moved += bytes;
+        (start, finish)
+    }
+
+    /// Earliest time a new transfer could start.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Fraction of `[0, horizon]` the resource was busy.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy.as_ticks() as f64 / horizon.as_ticks() as f64
+        }
+    }
+}
+
+/// A fixed-latency, infinitely-wide pipe (models propagation delay).
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::{LatencyPipe, Time};
+/// let wire = LatencyPipe::new(Time::from_nanos(500));
+/// assert_eq!(wire.deliver_at(Time::ZERO), Time::from_nanos(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPipe {
+    latency: Time,
+}
+
+impl LatencyPipe {
+    /// Creates a pipe with the given one-way latency.
+    pub fn new(latency: Time) -> Self {
+        LatencyPipe { latency }
+    }
+
+    /// One-way latency.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Delivery time for something entering at `now`.
+    pub fn deliver_at(&self, now: Time) -> Time {
+        now + self.latency
+    }
+}
+
+/// A k-server queueing resource: at most `servers` jobs in service, FIFO
+/// admission, each job holding a server for its service time.
+///
+/// Models e.g. a memory controller with a bounded number of outstanding
+/// row activations, or a sampler core pool.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::{Server, Time};
+/// let mut mc = Server::new(2);
+/// let t = Time::from_nanos(100);
+/// assert_eq!(mc.acquire(Time::ZERO, t).1, t);
+/// assert_eq!(mc.acquire(Time::ZERO, t).1, t);        // second server
+/// assert_eq!(mc.acquire(Time::ZERO, t).0, t);        // queues behind
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Completion times of in-flight jobs, one slot per server.
+    slots: Vec<Time>,
+    jobs: u64,
+    busy: Time,
+}
+
+impl Server {
+    /// Creates a pool of `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "server count must be non-zero");
+        Server {
+            slots: vec![Time::ZERO; servers],
+            jobs: 0,
+            busy: Time::ZERO,
+        }
+    }
+
+    /// Books a job arriving at `now` needing `service`; returns
+    /// `(start, finish)`.
+    pub fn acquire(&mut self, now: Time, service: Time) -> (Time, Time) {
+        // Earliest-free server gets the job.
+        let (idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("at least one server");
+        let start = self.slots[idx].max(now);
+        let finish = start + service;
+        self.slots[idx] = finish;
+        self.jobs += 1;
+        self.busy += service;
+        (start, finish)
+    }
+
+    /// Number of parallel servers.
+    pub fn servers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total jobs admitted.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Aggregate busy time across servers divided by `servers * horizon`.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy.as_ticks() as f64 / (horizon.as_ticks() as f64 * self.slots.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_service_time_scales() {
+        let bw = BandwidthResource::from_gbytes_per_sec(1.0); // 1 byte/ns
+        assert_eq!(bw.service_time(100), Time::from_nanos(100));
+        let bw16 = BandwidthResource::from_gbytes_per_sec(16.0);
+        assert_eq!(bw16.service_time(1600), Time::from_nanos(100));
+        assert!((bw16.gbytes_per_sec() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_serializes_contending_transfers() {
+        let mut bw = BandwidthResource::from_gbytes_per_sec(1.0);
+        let (s1, f1) = bw.acquire(Time::ZERO, 10);
+        let (s2, f2) = bw.acquire(Time::ZERO, 10);
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(f1, Time::from_nanos(10));
+        assert_eq!(s2, f1);
+        assert_eq!(f2, Time::from_nanos(20));
+        assert_eq!(bw.bytes_moved(), 20);
+        assert!((bw.utilization(Time::from_nanos(20)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_idles_between_sparse_arrivals() {
+        let mut bw = BandwidthResource::from_gbytes_per_sec(1.0);
+        bw.acquire(Time::ZERO, 10);
+        let (s, _) = bw.acquire(Time::from_nanos(100), 10);
+        assert_eq!(s, Time::from_nanos(100));
+        assert!((bw.utilization(Time::from_nanos(110)) - 20.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimum_one_tick_service() {
+        let bw = BandwidthResource::from_gbytes_per_sec(1000.0);
+        assert!(bw.service_time(0) >= Time::from_ticks(1));
+    }
+
+    #[test]
+    fn server_pool_parallelism() {
+        let mut s = Server::new(3);
+        let svc = Time::from_nanos(10);
+        for _ in 0..3 {
+            let (start, _) = s.acquire(Time::ZERO, svc);
+            assert_eq!(start, Time::ZERO);
+        }
+        let (start, finish) = s.acquire(Time::ZERO, svc);
+        assert_eq!(start, svc);
+        assert_eq!(finish, svc + svc);
+        assert_eq!(s.jobs(), 4);
+        assert_eq!(s.servers(), 3);
+    }
+
+    #[test]
+    fn server_utilization() {
+        let mut s = Server::new(2);
+        s.acquire(Time::ZERO, Time::from_nanos(10));
+        // 10 ns of work over 2 servers * 10 ns horizon = 50%.
+        assert!((s.utilization(Time::from_nanos(10)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_pipe_delays() {
+        let p = LatencyPipe::new(Time::from_micros(2));
+        assert_eq!(p.deliver_at(Time::from_micros(1)), Time::from_micros(3));
+        assert_eq!(p.latency(), Time::from_micros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_bandwidth_panics() {
+        let _ = BandwidthResource::from_gbytes_per_sec(-1.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The event-calendar simulation kernel.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a one-shot closure run at its timestamp.
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Discrete-event simulation kernel.
+///
+/// Events are one-shot closures ordered by timestamp (FIFO among equal
+/// timestamps, so causality between same-cycle events is deterministic).
+/// Closures receive `&mut Simulation` and typically capture the model state
+/// as `Rc<RefCell<...>>` handles.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::{Simulation, Time};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let hits = Rc::new(Cell::new(0));
+/// let mut sim = Simulation::new();
+/// for i in 0..4 {
+///     let hits = hits.clone();
+///     sim.schedule(Time::from_ticks(i * 10), move |_| hits.set(hits.get() + 1));
+/// }
+/// sim.run();
+/// assert_eq!(hits.get(), 4);
+/// ```
+pub struct Simulation {
+    now: Time,
+    seq: u64,
+    processed: u64,
+    calendar: BinaryHeap<Reverse<Scheduled>>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.calendar.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: Time::ZERO,
+            seq: 0,
+            processed: 0,
+            calendar: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: Time, f: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` at an absolute timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: Time, f: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.calendar.push(Reverse(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        }));
+    }
+
+    /// Runs a single event; returns `false` if the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.calendar.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.processed += 1;
+                (ev.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the calendar drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the calendar drains or the next event would pass
+    /// `horizon`; events strictly after the horizon stay pending.
+    ///
+    /// Returns the number of events executed.
+    pub fn run_until(&mut self, horizon: Time) -> u64 {
+        let start = self.processed;
+        while let Some(Reverse(head)) = self.calendar.peek() {
+            if head.at > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.processed - start
+    }
+
+    /// Runs at most `limit` events (a runaway-model backstop).
+    ///
+    /// Returns the number executed.
+    pub fn run_bounded(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (i, t) in [30u64, 10, 20].iter().enumerate() {
+            let order = order.clone();
+            sim.schedule(Time::from_ticks(*t), move |_| order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for i in 0..8 {
+            let order = order.clone();
+            sim.schedule(Time::from_ticks(5), move |_| order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let depth = Rc::new(RefCell::new(0u32));
+        fn chain(sim: &mut Simulation, depth: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            sim.schedule(Time::from_ticks(1), move |sim| {
+                *depth.borrow_mut() += 1;
+                chain(sim, depth.clone(), left - 1);
+            });
+        }
+        let mut sim = Simulation::new();
+        chain(&mut sim, depth.clone(), 100);
+        sim.run();
+        assert_eq!(*depth.borrow(), 100);
+        assert_eq!(sim.now(), Time::from_ticks(100));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new();
+        let hit = Rc::new(RefCell::new(0));
+        for t in [10u64, 20, 30, 40] {
+            let hit = hit.clone();
+            sim.schedule(Time::from_ticks(t), move |_| *hit.borrow_mut() += 1);
+        }
+        let ran = sim.run_until(Time::from_ticks(25));
+        assert_eq!(ran, 2);
+        assert_eq!(*hit.borrow(), 2);
+        assert_eq!(sim.now(), Time::from_ticks(25));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(*hit.borrow(), 4);
+    }
+
+    #[test]
+    fn run_bounded_limits_events() {
+        let mut sim = Simulation::new();
+        for t in 0..10u64 {
+            sim.schedule(Time::from_ticks(t), |_| {});
+        }
+        assert_eq!(sim.run_bounded(4), 4);
+        assert_eq!(sim.events_pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule(Time::from_ticks(10), |sim| {
+            sim.schedule_at(Time::from_ticks(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sim = Simulation::new();
+        assert!(!format!("{sim:?}").is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Simulated time and clock-domain helpers.
+//!
+//! The kernel counts opaque ticks; by convention across the LSD-GNN crates
+//! one tick is one **picosecond**, which lets clock domains with co-prime
+//! frequencies (250 MHz logic, 322 MHz PHY, 100 MHz RISC-V) coexist without
+//! accumulating rounding error.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, measured in ticks.
+///
+/// `Time` is used both as an absolute timestamp and as a duration; the
+/// arithmetic impls cover the meaningful combinations.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::Time;
+/// let t = Time::from_nanos(4) + Time::from_ticks(500);
+/// assert_eq!(t.as_ticks(), 4_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time, used as an "infinite" horizon.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Creates a time from nanoseconds under the 1 tick = 1 ps convention.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds under the 1 tick = 1 ps convention.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds under the 1 tick = 1 ps convention.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Raw tick count.
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (fractional) nanoseconds.
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time expressed in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction, useful when measuring a possibly-negative gap.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A clock domain: converts cycle counts to tick spans at a fixed frequency.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_desim::Clock;
+/// let logic = Clock::from_mhz(250);
+/// assert_eq!(logic.cycles(1).as_ticks(), 4_000); // 4 ns period
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    period_ticks: u64,
+}
+
+impl Clock {
+    /// Creates a clock from a frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        Clock {
+            period_ticks: 1_000_000 / mhz,
+        }
+    }
+
+    /// Creates a clock with an explicit period in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is zero.
+    pub fn from_period_ticks(ticks: u64) -> Self {
+        assert!(ticks > 0, "clock period must be non-zero");
+        Clock {
+            period_ticks: ticks,
+        }
+    }
+
+    /// The clock period as a time span.
+    pub fn period(&self) -> Time {
+        Time(self.period_ticks)
+    }
+
+    /// The span covered by `n` cycles.
+    pub fn cycles(&self, n: u64) -> Time {
+        Time(self.period_ticks * n)
+    }
+
+    /// How many full cycles fit in `span`.
+    pub fn cycles_in(&self, span: Time) -> u64 {
+        span.as_ticks() / self.period_ticks
+    }
+
+    /// Frequency in Hz (rounded down to the tick grid).
+    pub fn hz(&self) -> f64 {
+        1e12 / self.period_ticks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(Time::from_nanos(1), Time::from_ticks(1_000));
+        assert_eq!(Time::from_micros(1), Time::from_nanos(1_000));
+        assert_eq!(Time::from_millis(1), Time::from_micros(1_000));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ticks(10);
+        let b = Time::from_ticks(3);
+        assert_eq!(a + b, Time::from_ticks(13));
+        assert_eq!(a - b, Time::from_ticks(7));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a * 4, Time::from_ticks(40));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn time_display_picks_unit() {
+        assert_eq!(Time::from_ticks(5).to_string(), "5ps");
+        assert_eq!(Time::from_nanos(5).to_string(), "5.000ns");
+        assert_eq!(Time::from_micros(5).to_string(), "5.000us");
+        assert_eq!(Time::from_millis(5).to_string(), "5.000ms");
+    }
+
+    #[test]
+    fn clock_cycle_math() {
+        let c = Clock::from_mhz(250);
+        assert_eq!(c.period(), Time::from_nanos(4));
+        assert_eq!(c.cycles(250_000_000).as_secs_f64(), 1.0);
+        assert_eq!(c.cycles_in(Time::from_nanos(9)), 2);
+        assert!((c.hz() - 250e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = Clock::from_mhz(0);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let t = Time::from_millis(1500);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_micros_f64() - 1_500_000.0).abs() < 1e-6);
+        assert!((Time::from_nanos(2).as_nanos_f64() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the simulation kernel's timing primitives.
+
+use lsdgnn_desim::{BandwidthResource, DetRng, Server, Simulation, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// A bandwidth resource serializes transfers: bookings never overlap
+    /// and always start at or after the request time.
+    #[test]
+    fn bandwidth_bookings_never_overlap(
+        arrivals in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..50),
+        gbps in 1u32..200,
+    ) {
+        let mut bw = BandwidthResource::from_gbytes_per_sec(gbps as f64);
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        let mut prev_finish = Time::ZERO;
+        let mut total_bytes = 0u64;
+        for (at, bytes) in sorted {
+            let now = Time::from_nanos(at);
+            let (start, finish) = bw.acquire(now, bytes);
+            prop_assert!(start >= now);
+            prop_assert!(start >= prev_finish);
+            prop_assert!(finish >= start);
+            prop_assert_eq!(finish - start, bw.service_time(bytes));
+            prev_finish = finish;
+            total_bytes += bytes;
+        }
+        prop_assert_eq!(bw.bytes_moved(), total_bytes);
+    }
+
+    /// A k-server pool never runs more than k jobs concurrently.
+    #[test]
+    fn server_pool_respects_parallelism(
+        jobs in proptest::collection::vec((0u64..1_000, 1u64..500), 1..60),
+        servers in 1usize..8,
+    ) {
+        let mut pool = Server::new(servers);
+        let mut intervals = Vec::new();
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        for (at, dur) in sorted {
+            let (start, finish) = pool.acquire(Time::from_nanos(at), Time::from_nanos(dur));
+            prop_assert!(start >= Time::from_nanos(at));
+            intervals.push((start, finish));
+        }
+        // Check max overlap at every interval start.
+        for &(s, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(a, b)| a <= s && s < b)
+                .count();
+            prop_assert!(overlapping <= servers, "{overlapping} jobs overlap with {servers} servers");
+        }
+    }
+
+    /// The event calendar executes everything exactly once, in
+    /// non-decreasing time order.
+    #[test]
+    fn calendar_runs_everything_in_order(delays in proptest::collection::vec(0u64..100_000, 1..200)) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for &d in &delays {
+            let fired = fired.clone();
+            sim.schedule(Time::from_ticks(d), move |sim| {
+                fired.borrow_mut().push(sim.now().as_ticks());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = delays.clone();
+        expect.sort_unstable();
+        let mut got = fired.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// DetRng's bounded draw is always in range.
+    #[test]
+    fn rng_bounded_draws(seed in 0u64..10_000, bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

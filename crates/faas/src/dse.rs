@@ -1,0 +1,389 @@
+//! The full design-space exploration behind Figures 17–21.
+//!
+//! For every (architecture × dataset × instance size) cell, computes the
+//! per-instance sampling throughput (Figure 17), the hourly cost under the
+//! fitted cost model plus the paper's GPU rule (one V100 per 12 GB/s of
+//! sampling output, §7.2), the performance-per-dollar normalized to the
+//! CPU geomean (Figure 18), the geomeans (Figures 19/21), and the
+//! minimum-cost analysis of Figure 20.
+
+use crate::arch::Architecture;
+use crate::cost::CostModel;
+use crate::instance::InstanceSize;
+use crate::perf;
+use lsdgnn_framework::CpuClusterModel;
+use lsdgnn_graph::{DatasetConfig, FootprintModel, PAPER_DATASETS};
+
+/// Output bytes per second that one V100 GPU absorbs (12 GB/s, 75 % of
+/// PCIe — the paper's Limitation-2 assumption).
+pub const GPU_BYTES_PER_SEC: f64 = 12e9;
+
+/// One DSE cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseCell {
+    /// Architecture name (`base.tc` …) or `cpu` for the baseline.
+    pub arch: String,
+    /// Instance size.
+    pub size: InstanceSize,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Sampling throughput per instance (samples/second).
+    pub samples_per_sec: f64,
+    /// Hourly price including the GPU share.
+    pub dollars_per_hour: f64,
+    /// Raw performance per dollar (samples/s/$/h).
+    pub perf_per_dollar: f64,
+}
+
+/// The complete grid plus baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// FaaS cells (8 architectures × 6 datasets × 3 sizes).
+    pub faas: Vec<DseCell>,
+    /// CPU baseline cells (6 datasets × 3 sizes).
+    pub cpu: Vec<DseCell>,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0u32), |(s, n), v| (s + v.max(1e-30).ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// GPUs required for a given sampling throughput on a dataset.
+pub fn gpus_needed(samples_per_sec: f64, dataset: &DatasetConfig) -> f64 {
+    samples_per_sec * dataset.attr_len as f64 * 4.0 / GPU_BYTES_PER_SEC
+}
+
+/// Runs the full DSE with the paper's default GPU assumption (one V100
+/// per 12 GB/s of sampling output).
+pub fn run_dse(cpu_model: &CpuClusterModel, cost_model: &CostModel) -> DseResult {
+    run_dse_with_gpu_factor(cpu_model, cost_model, 1.0)
+}
+
+/// Runs the DSE with `gpu_factor` V100s required per 12 GB/s of sampling
+/// output — the §7.3 Limitation-2 sensitivity knob. The paper notes that
+/// at 10 GPUs per 12 GB/s (a very deep end model) the mem-opt.tc benefit
+/// collapses from 12.58x to 1.48x.
+pub fn run_dse_with_gpu_factor(
+    cpu_model: &CpuClusterModel,
+    cost_model: &CostModel,
+    gpu_factor: f64,
+) -> DseResult {
+    let fm = FootprintModel::default();
+    let mut faas = Vec::new();
+    let mut cpu = Vec::new();
+    for d in &PAPER_DATASETS {
+        for size in InstanceSize::ALL {
+            // CPU baseline: a CPU-optimized instance with the same memory
+            // footprint (~4 GB/vCPU) sampling in software.
+            let servers = fm.min_servers(d);
+            let cpu_vcpus = size.cpu_sampling_vcpus();
+            let cpu_rate = cpu_vcpus as f64 * cpu_model.vcpu_rate(servers);
+            let cpu_spec = crate::cost::InstanceSpec::new(
+                "cpu-fleet",
+                cpu_vcpus,
+                size.memory_gb() as u32,
+                0,
+                0,
+            );
+            let cpu_price = cost_model.predict(&cpu_spec)
+                + cost_model.gpu_price() * gpu_factor * gpus_needed(cpu_rate, d);
+            cpu.push(DseCell {
+                arch: "cpu".into(),
+                size,
+                dataset: d.name,
+                samples_per_sec: cpu_rate,
+                dollars_per_hour: cpu_price,
+                perf_per_dollar: cpu_rate / cpu_price,
+            });
+            for a in Architecture::ALL {
+                let rate = perf::samples_per_sec(a, size, d);
+                let price =
+                    cost_model.faas_instance_price(size, gpu_factor * gpus_needed(rate, d));
+                faas.push(DseCell {
+                    arch: a.name(),
+                    size,
+                    dataset: d.name,
+                    samples_per_sec: rate,
+                    dollars_per_hour: price,
+                    perf_per_dollar: rate / price,
+                });
+            }
+        }
+    }
+    DseResult { faas, cpu }
+}
+
+impl DseResult {
+    /// Geomean CPU performance-per-dollar (the Figure 18 normalizer).
+    pub fn cpu_perf_per_dollar_geomean(&self) -> f64 {
+        geomean(self.cpu.iter().map(|c| c.perf_per_dollar))
+    }
+
+    /// Figure 18: a cell's perf/$ normalized to the CPU geomean *within
+    /// the same dataset and size* (so datasets with different absolute
+    /// rates are comparable).
+    pub fn normalized_perf_per_dollar(&self, cell: &DseCell) -> f64 {
+        let cpu = self
+            .cpu
+            .iter()
+            .find(|c| c.dataset == cell.dataset && c.size == cell.size)
+            .expect("cpu baseline exists for every (dataset, size)");
+        cell.perf_per_dollar / cpu.perf_per_dollar
+    }
+
+    /// Figure 21: geomean (over datasets and sizes) of normalized perf/$
+    /// for one architecture.
+    pub fn arch_perf_per_dollar(&self, arch: &str) -> f64 {
+        geomean(
+            self.faas
+                .iter()
+                .filter(|c| c.arch == arch)
+                .map(|c| self.normalized_perf_per_dollar(c)),
+        )
+    }
+
+    /// Figure 19: geomean performance per instance for one architecture
+    /// and size, over datasets.
+    pub fn arch_performance(&self, arch: &str, size: InstanceSize) -> f64 {
+        geomean(
+            self.faas
+                .iter()
+                .filter(|c| c.arch == arch && c.size == size)
+                .map(|c| c.samples_per_sec),
+        )
+    }
+
+    /// Geomean speedup of one architecture over another (same cells).
+    pub fn speedup(&self, arch: &str, over: &str) -> f64 {
+        let a = geomean(
+            self.faas
+                .iter()
+                .filter(|c| c.arch == arch)
+                .map(|c| c.samples_per_sec),
+        );
+        let b = geomean(
+            self.faas
+                .iter()
+                .filter(|c| c.arch == over)
+                .map(|c| c.samples_per_sec),
+        );
+        a / b
+    }
+}
+
+impl DseResult {
+    /// Serializes the grid as CSV (`arch,size,dataset,samples_per_sec,
+    /// dollars_per_hour,perf_per_dollar,normalized`), CPU rows included —
+    /// the raw data behind Figures 17/18 for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "arch,size,dataset,samples_per_sec,dollars_per_hour,perf_per_dollar,normalized\n",
+        );
+        for c in self.cpu.iter().chain(&self.faas) {
+            let normalized = if c.arch == "cpu" {
+                1.0
+            } else {
+                self.normalized_perf_per_dollar(c)
+            };
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.4},{:.3},{:.4}\n",
+                c.arch,
+                c.size.name(),
+                c.dataset,
+                c.samples_per_sec,
+                c.dollars_per_hour,
+                c.perf_per_dollar,
+                normalized
+            ));
+        }
+        out
+    }
+}
+
+/// Figure 20: the minimum number of instances (and their hourly cost) to
+/// carry each dataset, for the CPU fleet and the FaaS.base fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCostRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Instance size.
+    pub size: InstanceSize,
+    /// Instances needed to hold the graph.
+    pub instances: u64,
+    /// Hourly cost of the CPU fleet.
+    pub cpu_cost: f64,
+    /// Hourly cost of the FaaS.base fleet (same instance count, FPGAs
+    /// added).
+    pub faas_cost: f64,
+}
+
+/// Computes the Figure 20 table.
+pub fn min_cost_table(cost_model: &CostModel) -> Vec<MinCostRow> {
+    let mut rows = Vec::new();
+    for d in &PAPER_DATASETS {
+        for size in InstanceSize::ALL {
+            let fm = FootprintModel {
+                server_bytes: size.memory_gb() * (1 << 30),
+                ..FootprintModel::default()
+            };
+            let instances = fm.min_servers(d);
+            rows.push(MinCostRow {
+                dataset: d.name,
+                size,
+                instances,
+                cpu_cost: instances as f64 * cost_model.cpu_instance_price(size),
+                faas_cost: instances as f64 * cost_model.faas_instance_price(size, 0.0),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dse() -> DseResult {
+        run_dse(&CpuClusterModel::default(), &CostModel::default_fitted())
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let r = dse();
+        assert_eq!(r.faas.len(), 8 * 6 * 3);
+        assert_eq!(r.cpu.len(), 6 * 3);
+    }
+
+    #[test]
+    fn headline_base_perf_per_dollar() {
+        // Paper: FaaS.base.decp ≈ 2.47×, base.tc ≈ 4.11× CPU perf/$.
+        let r = dse();
+        let decp = r.arch_perf_per_dollar("base.decp");
+        let tc = r.arch_perf_per_dollar("base.tc");
+        assert!((1.3..6.0).contains(&decp), "base.decp perf/$ {decp}");
+        assert!(tc > decp, "tc {tc} must beat decp {decp}");
+    }
+
+    #[test]
+    fn headline_optimized_perf_per_dollar() {
+        // Paper: comm-opt up to 7.78×, mem-opt.tc 12.58×.
+        let r = dse();
+        let base = r.arch_perf_per_dollar("base.decp");
+        let comm = r.arch_perf_per_dollar("comm-opt.tc");
+        let mem = r.arch_perf_per_dollar("mem-opt.tc");
+        assert!(comm > base * 1.5, "comm {comm} vs base {base}");
+        assert!(mem >= comm, "mem {mem} vs comm {comm}");
+        assert!((5.0..30.0).contains(&mem), "mem-opt.tc perf/$ {mem}");
+    }
+
+    #[test]
+    fn cost_opt_matches_base_for_users() {
+        // §7.4: cost-opt shows no user-visible perf/$ change.
+        let r = dse();
+        let base = r.arch_perf_per_dollar("base.tc");
+        let cost = r.arch_perf_per_dollar("cost-opt.tc");
+        assert!((cost / base - 1.0).abs() < 0.25, "base {base} vs cost {cost}");
+    }
+
+    #[test]
+    fn per_dataset_base_improvements_in_band() {
+        // Figure 18: base.decp improvements cluster in the low single
+        // digits across datasets. (Known deviation: the paper finds ss/ls
+        // *below* CPU per dollar; our analytic CPU baseline's small-graph
+        // advantage and the smaller attribute output of those graphs
+        // cancel, so the ordering across datasets flattens —
+        // see EXPERIMENTS.md.)
+        let r = dse();
+        for d in lsdgnn_graph::PAPER_DATASETS {
+            let v = geomean(
+                r.faas
+                    .iter()
+                    .filter(|c| c.arch == "base.decp" && c.dataset == d.name)
+                    .map(|c| r.normalized_perf_per_dollar(c)),
+            );
+            assert!((0.5..6.0).contains(&v), "{}: base.decp perf/$ {v}", d.name);
+        }
+    }
+
+    #[test]
+    fn figure19_scales_with_instance_size() {
+        let r = dse();
+        for a in Architecture::ALL {
+            let s = r.arch_performance(&a.name(), InstanceSize::Small);
+            let l = r.arch_performance(&a.name(), InstanceSize::Large);
+            assert!(l >= s, "{}: large {l} vs small {s}", a.name());
+        }
+    }
+
+    #[test]
+    fn figure20_costs_scale_with_graph() {
+        let rows = min_cost_table(&CostModel::default_fitted());
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!(r.faas_cost > r.cpu_cost, "FPGAs cost extra");
+            assert!(r.instances >= 1);
+        }
+        // syn needs far more small instances than ss.
+        let get = |d: &str, s: InstanceSize| {
+            rows.iter()
+                .find(|r| r.dataset == d && r.size == s)
+                .unwrap()
+                .instances
+        };
+        assert!(get("syn", InstanceSize::Small) > 50 * get("ss", InstanceSize::Small));
+    }
+
+    #[test]
+    fn tc_vs_decp_gap_grows_with_optimization() {
+        // §7.4: the tc benefit magnifies from cost-opt to mem-opt.
+        let r = dse();
+        let gap = |kind: &str| {
+            r.speedup(&format!("{kind}.tc"), &format!("{kind}.decp"))
+        };
+        let cost_gap = gap("cost-opt");
+        let mem_gap = gap("mem-opt");
+        assert!(mem_gap > cost_gap, "mem {mem_gap} vs cost {cost_gap}");
+        assert!(mem_gap > 3.0, "mem-opt tc/decp gap {mem_gap}");
+    }
+
+    fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+        super::geomean(values)
+    }
+
+    #[test]
+    fn csv_export_covers_the_grid() {
+        let r = dse();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // header + cpu rows + faas rows
+        assert_eq!(lines.len(), 1 + r.cpu.len() + r.faas.len());
+        assert!(lines[0].starts_with("arch,size,dataset"));
+        assert!(csv.contains("mem-opt.tc,large,syn"));
+        // Every data row has 7 fields.
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 7, "bad row {l}");
+        }
+    }
+
+    #[test]
+    fn limitation2_gpu_sensitivity_collapses_the_benefit() {
+        // §7.3 Limitation-2: with 10 V100s per 12 GB/s instead of 1, the
+        // mem-opt.tc perf/$ benefit falls from ~12.6x to ~1.5x.
+        let cpu = CpuClusterModel::default();
+        let cost = CostModel::default_fitted();
+        let light = run_dse_with_gpu_factor(&cpu, &cost, 1.0);
+        let heavy = run_dse_with_gpu_factor(&cpu, &cost, 10.0);
+        let light_mem = light.arch_perf_per_dollar("mem-opt.tc");
+        let heavy_mem = heavy.arch_perf_per_dollar("mem-opt.tc");
+        assert!(heavy_mem < light_mem / 3.0, "light {light_mem} vs heavy {heavy_mem}");
+        assert!(
+            (1.0..4.0).contains(&heavy_mem),
+            "heavy-NN mem-opt.tc perf/$ {heavy_mem} (paper: 1.48x)"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! FaaS instance configurations (paper Table 12).
+
+use serde::{Deserialize, Serialize};
+
+/// The three instance sizes of Table 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceSize {
+    /// 2 vCPU, 8 GB, 1 FPGA, 10 Gb NIC, 100 Gb MoF.
+    Small,
+    /// 2 vCPU, 384 GB, 1 FPGA, 20 Gb NIC, 200 Gb MoF.
+    Medium,
+    /// 2 vCPU, 512 GB, 2 FPGAs, 50 Gb NIC, 800 Gb MoF.
+    Large,
+}
+
+impl InstanceSize {
+    /// All sizes in Table 12 order.
+    pub const ALL: [InstanceSize; 3] = [
+        InstanceSize::Small,
+        InstanceSize::Medium,
+        InstanceSize::Large,
+    ];
+
+    /// Table 12 row name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstanceSize::Small => "small",
+            InstanceSize::Medium => "medium",
+            InstanceSize::Large => "large",
+        }
+    }
+
+    /// vCPUs per instance.
+    pub fn vcpus(&self) -> u32 {
+        2
+    }
+
+    /// DRAM per instance in GB.
+    pub fn memory_gb(&self) -> u64 {
+        match self {
+            InstanceSize::Small => 8,
+            InstanceSize::Medium => 384,
+            InstanceSize::Large => 512,
+        }
+    }
+
+    /// FPGA chips per instance.
+    pub fn fpga_chips(&self) -> u32 {
+        match self {
+            InstanceSize::Small | InstanceSize::Medium => 1,
+            InstanceSize::Large => 2,
+        }
+    }
+
+    /// vCPUs of the *CPU-baseline* fleet instance with the same memory
+    /// footprint (CPU-optimized SKUs provision ~4 GB per vCPU, so a pure
+    /// software deployment holding this much graph also gets this much
+    /// sampling compute).
+    pub fn cpu_sampling_vcpus(&self) -> u32 {
+        ((self.memory_gb() / 4) as u32).max(2)
+    }
+
+    /// NIC rate in Gbit/s.
+    pub fn nic_gbit(&self) -> u32 {
+        match self {
+            InstanceSize::Small => 10,
+            InstanceSize::Medium => 20,
+            InstanceSize::Large => 50,
+        }
+    }
+
+    /// MoF rate in Gbit/s (where the architecture has MoF).
+    pub fn mof_gbit(&self) -> u32 {
+        match self {
+            InstanceSize::Small => 100,
+            InstanceSize::Medium => 200,
+            InstanceSize::Large => 800,
+        }
+    }
+
+    /// NIC rate in GB/s.
+    pub fn nic_gbps(&self) -> f64 {
+        self.nic_gbit() as f64 / 8.0
+    }
+
+    /// MoF rate in GB/s.
+    pub fn mof_gbps(&self) -> f64 {
+        self.mof_gbit() as f64 / 8.0
+    }
+
+    /// MoF lanes of 100 Gb each.
+    pub fn mof_links(&self) -> u32 {
+        self.mof_gbit() / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table12_values() {
+        assert_eq!(InstanceSize::Small.memory_gb(), 8);
+        assert_eq!(InstanceSize::Medium.memory_gb(), 384);
+        assert_eq!(InstanceSize::Large.memory_gb(), 512);
+        assert_eq!(InstanceSize::Large.fpga_chips(), 2);
+        assert_eq!(InstanceSize::Small.nic_gbit(), 10);
+        assert_eq!(InstanceSize::Medium.mof_gbit(), 200);
+        for s in InstanceSize::ALL {
+            assert_eq!(s.vcpus(), 2);
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((InstanceSize::Small.nic_gbps() - 1.25).abs() < 1e-9);
+        assert!((InstanceSize::Large.mof_gbps() - 100.0).abs() < 1e-9);
+        assert_eq!(InstanceSize::Large.mof_links(), 8);
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        let mem: Vec<u64> = InstanceSize::ALL.iter().map(|s| s.memory_gb()).collect();
+        assert!(mem.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,34 @@
+//! FPGA-as-a-Service design-space exploration (paper §6 and §7).
+//!
+//! Encodes the eight FaaS architectures of Table 8 (`base`, `cost-opt`,
+//! `comm-opt`, `mem-opt`, each tightly-coupled `.tc` or decoupled
+//! `.decp`), the three instance configurations of Table 12, the Equation 3
+//! core-sizing rule, the analytical sampling-performance model validated
+//! against the AxE discrete-event simulation (Figure 15), the cloud cost
+//! model (Figure 16), and the full DSE drivers behind Figures 17–21.
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_faas::{Architecture, InstanceSize};
+//! use lsdgnn_graph::DatasetConfig;
+//!
+//! let arch = Architecture::parse("mem-opt.tc").unwrap();
+//! let d = DatasetConfig::by_name("ll").unwrap();
+//! let perf = lsdgnn_faas::perf::samples_per_sec(arch, InstanceSize::Large, &d);
+//! assert!(perf > 0.0);
+//! ```
+
+pub mod arch;
+pub mod cost;
+pub mod discussion;
+pub mod dse;
+pub mod instance;
+pub mod perf;
+pub mod planner;
+
+pub use arch::{ArchKind, Architecture, Coupling};
+pub use cost::{CostModel, InstanceSpec, QuoteSet};
+pub use dse::{DseCell, DseResult};
+pub use instance::InstanceSize;
+pub use planner::{plan_cheapest, plan_sweep, Deployment};

@@ -1,0 +1,185 @@
+//! A deployment planner on top of the DSE.
+//!
+//! Figure 20 answers "what does it cost to *hold* the graph"; a platform
+//! team's real question adds a throughput target: *which architecture,
+//! instance size and fleet count serves this workload cheapest?* The
+//! planner enumerates the Table 8 × Table 12 space and returns the
+//! cost-optimal deployment, accounting for the memory needed to hold the
+//! graph, the per-instance sampling rate, and the paper's GPU rule.
+
+use crate::arch::Architecture;
+use crate::cost::CostModel;
+use crate::dse::gpus_needed;
+use crate::instance::InstanceSize;
+use crate::perf;
+use lsdgnn_graph::{DatasetConfig, FootprintModel};
+
+/// One feasible deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Architecture.
+    pub arch: Architecture,
+    /// Instance size.
+    pub size: InstanceSize,
+    /// Instance count.
+    pub instances: u64,
+    /// Aggregate sampling throughput (samples/second).
+    pub throughput: f64,
+    /// Total hourly cost including GPUs.
+    pub dollars_per_hour: f64,
+}
+
+impl Deployment {
+    /// Cost efficiency (samples/s per $/h).
+    pub fn perf_per_dollar(&self) -> f64 {
+        self.throughput / self.dollars_per_hour
+    }
+}
+
+/// Fleet scaling efficiency: distributed sampling fleets lose a little
+/// throughput per added instance to coordination (mirrors the CPU
+/// model's sub-linearity, far milder on FPGA fleets with MoF).
+fn fleet_efficiency(instances: u64) -> f64 {
+    1.0 / (1.0 + 0.01 * (instances.saturating_sub(1) as f64))
+}
+
+/// Plans the cheapest deployment of `dataset` sustaining at least
+/// `target_samples_per_sec`. Returns `None` if no configuration in the
+/// space reaches the target (caps fleets at 4096 instances).
+pub fn plan_cheapest(
+    dataset: &DatasetConfig,
+    target_samples_per_sec: f64,
+    cost_model: &CostModel,
+) -> Option<Deployment> {
+    let mut best: Option<Deployment> = None;
+    for arch in Architecture::ALL {
+        for size in InstanceSize::ALL {
+            let per_instance = perf::samples_per_sec(arch, size, dataset);
+            if per_instance <= 0.0 {
+                continue;
+            }
+            // Minimum fleet to hold the graph at all.
+            let fm = FootprintModel {
+                server_bytes: size.memory_gb() * (1 << 30),
+                ..FootprintModel::default()
+            };
+            let hold = fm.min_servers(dataset);
+            // Grow the fleet until the throughput target is met.
+            let mut instances = hold;
+            loop {
+                if instances > 4096 {
+                    break;
+                }
+                let throughput =
+                    per_instance * instances as f64 * fleet_efficiency(instances);
+                if throughput >= target_samples_per_sec {
+                    let price = instances as f64
+                        * cost_model.faas_instance_price(
+                            size,
+                            gpus_needed(per_instance, dataset),
+                        );
+                    let cand = Deployment {
+                        arch,
+                        size,
+                        instances,
+                        throughput,
+                        dollars_per_hour: price,
+                    };
+                    match &best {
+                        Some(b) if b.dollars_per_hour <= cand.dollars_per_hour => {}
+                        _ => best = Some(cand),
+                    }
+                    break;
+                }
+                instances += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Plans across a range of targets, returning `(target, deployment)`
+/// rows — the "scaling price list" a platform team would publish.
+pub fn plan_sweep(
+    dataset: &DatasetConfig,
+    targets: &[f64],
+    cost_model: &CostModel,
+) -> Vec<(f64, Option<Deployment>)> {
+    targets
+        .iter()
+        .map(|&t| (t, plan_cheapest(dataset, t, cost_model)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DatasetConfig, CostModel) {
+        (
+            DatasetConfig::by_name("ml").unwrap(),
+            CostModel::default_fitted(),
+        )
+    }
+
+    #[test]
+    fn planner_meets_the_target() {
+        let (d, cost) = setup();
+        let plan = plan_cheapest(&d, 50e6, &cost).expect("target reachable");
+        assert!(plan.throughput >= 50e6);
+        assert!(plan.dollars_per_hour > 0.0);
+        assert!(plan.instances >= 1);
+    }
+
+    #[test]
+    fn higher_targets_cost_more() {
+        let (d, cost) = setup();
+        let lo = plan_cheapest(&d, 10e6, &cost).unwrap();
+        let hi = plan_cheapest(&d, 200e6, &cost).unwrap();
+        assert!(hi.dollars_per_hour > lo.dollars_per_hour);
+        assert!(hi.throughput >= 200e6);
+    }
+
+    #[test]
+    fn low_targets_still_hold_the_graph() {
+        // Even a tiny target needs enough instances for the footprint.
+        let (d, cost) = setup();
+        let plan = plan_cheapest(&d, 1.0, &cost).unwrap();
+        let fm = FootprintModel {
+            server_bytes: plan.size.memory_gb() * (1 << 30),
+            ..FootprintModel::default()
+        };
+        assert!(plan.instances >= fm.min_servers(&d));
+    }
+
+    #[test]
+    fn impossible_targets_return_none() {
+        let (d, cost) = setup();
+        assert!(plan_cheapest(&d, 1e18, &cost).is_none());
+    }
+
+    #[test]
+    fn optimized_architectures_win_at_high_targets() {
+        // At high throughput targets the optimized architectures need
+        // far fewer instances, making them the cheapest choice.
+        let (d, cost) = setup();
+        let plan = plan_cheapest(&d, 500e6, &cost).unwrap();
+        assert!(
+            matches!(plan.arch.kind, crate::arch::ArchKind::MemOpt | crate::arch::ArchKind::CommOpt),
+            "expected an optimized architecture, got {}",
+            plan.arch.name()
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_cost() {
+        let (d, cost) = setup();
+        let rows = plan_sweep(&d, &[1e6, 10e6, 100e6, 400e6], &cost);
+        let costs: Vec<f64> = rows
+            .iter()
+            .filter_map(|(_, p)| p.as_ref().map(|p| p.dollars_per_hour))
+            .collect();
+        assert_eq!(costs.len(), 4);
+        assert!(costs.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+}

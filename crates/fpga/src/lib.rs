@@ -1,0 +1,453 @@
+//! FPGA resource estimation for the PoC design (paper Table 11 and the
+//! Tech-2 resource-saving claim).
+//!
+//! Synthesis is impossible offline, so resources are estimated from a
+//! per-module cost table calibrated such that the Table 10 PoC
+//! configuration (dual-core AxE, 3-lane MoF, 4-channel DDR4, E906 RISC-V,
+//! 16 MB shared memory, PCIe QDMA) lands on the published VU13P
+//! utilization of Table 11 (35.07 % LUT, 22.48 % registers, 39.29 % BRAM,
+//! 40 % URAM, 12.5 % DSP, 60.53 % CLB). The same table expresses the
+//! streaming-sampler saving (91.9 % LUT / 23 % registers versus the
+//! buffered conventional sampler).
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_fpga::{PocDesign, Vu13p};
+//!
+//! let report = PocDesign::table10().resources();
+//! let u = report.utilization(&Vu13p::default());
+//! assert!((u.lut_pct - 35.07).abs() < 3.0);
+//! ```
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// Resource cost of one module instance.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleCost {
+    /// Lookup tables, in thousands.
+    pub lut_k: f64,
+    /// Flip-flop registers, in thousands.
+    pub reg_k: f64,
+    /// Block RAM in megabits.
+    pub bram_mb: f64,
+    /// UltraRAM in megabits.
+    pub uram_mb: f64,
+    /// DSP slices.
+    pub dsp: f64,
+}
+
+impl Add for ModuleCost {
+    type Output = ModuleCost;
+    fn add(self, rhs: ModuleCost) -> ModuleCost {
+        ModuleCost {
+            lut_k: self.lut_k + rhs.lut_k,
+            reg_k: self.reg_k + rhs.reg_k,
+            bram_mb: self.bram_mb + rhs.bram_mb,
+            uram_mb: self.uram_mb + rhs.uram_mb,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+impl AddAssign for ModuleCost {
+    fn add_assign(&mut self, rhs: ModuleCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for ModuleCost {
+    type Output = ModuleCost;
+    fn mul(self, by: f64) -> ModuleCost {
+        ModuleCost {
+            lut_k: self.lut_k * by,
+            reg_k: self.reg_k * by,
+            bram_mb: self.bram_mb * by,
+            uram_mb: self.uram_mb * by,
+            dsp: self.dsp * by,
+        }
+    }
+}
+
+/// Per-module calibrated cost table.
+pub mod costs {
+    use super::ModuleCost;
+
+    /// One AxE core excluding its sampler (GetNeighbor + GetAttribute
+    /// pipelines, load unit, score-boards, coalescing cache, CSRs).
+    pub const AXE_CORE_BASE: ModuleCost = ModuleCost {
+        lut_k: 86.0,
+        reg_k: 102.3,
+        bram_mb: 5.5,
+        uram_mb: 8.0,
+        dsp: 600.0,
+    };
+
+    /// The streaming step-based sampler (Tech-2).
+    pub const SAMPLER_STREAMING: ModuleCost = ModuleCost {
+        lut_k: 4.0,
+        reg_k: 7.7,
+        bram_mb: 0.5,
+        uram_mb: 0.0,
+        dsp: 0.0,
+    };
+
+    /// The conventional buffered sampler: needs the N-entry candidate
+    /// buffer and index logic — 91.9 % more LUTs and 23 % more registers
+    /// than streaming, per the paper's measurement.
+    pub const SAMPLER_STANDARD: ModuleCost = ModuleCost {
+        lut_k: 49.4, // 4.0 / (1 - 0.919)
+        reg_k: 10.0, // 7.7 / (1 - 0.23)
+        bram_mb: 2.5,
+        uram_mb: 0.0,
+        dsp: 0.0,
+    };
+
+    /// One MoF lane (packing, BDI codec, CRC/retransmit, PHY interface).
+    pub const MOF_LANE: ModuleCost = ModuleCost {
+        lut_k: 35.0,
+        reg_k: 45.0,
+        bram_mb: 2.0,
+        uram_mb: 0.0,
+        dsp: 50.0,
+    };
+
+    /// One DDR4 channel controller.
+    pub const DDR_CHANNEL: ModuleCost = ModuleCost {
+        lut_k: 25.0,
+        reg_k: 35.0,
+        bram_mb: 1.5,
+        uram_mb: 0.0,
+        dsp: 0.0,
+    };
+
+    /// PCIe Gen3 x16 + QDMA.
+    pub const PCIE_QDMA: ModuleCost = ModuleCost {
+        lut_k: 70.0,
+        reg_k: 90.0,
+        bram_mb: 4.0,
+        uram_mb: 0.0,
+        dsp: 0.0,
+    };
+
+    /// The E906 RISC-V core with caches and QRCH.
+    pub const RISCV_E906: ModuleCost = ModuleCost {
+        lut_k: 30.0,
+        reg_k: 25.0,
+        bram_mb: 1.0,
+        uram_mb: 0.0,
+        dsp: 8.0,
+    };
+
+    /// The optional FP32 GEMM engine (32x32 systolic array, §4.1).
+    pub const GEMM_ENGINE: ModuleCost = ModuleCost {
+        lut_k: 95.0,
+        reg_k: 140.0,
+        bram_mb: 6.0,
+        uram_mb: 0.0,
+        dsp: 3072.0, // 3 DSPs per FP32 MAC cell
+    };
+
+    /// The optional vector processing unit (16 lanes, §4.1).
+    pub const VPU: ModuleCost = ModuleCost {
+        lut_k: 22.0,
+        reg_k: 30.0,
+        bram_mb: 1.0,
+        uram_mb: 0.0,
+        dsp: 96.0,
+    };
+
+    /// Hierarchical AXI interconnect (SmartConnect tree).
+    pub const INTERCONNECT: ModuleCost = ModuleCost {
+        lut_k: 90.0,
+        reg_k: 130.0,
+        bram_mb: 4.0,
+        uram_mb: 0.0,
+        dsp: 0.0,
+    };
+
+    /// Shared-memory subsystem: 2×8 MB URAM banks, MMU, CSRs, misc glue.
+    pub const SUBSYSTEM: ModuleCost = ModuleCost {
+        lut_k: 38.0,
+        reg_k: 44.6,
+        bram_mb: 5.63,
+        uram_mb: 128.0,
+        dsp: 228.0,
+    };
+}
+
+/// The VU13P device capacities (Table 11 header row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vu13p {
+    /// Configurable logic blocks, thousands.
+    pub clb_k: f64,
+    /// LUTs, thousands.
+    pub lut_k: f64,
+    /// Registers, thousands.
+    pub reg_k: f64,
+    /// BRAM megabits.
+    pub bram_mb: f64,
+    /// URAM megabits.
+    pub uram_mb: f64,
+    /// DSP slices.
+    pub dsp: f64,
+}
+
+impl Default for Vu13p {
+    fn default() -> Self {
+        Vu13p {
+            clb_k: 216.0,
+            lut_k: 1728.0,
+            reg_k: 3456.0,
+            bram_mb: 94.5,
+            uram_mb: 360.0,
+            dsp: 12288.0,
+        }
+    }
+}
+
+/// Percent utilization per resource class (one Table 11 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// CLB percentage (derived from LUTs via packing efficiency).
+    pub clb_pct: f64,
+    /// LUT percentage.
+    pub lut_pct: f64,
+    /// Register percentage.
+    pub reg_pct: f64,
+    /// BRAM percentage.
+    pub bram_pct: f64,
+    /// URAM percentage.
+    pub uram_pct: f64,
+    /// DSP percentage.
+    pub dsp_pct: f64,
+}
+
+/// Aggregated resources of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceReport {
+    /// Summed module costs.
+    pub total: ModuleCost,
+}
+
+/// Real designs never pack LUTs into CLBs perfectly; placed designs with
+/// heavy routing (4-SLR crossing) land near this fraction of ideal.
+const CLB_PACKING_EFFICIENCY: f64 = 0.58;
+
+impl ResourceReport {
+    /// Utilization against a device.
+    pub fn utilization(&self, dev: &Vu13p) -> Utilization {
+        let clb_used = self.total.lut_k / 8.0 / CLB_PACKING_EFFICIENCY;
+        Utilization {
+            clb_pct: 100.0 * clb_used / dev.clb_k,
+            lut_pct: 100.0 * self.total.lut_k / dev.lut_k,
+            reg_pct: 100.0 * self.total.reg_k / dev.reg_k,
+            bram_pct: 100.0 * self.total.bram_mb / dev.bram_mb,
+            uram_pct: 100.0 * self.total.uram_mb / dev.uram_mb,
+            dsp_pct: 100.0 * self.total.dsp / dev.dsp,
+        }
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self, dev: &Vu13p) -> bool {
+        let u = self.utilization(dev);
+        u.clb_pct <= 100.0
+            && u.lut_pct <= 100.0
+            && u.reg_pct <= 100.0
+            && u.bram_pct <= 100.0
+            && u.uram_pct <= 100.0
+            && u.dsp_pct <= 100.0
+    }
+}
+
+/// A parameterized PoC-style design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PocDesign {
+    /// AxE core count.
+    pub axe_cores: u32,
+    /// MoF lanes.
+    pub mof_lanes: u32,
+    /// DDR4 channels.
+    pub ddr_channels: u32,
+    /// Streaming (Tech-2) or conventional sampler per core.
+    pub streaming_sampler: bool,
+    /// Include the optional FP32 GEMM engine (§4.1).
+    pub gemm: bool,
+    /// Include the optional vector processing unit (§4.1).
+    pub vpu: bool,
+}
+
+impl PocDesign {
+    /// The Table 10 PoC configuration.
+    pub fn table10() -> Self {
+        PocDesign {
+            axe_cores: 2,
+            mof_lanes: 3,
+            ddr_channels: 4,
+            streaming_sampler: true,
+            gemm: false,
+            vpu: false,
+        }
+    }
+
+    /// Adds the optional compute engines (§4.1).
+    pub fn with_compute_engines(mut self) -> Self {
+        self.gemm = true;
+        self.vpu = true;
+        self
+    }
+
+    /// Total resources of the design.
+    pub fn resources(&self) -> ResourceReport {
+        let sampler = if self.streaming_sampler {
+            costs::SAMPLER_STREAMING
+        } else {
+            costs::SAMPLER_STANDARD
+        };
+        let mut total = ModuleCost::default();
+        total += (costs::AXE_CORE_BASE + sampler) * self.axe_cores as f64;
+        total += costs::MOF_LANE * self.mof_lanes as f64;
+        total += costs::DDR_CHANNEL * self.ddr_channels as f64;
+        total += costs::PCIE_QDMA;
+        total += costs::RISCV_E906;
+        total += costs::INTERCONNECT;
+        total += costs::SUBSYSTEM;
+        if self.gemm {
+            total += costs::GEMM_ENGINE;
+        }
+        if self.vpu {
+            total += costs::VPU;
+        }
+        ResourceReport { total }
+    }
+
+    /// Maximum AxE cores that still fit the device (scaling-up headroom).
+    pub fn max_cores_fitting(&self, dev: &Vu13p) -> u32 {
+        let mut cores = self.axe_cores;
+        loop {
+            let candidate = PocDesign {
+                axe_cores: cores + 1,
+                ..*self
+            };
+            if candidate.resources().fits(dev) {
+                cores += 1;
+            } else {
+                return cores;
+            }
+        }
+    }
+}
+
+/// The Tech-2 saving claim, as (LUT fraction saved, register fraction
+/// saved) of the sampler module.
+pub fn sampler_savings() -> (f64, f64) {
+    let s = costs::SAMPLER_STREAMING;
+    let c = costs::SAMPLER_STANDARD;
+    (1.0 - s.lut_k / c.lut_k, 1.0 - s.reg_k / c.reg_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table11_utilization_reproduced() {
+        let u = PocDesign::table10().resources().utilization(&Vu13p::default());
+        // Paper: 60.53% CLB, 35.07% LUT, 22.48% reg, 39.29% BRAM,
+        // 40% URAM, 12.5% DSP.
+        assert!((u.clb_pct - 60.53).abs() < 5.0, "clb {}", u.clb_pct);
+        assert!((u.lut_pct - 35.07).abs() < 2.0, "lut {}", u.lut_pct);
+        assert!((u.reg_pct - 22.48).abs() < 2.0, "reg {}", u.reg_pct);
+        assert!((u.bram_pct - 39.29).abs() < 3.0, "bram {}", u.bram_pct);
+        assert!((u.uram_pct - 40.0).abs() < 2.0, "uram {}", u.uram_pct);
+        assert!((u.dsp_pct - 12.5).abs() < 1.0, "dsp {}", u.dsp_pct);
+    }
+
+    #[test]
+    fn tech2_savings_match_paper() {
+        let (lut, reg) = sampler_savings();
+        assert!((lut - 0.919).abs() < 0.01, "lut saving {lut}");
+        assert!((reg - 0.23).abs() < 0.01, "reg saving {reg}");
+    }
+
+    #[test]
+    fn standard_sampler_costs_more_everywhere() {
+        let stream = PocDesign::table10();
+        let standard = PocDesign {
+            streaming_sampler: false,
+            ..stream
+        };
+        let s = stream.resources().total;
+        let c = standard.resources().total;
+        assert!(c.lut_k > s.lut_k);
+        assert!(c.reg_k > s.reg_k);
+        assert!(c.bram_mb > s.bram_mb);
+    }
+
+    #[test]
+    fn design_scales_linearly_with_cores() {
+        let one = PocDesign {
+            axe_cores: 1,
+            ..PocDesign::table10()
+        };
+        let four = PocDesign {
+            axe_cores: 4,
+            ..PocDesign::table10()
+        };
+        let delta = four.resources().total.lut_k - one.resources().total.lut_k;
+        let per_core = costs::AXE_CORE_BASE.lut_k + costs::SAMPLER_STREAMING.lut_k;
+        assert!((delta - 3.0 * per_core).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poc_fits_with_headroom_for_more_cores() {
+        // §4.1: the architecture scales up; the PoC leaves room.
+        let dev = Vu13p::default();
+        let design = PocDesign::table10();
+        assert!(design.resources().fits(&dev));
+        let max = design.max_cores_fitting(&dev);
+        assert!(max >= 4, "should fit at least 4 cores, got {max}");
+        assert!(max < 32, "device is not infinite");
+    }
+
+    #[test]
+    fn overgrown_design_does_not_fit() {
+        let huge = PocDesign {
+            axe_cores: 100,
+            ..PocDesign::table10()
+        };
+        assert!(!huge.resources().fits(&Vu13p::default()));
+    }
+
+    #[test]
+    fn optional_compute_engines_fit_with_dsp_pressure() {
+        // §4.1: GEMM/VPU are optional adders; the GEMM's DSP appetite is
+        // the dominant cost (3 DSPs per FP32 MAC cell).
+        let dev = Vu13p::default();
+        let with = PocDesign::table10().with_compute_engines();
+        assert!(with.resources().fits(&dev));
+        let base_dsp = PocDesign::table10().resources().total.dsp;
+        let with_dsp = with.resources().total.dsp;
+        assert!(with_dsp > base_dsp + 3_000.0);
+        let u = with.resources().utilization(&dev);
+        assert!(u.dsp_pct > 35.0, "dsp {}", u.dsp_pct);
+    }
+
+    #[test]
+    fn module_cost_arithmetic() {
+        let a = ModuleCost {
+            lut_k: 1.0,
+            reg_k: 2.0,
+            bram_mb: 3.0,
+            uram_mb: 4.0,
+            dsp: 5.0,
+        };
+        let b = a * 2.0;
+        assert_eq!(b.lut_k, 2.0);
+        let c = a + b;
+        assert_eq!(c.dsp, 15.0);
+        let mut d = ModuleCost::default();
+        d += c;
+        assert_eq!(d, c);
+    }
+}

@@ -1,0 +1,412 @@
+//! The distributed graph service: server threads own partitions, workers
+//! traverse and sample through channels.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lsdgnn_graph::{NodeId, PartitionId, PartitionedGraph};
+use lsdgnn_sampler::{NeighborSampler, SampleBatch, StreamingSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Requests a server shard handles.
+enum Request {
+    /// Neighbor lists for a batch of nodes this server owns.
+    Neighbors {
+        nodes: Vec<NodeId>,
+        reply: Sender<Vec<Vec<NodeId>>>,
+    },
+    /// Attribute gather for owned nodes.
+    Attrs {
+        nodes: Vec<NodeId>,
+        reply: Sender<Vec<f32>>,
+    },
+    Shutdown,
+}
+
+/// Local/remote request accounting of one operation (feeds the
+/// Figure 2(b)/(c) characterization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Batched requests answered by the worker's co-located server.
+    pub local_requests: u64,
+    /// Batched requests that crossed the (simulated) network.
+    pub remote_requests: u64,
+    /// Individual nodes whose neighbors were fetched.
+    pub nodes_expanded: u64,
+    /// Individual attribute vectors gathered.
+    pub attrs_fetched: u64,
+}
+
+impl RequestStats {
+    /// Fraction of batched requests that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_requests + self.remote_requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_requests as f64 / total as f64
+        }
+    }
+
+    fn merge(&mut self, other: RequestStats) {
+        self.local_requests += other.local_requests;
+        self.remote_requests += other.remote_requests;
+        self.nodes_expanded += other.nodes_expanded;
+        self.attrs_fetched += other.attrs_fetched;
+    }
+}
+
+/// A running cluster: one server thread per partition, the caller acting
+/// as the worker co-located with partition 0.
+pub struct Cluster {
+    graph: Arc<PartitionedGraph>,
+    senders: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+    worker_partition: PartitionId,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("partitions", &self.senders.len())
+            .field("worker_partition", &self.worker_partition)
+            .finish()
+    }
+}
+
+fn serve(graph: Arc<PartitionedGraph>, p: PartitionId, rx: Receiver<Request>) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Neighbors { nodes, reply } => {
+                let lists = nodes
+                    .iter()
+                    .map(|&v| {
+                        debug_assert!(graph.is_local(v, p), "misrouted request");
+                        graph.graph().neighbors(v).to_vec()
+                    })
+                    .collect();
+                let _ = reply.send(lists);
+            }
+            Request::Attrs { nodes, reply } => {
+                let attrs = graph
+                    .attributes()
+                    .expect("cluster requires attributes")
+                    .gather(&nodes);
+                let _ = reply.send(attrs);
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+impl Cluster {
+    /// Spawns one server thread per partition of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no attribute store attached.
+    pub fn spawn(graph: PartitionedGraph) -> Self {
+        assert!(
+            graph.attributes().is_some(),
+            "cluster requires an attribute store"
+        );
+        let graph = Arc::new(graph);
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for p in 0..graph.partitions() {
+            let (tx, rx) = unbounded();
+            let g = graph.clone();
+            handles.push(std::thread::spawn(move || serve(g, PartitionId(p), rx)));
+            senders.push(tx);
+        }
+        Cluster {
+            graph,
+            senders,
+            handles,
+            worker_partition: PartitionId(0),
+        }
+    }
+
+    /// Number of server partitions.
+    pub fn partitions(&self) -> u32 {
+        self.senders.len() as u32
+    }
+
+    /// The partitioned graph being served.
+    pub fn graph(&self) -> &PartitionedGraph {
+        &self.graph
+    }
+
+    /// Runs a full multi-hop sampling operation (worker-side traversal,
+    /// server-side storage) and returns the batch plus request stats.
+    pub fn sample_batch(
+        &self,
+        roots: &[NodeId],
+        hops: u32,
+        fanout: usize,
+        seed: u64,
+    ) -> (SampleBatch, RequestStats) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = RequestStats::default();
+        let mut frontier = roots.to_vec();
+        let mut hop_results = Vec::with_capacity(hops as usize);
+        for _ in 0..hops {
+            let (lists, s) = self.fetch_neighbors_indexed(&frontier);
+            stats.merge(s);
+            let mut next = Vec::with_capacity(frontier.len() * fanout);
+            for list in lists {
+                next.extend(StreamingSampler.sample(&mut rng, &list, fanout));
+            }
+            hop_results.push(next.clone());
+            frontier = next;
+        }
+        let batch = SampleBatch {
+            roots: roots.to_vec(),
+            hops: hop_results,
+        };
+        // Attribute fetch for roots + samples.
+        let fetch = batch.attr_fetch_list();
+        let (_, s) = self.fetch_attrs(&fetch);
+        stats.merge(s);
+        (batch, stats)
+    }
+
+    /// Gathers attributes for arbitrary nodes (order preserved),
+    /// deduplicating repeated nodes before hitting the servers — the
+    /// request-fusion optimization AliGraph applies (a 2-hop batch
+    /// re-samples popular nodes constantly).
+    pub fn fetch_attrs_deduped(&self, nodes: &[NodeId]) -> (Vec<f32>, RequestStats) {
+        use std::collections::HashMap;
+        let attr_len = self
+            .graph
+            .attributes()
+            .expect("cluster requires attributes")
+            .attr_len();
+        // Unique nodes in first-appearance order.
+        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut unique: Vec<NodeId> = Vec::new();
+        for &v in nodes {
+            index.entry(v).or_insert_with(|| {
+                unique.push(v);
+                unique.len() - 1
+            });
+        }
+        let (fetched, stats) = self.fetch_attrs(&unique);
+        let mut out = vec![0.0f32; nodes.len() * attr_len];
+        for (i, v) in nodes.iter().enumerate() {
+            let u = index[v];
+            out[i * attr_len..(i + 1) * attr_len]
+                .copy_from_slice(&fetched[u * attr_len..(u + 1) * attr_len]);
+        }
+        (out, stats)
+    }
+
+    /// Gathers attributes for arbitrary nodes (order preserved).
+    pub fn fetch_attrs(&self, nodes: &[NodeId]) -> (Vec<f32>, RequestStats) {
+        let attr_len = self
+            .graph
+            .attributes()
+            .expect("cluster requires attributes")
+            .attr_len();
+        let mut stats = RequestStats {
+            attrs_fetched: nodes.len() as u64,
+            ..Default::default()
+        };
+        let parts = self.senders.len();
+        let mut groups: Vec<(Vec<NodeId>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); parts];
+        for (i, &v) in nodes.iter().enumerate() {
+            let p = self.graph.owner(v).0 as usize;
+            groups[p].0.push(v);
+            groups[p].1.push(i);
+        }
+        let mut out = vec![0.0f32; nodes.len() * attr_len];
+        for (p, (group, pos)) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if PartitionId(p as u32) == self.worker_partition {
+                stats.local_requests += 1;
+            } else {
+                stats.remote_requests += 1;
+            }
+            let (reply_tx, reply_rx) = unbounded();
+            self.senders[p]
+                .send(Request::Attrs {
+                    nodes: group,
+                    reply: reply_tx,
+                })
+                .expect("server thread alive");
+            let attrs = reply_rx.recv().expect("server replies");
+            for (j, &orig) in pos.iter().enumerate() {
+                out[orig * attr_len..(orig + 1) * attr_len]
+                    .copy_from_slice(&attrs[j * attr_len..(j + 1) * attr_len]);
+            }
+        }
+        (out, stats)
+    }
+
+    /// Like `fetch_neighbors`, with per-group reply channels so responses
+    /// are matched to their request groups.
+    pub fn fetch_neighbors_indexed(
+        &self,
+        nodes: &[NodeId],
+    ) -> (Vec<Vec<NodeId>>, RequestStats) {
+        let mut stats = RequestStats {
+            nodes_expanded: nodes.len() as u64,
+            ..Default::default()
+        };
+        let parts = self.senders.len();
+        let mut groups: Vec<(Vec<NodeId>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); parts];
+        for (i, &v) in nodes.iter().enumerate() {
+            let p = self.graph.owner(v).0 as usize;
+            groups[p].0.push(v);
+            groups[p].1.push(i);
+        }
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (p, (group, pos)) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if PartitionId(p as u32) == self.worker_partition {
+                stats.local_requests += 1;
+            } else {
+                stats.remote_requests += 1;
+            }
+            let (reply_tx, reply_rx) = unbounded();
+            self.senders[p]
+                .send(Request::Neighbors {
+                    nodes: group,
+                    reply: reply_tx,
+                })
+                .expect("server thread alive");
+            let lists = reply_rx.recv().expect("server replies");
+            for (list, &orig) in lists.into_iter().zip(&pos) {
+                out[orig] = list;
+            }
+        }
+        (out, stats)
+    }
+
+    /// Stops all server threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Dropping without an explicit shutdown still stops the server
+        // threads (C-DTOR: destructors never fail, teardown is lossless
+        // here since requests are synchronous).
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdgnn_graph::{generators, AttributeStore};
+
+    fn cluster(partitions: u32) -> Cluster {
+        let g = generators::power_law(800, 8, 60);
+        let attrs = AttributeStore::synthetic(800, 8, 60);
+        Cluster::spawn(PartitionedGraph::new(g, partitions).with_attributes(attrs))
+    }
+
+    #[test]
+    fn neighbors_match_source_graph() {
+        let c = cluster(4);
+        let nodes: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let (lists, stats) = c.fetch_neighbors_indexed(&nodes);
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.as_slice(), c.graph().graph().neighbors(nodes[i]));
+        }
+        assert_eq!(stats.nodes_expanded, 50);
+        assert!(stats.remote_requests > 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn attrs_match_source_store_in_order() {
+        let c = cluster(3);
+        let nodes = vec![NodeId(700), NodeId(3), NodeId(250)];
+        let (attrs, stats) = c.fetch_attrs(&nodes);
+        let expect = c.graph().attributes().unwrap().gather(&nodes);
+        assert_eq!(attrs, expect);
+        assert_eq!(stats.attrs_fetched, 3);
+        c.shutdown();
+    }
+
+    #[test]
+    fn sample_batch_produces_real_edges() {
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let (batch, stats) = c.sample_batch(&roots, 2, 5, 9);
+        assert_eq!(batch.hops.len(), 2);
+        assert!(batch.total_sampled() > 0);
+        for v in &batch.hops[0] {
+            assert!(roots.iter().any(|&r| c.graph().graph().has_edge(r, *v)));
+        }
+        assert!(stats.attrs_fetched > 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn single_partition_cluster_is_all_local() {
+        let c = cluster(1);
+        let roots: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let (_, stats) = c.sample_batch(&roots, 2, 5, 10);
+        assert_eq!(stats.remote_requests, 0);
+        assert_eq!(stats.remote_fraction(), 0.0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_partitions() {
+        let c2 = cluster(2);
+        let c8 = cluster(8);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let (_, s2) = c2.sample_batch(&roots, 2, 5, 11);
+        let (_, s8) = c8.sample_batch(&roots, 2, 5, 11);
+        assert!(s8.remote_fraction() > s2.remote_fraction());
+        c2.shutdown();
+        c8.shutdown();
+    }
+
+    #[test]
+    fn deduped_fetch_matches_plain_fetch_with_fewer_requests() {
+        let c = cluster(4);
+        // A fetch list with heavy repetition (hub re-sampling).
+        let nodes: Vec<NodeId> = (0..200).map(|i| NodeId(i % 10)).collect();
+        let (plain, s_plain) = c.fetch_attrs(&nodes);
+        let (deduped, s_dedup) = c.fetch_attrs_deduped(&nodes);
+        assert_eq!(plain, deduped);
+        assert!(
+            s_dedup.attrs_fetched < s_plain.attrs_fetched / 10,
+            "dedup fetched {} vs plain {}",
+            s_dedup.attrs_fetched,
+            s_plain.attrs_fetched
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let (b1, _) = c.sample_batch(&roots, 2, 5, 42);
+        let (b2, _) = c.sample_batch(&roots, 2, 5, 42);
+        assert_eq!(b1, b2);
+        c.shutdown();
+    }
+}

@@ -1,0 +1,44 @@
+//! Mini-AliGraph: the industrial framework layer of the reproduction
+//! (paper §2.4 and §5).
+//!
+//! Three pieces:
+//!
+//! * [`cluster`] — a real multi-threaded distributed graph service in the
+//!   AliGraph mold: one *server* thread per partition owning that shard's
+//!   adjacency + attributes, *workers* driving traversal/sampling through
+//!   message channels. Local/remote request accounting feeds the
+//!   Figure 2(b)/(c) characterization.
+//! * [`cpu_model`] — the calibrated CPU-baseline timing model: per-vCPU
+//!   sampling rate and the sub-linear server-scaling curve of
+//!   Figure 2(b).
+//! * [`offload`] — the near-transparent user interface of §5: a
+//!   `GraphLearnSession` whose sampling calls route to either the CPU
+//!   path or the AxE accelerator, unchanged for the caller.
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_framework::cluster::Cluster;
+//! use lsdgnn_graph::{generators, AttributeStore, NodeId, PartitionedGraph};
+//!
+//! let g = generators::power_law(500, 8, 1);
+//! let attrs = AttributeStore::synthetic(500, 16, 1);
+//! let pg = PartitionedGraph::new(g, 4).with_attributes(attrs);
+//! let cluster = Cluster::spawn(pg);
+//! let (batch, stats) = cluster.sample_batch(&[NodeId(1), NodeId(2)], 2, 5, 7);
+//! assert_eq!(batch.hops.len(), 2);
+//! assert!(stats.remote_requests > 0);
+//! cluster.shutdown();
+//! ```
+
+pub mod cluster;
+pub mod cpu_model;
+pub mod hot_cache;
+pub mod offload;
+pub mod trainer;
+
+pub use cluster::{Cluster, RequestStats};
+pub use cpu_model::CpuClusterModel;
+pub use hot_cache::HotNodeCache;
+pub use offload::{GraphLearnSession, SamplerBackend};
+pub use trainer::{EpochReport, TrainerConfig, TrainingJob};

@@ -1,0 +1,211 @@
+//! The near-transparent user interface of §5: one session API, two
+//! sampling backends (CPU cluster path or AxE offload).
+
+use crate::cluster::Cluster;
+use lsdgnn_axe::{AxeCommand, AxeResponse, CommandExecutor};
+use lsdgnn_axe::command::SampleMethod;
+use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId};
+use lsdgnn_sampler::SampleBatch;
+
+/// Where sampling requests execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerBackend {
+    /// The AliGraph CPU path (distributed server/worker cluster).
+    Cpu,
+    /// Offloaded to the Access Engine.
+    Axe,
+}
+
+/// A Graph-Learn-style session: the user calls `sample` and
+/// `node_attributes`; the backend choice is invisible in the results.
+pub struct GraphLearnSession<'a> {
+    graph: &'a CsrGraph,
+    attributes: &'a AttributeStore,
+    backend: SamplerBackend,
+    cluster: Option<Cluster>,
+    executor: CommandExecutor<'a>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for GraphLearnSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphLearnSession")
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+impl<'a> GraphLearnSession<'a> {
+    /// Opens a session over a graph + attributes with the chosen backend.
+    /// The CPU backend spawns a `partitions`-way cluster.
+    pub fn open(
+        graph: &'a CsrGraph,
+        attributes: &'a AttributeStore,
+        backend: SamplerBackend,
+        partitions: u32,
+        seed: u64,
+    ) -> Self {
+        let cluster = match backend {
+            SamplerBackend::Cpu => {
+                let pg = lsdgnn_graph::PartitionedGraph::new(graph.clone(), partitions)
+                    .with_attributes(attributes.clone());
+                Some(Cluster::spawn(pg))
+            }
+            SamplerBackend::Axe => None,
+        };
+        GraphLearnSession {
+            graph,
+            attributes,
+            backend,
+            cluster,
+            executor: CommandExecutor::new(graph, attributes, seed),
+            seed,
+        }
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> SamplerBackend {
+        self.backend
+    }
+
+    /// Samples a mini-batch (`hops` levels, `fanout` per node).
+    pub fn sample(&mut self, roots: &[NodeId], hops: u32, fanout: usize) -> SampleBatch {
+        match self.backend {
+            SamplerBackend::Cpu => {
+                let (batch, _) = self
+                    .cluster
+                    .as_ref()
+                    .expect("cpu backend has a cluster")
+                    .sample_batch(roots, hops, fanout, self.seed);
+                batch
+            }
+            SamplerBackend::Axe => match self.executor.execute(&AxeCommand::SampleNHop {
+                roots: roots.to_vec(),
+                hops,
+                fanout,
+                method: SampleMethod::Streaming,
+                with_attributes: false,
+            }) {
+                AxeResponse::Sampled { batch, .. } => batch,
+                _ => unreachable!("SampleNHop returns Sampled"),
+            },
+        }
+    }
+
+    /// Gathers attribute vectors for `nodes`.
+    pub fn node_attributes(&mut self, nodes: &[NodeId]) -> Vec<f32> {
+        match self.backend {
+            SamplerBackend::Cpu => {
+                self.cluster
+                    .as_ref()
+                    .expect("cpu backend has a cluster")
+                    .fetch_attrs(nodes)
+                    .0
+            }
+            SamplerBackend::Axe => match self.executor.execute(&AxeCommand::ReadNodeAttr {
+                nodes: nodes.to_vec(),
+            }) {
+                AxeResponse::NodeAttrs(a) => a,
+                _ => unreachable!("ReadNodeAttr returns NodeAttrs"),
+            },
+        }
+    }
+
+    /// Negative sampling through either backend (always AxE-compatible
+    /// semantics).
+    pub fn negative_sample(&mut self, pairs: &[(NodeId, NodeId)], rate: usize) -> Vec<Vec<NodeId>> {
+        match self.executor.execute(&AxeCommand::NegativeSample {
+            pairs: pairs.to_vec(),
+            rate,
+        }) {
+            AxeResponse::Negatives(n) => n,
+            _ => unreachable!("NegativeSample returns Negatives"),
+        }
+    }
+
+    /// Closes the session, stopping any cluster threads.
+    pub fn close(mut self) {
+        if let Some(c) = self.cluster.take() {
+            c.shutdown();
+        }
+    }
+
+    /// Graph accessor (for validation in tests).
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// Attribute accessor.
+    pub fn attributes(&self) -> &AttributeStore {
+        self.attributes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdgnn_graph::generators;
+
+    fn setup() -> (CsrGraph, AttributeStore) {
+        let g = generators::power_law(600, 8, 70);
+        let a = AttributeStore::synthetic(600, 8, 70);
+        (g, a)
+    }
+
+    #[test]
+    fn both_backends_sample_valid_neighbors() {
+        let (g, a) = setup();
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        for backend in [SamplerBackend::Cpu, SamplerBackend::Axe] {
+            let mut s = GraphLearnSession::open(&g, &a, backend, 4, 1);
+            let batch = s.sample(&roots, 2, 5);
+            assert_eq!(batch.hops.len(), 2, "{backend:?}");
+            for v in &batch.hops[0] {
+                assert!(
+                    roots.iter().any(|&r| g.has_edge(r, *v)),
+                    "{backend:?} produced a non-neighbor"
+                );
+            }
+            s.close();
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_attributes() {
+        let (g, a) = setup();
+        let nodes = vec![NodeId(5), NodeId(300), NodeId(599)];
+        let mut cpu = GraphLearnSession::open(&g, &a, SamplerBackend::Cpu, 4, 2);
+        let mut axe = GraphLearnSession::open(&g, &a, SamplerBackend::Axe, 4, 2);
+        assert_eq!(cpu.node_attributes(&nodes), axe.node_attributes(&nodes));
+        cpu.close();
+        axe.close();
+    }
+
+    #[test]
+    fn backends_have_statistically_similar_samples() {
+        // Transparency: distributions must match even if exact draws
+        // differ. Compare per-root sample-count histograms.
+        let (g, a) = setup();
+        let roots: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let mut cpu = GraphLearnSession::open(&g, &a, SamplerBackend::Cpu, 4, 3);
+        let mut axe = GraphLearnSession::open(&g, &a, SamplerBackend::Axe, 4, 3);
+        let cb = cpu.sample(&roots, 1, 5);
+        let ab = axe.sample(&roots, 1, 5);
+        // Fanout capping by degree is backend-independent.
+        assert_eq!(cb.hops[0].len(), ab.hops[0].len());
+        cpu.close();
+        axe.close();
+    }
+
+    #[test]
+    fn negative_sampling_avoids_edges() {
+        let (g, a) = setup();
+        let mut s = GraphLearnSession::open(&g, &a, SamplerBackend::Axe, 1, 4);
+        let negs = s.negative_sample(&[(NodeId(1), NodeId(2))], 10);
+        assert_eq!(negs[0].len(), 10);
+        for n in &negs[0] {
+            assert!(!g.has_edge(NodeId(1), *n));
+        }
+        s.close();
+    }
+}

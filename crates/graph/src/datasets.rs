@@ -1,0 +1,285 @@
+//! The paper's dataset configurations (Table 2) and the analytic memory
+//! footprint model behind Figure 2(a).
+//!
+//! Footprints and minimum-server counts are pure arithmetic over the
+//! published node/edge counts and attribute lengths, so they are computed at
+//! paper scale; execution-based experiments instantiate scaled-down graphs
+//! via [`DatasetConfig::instantiate_scaled`].
+
+use crate::attributes::AttributeStore;
+use crate::csr::CsrGraph;
+use crate::generators;
+use serde::{Deserialize, Serialize};
+
+/// Per-node metadata bytes a distributed graph store keeps besides raw
+/// attributes (id map entry, degree, type tags).
+const NODE_META_BYTES: u64 = 16;
+/// Per-edge bytes: 8-byte neighbor id plus 4 bytes of edge metadata.
+const EDGE_BYTES: u64 = 12;
+
+/// The sampling application setup shared by all Table 2 rows:
+/// 2-hop random sampling, batch 512, negative-sample rate 10, fanout 10/10,
+/// hidden/embedding size 128.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Mini-batch size (root nodes per batch).
+    pub batch_size: u32,
+    /// Number of hops (layers).
+    pub hops: u32,
+    /// Neighbors sampled per node at each hop.
+    pub fanout: u32,
+    /// Negative sampling rate.
+    pub negative_rate: u32,
+    /// Hidden / embedding size of the downstream model.
+    pub hidden_size: u32,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SamplingConfig {
+    /// The paper's Table 2 configuration.
+    pub const fn paper() -> Self {
+        SamplingConfig {
+            batch_size: 512,
+            hops: 2,
+            fanout: 10,
+            negative_rate: 10,
+            hidden_size: 128,
+        }
+    }
+
+    /// Total nodes sampled per batch across all hops (excluding roots):
+    /// `B*f + B*f^2 + ...`.
+    pub fn sampled_per_batch(&self) -> u64 {
+        let b = self.batch_size as u64;
+        let f = self.fanout as u64;
+        let mut total = 0;
+        let mut frontier = b;
+        for _ in 0..self.hops {
+            frontier *= f;
+            total += frontier;
+        }
+        total
+    }
+
+    /// Nodes whose attributes are fetched per batch (roots + all samples).
+    pub fn attr_fetches_per_batch(&self) -> u64 {
+        self.batch_size as u64 + self.sampled_per_batch()
+    }
+}
+
+/// One row of Table 2: a named graph dataset at paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Short name used throughout the paper (`ss`, `ls`, ...).
+    pub name: &'static str,
+    /// Node count at paper scale.
+    pub nodes: u64,
+    /// Edge count at paper scale.
+    pub edges: u64,
+    /// Attribute (feature) length in `f32`s.
+    pub attr_len: u32,
+    /// Sampling application setup.
+    pub sampling: SamplingConfig,
+}
+
+/// The six Table 2 datasets, paper-exact sizes.
+pub const PAPER_DATASETS: [DatasetConfig; 6] = [
+    DatasetConfig {
+        name: "ss",
+        nodes: 65_200_000,
+        edges: 592_000_000,
+        attr_len: 72,
+        sampling: SamplingConfig::paper(),
+    },
+    DatasetConfig {
+        name: "ls",
+        nodes: 1_900_000_000,
+        edges: 5_200_000_000,
+        attr_len: 84,
+        sampling: SamplingConfig::paper(),
+    },
+    DatasetConfig {
+        name: "sl",
+        nodes: 67_300_000,
+        edges: 601_000_000,
+        attr_len: 128,
+        sampling: SamplingConfig::paper(),
+    },
+    DatasetConfig {
+        name: "ml",
+        nodes: 207_000_000,
+        edges: 5_700_000_000,
+        attr_len: 136,
+        sampling: SamplingConfig::paper(),
+    },
+    DatasetConfig {
+        name: "ll",
+        nodes: 702_000_000,
+        edges: 12_300_000_000,
+        attr_len: 152,
+        sampling: SamplingConfig::paper(),
+    },
+    DatasetConfig {
+        name: "syn",
+        nodes: 5_900_000_000,
+        edges: 105_000_000_000,
+        attr_len: 152,
+        sampling: SamplingConfig::paper(),
+    },
+];
+
+impl DatasetConfig {
+    /// Looks a dataset up by its paper name.
+    pub fn by_name(name: &str) -> Option<DatasetConfig> {
+        PAPER_DATASETS.iter().copied().find(|d| d.name == name)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.nodes as f64
+    }
+
+    /// Raw attribute bytes at paper scale.
+    pub fn attribute_bytes(&self) -> u64 {
+        self.nodes * self.attr_len as u64 * 4
+    }
+
+    /// Raw structure bytes at paper scale (edges + node metadata).
+    pub fn structure_bytes(&self) -> u64 {
+        self.edges * EDGE_BYTES + self.nodes * NODE_META_BYTES
+    }
+
+    /// Instantiates an executable scaled-down power-law graph with the
+    /// dataset's average degree and a synthetic attribute store, capped at
+    /// `max_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_nodes < 2`.
+    pub fn instantiate_scaled(&self, max_nodes: u64, seed: u64) -> (CsrGraph, AttributeStore) {
+        let g = generators::scaled_power_law(self.nodes, self.edges, max_nodes, seed);
+        let attrs = AttributeStore::synthetic(g.num_nodes(), self.attr_len as usize, seed);
+        (g, attrs)
+    }
+}
+
+/// The analytic footprint model of Figure 2(a): raw data size, an in-memory
+/// expansion factor for the store's indexes/allocator overhead, and the
+/// usable memory per storage server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintModel {
+    /// Multiplier covering hash indexes, allocator slack and replication of
+    /// hot metadata. AliGraph-style stores land near 1.3x raw.
+    pub overhead_factor: f64,
+    /// Usable DRAM per storage server in bytes (a 512 GB box minus OS and
+    /// service headroom).
+    pub server_bytes: u64,
+}
+
+impl Default for FootprintModel {
+    fn default() -> Self {
+        FootprintModel {
+            overhead_factor: 1.3,
+            server_bytes: 384 * (1 << 30),
+        }
+    }
+}
+
+impl FootprintModel {
+    /// Total in-memory footprint of a dataset in bytes.
+    pub fn footprint_bytes(&self, d: &DatasetConfig) -> u64 {
+        let raw = d.attribute_bytes() + d.structure_bytes();
+        (raw as f64 * self.overhead_factor) as u64
+    }
+
+    /// Footprint in GiB (for the Figure 2(a) axis).
+    pub fn footprint_gib(&self, d: &DatasetConfig) -> f64 {
+        self.footprint_bytes(d) as f64 / (1u64 << 30) as f64
+    }
+
+    /// Minimal number of servers to hold the dataset.
+    pub fn min_servers(&self, d: &DatasetConfig) -> u64 {
+        self.footprint_bytes(d).div_ceil(self.server_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_complete_and_ordered_by_name() {
+        let names: Vec<_> = PAPER_DATASETS.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["ss", "ls", "sl", "ml", "ll", "syn"]);
+        assert!(DatasetConfig::by_name("ml").is_some());
+        assert!(DatasetConfig::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn syn_is_the_10tb_class_graph() {
+        let m = FootprintModel::default();
+        let syn = DatasetConfig::by_name("syn").unwrap();
+        let gib = m.footprint_gib(&syn);
+        // Paper: 10 TB-level graphs. 1 TiB = 1024 GiB.
+        assert!(gib > 4.0 * 1024.0, "syn footprint {gib} GiB too small");
+    }
+
+    #[test]
+    fn small_graphs_fit_one_server() {
+        let m = FootprintModel::default();
+        for name in ["ss", "sl", "ml"] {
+            let d = DatasetConfig::by_name(name).unwrap();
+            assert_eq!(m.min_servers(&d), 1, "{name} should fit one server");
+        }
+    }
+
+    #[test]
+    fn large_graphs_need_many_servers() {
+        let m = FootprintModel::default();
+        let ll = DatasetConfig::by_name("ll").unwrap();
+        let syn = DatasetConfig::by_name("syn").unwrap();
+        assert!(m.min_servers(&ll) >= 2);
+        // Paper scale: the distributed system runs ~15 servers for the
+        // biggest graphs.
+        let s = m.min_servers(&syn);
+        assert!((10..=20).contains(&s), "syn needs {s} servers");
+    }
+
+    #[test]
+    fn footprint_monotone_in_size() {
+        let m = FootprintModel::default();
+        let f: Vec<u64> = ["ss", "ml", "ll", "syn"]
+            .iter()
+            .map(|n| m.footprint_bytes(&DatasetConfig::by_name(n).unwrap()))
+            .collect();
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampling_math_matches_paper_config() {
+        let s = SamplingConfig::paper();
+        // 512 roots * 10 + 512 * 100 = 56,320 samples/batch.
+        assert_eq!(s.sampled_per_batch(), 56_320);
+        assert_eq!(s.attr_fetches_per_batch(), 56_832);
+    }
+
+    #[test]
+    fn instantiate_scaled_produces_consistent_pair() {
+        let d = DatasetConfig::by_name("ss").unwrap();
+        let (g, a) = d.instantiate_scaled(2_000, 11);
+        assert_eq!(g.num_nodes(), a.num_nodes());
+        assert_eq!(a.attr_len(), 72);
+        assert!(g.check_invariants().is_ok());
+        let deg = g.avg_degree();
+        let paper_deg = d.avg_degree();
+        assert!(
+            (deg - paper_deg).abs() / paper_deg < 0.5,
+            "scaled degree {deg} vs paper {paper_deg}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Synthetic graph generators.
+//!
+//! The paper's industrial graphs are unavailable; these generators produce
+//! scaled-down graphs with the properties that matter to sampling behaviour:
+//! heavy-tailed degree distributions (e-commerce graphs), configurable
+//! average degree, and deterministic seeding. The `syn` dataset in the paper
+//! is itself "a synthesized large graph ... scaled from a smaller graph",
+//! so synthetic generation is faithful to the paper's own methodology.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a power-law graph by preferential attachment: each new node
+/// attaches `edges_per_node` out-edges, half to uniformly random earlier
+/// nodes and half preferentially (by sampling an endpoint of an existing
+/// edge), yielding a heavy-tailed in-degree distribution.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 2` or `edges_per_node == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::generators::power_law;
+/// let g = power_law(1_000, 8, 1);
+/// assert_eq!(g.num_nodes(), 1_000);
+/// assert!(g.max_degree() > 3 * (g.avg_degree() as u64));
+/// ```
+pub fn power_law(num_nodes: u64, edges_per_node: u64, seed: u64) -> CsrGraph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    assert!(edges_per_node > 0, "edges_per_node must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder =
+        GraphBuilder::new(num_nodes).with_edge_capacity((num_nodes * edges_per_node) as usize);
+    // endpoint pool for preferential attachment
+    let mut pool: Vec<NodeId> = vec![NodeId(0)];
+    for v in 1..num_nodes {
+        for e in 0..edges_per_node {
+            let target = if e % 2 == 0 {
+                // uniform over earlier nodes
+                NodeId(rng.gen_range(0..v))
+            } else {
+                // preferential: sample from endpoint pool
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if target.0 != v {
+                builder.add_edge(NodeId(v), target);
+                builder.add_edge(target, NodeId(v));
+                pool.push(target);
+                pool.push(NodeId(v));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Generates a uniform random directed graph (Erdős–Rényi with a fixed
+/// out-degree), the "no hot spots" contrast case for cache ablations.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 2` or `out_degree == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::generators::uniform_random;
+/// let g = uniform_random(500, 10, 7);
+/// assert!(g.avg_degree() <= 10.0);
+/// ```
+pub fn uniform_random(num_nodes: u64, out_degree: u64, seed: u64) -> CsrGraph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    assert!(out_degree > 0, "out_degree must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder =
+        GraphBuilder::new(num_nodes).with_edge_capacity((num_nodes * out_degree) as usize);
+    for v in 0..num_nodes {
+        for _ in 0..out_degree {
+            let mut t = rng.gen_range(0..num_nodes);
+            if t == v {
+                t = (t + 1) % num_nodes;
+            }
+            builder.add_edge(NodeId(v), NodeId(t));
+        }
+    }
+    builder.build()
+}
+
+/// Generates an R-MAT graph (Chakrabarti et al.): each edge lands by
+/// recursively descending a 2x2 probability matrix `(a, b, c, d)`,
+/// producing the skewed, self-similar degree structure of web and
+/// social graphs. The classic parameters are `(0.57, 0.19, 0.19, 0.05)`.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero/over 30, `edges` is zero, or probabilities
+/// are invalid (non-positive or not summing to ~1).
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::generators::rmat;
+/// let g = rmat(10, 8_000, (0.57, 0.19, 0.19, 0.05), 1);
+/// assert_eq!(g.num_nodes(), 1 << 10);
+/// assert!(g.max_degree() > 4 * g.avg_degree() as u64);
+/// ```
+pub fn rmat(scale: u32, edges: u64, probs: (f64, f64, f64, f64), seed: u64) -> CsrGraph {
+    assert!((1..=30).contains(&scale), "scale must be in 1..=30");
+    assert!(edges > 0, "need at least one edge");
+    let (a, b, c, d) = probs;
+    assert!(
+        a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0,
+        "probabilities must be positive"
+    );
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1"
+    );
+    let n = 1u64 << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(edges as usize);
+    for _ in 0..edges {
+        let (mut row, mut col) = (0u64, 0u64);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let bit = 1u64 << level;
+            if r < a {
+                // top-left: nothing set
+            } else if r < a + b {
+                col |= bit;
+            } else if r < a + b + c {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        if row != col {
+            builder.add_edge(NodeId(row), NodeId(col));
+        }
+    }
+    builder.build()
+}
+
+/// Generates a two-community graph with node labels: nodes in the same
+/// community connect with probability `p_in`, across communities with
+/// `p_out`. Used as the PPI-like proxy task when validating that streaming
+/// sampling matches standard sampling on downstream quality (paper §4.2
+/// Tech-2: "0.548 on PPI vs 0.549").
+///
+/// Returns the graph and the per-node community label.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 4` or probabilities are outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::generators::two_community;
+/// let (g, labels) = two_community(200, 0.1, 0.01, 3);
+/// assert_eq!(labels.len(), 200);
+/// assert!(g.num_edges() > 0);
+/// ```
+pub fn two_community(num_nodes: u64, p_in: f64, p_out: f64, seed: u64) -> (CsrGraph, Vec<u8>) {
+    assert!(num_nodes >= 4, "need at least four nodes");
+    assert!(
+        (0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out),
+        "probabilities must be in [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<u8> = (0..num_nodes)
+        .map(|v| (v >= num_nodes / 2) as u8)
+        .collect();
+    let mut builder = GraphBuilder::new(num_nodes);
+    for u in 0..num_nodes {
+        for v in (u + 1)..num_nodes {
+            let p = if labels[u as usize] == labels[v as usize] {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.gen_bool(p) {
+                builder.add_undirected_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    (builder.build(), labels)
+}
+
+/// Scales a dataset configuration down to an executable graph: preserves
+/// average degree and heavy-tailed structure while capping the node count.
+///
+/// # Panics
+///
+/// Panics if `max_nodes < 2`.
+pub fn scaled_power_law(
+    paper_nodes: u64,
+    paper_edges: u64,
+    max_nodes: u64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(max_nodes >= 2, "need at least two nodes");
+    let nodes = paper_nodes.min(max_nodes);
+    let avg_degree = (paper_edges as f64 / paper_nodes as f64).round().max(1.0) as u64;
+    // power_law adds undirected pairs, so halve to preserve avg degree.
+    power_law(nodes, avg_degree.div_ceil(2).max(1), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let g = power_law(2_000, 8, 42);
+        assert!(g.check_invariants().is_ok());
+        // A heavy tail: max degree far exceeds the mean.
+        assert!(g.max_degree() as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn power_law_deterministic() {
+        let a = power_law(500, 4, 9);
+        let b = power_law(500, 4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_has_flat_degrees() {
+        let g = uniform_random(1_000, 10, 1);
+        assert!(g.check_invariants().is_ok());
+        // Dedup can only reduce below out_degree.
+        assert!(g.max_degree() <= 10);
+        assert!(g.avg_degree() > 9.0);
+    }
+
+    #[test]
+    fn two_community_is_assortative() {
+        let (g, labels) = two_community(200, 0.2, 0.02, 5);
+        let (mut intra, mut inter) = (0u64, 0u64);
+        for (u, v) in g.edges() {
+            if labels[u.index()] == labels[v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_sized() {
+        let g = rmat(11, 16_000, (0.57, 0.19, 0.19, 0.05), 9);
+        assert_eq!(g.num_nodes(), 2_048);
+        assert!(g.check_invariants().is_ok());
+        // R-MAT's recursive skew concentrates edges on low ids.
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+        let low_half: u64 = (0..1_024).map(|v| g.degree(NodeId(v))).sum();
+        assert!(
+            low_half as f64 > 0.6 * g.num_edges() as f64,
+            "low-id half holds {low_half} of {}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn rmat_uniform_probs_are_flat() {
+        // With a=b=c=d the recursion is unbiased: no heavy tail.
+        let g = rmat(11, 16_000, (0.25, 0.25, 0.25, 0.25), 10);
+        assert!((g.max_degree() as f64) < 6.0 * g.avg_degree().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_rmat_probs_panic() {
+        let _ = rmat(4, 10, (0.5, 0.5, 0.5, 0.5), 0);
+    }
+
+    #[test]
+    fn scaled_preserves_avg_degree() {
+        // Paper `ss`: 65.2M nodes, 592M edges => avg degree ~9.
+        let g = scaled_power_law(65_200_000, 592_000_000, 5_000, 7);
+        assert_eq!(g.num_nodes(), 5_000);
+        let d = g.avg_degree();
+        assert!((6.0..=12.0).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn scaled_caps_at_paper_size() {
+        let g = scaled_power_law(100, 500, 1_000_000, 7);
+        assert_eq!(g.num_nodes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_power_law_panics() {
+        let _ = power_law(1, 2, 0);
+    }
+}

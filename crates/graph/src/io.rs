@@ -1,0 +1,268 @@
+//! Graph and attribute persistence.
+//!
+//! A downstream user brings their own graph; these routines load/store
+//! the standard interchange formats: whitespace-separated edge lists
+//! (one `src dst [weight]` per line, `#` comments) and a little-endian
+//! binary format for attribute matrices.
+
+use crate::attributes::AttributeStore;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised by the I/O routines.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content with line context.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an edge list. Node ids are dense non-negative integers; the
+/// graph size is `max id + 1` unless `num_nodes` forces a larger space.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on malformed lines.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::io::read_edge_list;
+/// let text = "# a comment\n0 1\n1 2 0.5\n";
+/// let g = read_edge_list(text.as_bytes(), None).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<u64>) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(u64, u64, f32)> = Vec::new();
+    let mut max_id = 0u64;
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let text = line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let parse_id = |tok: Option<&str>, what: &str| -> Result<u64, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| IoError::Parse {
+                line: lineno,
+                message: format!("bad {what}"),
+            })
+        };
+        let src = parse_id(parts.next(), "source id")?;
+        let dst = parse_id(parts.next(), "target id")?;
+        let weight = match parts.next() {
+            Some(w) => w.parse().map_err(|_| IoError::Parse {
+                line: lineno,
+                message: "bad weight".into(),
+            })?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: "trailing tokens".into(),
+            });
+        }
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst, weight));
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    let mut b = GraphBuilder::new(n);
+    for (u, v, w) in edges {
+        b.add_weighted_edge(NodeId(u), NodeId(v), w);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as an edge list (weights included when present).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    for u in 0..graph.num_nodes() {
+        let node = NodeId(u);
+        let ns = graph.neighbors(node);
+        match graph.edge_weights(node) {
+            Some(ws) => {
+                for (v, wt) in ns.iter().zip(ws) {
+                    writeln!(w, "{} {} {}", u, v.0, wt)?;
+                }
+            }
+            None => {
+                for v in ns {
+                    writeln!(w, "{} {}", u, v.0)?;
+                }
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const ATTR_MAGIC: &[u8; 8] = b"LSDATTR1";
+
+/// Writes an attribute store in the binary format
+/// (`magic, u64 nodes, u64 attr_len, then f32 LE data`).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_attributes<W: Write>(store: &AttributeStore, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(ATTR_MAGIC)?;
+    w.write_all(&store.num_nodes().to_le_bytes())?;
+    w.write_all(&(store.attr_len() as u64).to_le_bytes())?;
+    for v in 0..store.num_nodes() {
+        for x in store.get(NodeId(v)) {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an attribute store written by [`write_attributes`].
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on a bad magic or truncated data.
+pub fn read_attributes<R: Read>(reader: R) -> Result<AttributeStore, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != ATTR_MAGIC {
+        return Err(IoError::Parse {
+            line: 0,
+            message: "bad attribute file magic".into(),
+        });
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let nodes = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf)?;
+    let attr_len = u64::from_le_bytes(u64buf) as usize;
+    if attr_len == 0 {
+        return Err(IoError::Parse {
+            line: 0,
+            message: "zero attribute length".into(),
+        });
+    }
+    let mut store = AttributeStore::zeros(nodes, attr_len);
+    let mut row = vec![0.0f32; attr_len];
+    let mut f32buf = [0u8; 4];
+    for v in 0..nodes {
+        for x in row.iter_mut() {
+            r.read_exact(&mut f32buf)?;
+            *x = f32::from_le_bytes(f32buf);
+        }
+        store.set(NodeId(v), &row);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trips() {
+        let g = generators::power_law(200, 6, 77);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], Some(200)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn weighted_edge_list_round_trips() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 2.5);
+        b.add_weighted_edge(NodeId(1), NodeId(2), 0.25);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], None).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0 1 # inline comment\n 1 2 \n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = read_edge_list("0 1\nx 2\n".as_bytes(), None).unwrap_err();
+        match e {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("source"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        let e = read_edge_list("0 1 1.0 extra\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let a = AttributeStore::synthetic(50, 7, 3);
+        let mut buf = Vec::new();
+        write_attributes(&a, &mut buf).unwrap();
+        let back = read_attributes(&buf[..]).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = read_attributes(&b"NOTMAGIC\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(e, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn truncated_attributes_error() {
+        let a = AttributeStore::synthetic(10, 4, 1);
+        let mut buf = Vec::new();
+        write_attributes(&a, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_attributes(&buf[..]).is_err());
+    }
+}

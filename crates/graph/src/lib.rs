@@ -1,0 +1,42 @@
+//! Graph storage substrate for the LSD-GNN reproduction.
+//!
+//! Provides the pieces the paper's AliGraph-style stack stores in
+//! distributed memory: CSR adjacency ([`CsrGraph`]), dense node attributes
+//! ([`AttributeStore`]), hash partitioning across servers
+//! ([`PartitionedGraph`]), synthetic graph generators matching the degree
+//! structure of the paper's industrial datasets ([`generators`]), and the
+//! exact Table 2 dataset configurations with their analytic memory-footprint
+//! model ([`datasets`], Figure 2(a)).
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_graph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(NodeId(0), NodeId(1));
+//! b.add_edge(NodeId(0), NodeId(2));
+//! b.add_edge(NodeId(3), NodeId(0));
+//! let g = b.build();
+//! assert_eq!(g.degree(NodeId(0)), 2);
+//! assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+//! ```
+
+pub mod attributes;
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod dynamic;
+pub mod generators;
+pub mod hetero;
+pub mod io;
+pub mod partition;
+pub mod traversal;
+pub mod types;
+
+pub use attributes::AttributeStore;
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use datasets::{DatasetConfig, FootprintModel, SamplingConfig, PAPER_DATASETS};
+pub use partition::{greedy_partition, PartitionId, PartitionedGraph};
+pub use types::NodeId;

@@ -1,0 +1,352 @@
+//! Hash partitioning of a graph across storage servers.
+//!
+//! LSD-GNN shards both adjacency and attributes across servers by node-id
+//! hash (the AliGraph default). A sampler running on one server therefore
+//! sees roughly `(p-1)/p` of its neighbor fetches go remote — the root cause
+//! of the paper's Observation-2 (communication-bound sampling).
+
+use crate::attributes::AttributeStore;
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+use std::fmt;
+
+/// Identifies one storage server / partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How nodes map to partitions.
+#[derive(Debug, Clone, PartialEq)]
+enum PartitionMap {
+    /// Fibonacci hash of the node id (the AliGraph default).
+    Hash,
+    /// Explicit per-node assignment (e.g. from [`greedy_partition`]).
+    Explicit(Vec<u32>),
+}
+
+/// A graph plus its partition map: every node is owned by exactly one
+/// partition, chosen by a multiplicative hash of the node id (default)
+/// or an explicit assignment.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::{generators, PartitionedGraph, NodeId};
+/// let g = generators::uniform_random(100, 4, 1);
+/// let pg = PartitionedGraph::new(g, 4);
+/// let owner = pg.owner(NodeId(17));
+/// assert!(owner.0 < 4);
+/// assert!(pg.is_local(NodeId(17), owner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    graph: CsrGraph,
+    attributes: Option<AttributeStore>,
+    partitions: u32,
+    map: PartitionMap,
+}
+
+impl PartitionedGraph {
+    /// Wraps `graph` with a `partitions`-way hash partition map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn new(graph: CsrGraph, partitions: u32) -> Self {
+        assert!(partitions > 0, "partition count must be non-zero");
+        PartitionedGraph {
+            graph,
+            attributes: None,
+            partitions,
+            map: PartitionMap::Hash,
+        }
+    }
+
+    /// Wraps `graph` with an explicit per-node partition assignment
+    /// (e.g. the output of [`greedy_partition`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length mismatches the node count, is
+    /// empty, or references a partition ≥ its maximum + 1 inconsistently.
+    pub fn with_assignment(graph: CsrGraph, assignment: Vec<u32>) -> Self {
+        assert_eq!(
+            assignment.len() as u64,
+            graph.num_nodes(),
+            "assignment must cover every node"
+        );
+        assert!(!assignment.is_empty(), "assignment must be non-empty");
+        let partitions = assignment.iter().copied().max().unwrap() + 1;
+        PartitionedGraph {
+            graph,
+            attributes: None,
+            partitions,
+            map: PartitionMap::Explicit(assignment),
+        }
+    }
+
+    /// Attaches an attribute store (sharded by the same map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store covers a different node count than the graph.
+    pub fn with_attributes(mut self, attributes: AttributeStore) -> Self {
+        assert_eq!(
+            attributes.num_nodes(),
+            self.graph.num_nodes(),
+            "attribute store node count mismatch"
+        );
+        self.attributes = Some(attributes);
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The attached attributes, if any.
+    pub fn attributes(&self) -> Option<&AttributeStore> {
+        self.attributes.as_ref()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The partition owning node `v`.
+    pub fn owner(&self, v: NodeId) -> PartitionId {
+        match &self.map {
+            PartitionMap::Hash => {
+                let h = v.0.wrapping_mul(0x9E3779B97F4A7C15);
+                PartitionId((h >> 32) as u32 % self.partitions)
+            }
+            PartitionMap::Explicit(a) => PartitionId(a[v.index()]),
+        }
+    }
+
+    /// Whether `v` lives on partition `p`.
+    pub fn is_local(&self, v: NodeId, p: PartitionId) -> bool {
+        self.owner(v) == p
+    }
+
+    /// Nodes owned by partition `p` (O(n) scan; used at setup time).
+    pub fn nodes_of(&self, p: PartitionId) -> Vec<NodeId> {
+        (0..self.graph.num_nodes())
+            .map(NodeId)
+            .filter(|&v| self.owner(v) == p)
+            .collect()
+    }
+
+    /// Fraction of edges whose endpoints live on different partitions —
+    /// the remote-access ratio sampling will experience.
+    pub fn edge_cut_fraction(&self) -> f64 {
+        let total = self.graph.num_edges();
+        if total == 0 {
+            return 0.0;
+        }
+        let cut = self
+            .graph
+            .edges()
+            .filter(|&(u, v)| self.owner(u) != self.owner(v))
+            .count();
+        cut as f64 / total as f64
+    }
+
+    /// Expected remote fraction under ideal hash partitioning:
+    /// `(p - 1) / p`.
+    pub fn ideal_remote_fraction(&self) -> f64 {
+        (self.partitions - 1) as f64 / self.partitions as f64
+    }
+
+    /// Per-partition structure bytes (even split of the CSR arrays plus the
+    /// attribute shard), for footprint accounting.
+    pub fn bytes_per_partition(&self) -> u64 {
+        let attr = self.attributes.as_ref().map_or(0, |a| a.total_bytes());
+        (self.graph.structure_bytes() + attr) / self.partitions as u64
+    }
+}
+
+/// A greedy label-propagation partitioner: starts from the hash
+/// assignment and iteratively moves each node to the partition holding
+/// the plurality of its neighbors, subject to a balance cap. Cuts far
+/// fewer edges than hashing on clustered graphs — the kind of
+/// framework-level optimization the paper calls orthogonal to its
+/// hardware (§8, "caching and partition in AliGraph").
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or the graph is empty.
+pub fn greedy_partition(graph: &CsrGraph, partitions: u32, sweeps: u32) -> Vec<u32> {
+    assert!(partitions > 0, "partition count must be non-zero");
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    // Start from the hash assignment.
+    let mut assign: Vec<u32> = (0..n)
+        .map(|v| {
+            let h = v.wrapping_mul(0x9E3779B97F4A7C15);
+            (h >> 32) as u32 % partitions
+        })
+        .collect();
+    let cap = (n as usize).div_ceil(partitions as usize) * 11 / 10 + 1;
+    let mut sizes = vec![0usize; partitions as usize];
+    for &p in &assign {
+        sizes[p as usize] += 1;
+    }
+    let mut votes = vec![0u32; partitions as usize];
+    for _ in 0..sweeps {
+        let mut moved = 0u64;
+        for v in 0..n {
+            let ns = graph.neighbors(NodeId(v));
+            if ns.is_empty() {
+                continue;
+            }
+            votes.fill(0);
+            for &u in ns {
+                votes[assign[u.index()] as usize] += 1;
+            }
+            let cur = assign[v as usize];
+            let (best, best_votes) = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(p, &c)| (c, usize::from(p as u32 == cur)))
+                .map(|(p, &c)| (p as u32, c))
+                .expect("at least one partition");
+            if best != cur && best_votes > votes[cur as usize] && sizes[best as usize] < cap {
+                sizes[cur as usize] -= 1;
+                sizes[best as usize] += 1;
+                assign[v as usize] = best;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn pg(parts: u32) -> PartitionedGraph {
+        PartitionedGraph::new(generators::uniform_random(2_000, 8, 3), parts)
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_owner() {
+        let g = pg(4);
+        let mut counts = vec![0u64; 4];
+        for v in 0..2_000 {
+            counts[g.owner(NodeId(v)).0 as usize] += 1;
+        }
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+        // Hash balance: each partition within 25% of the mean.
+        for c in counts {
+            assert!((375..=625).contains(&c), "unbalanced partition: {c}");
+        }
+    }
+
+    #[test]
+    fn nodes_of_matches_owner() {
+        let g = pg(3);
+        for p in 0..3 {
+            for v in g.nodes_of(PartitionId(p)) {
+                assert_eq!(g.owner(v), PartitionId(p));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_near_ideal_for_hash_partition() {
+        let g = pg(5);
+        let cut = g.edge_cut_fraction();
+        let ideal = g.ideal_remote_fraction();
+        assert!((cut - ideal).abs() < 0.05, "cut {cut} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn single_partition_has_no_remote() {
+        let g = pg(1);
+        assert_eq!(g.edge_cut_fraction(), 0.0);
+        assert_eq!(g.ideal_remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn attributes_attach_and_count() {
+        let base = generators::uniform_random(100, 4, 1);
+        let attrs = AttributeStore::zeros(100, 16);
+        let g = PartitionedGraph::new(base, 4).with_attributes(attrs);
+        assert!(g.attributes().is_some());
+        assert!(g.bytes_per_partition() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_attribute_count_panics() {
+        let base = generators::uniform_random(100, 4, 1);
+        let attrs = AttributeStore::zeros(99, 16);
+        let _ = PartitionedGraph::new(base, 4).with_attributes(attrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_partitions_panics() {
+        let _ = pg(0);
+    }
+
+    #[test]
+    fn greedy_partition_cuts_fewer_edges_than_hash() {
+        // Two-community graph: greedy should find the communities.
+        let (g, _) = crate::generators::two_community(400, 0.08, 0.01, 17);
+        let hash = PartitionedGraph::new(g.clone(), 2);
+        let assign = greedy_partition(&g, 2, 8);
+        let greedy = PartitionedGraph::with_assignment(g, assign);
+        let hash_cut = hash.edge_cut_fraction();
+        let greedy_cut = greedy.edge_cut_fraction();
+        assert!(
+            greedy_cut < hash_cut * 0.5,
+            "greedy {greedy_cut} vs hash {hash_cut}"
+        );
+    }
+
+    #[test]
+    fn greedy_partition_respects_balance() {
+        let g = crate::generators::power_law(1_000, 6, 18);
+        let assign = greedy_partition(&g, 4, 6);
+        let mut sizes = [0usize; 4];
+        for p in &assign {
+            sizes[*p as usize] += 1;
+        }
+        let cap = 1_000usize.div_ceil(4) * 11 / 10 + 1;
+        for s in sizes {
+            assert!(s <= cap, "partition size {s} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_round_trips() {
+        let g = crate::generators::uniform_random(10, 2, 19);
+        let assign = vec![0u32, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let pg = PartitionedGraph::with_assignment(g, assign.clone());
+        assert_eq!(pg.partitions(), 2);
+        for (v, &p) in assign.iter().enumerate() {
+            assert_eq!(pg.owner(NodeId(v as u64)), PartitionId(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn short_assignment_panics() {
+        let g = crate::generators::uniform_random(10, 2, 20);
+        let _ = PartitionedGraph::with_assignment(g, vec![0, 1]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Graph traversal utilities: BFS distances and connected components.
+//!
+//! Used for dataset sanity (generated graphs should be mostly one
+//! component), partitioning-quality analysis, and multi-hop reachability
+//! checks in tests.
+
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source`; unreachable nodes get `u32::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = graph.num_nodes() as usize;
+    assert!(source.index() < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        for &v in graph.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components (directions ignored): returns a component
+/// id per node and the component count.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, u32) {
+    let n = graph.num_nodes() as usize;
+    // Union over both edge directions via an undirected adjacency pass.
+    let reverse = graph.reverse();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(NodeId(start as u64));
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u).iter().chain(reverse.neighbors(u)) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Fraction of nodes in the largest weakly connected component.
+pub fn largest_component_fraction(graph: &CsrGraph) -> f64 {
+    if graph.num_nodes() == 0 {
+        return 0.0;
+    }
+    let (comp, count) = connected_components(graph);
+    let mut sizes = vec![0u64; count as usize];
+    for c in comp {
+        sizes[c as usize] += 1;
+    }
+    *sizes.iter().max().expect("at least one component") as f64 / graph.num_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4 {
+            b.add_edge(NodeId(v), NodeId(v + 1));
+        }
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let d = bfs_distances(&b.build(), NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1)); // one direction only
+        b.add_edge(NodeId(2), NodeId(1));
+        b.add_edge(NodeId(4), NodeId(5));
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3}, {4,5}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+    }
+
+    #[test]
+    fn power_law_graphs_are_essentially_connected() {
+        // Preferential attachment links every new node to earlier ones.
+        let g = generators::power_law(2_000, 6, 44);
+        assert!(largest_component_fraction(&g) > 0.99);
+    }
+
+    #[test]
+    fn two_hop_reachability_matches_sampling_universe() {
+        // Every node a 2-hop sampler can reach is within BFS distance 2.
+        let g = generators::uniform_random(300, 5, 45);
+        let d = bfs_distances(&g, NodeId(7));
+        for &hop1 in g.neighbors(NodeId(7)) {
+            assert!(d[hop1.index()] <= 1);
+            for &hop2 in g.neighbors(hop1) {
+                assert!(d[hop2.index()] <= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let g = generators::uniform_random(10, 2, 46);
+        bfs_distances(&g, NodeId(99));
+    }
+}

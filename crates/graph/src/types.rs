@@ -1,0 +1,66 @@
+//! Core identifier types.
+
+use std::fmt;
+
+/// A global node identifier.
+///
+/// Newtype over `u64` so node ids cannot be confused with counts, offsets or
+/// partition-local indices.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::NodeId;
+/// let v = NodeId(17);
+/// assert_eq!(v.index(), 17);
+/// assert_eq!(v.to_string(), "n17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The id as a usize index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 32-bit targets if the id exceeds `usize::MAX`.
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("node id exceeds usize")
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = NodeId::from(42u64);
+        assert_eq!(u64::from(v), 42);
+        assert_eq!(v.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

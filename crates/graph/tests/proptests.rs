@@ -1,0 +1,92 @@
+//! Property-based tests for the graph substrate.
+
+use lsdgnn_graph::dynamic::DynamicGraph;
+use lsdgnn_graph::{GraphBuilder, NodeId, PartitionedGraph};
+use proptest::prelude::*;
+
+fn arb_edges(nodes: u64, max_edges: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0..nodes, 0..nodes), 0..max_edges)
+}
+
+proptest! {
+    /// Any edge list builds a CSR satisfying all structural invariants.
+    #[test]
+    fn builder_always_produces_valid_csr(edges in arb_edges(50, 300)) {
+        let mut b = GraphBuilder::new(50);
+        for (u, v) in &edges {
+            b.add_edge(NodeId(*u), NodeId(*v));
+        }
+        let g = b.build();
+        prop_assert!(g.check_invariants().is_ok());
+        // Dedup can only shrink.
+        prop_assert!(g.num_edges() as usize <= edges.len());
+        // Every input edge is present.
+        for (u, v) in edges {
+            prop_assert!(g.has_edge(NodeId(u), NodeId(v)));
+        }
+    }
+
+    /// Degrees sum to the edge count.
+    #[test]
+    fn degrees_sum_to_edge_count(edges in arb_edges(40, 200)) {
+        let mut b = GraphBuilder::new(40);
+        for (u, v) in &edges {
+            b.add_edge(NodeId(*u), NodeId(*v));
+        }
+        let g = b.build();
+        let total: u64 = (0..40).map(|v| g.degree(NodeId(v))).sum();
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    /// Partition ownership is a total, deterministic function covering
+    /// all partitions reasonably.
+    #[test]
+    fn partition_owner_is_stable(parts in 1u32..16, nodes in 16u64..200) {
+        let mut b = GraphBuilder::new(nodes);
+        b.add_edge(NodeId(0), NodeId(1));
+        let pg = PartitionedGraph::new(b.build(), parts);
+        for v in 0..nodes {
+            let o1 = pg.owner(NodeId(v));
+            let o2 = pg.owner(NodeId(v));
+            prop_assert_eq!(o1, o2);
+            prop_assert!(o1.0 < parts);
+        }
+    }
+
+    /// A window snapshot is always a subgraph of the full snapshot, and
+    /// nested windows are monotone.
+    #[test]
+    fn dynamic_windows_are_monotone(
+        events in proptest::collection::vec((0u64..30, 0u64..30, 0u64..100), 1..100),
+        lo in 0u64..50,
+        span in 0u64..50,
+    ) {
+        let mut g = DynamicGraph::new(30);
+        for (u, v, t) in &events {
+            g.insert_edge(NodeId(*u), NodeId(*v), *t);
+        }
+        let hi = lo + span;
+        let window = g.window_snapshot(lo, hi);
+        let full = g.snapshot();
+        prop_assert!(window.num_edges() <= full.num_edges());
+        for (u, v) in window.edges() {
+            prop_assert!(full.has_edge(u, v));
+        }
+        // Widening the window never loses edges.
+        let wider = g.window_snapshot(lo.saturating_sub(10), hi + 10);
+        prop_assert!(wider.num_edges() >= window.num_edges());
+    }
+
+    /// Attribute gather returns exactly len*attr_len floats in order.
+    #[test]
+    fn gather_respects_order(nodes in proptest::collection::vec(0u64..20, 1..40)) {
+        use lsdgnn_graph::AttributeStore;
+        let store = AttributeStore::synthetic(20, 4, 9);
+        let ids: Vec<NodeId> = nodes.iter().map(|&v| NodeId(v)).collect();
+        let got = store.gather(&ids);
+        prop_assert_eq!(got.len(), ids.len() * 4);
+        for (i, v) in ids.iter().enumerate() {
+            prop_assert_eq!(&got[i * 4..(i + 1) * 4], store.get(*v));
+        }
+    }
+}

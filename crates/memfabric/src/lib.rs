@@ -1,0 +1,34 @@
+//! Memory- and interconnect-timing models for the LSD-GNN reproduction.
+//!
+//! Encodes the latency/bandwidth structure the paper characterizes in
+//! Figure 2(d) (round-trip latency and effective bandwidth versus request
+//! size for direct DRAM, PCIe-attached host DRAM and RDMA-attached remote
+//! DRAM) and the outstanding-request model of Figure 2(e) / Equation 3 used
+//! to size AxE cores for each FaaS architecture.
+//!
+//! Constants are calibrated to the published numbers: 16 GB/s PCIe Gen3 x16,
+//! 12.8 GB/s per DDR4-1600 channel, 100 GB/s MoF fabric, µs-scale RDMA
+//! round trips (MVAPICH benchmarks, the paper's reference \[54\]).
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_memfabric::LinkModel;
+//!
+//! let dram = LinkModel::local_dram(1);
+//! let rdma = LinkModel::rdma_remote();
+//! // Remote access is orders of magnitude slower for small requests:
+//! assert!(rdma.round_trip(8) > dram.round_trip(8) * 10);
+//! ```
+
+pub mod link;
+pub mod outstanding;
+pub mod queueing;
+pub mod tier;
+
+pub use link::LinkModel;
+pub use outstanding::{
+    figure_2e_series, mean_request_bytes, outstanding_demand, outstanding_for_mix, AccessPattern,
+};
+pub use queueing::{loaded_round_trip, md1_wait, sustainable_utilization};
+pub use tier::{MemoryTier, TierConfig};

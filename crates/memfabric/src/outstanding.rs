@@ -1,0 +1,153 @@
+//! The outstanding-request model of Equation 3 / Figure 2(e).
+//!
+//! To keep a link of effective bandwidth `B` busy despite round-trip
+//! latency `L`, a requester must keep `O = B / (Σ_k C_k · P_k) · L`
+//! requests in flight, where `C_k`/`P_k` are the byte size and probability
+//! of each access pattern in the workload mix. The paper uses this to size
+//! the number of AxE cores per FaaS architecture (§6.2–6.5).
+
+use crate::link::LinkModel;
+use serde::{Deserialize, Serialize};
+
+/// One component of a memory access mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessPattern {
+    /// Request payload size in bytes (`C_k`).
+    pub bytes: u64,
+    /// Fraction of requests with this size (`P_k`).
+    pub probability: f64,
+}
+
+impl AccessPattern {
+    /// Creates a pattern component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]` or `bytes` is zero.
+    pub fn new(bytes: u64, probability: f64) -> Self {
+        assert!(bytes > 0, "pattern bytes must be non-zero");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        AccessPattern { bytes, probability }
+    }
+}
+
+/// Mean request size of a mix: `Σ_k C_k · P_k`.
+///
+/// # Panics
+///
+/// Panics if the probabilities do not sum to ~1 or the mix is empty.
+pub fn mean_request_bytes(mix: &[AccessPattern]) -> f64 {
+    assert!(!mix.is_empty(), "access mix must be non-empty");
+    let psum: f64 = mix.iter().map(|p| p.probability).sum();
+    assert!(
+        (psum - 1.0).abs() < 1e-6,
+        "mix probabilities sum to {psum}, expected 1"
+    );
+    mix.iter().map(|p| p.bytes as f64 * p.probability).sum()
+}
+
+/// Equation 3 for a single uniform request size: outstanding requests
+/// needed to sustain `bandwidth_gbps` at `latency_ns` round trip.
+pub fn outstanding_demand(bandwidth_gbps: f64, latency_ns: f64, request_bytes: f64) -> f64 {
+    bandwidth_gbps / request_bytes * latency_ns
+}
+
+/// Equation 3 for a workload mix against a concrete link model: uses the
+/// link's round trip at the mean request size.
+pub fn outstanding_for_mix(link: &LinkModel, mix: &[AccessPattern]) -> f64 {
+    let mean = mean_request_bytes(mix);
+    let latency_ns = link.round_trip(mean.round() as u64).as_nanos_f64();
+    outstanding_demand(link.peak_gbps, latency_ns, mean)
+}
+
+/// The Figure 2(e) sweep: required outstanding requests for each target
+/// bandwidth across a latency range, at a fixed (fine-grained) request
+/// size. Returns `(latency_ns, demand)` pairs.
+pub fn figure_2e_series(
+    bandwidth_gbps: f64,
+    request_bytes: u64,
+    latencies_ns: &[u64],
+) -> Vec<(u64, f64)> {
+    latencies_ns
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                outstanding_demand(bandwidth_gbps, l as f64, request_bytes as f64),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_basic_arithmetic() {
+        // 16 GB/s at 1000 ns with 64 B requests: 16/64*1000 = 250 in flight.
+        let o = outstanding_demand(16.0, 1_000.0, 64.0);
+        assert!((o - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_latency_needs_more_outstanding() {
+        // The core Figure 2(e) relationship.
+        let fast = outstanding_demand(16.0, 100.0, 64.0);
+        let slow = outstanding_demand(16.0, 5_000.0, 64.0);
+        assert!(slow / fast > 40.0);
+    }
+
+    #[test]
+    fn higher_bandwidth_needs_more_outstanding() {
+        let narrow = outstanding_demand(16.0, 1_000.0, 64.0);
+        let wide = outstanding_demand(200.0, 1_000.0, 64.0);
+        assert!((wide / narrow - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_mean_is_probability_weighted() {
+        let mix = [
+            AccessPattern::new(8, 0.5),
+            AccessPattern::new(512, 0.5),
+        ];
+        assert_eq!(mean_request_bytes(&mix), 260.0);
+    }
+
+    #[test]
+    fn local_dram_needs_few_remote_needs_many() {
+        // Paper: direct DRAM needs few concurrent requests; remote DRAM
+        // needs many (right side of Figure 2(e)).
+        let mix = [
+            AccessPattern::new(8, 0.48),   // structure accesses
+            AccessPattern::new(512, 0.52), // attribute fetches
+        ];
+        let local = outstanding_for_mix(&LinkModel::local_dram(4), &mix);
+        let remote = outstanding_for_mix(&LinkModel::rdma_remote(), &mix);
+        assert!(local < 40.0, "local demand {local}");
+        assert!(remote > 100.0, "remote demand {remote}");
+        assert!(remote > local * 5.0);
+    }
+
+    #[test]
+    fn figure_2e_series_is_monotone() {
+        let s = figure_2e_series(100.0, 64.0 as u64, &[100, 500, 1_000, 5_000]);
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn bad_mix_probabilities_panic() {
+        mean_request_bytes(&[AccessPattern::new(8, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_byte_pattern_panics() {
+        let _ = AccessPattern::new(0, 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Queueing-delay corrections for loaded links.
+//!
+//! The base [`crate::LinkModel`] gives unloaded round trips; at high
+//! utilization a link's effective latency grows with queueing. For
+//! deterministic service (fixed-size packages on a wire) the M/D/1 model
+//! applies: mean wait `W = ρ/(2(1-ρ)) · S` for utilization `ρ` and
+//! service time `S`. The paper's Equation 3 uses *effective* (not peak)
+//! bandwidth "taking considerations of overall system bottlenecks" —
+//! this module is that correction.
+
+use crate::link::LinkModel;
+use lsdgnn_desim::Time;
+
+/// Mean queueing wait of an M/D/1 server, in the same unit as
+/// `service_time`.
+///
+/// # Panics
+///
+/// Panics unless `0 <= utilization < 1`.
+pub fn md1_wait(service_time: f64, utilization: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&utilization),
+        "utilization must be in [0, 1)"
+    );
+    service_time * utilization / (2.0 * (1.0 - utilization))
+}
+
+/// Round-trip latency of `link` for `bytes`-sized requests when the link
+/// runs at `utilization` of its peak rate.
+///
+/// # Panics
+///
+/// Panics unless `0 <= utilization < 1`.
+pub fn loaded_round_trip(link: &LinkModel, bytes: u64, utilization: f64) -> Time {
+    let base = link.round_trip(bytes);
+    let service_ns = link.transfer_time(bytes).as_nanos_f64();
+    let wait_ns = md1_wait(service_ns, utilization);
+    base + Time::from_ticks((wait_ns * 1e3) as u64)
+}
+
+/// The effective sustainable utilization given a latency budget: the
+/// highest ρ at which the loaded round trip stays within
+/// `latency_budget` — how much of a link's bandwidth a latency-bound
+/// sampler can actually use (the Equation 3 "effective bandwidth").
+pub fn sustainable_utilization(link: &LinkModel, bytes: u64, latency_budget: Time) -> f64 {
+    let base = link.round_trip(bytes);
+    if base >= latency_budget {
+        return 0.0;
+    }
+    // Binary search ρ in [0, 1).
+    let (mut lo, mut hi) = (0.0f64, 0.999f64);
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        if loaded_round_trip(link, bytes, mid) <= latency_budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_grows_superlinearly_with_load() {
+        let s = 100.0;
+        let w25 = md1_wait(s, 0.25);
+        let w50 = md1_wait(s, 0.50);
+        let w90 = md1_wait(s, 0.90);
+        assert!(w25 < w50 && w50 < w90);
+        // Knee behaviour: 90% load waits much more than 2x the 50% wait.
+        assert!(w90 > 4.0 * w50);
+        assert_eq!(md1_wait(s, 0.0), 0.0);
+    }
+
+    #[test]
+    fn loaded_round_trip_reduces_to_base_when_idle() {
+        let link = LinkModel::pcie_host_dram();
+        assert_eq!(loaded_round_trip(&link, 64, 0.0), link.round_trip(64));
+        assert!(loaded_round_trip(&link, 64, 0.9) > link.round_trip(64));
+    }
+
+    #[test]
+    fn queueing_matters_more_for_big_transfers() {
+        // Service time scales with bytes, so so does the wait.
+        let link = LinkModel::mof(3);
+        let small = loaded_round_trip(&link, 64, 0.8) - link.round_trip(64);
+        let large = loaded_round_trip(&link, 64 * 1024, 0.8) - link.round_trip(64 * 1024);
+        assert!(large > small * 100);
+    }
+
+    #[test]
+    fn sustainable_utilization_tracks_the_budget() {
+        let link = LinkModel::rdma_remote();
+        // Generous budget: nearly full utilization is sustainable.
+        let generous = sustainable_utilization(&link, 512, Time::from_micros(50));
+        assert!(generous > 0.95, "generous {generous}");
+        // A budget below the unloaded round trip sustains nothing.
+        let impossible = sustainable_utilization(&link, 512, Time::from_nanos(100));
+        assert_eq!(impossible, 0.0);
+        // A tight-but-feasible budget lands in between.
+        let tight = sustainable_utilization(&link, 64 * 1024, Time::from_micros(12));
+        assert!((0.05..0.95).contains(&tight), "tight {tight}");
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn full_utilization_panics() {
+        md1_wait(1.0, 1.0);
+    }
+}

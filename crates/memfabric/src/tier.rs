@@ -1,0 +1,127 @@
+//! Named memory tiers and how an accelerator's IOs map onto them.
+//!
+//! Table 8 / Table 9 of the paper describe each architecture as a choice of
+//! *Local Mem Access*, *Remote Mem Access* and FPGA↔GPU connection; this
+//! module gives those choices a type.
+
+use crate::link::LinkModel;
+use serde::{Deserialize, Serialize};
+
+/// A physical memory/interconnect tier an IO port can be wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryTier {
+    /// CPU-attached DDR4 accessed directly (characterization baseline).
+    LocalDram {
+        /// Number of DDR4-1600 channels.
+        channels: u32,
+    },
+    /// Host DRAM reached over PCIe (base/cost-opt/comm-opt local access).
+    PcieHostDram,
+    /// Remote node DRAM via PCIe→NIC→PCIe (base architecture).
+    CloudNicRemote,
+    /// Remote node DRAM via an on-FPGA NIC (cost-opt): skips one PCIe hop.
+    OnFpgaNicRemote,
+    /// Remote FPGA memory over the customized MoF fabric (comm/mem-opt).
+    Mof {
+        /// Number of aggregated 100 Gb/s lanes.
+        links: u32,
+    },
+    /// FPGA-board DDR4 (mem-opt local access).
+    FpgaLocalDram {
+        /// Number of DDR4-1600 channels.
+        channels: u32,
+    },
+    /// NVLink-class FPGA↔GPU connection (mem-opt.tc data output).
+    GpuFastLink,
+    /// PCIe peer-to-peer (in-server FPGA↔GPU connection, 16 GB/s).
+    PciePeerToPeer,
+}
+
+impl MemoryTier {
+    /// The timing model of this tier.
+    pub fn link_model(&self) -> LinkModel {
+        match *self {
+            MemoryTier::LocalDram { channels } => LinkModel::local_dram(channels),
+            MemoryTier::PcieHostDram => LinkModel::pcie_host_dram(),
+            MemoryTier::CloudNicRemote => LinkModel::cloud_nic_remote(),
+            MemoryTier::OnFpgaNicRemote => {
+                // RDMA path minus the local PCIe traversal: lower latency,
+                // same wire rate (§6.3: latency helps, bandwidth doesn't).
+                LinkModel::new("on-fpga-nic-remote", 3_000, 800, 12.5)
+            }
+            MemoryTier::Mof { links } => LinkModel::mof(links),
+            MemoryTier::FpgaLocalDram { channels } => LinkModel::fpga_local_dram(channels),
+            MemoryTier::GpuFastLink => LinkModel::gpu_fast_link(),
+            MemoryTier::PciePeerToPeer => LinkModel::new("pcie-p2p", 700, 150, 16.0),
+        }
+    }
+}
+
+/// The memory wiring of one accelerator instance: where local graph data
+/// lives, where remote partitions are reached, and where results leave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierConfig {
+    /// Local graph/attribute storage.
+    pub local: MemoryTier,
+    /// Remote partition access.
+    pub remote: MemoryTier,
+    /// Result output path toward the GPU/NN consumer.
+    pub output: MemoryTier,
+}
+
+impl TierConfig {
+    /// The PoC configuration of Table 9/10: MoF remote, choice of PCIe host
+    /// memory or FPGA-local DRAM, PCIe P2P output.
+    pub fn poc(fpga_local: bool) -> Self {
+        TierConfig {
+            local: if fpga_local {
+                MemoryTier::FpgaLocalDram { channels: 4 }
+            } else {
+                MemoryTier::PcieHostDram
+            },
+            remote: MemoryTier::Mof { links: 3 },
+            output: MemoryTier::PciePeerToPeer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_produce_expected_models() {
+        assert_eq!(
+            MemoryTier::LocalDram { channels: 2 }.link_model().peak_gbps,
+            25.6
+        );
+        assert_eq!(MemoryTier::PcieHostDram.link_model().name, "pcie-host-dram");
+        assert_eq!(MemoryTier::Mof { links: 3 }.link_model().name, "mof");
+    }
+
+    #[test]
+    fn on_fpga_nic_cuts_latency_not_bandwidth() {
+        // §6.3: the on-FPGA NIC reduces latency but provides no extra
+        // bandwidth — the reason cost-opt shows no user-visible speedup.
+        let base = MemoryTier::CloudNicRemote.link_model();
+        let fpga_nic = MemoryTier::OnFpgaNicRemote.link_model();
+        assert!(fpga_nic.round_trip(64) < base.round_trip(64));
+        assert_eq!(fpga_nic.peak_gbps, base.peak_gbps);
+    }
+
+    #[test]
+    fn poc_configs_differ_in_local_tier_only() {
+        let host = TierConfig::poc(false);
+        let fpga = TierConfig::poc(true);
+        assert_ne!(host.local, fpga.local);
+        assert_eq!(host.remote, fpga.remote);
+        assert_eq!(host.output, fpga.output);
+    }
+
+    #[test]
+    fn gpu_fast_link_is_the_fat_pipe() {
+        let fast = MemoryTier::GpuFastLink.link_model();
+        let p2p = MemoryTier::PciePeerToPeer.link_model();
+        assert!(fast.peak_gbps > 10.0 * p2p.peak_gbps);
+    }
+}

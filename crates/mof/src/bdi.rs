@@ -1,0 +1,244 @@
+//! Base-Delta-Immediate (BDI) compression (§4.3 Tech-2, Table 6).
+//!
+//! Fine-grained remote reads make the *request* side (64-bit addresses) as
+//! expensive as the data itself, so MoF compresses both: a block of 64-bit
+//! words is stored as one 8-byte base plus per-word deltas of 0, 1, 2 or 4
+//! bytes — whichever is the narrowest that fits. Incompressible blocks fall
+//! back to raw.
+
+use crate::MofError;
+
+/// A BDI-compressed block of 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressedBlock {
+    /// Incompressible: stored verbatim.
+    Raw(Vec<u64>),
+    /// Base + fixed-width unsigned deltas.
+    BaseDelta {
+        /// The block's first word, used as the base.
+        base: u64,
+        /// Bytes per delta: 0 (all words equal), 1, 2 or 4.
+        delta_width: u8,
+        /// Deltas of each word from `base` (empty when `delta_width == 0`
+        /// except for the implicit count).
+        deltas: Vec<u32>,
+        /// Number of words in the block.
+        count: usize,
+    },
+}
+
+impl CompressedBlock {
+    /// Encoded size in bytes: 1 metadata byte, then either raw words or
+    /// base + deltas.
+    pub fn compressed_bytes(&self) -> u64 {
+        match self {
+            CompressedBlock::Raw(words) => 1 + 8 * words.len() as u64,
+            CompressedBlock::BaseDelta {
+                delta_width, count, ..
+            } => 1 + 8 + *delta_width as u64 * *count as u64,
+        }
+    }
+
+    /// Size of the uncompressed block in bytes.
+    pub fn original_bytes(&self) -> u64 {
+        match self {
+            CompressedBlock::Raw(words) => 8 * words.len() as u64,
+            CompressedBlock::BaseDelta { count, .. } => 8 * *count as u64,
+        }
+    }
+
+    /// Compression ratio (compressed / original); > 1 means expansion.
+    pub fn ratio(&self) -> f64 {
+        self.compressed_bytes() as f64 / self.original_bytes() as f64
+    }
+}
+
+/// Compresses a block of 64-bit words with BDI.
+///
+/// # Panics
+///
+/// Panics if `words` is empty.
+pub fn bdi_compress(words: &[u64]) -> CompressedBlock {
+    assert!(!words.is_empty(), "cannot compress an empty block");
+    let base = words[0];
+    // Find max delta; deltas must be non-negative (base = min would be
+    // better, but hardware uses first-word base for streaming).
+    let mut max_delta = 0u64;
+    let mut ok = true;
+    for &w in words {
+        match w.checked_sub(base) {
+            Some(d) => max_delta = max_delta.max(d),
+            None => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        let delta_width: u8 = if max_delta == 0 {
+            0
+        } else if max_delta <= u8::MAX as u64 {
+            1
+        } else if max_delta <= u16::MAX as u64 {
+            2
+        } else if max_delta <= u32::MAX as u64 {
+            4
+        } else {
+            u8::MAX // sentinel: incompressible
+        };
+        if delta_width != u8::MAX {
+            let compressed = 1 + 8 + delta_width as u64 * words.len() as u64;
+            if compressed < 8 * words.len() as u64 {
+                let deltas = if delta_width == 0 {
+                    Vec::new()
+                } else {
+                    words.iter().map(|&w| (w - base) as u32).collect()
+                };
+                return CompressedBlock::BaseDelta {
+                    base,
+                    delta_width,
+                    deltas,
+                    count: words.len(),
+                };
+            }
+        }
+    }
+    CompressedBlock::Raw(words.to_vec())
+}
+
+/// Decompresses a block back to its words.
+///
+/// # Errors
+///
+/// Returns [`MofError::Malformed`] if the block's internal lengths are
+/// inconsistent.
+pub fn bdi_decompress(block: &CompressedBlock) -> Result<Vec<u64>, MofError> {
+    match block {
+        CompressedBlock::Raw(words) => Ok(words.clone()),
+        CompressedBlock::BaseDelta {
+            base,
+            delta_width,
+            deltas,
+            count,
+        } => {
+            if *delta_width == 0 {
+                return Ok(vec![*base; *count]);
+            }
+            if deltas.len() != *count {
+                return Err(MofError::Malformed("delta count mismatch"));
+            }
+            Ok(deltas.iter().map(|&d| base + d as u64).collect())
+        }
+    }
+}
+
+/// Compresses a byte buffer interpreted as little-endian u64 words
+/// (zero-padded tail), returning the compressed byte count — the
+/// Table 6 accounting helper.
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty.
+pub fn bdi_compressed_bytes(bytes: &[u8]) -> u64 {
+    assert!(!bytes.is_empty(), "cannot compress an empty buffer");
+    let words: Vec<u64> = bytes
+        .chunks(8)
+        .map(|c| {
+            let mut w = [0u8; 8];
+            w[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(w)
+        })
+        .collect();
+    bdi_compress(&words).compressed_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_block_compresses_to_base_only() {
+        let block = bdi_compress(&[42; 64]);
+        assert_eq!(block.compressed_bytes(), 9);
+        assert_eq!(bdi_decompress(&block).unwrap(), vec![42; 64]);
+    }
+
+    #[test]
+    fn small_deltas_pick_one_byte() {
+        let words: Vec<u64> = (0..64).map(|i| 1_000_000 + i).collect();
+        let block = bdi_compress(&words);
+        assert_eq!(block.compressed_bytes(), 1 + 8 + 64);
+        assert!(block.ratio() < 0.15);
+        assert_eq!(bdi_decompress(&block).unwrap(), words);
+    }
+
+    #[test]
+    fn medium_deltas_pick_two_bytes() {
+        let words: Vec<u64> = (0..64).map(|i| 5_000 + i * 300).collect();
+        let block = bdi_compress(&words);
+        assert_eq!(block.compressed_bytes(), 1 + 8 + 128);
+        assert_eq!(bdi_decompress(&block).unwrap(), words);
+    }
+
+    #[test]
+    fn random_data_falls_back_to_raw() {
+        // Values spanning > 32-bit deltas cannot compress.
+        let words = vec![0u64, u64::MAX / 2, 3, u64::MAX - 10];
+        let block = bdi_compress(&words);
+        assert!(matches!(block, CompressedBlock::Raw(_)));
+        assert_eq!(block.compressed_bytes(), 1 + 32);
+        assert_eq!(bdi_decompress(&block).unwrap(), words);
+    }
+
+    #[test]
+    fn descending_first_word_forces_raw() {
+        // base = first word; an earlier-smaller pattern underflows.
+        let words = vec![100u64, 5, 7];
+        let block = bdi_compress(&words);
+        assert!(matches!(block, CompressedBlock::Raw(_)));
+    }
+
+    #[test]
+    fn table6_style_address_block() {
+        // 128 sampling addresses in one region: 8-byte addrs with
+        // cache-line-ish strides compress ~4x or better.
+        let addrs: Vec<u64> = (0..128).map(|i| 0x7F00_0000_0000 + i * 72).collect();
+        let block = bdi_compress(&addrs);
+        assert!(
+            block.compressed_bytes() <= 1 + 8 + 2 * 128,
+            "address block {} bytes",
+            block.compressed_bytes()
+        );
+        assert!(block.ratio() < 0.3);
+    }
+
+    #[test]
+    fn byte_api_counts() {
+        let bytes = vec![7u8; 64];
+        // 8 constant words -> 9 bytes.
+        assert_eq!(bdi_compressed_bytes(&bytes), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_block(words in proptest::collection::vec(any::<u64>(), 1..128)) {
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words.clone());
+            // Never catastrophically expand: 1 metadata byte at most.
+            prop_assert!(block.compressed_bytes() <= 8 * words.len() as u64 + 1);
+        }
+
+        #[test]
+        fn roundtrip_local_blocks(base in 0u64..u64::MAX/2, strides in proptest::collection::vec(0u64..512, 1..64)) {
+            let mut words = Vec::new();
+            let mut cur = base;
+            for s in strides {
+                words.push(cur);
+                cur += s;
+            }
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words);
+        }
+    }
+}

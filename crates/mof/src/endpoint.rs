@@ -1,0 +1,286 @@
+//! A MoF endpoint: the request/response session layer tying frames,
+//! credits and retransmission together.
+//!
+//! The AxE load unit hands the endpoint batches of reads; the endpoint
+//! packs them (Tech-1), tracks outstanding packages by sequence number,
+//! enforces credit-based flow control, retransmits on timeout, and
+//! matches responses back to the caller's batch — everything a hardware
+//! MoF block does between the load unit and the PHY.
+
+use crate::flow::CreditFlow;
+use crate::frame::{ReadRequestPackage, ReadResponsePackage, MAX_REQUESTS_PER_PACKAGE};
+use crate::MofError;
+use std::collections::HashMap;
+
+/// An outstanding read batch.
+#[derive(Debug, Clone)]
+struct Pending {
+    pkg: ReadRequestPackage,
+    sent_at: u64,
+    retries: u32,
+}
+
+/// Endpoint statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Packages transmitted (including retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions due to timeout.
+    pub retransmissions: u64,
+    /// Responses matched to pending requests.
+    pub completed: u64,
+    /// Responses that matched nothing (late duplicates), dropped.
+    pub orphans: u64,
+}
+
+/// The requester side of a MoF link.
+#[derive(Debug)]
+pub struct MofEndpoint {
+    next_seq: u32,
+    pending: HashMap<u32, Pending>,
+    flow: CreditFlow,
+    timeout_ticks: u64,
+    max_retries: u32,
+    stats: EndpointStats,
+}
+
+impl MofEndpoint {
+    /// Creates an endpoint with `credits` in-flight packages, a
+    /// retransmit `timeout_ticks`, and `max_retries` per package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `credits` or `timeout_ticks` is zero.
+    pub fn new(credits: u32, timeout_ticks: u64, max_retries: u32) -> Self {
+        assert!(timeout_ticks > 0, "timeout must be non-zero");
+        MofEndpoint {
+            next_seq: 0,
+            pending: HashMap::new(),
+            flow: CreditFlow::new(credits),
+            timeout_ticks,
+            max_retries,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Submits a batch of reads (≤64, one package). Returns the wire
+    /// frame to transmit, or `None` when out of credits (caller retries
+    /// after responses drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-construction errors (empty/oversized batches).
+    pub fn submit_read(
+        &mut self,
+        now: u64,
+        base_address: u64,
+        offsets: &[u32],
+        request_bytes: u16,
+    ) -> Result<Option<Vec<u8>>, MofError> {
+        if offsets.len() > MAX_REQUESTS_PER_PACKAGE {
+            return Err(MofError::TooManyRequests(offsets.len()));
+        }
+        if !self.flow.try_send() {
+            return Ok(None);
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let pkg = ReadRequestPackage::new(seq, base_address, offsets, request_bytes)?;
+        let wire = pkg.encode();
+        self.pending.insert(
+            seq,
+            Pending {
+                pkg,
+                sent_at: now,
+                retries: 0,
+            },
+        );
+        self.stats.transmissions += 1;
+        Ok(Some(wire))
+    }
+
+    /// Delivers a response frame; returns the completed request package
+    /// and its response when it matches a pending sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors (CRC, truncation).
+    pub fn deliver(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<Option<(ReadRequestPackage, ReadResponsePackage)>, MofError> {
+        let resp = ReadResponsePackage::decode(bytes)?;
+        match self.pending.remove(&resp.seq) {
+            Some(p) => {
+                self.flow.return_credit();
+                self.stats.completed += 1;
+                Ok(Some((p.pkg, resp)))
+            }
+            None => {
+                self.stats.orphans += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Advances time: returns re-encoded frames for every timed-out
+    /// pending package (go-back on loss). Packages beyond `max_retries`
+    /// are abandoned and their credit reclaimed.
+    pub fn poll_timeouts(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut resend = Vec::new();
+        let mut abandoned = Vec::new();
+        for (&seq, p) in self.pending.iter_mut() {
+            if now.saturating_sub(p.sent_at) >= self.timeout_ticks {
+                if p.retries >= self.max_retries {
+                    abandoned.push(seq);
+                } else {
+                    p.retries += 1;
+                    p.sent_at = now;
+                    self.stats.transmissions += 1;
+                    self.stats.retransmissions += 1;
+                    resend.push(p.pkg.encode());
+                }
+            }
+        }
+        for seq in abandoned {
+            self.pending.remove(&seq);
+            self.flow.return_credit();
+        }
+        resend
+    }
+
+    /// Packages awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Endpoint statistics.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfect responder echoing each request's addresses as 8-byte
+    /// data.
+    fn respond(frame: &[u8]) -> Vec<u8> {
+        let req = ReadRequestPackage::decode(frame).expect("valid request");
+        let mut data = Vec::new();
+        for i in 0..req.request_count() {
+            data.extend_from_slice(&req.address(i).to_le_bytes());
+        }
+        ReadResponsePackage::new(req.seq, 8, data).unwrap().encode()
+    }
+
+    #[test]
+    fn round_trip_matches_request_to_response() {
+        let mut ep = MofEndpoint::new(4, 100, 3);
+        let frame = ep
+            .submit_read(0, 0x1000, &[0, 8, 16], 8)
+            .unwrap()
+            .expect("credit available");
+        assert_eq!(ep.outstanding(), 1);
+        let resp = respond(&frame);
+        let (req, rsp) = ep.deliver(&resp).unwrap().expect("matched");
+        assert_eq!(req.request_count(), 3);
+        assert_eq!(rsp.response(1), 0x1008u64.to_le_bytes());
+        assert_eq!(ep.outstanding(), 0);
+        assert_eq!(ep.stats().completed, 1);
+    }
+
+    #[test]
+    fn credits_gate_submissions() {
+        let mut ep = MofEndpoint::new(2, 100, 3);
+        assert!(ep.submit_read(0, 0, &[0], 8).unwrap().is_some());
+        assert!(ep.submit_read(0, 0, &[0], 8).unwrap().is_some());
+        assert!(ep.submit_read(0, 0, &[0], 8).unwrap().is_none());
+        // Draining one response frees a credit.
+        let frame = ep.submit_read(0, 64, &[0], 8).unwrap(); // still none
+        assert!(frame.is_none());
+    }
+
+    #[test]
+    fn timeouts_retransmit_then_abandon() {
+        let mut ep = MofEndpoint::new(2, 10, 2);
+        ep.submit_read(0, 0x2000, &[0, 8], 8).unwrap().unwrap();
+        // First timeout: retransmit.
+        let r1 = ep.poll_timeouts(10);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(ep.stats().retransmissions, 1);
+        // Identical frame content on retransmit.
+        let again = ReadRequestPackage::decode(&r1[0]).unwrap();
+        assert_eq!(again.base_address, 0x2000);
+        // Second timeout: retransmit again (retries = 2 = max).
+        let r2 = ep.poll_timeouts(20);
+        assert_eq!(r2.len(), 1);
+        // Third: abandoned, credit reclaimed.
+        let r3 = ep.poll_timeouts(30);
+        assert!(r3.is_empty());
+        assert_eq!(ep.outstanding(), 0);
+        assert!(ep.submit_read(31, 0, &[0], 8).unwrap().is_some());
+    }
+
+    #[test]
+    fn late_duplicates_are_orphaned_not_crashed() {
+        let mut ep = MofEndpoint::new(2, 100, 3);
+        let f = ep.submit_read(0, 0, &[0], 8).unwrap().unwrap();
+        let resp = respond(&f);
+        assert!(ep.deliver(&resp).unwrap().is_some());
+        // The same response again: orphan.
+        assert!(ep.deliver(&resp).unwrap().is_none());
+        assert_eq!(ep.stats().orphans, 1);
+    }
+
+    #[test]
+    fn corrupted_response_is_an_error_not_a_match() {
+        let mut ep = MofEndpoint::new(2, 100, 3);
+        let f = ep.submit_read(0, 0, &[0], 8).unwrap().unwrap();
+        let mut resp = respond(&f);
+        resp[5] ^= 0xFF;
+        assert!(ep.deliver(&resp).is_err());
+        assert_eq!(ep.outstanding(), 1, "pending request survives");
+    }
+
+    #[test]
+    fn lossy_link_end_to_end_with_recovery() {
+        // Drop every 3rd transmission; everything still completes.
+        let mut ep = MofEndpoint::new(8, 5, 10);
+        let mut now = 0u64;
+        let mut wire_count = 0u64;
+        let mut completed = 0;
+        let mut submitted = 0;
+        let mut inbox: Vec<Vec<u8>> = Vec::new();
+        while completed < 20 {
+            now += 1;
+            if submitted < 20 {
+                if let Some(f) = ep
+                    .submit_read(now, submitted as u64 * 4096, &[0, 8, 16, 24], 8)
+                    .unwrap()
+                {
+                    wire_count += 1;
+                    if !wire_count.is_multiple_of(3) {
+                        inbox.push(respond(&f));
+                    }
+                    submitted += 1;
+                }
+            }
+            for f in ep.poll_timeouts(now) {
+                wire_count += 1;
+                if !wire_count.is_multiple_of(3) {
+                    inbox.push(respond(&f));
+                }
+            }
+            for resp in inbox.drain(..) {
+                if ep.deliver(&resp).unwrap().is_some() {
+                    completed += 1;
+                }
+            }
+            assert!(now < 10_000, "no forward progress");
+        }
+        assert_eq!(ep.stats().completed, 20);
+        assert!(ep.stats().retransmissions > 0);
+    }
+}

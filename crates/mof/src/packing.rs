@@ -1,0 +1,191 @@
+//! The Table 5 byte-accounting model: MoF multi-request packing versus a
+//! Gen-Z-style package format.
+//!
+//! For a batch of `n` reads of `s` bytes each, both schemes move the same
+//! `n*s` bytes of data; they differ in how many packages that takes and how
+//! many header/address bytes ride along:
+//!
+//! * **Gen-Z style**: 4 requests per request-package, 56-byte package
+//!   header, full 8-byte address per request; responses return in 4-wide
+//!   data packages with the same header. 128 reads → 32 request + 32
+//!   response = 64 packages (the paper's count).
+//! * **MoF**: 64 requests per package (shared 8-byte base + 4-byte
+//!   offsets), 12-byte header+CRC. 128 reads → 2 request packages (the
+//!   paper counts request packages) + 2 response packages.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte accounting of one batched transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteBreakdown {
+    /// Request packages sent (the paper's "number of packages" column).
+    pub request_packages: u64,
+    /// Response packages returned.
+    pub response_packages: u64,
+    /// Header + CRC bytes across all packages.
+    pub header_bytes: u64,
+    /// Address/offset bytes across request packages.
+    pub address_bytes: u64,
+    /// Payload data bytes.
+    pub data_bytes: u64,
+}
+
+impl ByteBreakdown {
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.header_bytes + self.address_bytes + self.data_bytes
+    }
+
+    /// Header overhead fraction.
+    pub fn header_fraction(&self) -> f64 {
+        self.header_bytes as f64 / self.total_bytes() as f64
+    }
+
+    /// Address overhead fraction.
+    pub fn address_fraction(&self) -> f64 {
+        self.address_bytes as f64 / self.total_bytes() as f64
+    }
+
+    /// Data (useful payload) fraction — the "utilization" column.
+    pub fn data_fraction(&self) -> f64 {
+        self.data_bytes as f64 / self.total_bytes() as f64
+    }
+}
+
+/// A package format for batched remote reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackingScheme {
+    /// Gen-Z-style: 4 requests per package, full addresses.
+    GenZ,
+    /// The paper's MoF format: 64 requests per package, base+offset
+    /// addressing.
+    Mof,
+}
+
+impl PackingScheme {
+    /// Requests carried per request-package.
+    pub fn requests_per_package(&self) -> u64 {
+        match self {
+            PackingScheme::GenZ => 4,
+            PackingScheme::Mof => 64,
+        }
+    }
+
+    /// Header + CRC bytes per package.
+    pub fn header_bytes_per_package(&self) -> u64 {
+        match self {
+            PackingScheme::GenZ => 56,
+            PackingScheme::Mof => 12,
+        }
+    }
+
+    /// Address bytes per request (plus any per-package base).
+    fn address_bytes(&self, requests_in_package: u64) -> u64 {
+        match self {
+            PackingScheme::GenZ => 8 * requests_in_package,
+            PackingScheme::Mof => 8 + 4 * requests_in_package,
+        }
+    }
+
+    /// Accounts a batch of `n_requests` reads of `request_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests` or `request_bytes` is zero.
+    pub fn breakdown(&self, n_requests: u64, request_bytes: u64) -> ByteBreakdown {
+        assert!(n_requests > 0, "need at least one request");
+        assert!(request_bytes > 0, "request bytes must be non-zero");
+        let per = self.requests_per_package();
+        let full = n_requests / per;
+        let rem = n_requests % per;
+        let request_packages = full + u64::from(rem > 0);
+        let response_packages = request_packages;
+        let hdr = self.header_bytes_per_package() * (request_packages + response_packages);
+        let mut addr = self.address_bytes(per) * full;
+        if rem > 0 {
+            addr += self.address_bytes(rem);
+        }
+        ByteBreakdown {
+            request_packages,
+            response_packages,
+            header_bytes: hdr,
+            address_bytes: addr,
+            data_bytes: n_requests * request_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_package_counts() {
+        // Paper Table 5: 128 requests → Gen-Z 64 packages (32 req + 32
+        // resp), proposed 2 (request packages).
+        let genz = PackingScheme::GenZ.breakdown(128, 16);
+        let mof = PackingScheme::Mof.breakdown(128, 16);
+        assert_eq!(genz.request_packages + genz.response_packages, 64);
+        assert_eq!(mof.request_packages, 2);
+    }
+
+    #[test]
+    fn table5_16byte_fractions() {
+        // Paper: Gen-Z 51.02% hdr / 10.20% addr / 32.65% data;
+        // proposed 2.36% / 19.53% / 78.11%.
+        let genz = PackingScheme::GenZ.breakdown(128, 16);
+        assert!((genz.header_fraction() - 0.51).abs() < 0.05, "{}", genz.header_fraction());
+        assert!((genz.data_fraction() - 0.33).abs() < 0.05);
+        let mof = PackingScheme::Mof.breakdown(128, 16);
+        assert!((mof.header_fraction() - 0.024).abs() < 0.01, "{}", mof.header_fraction());
+        assert!((mof.address_fraction() - 0.195).abs() < 0.03);
+        assert!((mof.data_fraction() - 0.78).abs() < 0.03);
+    }
+
+    #[test]
+    fn table5_64byte_fractions() {
+        // Paper: Gen-Z 65.98% data; proposed 94.03% data.
+        let genz = PackingScheme::GenZ.breakdown(128, 64);
+        assert!((genz.data_fraction() - 0.66).abs() < 0.07, "{}", genz.data_fraction());
+        let mof = PackingScheme::Mof.breakdown(128, 64);
+        assert!((mof.data_fraction() - 0.94).abs() < 0.02, "{}", mof.data_fraction());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for scheme in [PackingScheme::GenZ, PackingScheme::Mof] {
+            for (n, s) in [(1u64, 8u64), (128, 16), (1000, 64), (63, 8)] {
+                let b = scheme.breakdown(n, s);
+                let sum = b.header_fraction() + b.address_fraction() + b.data_fraction();
+                assert!((sum - 1.0).abs() < 1e-9);
+                assert_eq!(
+                    b.total_bytes(),
+                    b.header_bytes + b.address_bytes + b.data_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_packages_accounted() {
+        let b = PackingScheme::Mof.breakdown(65, 8);
+        assert_eq!(b.request_packages, 2);
+        // 64-wide package + 1-wide package: 8+4*64 + 8+4*1.
+        assert_eq!(b.address_bytes, (8 + 256) + (8 + 4));
+    }
+
+    #[test]
+    fn mof_always_beats_genz_utilization() {
+        for s in [8u64, 16, 32, 64, 128] {
+            let g = PackingScheme::GenZ.breakdown(128, s);
+            let m = PackingScheme::Mof.breakdown(128, s);
+            assert!(m.data_fraction() > g.data_fraction(), "size {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_requests_panics() {
+        PackingScheme::Mof.breakdown(0, 8);
+    }
+}

@@ -1,0 +1,234 @@
+//! Softmax node classification — the other canonical GNN end task
+//! (node classification, paper §1's first listed application).
+//!
+//! A linear softmax head over node embeddings with exact cross-entropy
+//! gradients, enough to evaluate embedding quality and to close the
+//! node-classification loop end-to-end.
+
+use crate::tensor::Matrix;
+
+/// Row-wise softmax.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_nn::classify::softmax_row;
+/// let p = softmax_row(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy of a probability row against a class index.
+///
+/// # Panics
+///
+/// Panics if `class` is out of range.
+pub fn cross_entropy(probs: &[f32], class: usize) -> f32 {
+    assert!(class < probs.len(), "class out of range");
+    -(probs[class] + 1e-9).ln()
+}
+
+/// A linear softmax classifier with SGD training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxClassifier {
+    /// Weights, `classes x dim` row-major.
+    weights: Vec<f32>,
+    biases: Vec<f32>,
+    dim: usize,
+    classes: usize,
+    lr: f32,
+}
+
+impl SoftmaxClassifier {
+    /// Creates a zero-initialized classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim`/`classes` are zero or `lr` non-positive.
+    pub fn new(dim: usize, classes: usize, lr: f32) -> Self {
+        assert!(dim > 0 && classes > 0, "dimensions must be non-zero");
+        assert!(lr > 0.0, "learning rate must be positive");
+        SoftmaxClassifier {
+            weights: vec![0.0; classes * dim],
+            biases: vec![0.0; classes],
+            dim,
+            classes,
+            lr,
+        }
+    }
+
+    /// Class probabilities for one embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim, "embedding width mismatch");
+        let logits: Vec<f32> = (0..self.classes)
+            .map(|c| {
+                self.biases[c]
+                    + self.weights[c * self.dim..(c + 1) * self.dim]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, v)| w * v)
+                        .sum::<f32>()
+            })
+            .collect();
+        softmax_row(&logits)
+    }
+
+    /// Most likely class.
+    pub fn classify(&self, x: &[f32]) -> usize {
+        let p = self.predict(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// One SGD step; returns the example's loss before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or an out-of-range label.
+    pub fn train_example(&mut self, x: &[f32], label: usize) -> f32 {
+        assert!(label < self.classes, "label out of range");
+        let probs = self.predict(x);
+        let loss = cross_entropy(&probs, label);
+        #[allow(clippy::needless_range_loop)] // parallel weight/bias rows
+        for c in 0..self.classes {
+            let grad = probs[c] - f32::from(c == label);
+            for (w, &v) in self.weights[c * self.dim..(c + 1) * self.dim]
+                .iter_mut()
+                .zip(x)
+            {
+                *w -= self.lr * grad * v;
+            }
+            self.biases[c] -= self.lr * grad;
+        }
+        loss
+    }
+
+    /// One epoch over rows of `embeddings` with `labels`; returns mean
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` does not cover every row.
+    pub fn train_epoch(&mut self, embeddings: &Matrix, labels: &[usize]) -> f32 {
+        let (rows, _) = embeddings.shape();
+        assert_eq!(labels.len(), rows, "one label per row");
+        let mut loss = 0.0;
+        for (r, &label) in labels.iter().enumerate() {
+            loss += self.train_example(embeddings.row(r), label);
+        }
+        loss / rows as f32
+    }
+
+    /// Accuracy over rows of `embeddings`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` does not cover every row.
+    pub fn accuracy(&self, embeddings: &Matrix, labels: &[usize]) -> f64 {
+        let (rows, _) = embeddings.shape();
+        assert_eq!(labels.len(), rows, "one label per row");
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|(r, &l)| self.classify(embeddings.row(*r)) == l)
+            .count();
+        correct as f64 / rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled_blobs() -> (Matrix, Vec<usize>) {
+        // Three well-separated Gaussian-ish blobs in 4D.
+        let mut m = Matrix::zeros(60, 4);
+        let mut labels = Vec::with_capacity(60);
+        for r in 0..60 {
+            let class = r % 3;
+            labels.push(class);
+            for c in 0..4 {
+                let center = match class {
+                    0 => 2.0,
+                    1 => -2.0,
+                    _ => {
+                        if c % 2 == 0 {
+                            2.0
+                        } else {
+                            -2.0
+                        }
+                    }
+                };
+                let jitter = ((r * 13 + c * 7) % 10) as f32 * 0.05 - 0.25;
+                m.set(r, c, center + jitter);
+            }
+        }
+        (m, labels)
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax_row(&[3.0, 1.0, -2.0, 0.5]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&x| x > 0.0));
+        assert!(p[0] > p[1] && p[1] > p[3] && p[3] > p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax_row(&[1.0, 2.0, 3.0]);
+        let b = softmax_row(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn classifier_learns_separable_blobs() {
+        let (m, labels) = labelled_blobs();
+        let mut clf = SoftmaxClassifier::new(4, 3, 0.1);
+        let first = clf.train_epoch(&m, &labels);
+        let mut last = first;
+        for _ in 0..30 {
+            last = clf.train_epoch(&m, &labels);
+        }
+        assert!(last < first * 0.3, "loss {first} -> {last}");
+        assert!(clf.accuracy(&m, &labels) > 0.95);
+    }
+
+    #[test]
+    fn untrained_classifier_is_uniform() {
+        let clf = SoftmaxClassifier::new(4, 5, 0.1);
+        let p = clf.predict(&[1.0, -1.0, 0.5, 2.0]);
+        for prob in p {
+            assert!((prob - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_penalizes_wrong_confidence() {
+        let confident_right = cross_entropy(&[0.9, 0.1], 0);
+        let confident_wrong = cross_entropy(&[0.9, 0.1], 1);
+        assert!(confident_right < 0.2);
+        assert!(confident_wrong > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        SoftmaxClassifier::new(2, 2, 0.1).train_example(&[0.0, 0.0], 5);
+    }
+}

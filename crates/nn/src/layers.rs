@@ -1,0 +1,156 @@
+//! Linear and MLP layers with FLOP accounting.
+
+use crate::tensor::Matrix;
+
+/// A dense layer `y = relu?(x·W + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+impl Linear {
+    /// Creates a layer with deterministic pseudo-random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, relu: bool, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be non-zero");
+        let scale = (1.0 / in_dim as f32).sqrt();
+        Linear {
+            weight: Matrix::random(in_dim, out_dim, scale, seed),
+            bias: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    /// `(in_dim, out_dim)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.weight.shape()
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn params(&self) -> u64 {
+        let (i, o) = self.weight.shape();
+        (i * o + o) as u64
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong inner dimension.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let y = x.matmul(&self.weight).add_row_vector(&self.bias);
+        if self.relu {
+            y.relu()
+        } else {
+            y
+        }
+    }
+
+    /// Multiply-accumulates for a batch of `batch` rows.
+    pub fn forward_macs(&self, batch: usize) -> u64 {
+        let (i, o) = self.weight.shape();
+        (batch * i * o) as u64
+    }
+}
+
+/// A stack of [`Linear`] layers (ReLU between, linear output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the listed layer widths, e.g.
+    /// `[256, 128, 128]` for 256→128→128.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], i + 2 < widths.len(), seed + i as u64))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.layers.iter().fold(x.clone(), |h, l| l.forward(&h))
+    }
+
+    /// Total parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(Linear::params).sum()
+    }
+
+    /// Multiply-accumulates for a `batch`-row forward pass.
+    pub fn forward_macs(&self, batch: usize) -> u64 {
+        self.layers.iter().map(|l| l.forward_macs(batch)).sum()
+    }
+
+    /// Layer count.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let l = Linear::new(8, 4, true, 1);
+        assert_eq!(l.shape(), (8, 4));
+        assert_eq!(l.params(), 8 * 4 + 4);
+        let x = Matrix::random(3, 8, 1.0, 2);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (3, 4));
+        // ReLU output is non-negative.
+        for r in 0..3 {
+            assert!(y.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mlp_composes_widths() {
+        let m = Mlp::new(&[16, 8, 4], 3);
+        assert_eq!(m.depth(), 2);
+        let x = Matrix::random(5, 16, 1.0, 4);
+        assert_eq!(m.forward(&x).shape(), (5, 4));
+        assert_eq!(m.params(), (16 * 8 + 8) + (8 * 4 + 4) as u64);
+        assert_eq!(m.forward_macs(5), 5 * (16 * 8 + 8 * 4) as u64);
+    }
+
+    #[test]
+    fn output_layer_is_linear_not_relu() {
+        // With a linear head, outputs can be negative.
+        let m = Mlp::new(&[4, 4], 5);
+        let x = Matrix::random(20, 4, 2.0, 6);
+        let y = m.forward(&x);
+        let any_negative = (0..20).any(|r| y.row(r).iter().any(|&v| v < 0.0));
+        assert!(any_negative, "linear output should produce negatives");
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let m1 = Mlp::new(&[8, 8, 8], 7);
+        let m2 = Mlp::new(&[8, 8, 8], 7);
+        let x = Matrix::random(2, 8, 1.0, 8);
+        assert_eq!(m1.forward(&x), m2.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input and output")]
+    fn single_width_panics() {
+        let _ = Mlp::new(&[4], 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense neural-network substrate for the LSD-GNN reproduction.
+//!
+//! LSD-GNN's mini-batch workflow is *sample → dense NN*: after sampling,
+//! the GNN layers (graphSAGE-max in the paper's Table 3 application) and
+//! the DSSM end model are ordinary dense matrix computations. This crate
+//! provides those pieces — a small matrix type ([`tensor::Matrix`]),
+//! linear/MLP layers, the graphSAGE-max aggregation, and a DSSM two-tower
+//! head — plus the operator-level cost model behind the paper's Figure 3
+//! end-to-end breakdown ([`e2e`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_nn::tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod classify;
+pub mod dssm;
+pub mod e2e;
+pub mod grad;
+pub mod layers;
+pub mod sage;
+pub mod tensor;
+pub mod train;
+
+pub use classify::SoftmaxClassifier;
+pub use dssm::Dssm;
+pub use e2e::{E2eBreakdown, E2eModel, Phase};
+pub use grad::{GradLinear, GradMlp};
+pub use layers::{Linear, Mlp};
+pub use sage::SageMaxLayer;
+pub use tensor::Matrix;
+pub use train::LinkPredictor;

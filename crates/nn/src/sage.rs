@@ -1,0 +1,150 @@
+//! The graphSAGE-max layer (the paper's Table 3 GNN-NN stage).
+//!
+//! Per layer: `h_v = relu(W · concat(h_v, max_{u∈S(v)} h_u))` — aggregate
+//! sampled-neighbor embeddings with an element-wise max, concatenate with
+//! the node's own embedding, and project.
+
+use crate::layers::Linear;
+use crate::tensor::Matrix;
+
+/// One graphSAGE-max layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SageMaxLayer {
+    proj: Linear,
+    in_dim: usize,
+}
+
+impl SageMaxLayer {
+    /// Creates a layer mapping `in_dim` features to `out_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        SageMaxLayer {
+            proj: Linear::new(2 * in_dim, out_dim, true, seed),
+            in_dim,
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.proj.shape().1
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> u64 {
+        self.proj.params()
+    }
+
+    /// Forward pass: `nodes` is the `N×in_dim` embedding matrix of target
+    /// nodes, `neighbors` the embedding matrix of candidate neighbors, and
+    /// `adjacency[i]` lists the rows of `neighbors` sampled for node `i`
+    /// (empty ⇒ the node's own embedding is used as the aggregate,
+    /// matching frameworks' self-fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or out-of-range indices.
+    pub fn forward(
+        &self,
+        nodes: &Matrix,
+        neighbors: &Matrix,
+        adjacency: &[Vec<usize>],
+    ) -> Matrix {
+        let (n, d) = nodes.shape();
+        assert_eq!(d, self.in_dim, "node feature width mismatch");
+        assert_eq!(neighbors.shape().1, self.in_dim, "neighbor width mismatch");
+        assert_eq!(adjacency.len(), n, "one adjacency list per node");
+        let mut agg = Matrix::zeros(n, d);
+        for (i, samples) in adjacency.iter().enumerate() {
+            let pooled = if samples.is_empty() {
+                nodes.row(i).to_vec()
+            } else {
+                neighbors.max_over_rows(samples)
+            };
+            for (c, v) in pooled.into_iter().enumerate() {
+                agg.set(i, c, v);
+            }
+        }
+        self.proj.forward(&nodes.hconcat(&agg))
+    }
+
+    /// Multiply-accumulates for a batch of `n` target nodes.
+    pub fn forward_macs(&self, n: usize) -> u64 {
+        self.proj.forward_macs(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_and_nonnegativity() {
+        let layer = SageMaxLayer::new(8, 4, 1);
+        let nodes = Matrix::random(3, 8, 1.0, 2);
+        let neigh = Matrix::random(10, 8, 1.0, 3);
+        let adj = vec![vec![0, 1, 2], vec![5], vec![]];
+        let out = layer.forward(&nodes, &neigh, &adj);
+        assert_eq!(out.shape(), (3, 4));
+        for r in 0..3 {
+            assert!(out.row(r).iter().all(|&v| v >= 0.0), "relu output");
+        }
+    }
+
+    #[test]
+    fn aggregation_uses_max_of_sampled_rows() {
+        // With an identity-ish check: a neighbor with huge positive
+        // features must dominate the aggregate and change the output
+        // versus sampling a tiny neighbor.
+        let layer = SageMaxLayer::new(4, 4, 9);
+        let nodes = Matrix::zeros(1, 4);
+        let mut neigh = Matrix::zeros(2, 4);
+        for c in 0..4 {
+            neigh.set(0, c, 100.0);
+            neigh.set(1, c, -100.0);
+        }
+        let big = layer.forward(&nodes, &neigh, &[vec![0]]);
+        let small = layer.forward(&nodes, &neigh, &[vec![1]]);
+        let both = layer.forward(&nodes, &neigh, &[vec![0, 1]]);
+        assert_ne!(big, small);
+        // max(big, small) == big.
+        assert_eq!(both, big);
+    }
+
+    #[test]
+    fn isolated_node_falls_back_to_self() {
+        let layer = SageMaxLayer::new(4, 2, 11);
+        let nodes = Matrix::random(1, 4, 1.0, 12);
+        let neigh = Matrix::zeros(1, 4);
+        let out_isolated = layer.forward(&nodes, &neigh, &[vec![]]);
+        // Self-fallback equals aggregating a neighbor identical to self.
+        let self_as_neighbor = layer.forward(&nodes, &nodes, &[vec![0]]);
+        assert_eq!(out_isolated, self_as_neighbor);
+    }
+
+    #[test]
+    fn params_and_macs_match_concat_width() {
+        let layer = SageMaxLayer::new(128, 128, 0);
+        // 2*128 inputs -> 128 outputs.
+        assert_eq!(layer.params(), (256 * 128 + 128) as u64);
+        assert_eq!(layer.forward_macs(512), 512 * 256 * 128);
+        assert_eq!(layer.in_dim(), 128);
+        assert_eq!(layer.out_dim(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency")]
+    fn adjacency_length_mismatch_panics() {
+        let layer = SageMaxLayer::new(4, 2, 1);
+        let nodes = Matrix::zeros(2, 4);
+        let neigh = Matrix::zeros(1, 4);
+        layer.forward(&nodes, &neigh, &[vec![]]);
+    }
+}

@@ -1,0 +1,302 @@
+//! A minimal row-major `f32` matrix, sufficient for the GNN-NN stages.
+
+/// A dense row-major matrix.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_nn::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+/// assert_eq!(m.shape(), (1, 3));
+/// assert_eq!(m.get(0, 2), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random matrix in `[-scale, scale)` (Xavier-ish
+    /// init for tests and synthetic models).
+    pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        for v in &mut m.data {
+            s ^= s >> 30;
+            s = s.wrapping_mul(0xBF58476D1CE4E5B9);
+            s ^= s >> 27;
+            let unit = (s >> 11) as f64 / (1u64 << 53) as f64;
+            *v = ((unit * 2.0 - 1.0) as f32) * scale;
+        }
+        m
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// Adds a row vector (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_vector(&self, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(self.cols) {
+            for (o, b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise max over a set of rows; the graphSAGE-max aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or any index is out of bounds.
+    pub fn max_over_rows(&self, rows: &[usize]) -> Vec<f32> {
+        assert!(!rows.is_empty(), "need at least one row to aggregate");
+        let mut out = self.row(rows[0]).to_vec();
+        for &r in &rows[1..] {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o = o.max(v);
+            }
+        }
+        out
+    }
+
+    /// Concatenates two matrices horizontally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row counts must match");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Multiply-accumulate count of `self × rhs` — the FLOP model input.
+    pub fn matmul_macs(&self, rhs: &Matrix) -> u64 {
+        (self.rows * self.cols * rhs.cols) as u64
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (DSSM's scoring op).
+///
+/// Returns 0 for zero vectors.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector lengths must match");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+        assert_eq!(a.matmul_macs(&b), 8);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(3, 3, 1.0, 7);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.5]]);
+        assert_eq!(a.relu(), Matrix::from_rows(&[&[0.0, 0.5]]));
+    }
+
+    #[test]
+    fn bias_broadcasts() {
+        let a = Matrix::zeros(2, 2);
+        let b = a.add_row_vector(&[1.0, 2.0]);
+        assert_eq!(b, Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn max_over_rows_is_columnwise() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0], &[3.0, 3.0]]);
+        assert_eq!(a.max_over_rows(&[0, 1, 2]), vec![5.0, 9.0]);
+        assert_eq!(a.max_over_rows(&[2]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn hconcat_widens() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let c = a.hconcat(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Matrix::random(4, 4, 0.5, 1);
+        assert_eq!(a, Matrix::random(4, 4, 0.5, 1));
+        for r in 0..4 {
+            for &v in a.row(r) {
+                assert!((-0.5..0.5).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+}

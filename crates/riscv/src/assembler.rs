@@ -1,0 +1,406 @@
+//! A two-pass assembler for the control-program subset.
+//!
+//! Supports the RV32IM instructions the interpreter executes, labels,
+//! decimal/hex immediates, the `qpush`/`qpop`/`qstat` QRCH instructions,
+//! the `accel` tightly-coupled op, and the pseudo-ops `nop`, `mv`, `li`
+//! (12-bit) and `halt`.
+
+use crate::isa::encode;
+
+/// Assembly errors with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(i);
+            }
+        }
+    }
+    err(line, format!("bad register `{t}`"))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(h) = t.strip_prefix("0x") {
+        i64::from_str_radix(h, 16)
+    } else {
+        t.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate `{t}`")),
+    }
+}
+
+/// `off(rs)` operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, u8), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let open = t.find('(');
+    let close = t.rfind(')');
+    match (open, close) {
+        (Some(o), Some(c)) if c > o => {
+            let off = if o == 0 { 0 } else { parse_imm(&t[..o], line)? };
+            let rs = parse_reg(&t[o + 1..c], line)?;
+            Ok((off, rs))
+        }
+        _ => err(line, format!("bad memory operand `{t}`")),
+    }
+}
+
+struct Pending<'a> {
+    line: usize,
+    pc: u32,
+    mnemonic: &'a str,
+    ops: Vec<&'a str>,
+}
+
+/// Assembles source into instruction words.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_riscv::assemble;
+/// let words = assemble("addi x1, x0, 1\nhalt").unwrap();
+/// assert_eq!(words.len(), 2);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    use std::collections::HashMap;
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut items: Vec<Pending> = Vec::new();
+    let mut pc = 0u32;
+
+    for (li, raw) in source.lines().enumerate() {
+        let line = li + 1;
+        let mut text = raw;
+        if let Some(i) = text.find('#') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (lab, rest) = text.split_at(colon);
+            let lab = lab.trim();
+            if lab.is_empty() || lab.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(lab, pc).is_some() {
+                return err(line, format!("duplicate label `{lab}`"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line");
+        let ops: Vec<&str> = text[mnemonic.len()..]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        items.push(Pending {
+            line,
+            pc,
+            mnemonic,
+            ops,
+        });
+        pc += 4;
+    }
+
+    let resolve = |tok: &str, line: usize, at: u32| -> Result<i64, AsmError> {
+        if let Some(&target) = labels.get(tok.trim()) {
+            Ok(target as i64 - at as i64)
+        } else {
+            parse_imm(tok, line)
+        }
+    };
+
+    let mut out = Vec::with_capacity(items.len());
+    for it in &items {
+        let line = it.line;
+        let need = |n: usize| -> Result<(), AsmError> {
+            if it.ops.len() != n {
+                err(line, format!("{} expects {n} operands", it.mnemonic))
+            } else {
+                Ok(())
+            }
+        };
+        let w = match it.mnemonic {
+            "nop" => encode::i(0x13, 0, 0, 0, 0),
+            "rdcycle" => {
+                need(1)?;
+                encode::i(0x73, parse_reg(it.ops[0], line)?, 2, 0, 0xC00)
+            }
+            "rdinstret" => {
+                need(1)?;
+                encode::i(0x73, parse_reg(it.ops[0], line)?, 2, 0, 0xC02)
+            }
+            "halt" | "ecall" => 0x0000_0073,
+            "mv" => {
+                need(2)?;
+                encode::i(0x13, parse_reg(it.ops[0], line)?, 0, parse_reg(it.ops[1], line)?, 0)
+            }
+            "li" => {
+                need(2)?;
+                let imm = parse_imm(it.ops[1], line)?;
+                if !(-2048..=2047).contains(&imm) {
+                    return err(line, "li immediate out of 12-bit range; use lui");
+                }
+                encode::i(0x13, parse_reg(it.ops[0], line)?, 0, 0, imm as i32)
+            }
+            "lui" | "auipc" => {
+                need(2)?;
+                let imm = parse_imm(it.ops[1], line)?;
+                let op = if it.mnemonic == "lui" { 0x37 } else { 0x17 };
+                encode::u(op, parse_reg(it.ops[0], line)?, (imm as u32) << 12)
+            }
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+                need(3)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let rs1 = parse_reg(it.ops[1], line)?;
+                let imm = parse_imm(it.ops[2], line)?;
+                let (f3, extra) = match it.mnemonic {
+                    "addi" => (0, 0),
+                    "slti" => (2, 0),
+                    "sltiu" => (3, 0),
+                    "xori" => (4, 0),
+                    "ori" => (6, 0),
+                    "andi" => (7, 0),
+                    "slli" => (1, 0),
+                    "srli" => (5, 0),
+                    "srai" => (5, 0x400),
+                    _ => unreachable!(),
+                };
+                encode::i(0x13, rd, f3, rs1, imm as i32 | extra)
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "mul" | "mulh" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                need(3)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let rs1 = parse_reg(it.ops[1], line)?;
+                let rs2 = parse_reg(it.ops[2], line)?;
+                let (f3, f7) = match it.mnemonic {
+                    "add" => (0, 0x00),
+                    "sub" => (0, 0x20),
+                    "sll" => (1, 0x00),
+                    "slt" => (2, 0x00),
+                    "sltu" => (3, 0x00),
+                    "xor" => (4, 0x00),
+                    "srl" => (5, 0x00),
+                    "sra" => (5, 0x20),
+                    "or" => (6, 0x00),
+                    "and" => (7, 0x00),
+                    "mul" => (0, 0x01),
+                    "mulh" => (1, 0x01),
+                    "mulhu" => (3, 0x01),
+                    "div" => (4, 0x01),
+                    "divu" => (5, 0x01),
+                    "rem" => (6, 0x01),
+                    "remu" => (7, 0x01),
+                    _ => unreachable!(),
+                };
+                encode::r(0x33, rd, f3, rs1, rs2, f7)
+            }
+            "lw" => {
+                need(2)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let (off, rs1) = parse_mem(it.ops[1], line)?;
+                encode::i(0x03, rd, 2, rs1, off as i32)
+            }
+            "sw" => {
+                need(2)?;
+                let rs2 = parse_reg(it.ops[0], line)?;
+                let (off, rs1) = parse_mem(it.ops[1], line)?;
+                encode::s(0x23, 2, rs1, rs2, off as i32)
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let rs1 = parse_reg(it.ops[0], line)?;
+                let rs2 = parse_reg(it.ops[1], line)?;
+                let off = resolve(it.ops[2], line, it.pc)?;
+                let f3 = match it.mnemonic {
+                    "beq" => 0,
+                    "bne" => 1,
+                    "blt" => 4,
+                    "bge" => 5,
+                    "bltu" => 6,
+                    "bgeu" => 7,
+                    _ => unreachable!(),
+                };
+                encode::b(0x63, f3, rs1, rs2, off as i32)
+            }
+            "jal" => {
+                need(2)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let off = resolve(it.ops[1], line, it.pc)?;
+                encode::j(0x6F, rd, off as i32)
+            }
+            "jalr" => {
+                need(2)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let (off, rs1) = parse_mem(it.ops[1], line)?;
+                encode::i(0x67, rd, 0, rs1, off as i32)
+            }
+            // qpush qN, rs1
+            "qpush" => {
+                need(2)?;
+                let q = parse_queue(it.ops[0], line)?;
+                let rs1 = parse_reg(it.ops[1], line)?;
+                encode::r(0x0B, q, 0, rs1, 0, 0)
+            }
+            // qpop rd, qN
+            "qpop" => {
+                need(2)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let q = parse_queue(it.ops[1], line)?;
+                encode::r(0x0B, rd, 1, q, 0, 0)
+            }
+            // qstat rd, qN
+            "qstat" => {
+                need(2)?;
+                let rd = parse_reg(it.ops[0], line)?;
+                let q = parse_queue(it.ops[1], line)?;
+                encode::r(0x0B, rd, 2, q, 0, 0)
+            }
+            // accel rd, rs1, rs2
+            "accel" => {
+                need(3)?;
+                encode::r(
+                    0x2B,
+                    parse_reg(it.ops[0], line)?,
+                    0,
+                    parse_reg(it.ops[1], line)?,
+                    parse_reg(it.ops[2], line)?,
+                    0,
+                )
+            }
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        };
+        out.push(w);
+    }
+    Ok(out)
+}
+
+fn parse_queue(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix('q') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(i);
+            }
+        }
+    }
+    err(line, format!("bad queue `{t}` (expect q0..q31)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{decode, Instruction};
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let words = assemble(
+            "start: addi x1, x0, 1
+                    beq  x1, x0, end
+                    jal  x0, start
+             end:   halt",
+        )
+        .unwrap();
+        assert_eq!(words.len(), 4);
+        match decode(words[1]).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("wrong decode {other:?}"),
+        }
+        match decode(words[2]).unwrap() {
+            Instruction::Jal { offset, .. } => assert_eq!(offset, -8),
+            other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = assemble(
+            "# program
+             addi x1, x0, 2 # two
+
+             halt",
+        )
+        .unwrap();
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let words = assemble("lw x5, -8(x2)\nsw x5, 0x10(x3)\nhalt").unwrap();
+        match decode(words[0]).unwrap() {
+            Instruction::Lw { rd, rs1, offset } => {
+                assert_eq!((rd, rs1, offset), (5, 2, -8));
+            }
+            other => panic!("wrong decode {other:?}"),
+        }
+        match decode(words[1]).unwrap() {
+            Instruction::Sw { rs1, rs2, offset } => {
+                assert_eq!((rs1, rs2, offset), (3, 5, 16));
+            }
+            other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qrch_mnemonics() {
+        let words = assemble("qpush q3, x7\nqpop x5, q3\nqstat x6, q3\nhalt").unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Instruction::QPush { q: 3, rs1: 7 });
+        assert_eq!(decode(words[1]).unwrap(), Instruction::QPop { q: 3, rd: 5 });
+        assert_eq!(decode(words[2]).unwrap(), Instruction::QStat { q: 3, rd: 6 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("addi x1, x0, 1\nbogus x1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = assemble("addi x99, x0, 1").unwrap_err();
+        assert!(e.message.contains("register"));
+        let e = assemble("li x1, 100000").unwrap_err();
+        assert!(e.message.contains("12-bit"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: nop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

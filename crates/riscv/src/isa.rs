@@ -1,0 +1,320 @@
+//! RV32IM instruction decoding, plus the two custom opcodes used for
+//! accelerator control.
+//!
+//! Custom-0 (`0x0B`) carries the QRCH queue instructions; custom-1
+//! (`0x2B`) carries the tightly-coupled ISA-extension style for the
+//! Table 7 comparison.
+
+/// A decoded instruction (the subset the control programs use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// LUI rd, imm20.
+    Lui { rd: u8, imm: u32 },
+    /// AUIPC rd, imm20.
+    Auipc { rd: u8, imm: u32 },
+    /// JAL rd, offset.
+    Jal { rd: u8, offset: i32 },
+    /// JALR rd, rs1, offset.
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    /// Conditional branch.
+    Branch {
+        /// Condition encoding (funct3: 0=eq,1=ne,4=lt,5=ge,6=ltu,7=geu).
+        funct3: u8,
+        /// First operand register.
+        rs1: u8,
+        /// Second operand register.
+        rs2: u8,
+        /// PC-relative offset.
+        offset: i32,
+    },
+    /// LW rd, offset(rs1).
+    Lw { rd: u8, rs1: u8, offset: i32 },
+    /// SW rs2, offset(rs1).
+    Sw { rs1: u8, rs2: u8, offset: i32 },
+    /// Register-immediate ALU op (funct3 selects, 0=addi, etc).
+    OpImm { funct3: u8, rd: u8, rs1: u8, imm: i32, shift_arith: bool },
+    /// Register-register ALU op, including the M extension when
+    /// `m_ext` is set.
+    Op { funct3: u8, rd: u8, rs1: u8, rs2: u8, alt: bool, m_ext: bool },
+    /// QRCH push: enqueue rs1's value onto queue `q` (custom-0, funct3 0).
+    QPush { q: u8, rs1: u8 },
+    /// QRCH pop: dequeue from queue `q` into rd; stalls if empty
+    /// (custom-0, funct3 1).
+    QPop { q: u8, rd: u8 },
+    /// QRCH status: occupancy of queue `q` into rd (custom-0, funct3 2).
+    QStat { q: u8, rd: u8 },
+    /// Tightly-coupled accelerator op (custom-1): result = accel(rs1, rs2)
+    /// in the EX stage.
+    AccelOp { rd: u8, rs1: u8, rs2: u8 },
+    /// CSR read (`csrrs rd, csr, x0`): performance counters only
+    /// (0xC00 = cycle, 0xC02 = instret).
+    CsrRead {
+        /// Destination register.
+        rd: u8,
+        /// CSR address.
+        csr: u16,
+    },
+    /// ECALL — used as the halt convention.
+    Halt,
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub u32);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported encodings.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let opcode = word & 0x7F;
+    let rd = bits(word, 11, 7) as u8;
+    let funct3 = bits(word, 14, 12) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let funct7 = bits(word, 31, 25);
+    match opcode {
+        0x37 => Ok(Instruction::Lui { rd, imm: word & 0xFFFF_F000 }),
+        0x17 => Ok(Instruction::Auipc { rd, imm: word & 0xFFFF_F000 }),
+        0x6F => {
+            let imm = (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1);
+            Ok(Instruction::Jal { rd, offset: sign_extend(imm, 21) })
+        }
+        0x67 if funct3 == 0 => Ok(Instruction::Jalr {
+            rd,
+            rs1,
+            offset: sign_extend(bits(word, 31, 20), 12),
+        }),
+        0x63 => {
+            let imm = (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1);
+            Ok(Instruction::Branch {
+                funct3,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 13),
+            })
+        }
+        0x03 if funct3 == 2 => Ok(Instruction::Lw {
+            rd,
+            rs1,
+            offset: sign_extend(bits(word, 31, 20), 12),
+        }),
+        0x23 if funct3 == 2 => {
+            let imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7);
+            Ok(Instruction::Sw {
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 12),
+            })
+        }
+        0x13 => Ok(Instruction::OpImm {
+            funct3,
+            rd,
+            rs1,
+            imm: sign_extend(bits(word, 31, 20), 12),
+            shift_arith: funct7 == 0x20,
+        }),
+        0x33 => Ok(Instruction::Op {
+            funct3,
+            rd,
+            rs1,
+            rs2,
+            alt: funct7 == 0x20,
+            m_ext: funct7 == 0x01,
+        }),
+        0x0B => match funct3 {
+            0 => Ok(Instruction::QPush { q: rd, rs1 }),
+            1 => Ok(Instruction::QPop { q: rs1, rd }),
+            2 => Ok(Instruction::QStat { q: rs1, rd }),
+            _ => Err(DecodeError(word)),
+        },
+        0x2B => Ok(Instruction::AccelOp { rd, rs1, rs2 }),
+        0x73 if word == 0x0000_0073 => Ok(Instruction::Halt),
+        0x73 if funct3 == 2 && rs1 == 0 => Ok(Instruction::CsrRead {
+            rd,
+            csr: bits(word, 31, 20) as u16,
+        }),
+        _ => Err(DecodeError(word)),
+    }
+}
+
+/// Encoding helpers (used by the assembler and tests).
+pub mod encode {
+    /// R-type.
+    pub fn r(opcode: u32, rd: u8, funct3: u8, rs1: u8, rs2: u8, funct7: u32) -> u32 {
+        opcode
+            | ((rd as u32) << 7)
+            | ((funct3 as u32) << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (funct7 << 25)
+    }
+
+    /// I-type.
+    pub fn i(opcode: u32, rd: u8, funct3: u8, rs1: u8, imm: i32) -> u32 {
+        opcode
+            | ((rd as u32) << 7)
+            | ((funct3 as u32) << 12)
+            | ((rs1 as u32) << 15)
+            | (((imm as u32) & 0xFFF) << 20)
+    }
+
+    /// S-type.
+    pub fn s(opcode: u32, funct3: u8, rs1: u8, rs2: u8, imm: i32) -> u32 {
+        let imm = imm as u32;
+        opcode
+            | ((imm & 0x1F) << 7)
+            | ((funct3 as u32) << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (((imm >> 5) & 0x7F) << 25)
+    }
+
+    /// B-type.
+    pub fn b(opcode: u32, funct3: u8, rs1: u8, rs2: u8, offset: i32) -> u32 {
+        let off = offset as u32;
+        opcode
+            | (((off >> 11) & 1) << 7)
+            | (((off >> 1) & 0xF) << 8)
+            | ((funct3 as u32) << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (((off >> 5) & 0x3F) << 25)
+            | (((off >> 12) & 1) << 31)
+    }
+
+    /// U-type.
+    pub fn u(opcode: u32, rd: u8, imm: u32) -> u32 {
+        opcode | ((rd as u32) << 7) | (imm & 0xFFFF_F000)
+    }
+
+    /// J-type.
+    pub fn j(opcode: u32, rd: u8, offset: i32) -> u32 {
+        let off = offset as u32;
+        opcode
+            | ((rd as u32) << 7)
+            | (((off >> 12) & 0xFF) << 12)
+            | (((off >> 11) & 1) << 20)
+            | (((off >> 1) & 0x3FF) << 21)
+            | (((off >> 20) & 1) << 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_addi() {
+        // addi x1, x0, 5
+        let w = encode::i(0x13, 1, 0, 0, 5);
+        assert_eq!(
+            decode(w).unwrap(),
+            Instruction::OpImm { funct3: 0, rd: 1, rs1: 0, imm: 5, shift_arith: false }
+        );
+    }
+
+    #[test]
+    fn decode_negative_immediate() {
+        let w = encode::i(0x13, 2, 0, 1, -7);
+        match decode(w).unwrap() {
+            Instruction::OpImm { imm, .. } => assert_eq!(imm, -7),
+            other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_offset_round_trips() {
+        for off in [-4096i32, -8, 8, 2046, 4094] {
+            let w = encode::b(0x63, 1, 3, 4, off);
+            match decode(w).unwrap() {
+                Instruction::Branch { offset, .. } => assert_eq!(offset, off, "off {off}"),
+                other => panic!("wrong decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jal_offset_round_trips() {
+        for off in [-1048576i32, -2, 2, 4, 1048574] {
+            let w = encode::j(0x6F, 1, off);
+            match decode(w).unwrap() {
+                Instruction::Jal { offset, .. } => assert_eq!(offset, off, "off {off}"),
+                other => panic!("wrong decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_offset_round_trips() {
+        for off in [-2048i32, -4, 0, 4, 2047] {
+            let w = encode::s(0x23, 2, 5, 6, off);
+            match decode(w).unwrap() {
+                Instruction::Sw { offset, .. } => assert_eq!(offset, off),
+                other => panic!("wrong decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn m_extension_flag() {
+        // mul x3, x1, x2
+        let w = encode::r(0x33, 3, 0, 1, 2, 0x01);
+        match decode(w).unwrap() {
+            Instruction::Op { m_ext, .. } => assert!(m_ext),
+            other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_opcodes_decode() {
+        let push = encode::r(0x0B, 2, 0, 7, 0, 0);
+        assert_eq!(decode(push).unwrap(), Instruction::QPush { q: 2, rs1: 7 });
+        let pop = encode::r(0x0B, 5, 1, 2, 0, 0);
+        assert_eq!(decode(pop).unwrap(), Instruction::QPop { q: 2, rd: 5 });
+        let stat = encode::r(0x0B, 6, 2, 3, 0, 0);
+        assert_eq!(decode(stat).unwrap(), Instruction::QStat { q: 3, rd: 6 });
+        let acc = encode::r(0x2B, 4, 0, 1, 2, 0);
+        assert_eq!(
+            decode(acc).unwrap(),
+            Instruction::AccelOp { rd: 4, rs1: 1, rs2: 2 }
+        );
+    }
+
+    #[test]
+    fn csr_read_decodes() {
+        // csrrs rd=5, csr=0xC00 (cycle), rs1=x0
+        let w = encode::i(0x73, 5, 2, 0, 0xC00u32 as i32);
+        assert_eq!(decode(w).unwrap(), Instruction::CsrRead { rd: 5, csr: 0xC00 });
+    }
+
+    #[test]
+    fn halt_and_garbage() {
+        assert_eq!(decode(0x0000_0073).unwrap(), Instruction::Halt);
+        assert!(decode(0xFFFF_FFFF).is_err());
+    }
+}

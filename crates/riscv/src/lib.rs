@@ -1,0 +1,42 @@
+//! RISC-V control subsystem (§4.4): an RV32IM interpreter standing in for
+//! the Xuantie E906 core, extended with the paper's **QRCH** (queue-based
+//! RISC-V coprocessor communication hub).
+//!
+//! Three accelerator-interaction styles are modeled, matching Table 7:
+//!
+//! | style    | mechanism                              | cost/interaction |
+//! |----------|----------------------------------------|------------------|
+//! | MMIO     | `lw`/`sw` to a device window over AXI  | ~100 cycles      |
+//! | ISA-ext  | accelerator wired into the EX stage    | ~1 cycle         |
+//! | QRCH     | custom queue push/pop instructions     | ~10 cycles       |
+//!
+//! The [`assembler`] makes writing control programs ergonomic; the
+//! [`qrch`] module measures the Table 7 interaction costs by executing
+//! real programs on the interpreter.
+//!
+//! # Example
+//!
+//! ```
+//! use lsdgnn_riscv::{assemble, Cpu};
+//!
+//! let prog = assemble(
+//!     "addi x1, x0, 21
+//!      add  x2, x1, x1
+//!      halt",
+//! )
+//! .unwrap();
+//! let mut cpu = Cpu::new(4096);
+//! cpu.load_program(&prog);
+//! cpu.run(1_000).unwrap();
+//! assert_eq!(cpu.reg(2), 42);
+//! ```
+
+pub mod assembler;
+pub mod cpu;
+pub mod isa;
+pub mod qrch;
+
+pub use assembler::{assemble, AsmError};
+pub use cpu::{Cpu, CpuError, Device};
+pub use isa::{decode, Instruction};
+pub use qrch::{measure_interaction_cost, InteractionStyle, QrchHub};

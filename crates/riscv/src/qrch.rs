@@ -1,0 +1,257 @@
+//! QRCH — the queue-based RISC-V coprocessor communication hub (§4.4,
+//! Figure 8) and the Table 7 interaction-cost measurement.
+//!
+//! The hub exposes 32 queues. By convention queue 0 carries commands to
+//! the attached accelerator and queue 1 carries its responses; the same
+//! accelerator is also reachable through a classic MMIO window and as a
+//! tightly-coupled EX-stage op, so all three integration styles of
+//! Table 7 can be measured on identical control programs.
+
+use crate::assembler::assemble;
+use crate::cpu::{Cpu, Device};
+use std::collections::VecDeque;
+
+/// Number of queues the hub exposes.
+pub const NUM_QUEUES: usize = 32;
+
+/// The accelerator function behind every interface: a stand-in for an AxE
+/// command (deterministic, cheap to verify): `f(x) = 2x + 1`.
+fn accel_fn(x: u32) -> u32 {
+    x.wrapping_mul(2).wrapping_add(1)
+}
+
+/// The QRCH hub plus a mock accelerator, attachable to [`Cpu`].
+#[derive(Debug, Clone, Default)]
+pub struct QrchHub {
+    queues: Vec<VecDeque<u32>>,
+    /// MMIO command register (offset 0) result latch (offset 4).
+    mmio_result: u32,
+    /// Counts accelerator invocations across all interfaces.
+    ops: u64,
+}
+
+impl QrchHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        QrchHub {
+            queues: vec![VecDeque::new(); NUM_QUEUES],
+            mmio_result: 0,
+            ops: 0,
+        }
+    }
+
+    /// Total accelerator operations served.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Direct queue access for tests/framework integration.
+    pub fn queue(&self, q: u8) -> &VecDeque<u32> {
+        &self.queues[q as usize]
+    }
+}
+
+impl Device for QrchHub {
+    fn mmio_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            4 => self.mmio_result,
+            8 => 1, // status: always ready
+            _ => 0,
+        }
+    }
+
+    fn mmio_write(&mut self, offset: u32, value: u32) {
+        if offset == 0 {
+            self.ops += 1;
+            self.mmio_result = accel_fn(value);
+        }
+    }
+
+    fn qrch_push(&mut self, q: u8, value: u32) {
+        if q == 0 {
+            // Command queue: the accelerator consumes it immediately and
+            // queues a response on queue 1.
+            self.ops += 1;
+            self.queues[1].push_back(accel_fn(value));
+        } else {
+            self.queues[q as usize].push_back(value);
+        }
+    }
+
+    fn qrch_pop(&mut self, q: u8) -> Option<u32> {
+        self.queues[q as usize].pop_front()
+    }
+
+    fn qrch_len(&mut self, q: u8) -> u32 {
+        self.queues[q as usize].len() as u32
+    }
+
+    fn accel_op(&mut self, a: u32, _b: u32) -> u32 {
+        self.ops += 1;
+        accel_fn(a)
+    }
+}
+
+/// The three accelerator-integration styles of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionStyle {
+    /// Loosely coupled memory-mapped IO over the bus.
+    Mmio,
+    /// Tightly coupled instruction extension in the EX stage.
+    IsaExt,
+    /// The paper's queue-based hub.
+    Qrch,
+}
+
+impl InteractionStyle {
+    /// Table 7's qualitative programmability rating.
+    pub fn programmability(&self) -> &'static str {
+        match self {
+            InteractionStyle::Mmio => "bad (coarse-grain)",
+            InteractionStyle::IsaExt => "good (fine-grain)",
+            InteractionStyle::Qrch => "fair (small OP level)",
+        }
+    }
+
+    /// Table 7's qualitative extensibility rating.
+    pub fn extensibility(&self) -> &'static str {
+        match self {
+            InteractionStyle::Mmio => "bad",
+            InteractionStyle::IsaExt => "fair",
+            InteractionStyle::Qrch => "good",
+        }
+    }
+}
+
+/// Runs `n` accelerator invocations through the chosen interface on the
+/// interpreter and returns the measured cycles **per interaction** (one
+/// command + one response).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds 2047 (12-bit loop counter).
+pub fn measure_interaction_cost(style: InteractionStyle, n: u32) -> f64 {
+    assert!((1..=2047).contains(&n), "n must fit a 12-bit immediate");
+    // Common loop skeleton: x10 = counter, x11 = command value,
+    // x12 = accumulated responses (verified by the caller via reg 12).
+    let body = match style {
+        InteractionStyle::Mmio => {
+            "lui   x20, 0x80000
+             sw    x11, 0(x20)      # command register
+             lw    x13, 4(x20)      # result latch"
+        }
+        InteractionStyle::IsaExt => "accel x13, x11, x0",
+        InteractionStyle::Qrch => {
+            "qpush q0, x11
+             qpop  x13, q1"
+        }
+    };
+    let src = format!(
+        "      addi x10, x0, {n}
+               addi x11, x0, 5
+               addi x12, x0, 0
+        loop:  {body}
+               add  x12, x12, x13
+               addi x10, x10, -1
+               bne  x10, x0, loop
+               halt"
+    );
+    let words = assemble(&src).expect("interaction program assembles");
+    let mut cpu = Cpu::with_device(64 * 1024, QrchHub::new());
+    cpu.load_program(&words);
+    cpu.run(10_000_000).expect("interaction program halts");
+    assert_eq!(cpu.device().ops(), n as u64, "every iteration hit the accel");
+    assert_eq!(cpu.reg(12), n * accel_fn(5), "responses accumulated");
+
+    // Subtract the loop overhead measured with an empty body (x13 held
+    // constant outside the loop, so the accumulate/branch structure is
+    // identical).
+    let baseline_src = format!(
+        "      addi x10, x0, {n}
+               addi x11, x0, 5
+               addi x12, x0, 0
+               addi x13, x0, 0
+        loop:  add  x12, x12, x13
+               addi x10, x10, -1
+               bne  x10, x0, loop
+               halt"
+    );
+    let words = assemble(&baseline_src).expect("baseline assembles");
+    let mut base = Cpu::new(64 * 1024);
+    base.load_program(&words);
+    base.run(10_000_000).expect("baseline halts");
+
+    (cpu.cycles() - base.cycles()) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_cost_ordering() {
+        let mmio = measure_interaction_cost(InteractionStyle::Mmio, 100);
+        let isa = measure_interaction_cost(InteractionStyle::IsaExt, 100);
+        let qrch = measure_interaction_cost(InteractionStyle::Qrch, 100);
+        assert!(isa < qrch && qrch < mmio, "isa {isa}, qrch {qrch}, mmio {mmio}");
+    }
+
+    #[test]
+    fn table7_cost_magnitudes() {
+        // Paper: MMIO ~100 cyc, ISA-ext ~1 cyc, QRCH ~10 cyc.
+        let mmio = measure_interaction_cost(InteractionStyle::Mmio, 200);
+        assert!((100.0..350.0).contains(&mmio), "mmio {mmio}");
+        let isa = measure_interaction_cost(InteractionStyle::IsaExt, 200);
+        assert!((0.5..4.0).contains(&isa), "isa {isa}");
+        let qrch = measure_interaction_cost(InteractionStyle::Qrch, 200);
+        assert!((10.0..40.0).contains(&qrch), "qrch {qrch}");
+    }
+
+    #[test]
+    fn hub_queue_semantics() {
+        let mut hub = QrchHub::new();
+        hub.qrch_push(5, 11);
+        hub.qrch_push(5, 22);
+        assert_eq!(hub.qrch_len(5), 2);
+        assert_eq!(hub.qrch_pop(5), Some(11));
+        assert_eq!(hub.qrch_pop(5), Some(22));
+        assert_eq!(hub.qrch_pop(5), None);
+    }
+
+    #[test]
+    fn command_queue_triggers_accelerator() {
+        let mut hub = QrchHub::new();
+        hub.qrch_push(0, 10);
+        assert_eq!(hub.ops(), 1);
+        assert_eq!(hub.qrch_pop(1), Some(21));
+    }
+
+    #[test]
+    fn mmio_interface_matches_accelerator() {
+        let mut hub = QrchHub::new();
+        hub.mmio_write(0, 10);
+        assert_eq!(hub.mmio_read(4), 21);
+        assert_eq!(hub.mmio_read(8), 1);
+    }
+
+    #[test]
+    fn qualitative_ratings_present() {
+        for s in [
+            InteractionStyle::Mmio,
+            InteractionStyle::IsaExt,
+            InteractionStyle::Qrch,
+        ] {
+            assert!(!s.programmability().is_empty());
+            assert!(!s.extensibility().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_qpop_deadlocks_cpu() {
+        use crate::cpu::CpuError;
+        let words = assemble("qpop x1, q7\nhalt").unwrap();
+        let mut cpu = Cpu::with_device(1024, QrchHub::new());
+        cpu.load_program(&words);
+        assert_eq!(cpu.run(1_000), Err(CpuError::QueueDeadlock { q: 7 }));
+    }
+}

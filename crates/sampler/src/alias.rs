@@ -1,0 +1,186 @@
+//! Walker alias method: O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! Training-root selection samples billions of times from one static
+//! distribution (e.g. degree-proportional, as AliGraph's importance
+//! samplers do); the alias table answers each draw with one table probe
+//! and one coin flip after O(n) setup.
+
+use lsdgnn_graph::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// A Walker alias table over indices `0..n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list, a negative/NaN weight, or an all-zero
+    /// distribution.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers sit at probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Builds a degree-proportional table over a graph's nodes (zero-
+    /// degree nodes are never drawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn degree_proportional(graph: &CsrGraph) -> Self {
+        let weights: Vec<f64> = (0..graph.num_nodes())
+            .map(|v| graph.degree(NodeId(v)) as f64)
+            .collect();
+        Self::new(&weights)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Draws `k` root nodes for a training batch.
+    pub fn sample_roots<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<NodeId> {
+        (0..k)
+            .map(|_| NodeId(self.sample(rng) as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdgnn_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..32_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 4_000.0).abs() < 400.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_sample_proportionally() {
+        let t = AliasTable::new(&[1.0, 2.0, 4.0, 8.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 60_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = trials as f64 * (1 << i) as f64 / 15.0;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.08,
+                "outcome {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn degree_proportional_prefers_hubs() {
+        let g = generators::power_law(1_000, 8, 4);
+        let t = AliasTable::degree_proportional(&g);
+        let hub = (0..1_000).map(NodeId).max_by_key(|&v| g.degree(v)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let draws = 50_000;
+        let hub_draws = (0..draws)
+            .filter(|_| t.sample(&mut rng) == hub.index())
+            .count();
+        let expect = draws as f64 * g.degree(hub) as f64 / g.num_edges() as f64;
+        assert!(
+            (hub_draws as f64 - expect).abs() < expect * 0.2 + 20.0,
+            "hub drawn {hub_draws} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn sample_roots_yields_valid_ids() {
+        let g = generators::uniform_random(100, 4, 6);
+        let t = AliasTable::degree_proportional(&g);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let roots = t.sample_roots(&mut rng, 64);
+        assert_eq!(roots.len(), 64);
+        assert!(roots.iter().all(|r| r.0 < 100));
+        assert_eq!(t.len(), 100);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-hop mini-batch sampling — the `sample n-hop` AxE command
+//! (paper Table 4) in software form.
+
+use crate::NeighborSampler;
+use lsdgnn_graph::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// The result of expanding one mini-batch: per-hop frontiers.
+///
+/// `hops[0]` holds the hop-1 samples (fanout per root), `hops[1]` the
+/// hop-2 samples, and so on. Within a hop, samples are ordered by parent —
+/// the root/neighbor ordering the AxE score-boards maintain in hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleBatch {
+    /// The root (seed) nodes of the mini-batch.
+    pub roots: Vec<NodeId>,
+    /// Sampled nodes per hop, parent-major order.
+    pub hops: Vec<Vec<NodeId>>,
+}
+
+impl SampleBatch {
+    /// Total sampled nodes across hops (excluding roots).
+    pub fn total_sampled(&self) -> usize {
+        self.hops.iter().map(Vec::len).sum()
+    }
+
+    /// All nodes whose attributes a GNN layer would fetch: roots plus every
+    /// hop's samples, in order.
+    pub fn attr_fetch_list(&self) -> Vec<NodeId> {
+        let mut out = self.roots.clone();
+        for hop in &self.hops {
+            out.extend_from_slice(hop);
+        }
+        out
+    }
+}
+
+/// Expands mini-batches hop by hop with a pluggable neighbor sampler.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_graph::{generators, NodeId};
+/// use lsdgnn_sampler::{MultiHopSampler, StandardSampler};
+/// use rand::SeedableRng;
+///
+/// let g = generators::power_law(500, 8, 1);
+/// let mh = MultiHopSampler::new(2, 10);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let batch = mh.sample(&mut rng, &g, &StandardSampler, &[NodeId(1), NodeId(2)]);
+/// assert_eq!(batch.hops.len(), 2);
+/// assert!(batch.total_sampled() <= 2 * 10 + 2 * 10 * 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiHopSampler {
+    hops: u32,
+    fanout: usize,
+}
+
+impl MultiHopSampler {
+    /// Creates a sampler with `hops` layers and `fanout` samples per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` or `fanout` is zero.
+    pub fn new(hops: u32, fanout: usize) -> Self {
+        assert!(hops > 0, "hops must be non-zero");
+        assert!(fanout > 0, "fanout must be non-zero");
+        MultiHopSampler { hops, fanout }
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Fanout per node.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Expands `roots` through all hops over `graph` using `sampler`.
+    pub fn sample<R: Rng, S: NeighborSampler>(
+        &self,
+        rng: &mut R,
+        graph: &CsrGraph,
+        sampler: &S,
+        roots: &[NodeId],
+    ) -> SampleBatch {
+        let mut hops = Vec::with_capacity(self.hops as usize);
+        let mut frontier: Vec<NodeId> = roots.to_vec();
+        for _ in 0..self.hops {
+            let mut next = Vec::with_capacity(frontier.len() * self.fanout);
+            for &v in &frontier {
+                let picked = sampler.sample(rng, graph.neighbors(v), self.fanout);
+                next.extend(picked);
+            }
+            hops.push(next.clone());
+            frontier = next;
+        }
+        SampleBatch {
+            roots: roots.to_vec(),
+            hops,
+        }
+    }
+
+    /// Upper bound on sampled nodes for `num_roots` roots.
+    pub fn max_sampled(&self, num_roots: usize) -> usize {
+        let mut total = 0;
+        let mut frontier = num_roots;
+        for _ in 0..self.hops {
+            frontier *= self.fanout;
+            total += frontier;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StandardSampler, StreamingSampler};
+    use lsdgnn_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_hop_shapes_match_config() {
+        let g = generators::uniform_random(1_000, 20, 2);
+        let mh = MultiHopSampler::new(2, 5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let b = mh.sample(&mut rng, &g, &StandardSampler, &roots);
+        assert_eq!(b.roots.len(), 8);
+        assert_eq!(b.hops.len(), 2);
+        // Degrees are ~20 > fanout, so every node yields exactly 5.
+        assert_eq!(b.hops[0].len(), 40);
+        assert_eq!(b.hops[1].len(), 200);
+        assert_eq!(b.total_sampled(), 240);
+        assert_eq!(b.attr_fetch_list().len(), 248);
+    }
+
+    #[test]
+    fn sampled_nodes_are_real_neighbors() {
+        let g = generators::power_law(500, 6, 3);
+        let mh = MultiHopSampler::new(1, 3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let root = NodeId(10);
+        let b = mh.sample(&mut rng, &g, &StreamingSampler, &[root]);
+        for v in &b.hops[0] {
+            assert!(g.has_edge(root, *v), "{v} is not a neighbor of {root}");
+        }
+    }
+
+    #[test]
+    fn low_degree_nodes_yield_fewer_samples() {
+        let g = generators::uniform_random(100, 2, 4);
+        let mh = MultiHopSampler::new(1, 10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let b = mh.sample(&mut rng, &g, &StandardSampler, &[NodeId(0)]);
+        assert!(b.hops[0].len() <= 2);
+    }
+
+    #[test]
+    fn max_sampled_is_an_upper_bound() {
+        let g = generators::power_law(300, 4, 5);
+        let mh = MultiHopSampler::new(2, 10);
+        assert_eq!(mh.max_sampled(512), 512 * 10 + 512 * 100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let b = mh.sample(&mut rng, &g, &StandardSampler, &roots);
+        assert!(b.total_sampled() <= mh.max_sampled(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_fanout_panics() {
+        let _ = MultiHopSampler::new(2, 0);
+    }
+}

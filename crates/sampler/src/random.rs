@@ -1,0 +1,116 @@
+//! Conventional exact uniform random sampling (the hardware baseline).
+
+use crate::NeighborSampler;
+use lsdgnn_graph::NodeId;
+use rand::Rng;
+
+/// Exact uniform sampling without replacement via a partial Fisher–Yates
+/// shuffle.
+///
+/// This is the "conventional random sampling hardware" of the paper's
+/// Tech-2 discussion: it needs an `N`-entry candidate buffer and `N + K`
+/// cycles (fill, then draw), which is what the streaming sampler eliminates.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_sampler::{NeighborSampler, StandardSampler};
+/// use lsdgnn_graph::NodeId;
+/// use rand::SeedableRng;
+///
+/// let candidates: Vec<NodeId> = (0..100).map(NodeId).collect();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let picks = StandardSampler.sample(&mut rng, &candidates, 10);
+/// assert_eq!(picks.len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardSampler;
+
+impl NeighborSampler for StandardSampler {
+    fn sample<R: Rng>(&self, rng: &mut R, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
+        if candidates.len() <= k {
+            return candidates.to_vec();
+        }
+        // Partial Fisher–Yates: buffer the candidate list, swap a random
+        // remaining element into each of the first k positions.
+        let mut buf = candidates.to_vec();
+        for i in 0..k {
+            let j = rng.gen_range(i..buf.len());
+            buf.swap(i, j);
+        }
+        buf.truncate(k);
+        buf
+    }
+
+    fn cycles(&self, n: usize, k: usize) -> u64 {
+        (n + k.min(n)) as u64
+    }
+
+    fn buffer_entries(&self, n: usize) -> usize {
+        n
+    }
+
+    fn name(&self) -> &'static str {
+        "standard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn samples_k_unique_members() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cands = ids(50);
+        let picks = StandardSampler.sample(&mut rng, &cands, 10);
+        assert_eq!(picks.len(), 10);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 10, "samples must be unique");
+        assert!(picks.iter().all(|p| cands.contains(p)));
+    }
+
+    #[test]
+    fn short_candidate_lists_return_all() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cands = ids(4);
+        assert_eq!(StandardSampler.sample(&mut rng, &cands, 10), cands);
+        assert!(StandardSampler.sample(&mut rng, &[], 10).is_empty());
+    }
+
+    #[test]
+    fn is_statistically_uniform() {
+        // Chi-square style check: sample 1-of-16 repeatedly; every
+        // candidate should land near the expected 1/16 frequency.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cands = ids(16);
+        let trials = 32_000;
+        let mut counts = [0u32; 16];
+        for _ in 0..trials {
+            let p = StandardSampler.sample(&mut rng, &cands, 1)[0];
+            counts[p.index()] += 1;
+        }
+        let expect = trials as f64 / 16.0;
+        for c in counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "count {c} deviates from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_matches_paper() {
+        // Paper: N space, N+K cycles.
+        assert_eq!(StandardSampler.cycles(100, 10), 110);
+        assert_eq!(StandardSampler.buffer_entries(100), 100);
+        assert_eq!(StandardSampler.name(), "standard");
+    }
+}

@@ -1,0 +1,224 @@
+//! Top-k (highest-weight) neighbor selection and the streaming-weighted
+//! sampler — the paper's "degree-based sampling ... built on random
+//! sampling" family, extended with the Tech-2 streaming structure.
+
+use crate::NeighborSampler;
+use lsdgnn_graph::NodeId;
+use rand::Rng;
+
+/// Deterministic top-k selection by edge weight: keep the `k` heaviest
+/// neighbors (stable on ties by position). A k-entry min-heap pass in
+/// hardware — single pass, k state, streaming-friendly.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_sampler::topk::top_k_by_weight;
+/// use lsdgnn_graph::NodeId;
+/// let c: Vec<NodeId> = (0..4).map(NodeId).collect();
+/// let picks = top_k_by_weight(&c, &[0.1, 0.9, 0.5, 0.7], 2);
+/// assert_eq!(picks, vec![NodeId(1), NodeId(3)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `weights.len() != candidates.len()`.
+pub fn top_k_by_weight(candidates: &[NodeId], weights: &[f32], k: usize) -> Vec<NodeId> {
+    assert_eq!(
+        candidates.len(),
+        weights.len(),
+        "weights length must match candidates"
+    );
+    if candidates.len() <= k {
+        return candidates.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_unstable(); // restore stream order, as hardware would emit
+    idx.into_iter().map(|i| candidates[i]).collect()
+}
+
+/// The streaming-weighted sampler: the Tech-2 group structure with a
+/// weighted pick inside each group. The stream is cut into `k` arrival-
+/// order groups; within a group one element is chosen with probability
+/// proportional to its weight (a single accumulate-and-swap pass, no
+/// buffer — A-Chao reservoir of size 1 per group).
+///
+/// Marginals approximate weight-proportional sampling while keeping the
+/// `N`-cycle zero-buffer hardware profile of the streaming sampler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingWeightedSampler;
+
+impl StreamingWeightedSampler {
+    /// Samples up to `k` of `candidates` with weight-biased streaming
+    /// groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != candidates.len()`.
+    pub fn sample<R: Rng>(
+        &self,
+        rng: &mut R,
+        candidates: &[NodeId],
+        weights: &[f32],
+        k: usize,
+    ) -> Vec<NodeId> {
+        assert_eq!(
+            candidates.len(),
+            weights.len(),
+            "weights length must match candidates"
+        );
+        let n = candidates.len();
+        if n <= k {
+            return candidates.to_vec();
+        }
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for g in 0..k {
+            let len = base + usize::from(g < extra);
+            // Weighted reservoir of size 1 over the group (A-Chao).
+            let mut total = 0.0f64;
+            let mut pick = start;
+            #[allow(clippy::needless_range_loop)] // index doubles as pick
+            for i in start..start + len {
+                let w = weights[i].max(0.0) as f64;
+                total += w;
+                if total > 0.0 && rng.gen::<f64>() < w / total {
+                    pick = i;
+                }
+            }
+            out.push(candidates[pick]);
+            start += len;
+        }
+        out
+    }
+}
+
+impl NeighborSampler for StreamingWeightedSampler {
+    fn sample<R: Rng>(&self, rng: &mut R, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
+        // Without weights, fall back to uniform streaming behaviour.
+        let weights = vec![1.0f32; candidates.len()];
+        StreamingWeightedSampler::sample(self, rng, candidates, &weights, k)
+    }
+
+    fn cycles(&self, n: usize, _k: usize) -> u64 {
+        n as u64
+    }
+
+    fn buffer_entries(&self, _n: usize) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "streaming-weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn top_k_selects_heaviest() {
+        let c = ids(6);
+        let w = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0];
+        let picks = top_k_by_weight(&c, &w, 3);
+        assert_eq!(picks, vec![NodeId(0), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn top_k_handles_short_lists_and_ties() {
+        let c = ids(2);
+        assert_eq!(top_k_by_weight(&c, &[1.0, 1.0], 5), c);
+        let c = ids(4);
+        // All equal: stable — first k in stream order.
+        assert_eq!(
+            top_k_by_weight(&c, &[2.0; 4], 2),
+            vec![NodeId(0), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn streaming_weighted_prefers_heavy_members() {
+        let c = ids(20);
+        let mut w = vec![1.0f32; 20];
+        w[3] = 200.0; // heavy member of group 0 (k=2 -> groups of 10)
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..400)
+            .filter(|_| {
+                StreamingWeightedSampler
+                    .sample(&mut rng, &c, &w, 2)
+                    .contains(&NodeId(3))
+            })
+            .count();
+        assert!(hits > 350, "heavy member picked only {hits}/400");
+    }
+
+    #[test]
+    fn streaming_weighted_keeps_group_structure() {
+        let c = ids(30);
+        let w = vec![1.0f32; 30];
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let picks = StreamingWeightedSampler.sample(&mut rng, &c, &w, 3);
+            assert_eq!(picks.len(), 3);
+            for (g, p) in picks.iter().enumerate() {
+                assert_eq!(p.index() / 10, g, "pick {p} escaped group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_streaming_marginals() {
+        let c = ids(24);
+        let w = vec![1.0f32; 24];
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = vec![0u32; 24];
+        let trials = 12_000;
+        for _ in 0..trials {
+            for p in StreamingWeightedSampler.sample(&mut rng, &c, &w, 4) {
+                counts[p.index()] += 1;
+            }
+        }
+        let expect = trials as f64 * 4.0 / 24.0;
+        for ct in counts {
+            assert!((ct as f64 - expect).abs() < expect * 0.12, "count {ct}");
+        }
+    }
+
+    #[test]
+    fn trait_impl_has_streaming_cost_profile() {
+        assert_eq!(
+            NeighborSampler::cycles(&StreamingWeightedSampler, 500, 10),
+            500
+        );
+        assert_eq!(
+            NeighborSampler::buffer_entries(&StreamingWeightedSampler, 500),
+            0
+        );
+        assert_eq!(
+            NeighborSampler::name(&StreamingWeightedSampler),
+            "streaming-weighted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_weights_panic() {
+        top_k_by_weight(&ids(2), &[1.0], 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory-traffic instrumentation behind Figure 2(c).
+//!
+//! The paper observes that on average ~48 % of memory *requests* issued by
+//! LSD-GNN sampling are fine-grained (8–64 B) graph-structure accesses —
+//! offsets, pointers and neighbor ids — while the rest are attribute
+//! fetches. This module counts both while a sampling plan executes.
+
+use crate::NeighborSampler;
+use lsdgnn_graph::{CsrGraph, DatasetConfig, NodeId};
+use rand::Rng;
+
+/// Classifies one memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Graph-structure access: offset/degree lookups and neighbor-id reads
+    /// (fine-grained, 8–64 B, indirect pointer chasing).
+    Structure,
+    /// Node-attribute fetch (attr_len × 4 bytes, streamable).
+    Attribute,
+}
+
+/// Accumulates request and byte counts per access kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficRecorder {
+    structure_requests: u64,
+    structure_bytes: u64,
+    attribute_requests: u64,
+    attribute_bytes: u64,
+}
+
+impl TrafficRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request of `bytes` bytes.
+    pub fn record(&mut self, kind: AccessKind, bytes: u64) {
+        match kind {
+            AccessKind::Structure => {
+                self.structure_requests += 1;
+                self.structure_bytes += bytes;
+            }
+            AccessKind::Attribute => {
+                self.attribute_requests += 1;
+                self.attribute_bytes += bytes;
+            }
+        }
+    }
+
+    /// Finalizes into a profile.
+    pub fn profile(&self) -> TrafficProfile {
+        TrafficProfile {
+            structure_requests: self.structure_requests,
+            structure_bytes: self.structure_bytes,
+            attribute_requests: self.attribute_requests,
+            attribute_bytes: self.attribute_bytes,
+        }
+    }
+}
+
+/// The access mix of a sampling run (Figure 2(c) data point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// Count of structure requests.
+    pub structure_requests: u64,
+    /// Bytes moved by structure requests.
+    pub structure_bytes: u64,
+    /// Count of attribute requests.
+    pub attribute_requests: u64,
+    /// Bytes moved by attribute requests.
+    pub attribute_bytes: u64,
+}
+
+impl TrafficProfile {
+    /// Fraction of *requests* that are structure accesses — the quantity
+    /// Figure 2(c) plots.
+    pub fn structure_request_fraction(&self) -> f64 {
+        let total = self.structure_requests + self.attribute_requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.structure_requests as f64 / total as f64
+        }
+    }
+
+    /// Fraction of bytes that are structure accesses.
+    pub fn structure_byte_fraction(&self) -> f64 {
+        let total = self.structure_bytes + self.attribute_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.structure_bytes as f64 / total as f64
+        }
+    }
+
+    /// Mean structure request size in bytes.
+    pub fn avg_structure_request_bytes(&self) -> f64 {
+        if self.structure_requests == 0 {
+            0.0
+        } else {
+            self.structure_bytes as f64 / self.structure_requests as f64
+        }
+    }
+}
+
+/// Runs one instrumented mini-batch over `graph` and returns its traffic
+/// profile.
+///
+/// Request accounting mirrors the hardware: expanding a node issues one
+/// 8-byte offset/degree read plus one 8-byte neighbor-id read per neighbor
+/// inspected; each sampled node costs one attribute fetch of
+/// `attr_len * 4` bytes.
+pub fn profile_batch<R: Rng, S: NeighborSampler>(
+    rng: &mut R,
+    graph: &CsrGraph,
+    sampler: &S,
+    roots: &[NodeId],
+    hops: u32,
+    fanout: usize,
+    attr_len: usize,
+) -> TrafficProfile {
+    let mut rec = TrafficRecorder::new();
+    let mut frontier: Vec<NodeId> = roots.to_vec();
+    // Roots' attributes are fetched too.
+    for _ in roots {
+        rec.record(AccessKind::Attribute, attr_len as u64 * 4);
+    }
+    for _ in 0..hops {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &v in &frontier {
+            let ns = graph.neighbors(v);
+            rec.record(AccessKind::Structure, 8); // offset/degree
+            for _ in ns {
+                rec.record(AccessKind::Structure, 8); // neighbor id
+            }
+            let picked = sampler.sample(rng, ns, fanout);
+            for _ in &picked {
+                rec.record(AccessKind::Attribute, attr_len as u64 * 4);
+            }
+            next.extend(picked);
+        }
+        frontier = next;
+    }
+    rec.profile()
+}
+
+/// Analytic request-mix estimate for a paper-scale dataset (no execution),
+/// using the dataset's average degree. Used for the Figure 2(c) rows whose
+/// graphs are too large to instantiate.
+pub fn analytic_profile(d: &DatasetConfig) -> TrafficProfile {
+    let s = &d.sampling;
+    let b = s.batch_size as u64;
+    let f = s.fanout as u64;
+    let deg = d.avg_degree();
+    // Expansions: roots at hop 1, then each hop's samples.
+    let mut expansions = 0u64;
+    let mut frontier = b;
+    for _ in 0..s.hops {
+        expansions += frontier;
+        frontier *= f;
+    }
+    let attr_fetches = s.attr_fetches_per_batch();
+    let structure_requests = expansions + (expansions as f64 * deg) as u64;
+    TrafficProfile {
+        structure_requests,
+        structure_bytes: structure_requests * 8,
+        attribute_requests: attr_fetches,
+        attribute_bytes: attr_fetches * d.attr_len as u64 * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StandardSampler;
+    use lsdgnn_graph::{generators, PAPER_DATASETS};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recorder_accumulates_by_kind() {
+        let mut r = TrafficRecorder::new();
+        r.record(AccessKind::Structure, 8);
+        r.record(AccessKind::Structure, 16);
+        r.record(AccessKind::Attribute, 512);
+        let p = r.profile();
+        assert_eq!(p.structure_requests, 2);
+        assert_eq!(p.structure_bytes, 24);
+        assert_eq!(p.attribute_requests, 1);
+        assert!((p.structure_request_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.avg_structure_request_bytes(), 12.0);
+    }
+
+    #[test]
+    fn profiled_batch_matches_expected_shape() {
+        let g = generators::uniform_random(2_000, 9, 20);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let roots: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let p = profile_batch(&mut rng, &g, &StandardSampler, &roots, 2, 10, 72);
+        // Structure requests should be a large minority-to-majority share.
+        let f = p.structure_request_fraction();
+        assert!((0.3..0.7).contains(&f), "structure fraction {f}");
+        // Structure requests are fine-grained.
+        assert!(p.avg_structure_request_bytes() <= 64.0);
+        // Attribute bytes dominate byte traffic for 72-float attrs.
+        assert!(p.structure_byte_fraction() < 0.3);
+    }
+
+    #[test]
+    fn analytic_mix_averages_near_paper_48pct() {
+        // Figure 2(c): on average 48% of requests are structure accesses.
+        let fractions: Vec<f64> = PAPER_DATASETS
+            .iter()
+            .map(|d| analytic_profile(d).structure_request_fraction())
+            .collect();
+        let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        assert!(
+            (0.35..0.65).contains(&avg),
+            "avg structure fraction {avg} far from paper's 0.48"
+        );
+        // Denser graphs have a higher structure share.
+        let ls = analytic_profile(&PAPER_DATASETS[1]).structure_request_fraction();
+        let ml = analytic_profile(&PAPER_DATASETS[3]).structure_request_fraction();
+        assert!(ml > ls);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = TrafficRecorder::new().profile();
+        assert_eq!(p.structure_request_fraction(), 0.0);
+        assert_eq!(p.structure_byte_fraction(), 0.0);
+        assert_eq!(p.avg_structure_request_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Weight-/degree-based sampling.
+//!
+//! The paper notes random sampling "is the base for many other sampling
+//! methods, such as degree-based sampling"; this module provides the
+//! weighted variant layered on the same streaming-friendly structure.
+
+use lsdgnn_graph::NodeId;
+use rand::Rng;
+
+/// Weighted sampling without replacement using the exponential-sort trick
+/// (Efraimidis–Spirakis A-Res): each candidate draws key
+/// `u^(1/w)` and the top-`k` keys win. Single pass over the candidates,
+/// `k`-entry state — streaming-compatible like the paper's Tech-2.
+///
+/// # Example
+///
+/// ```
+/// use lsdgnn_sampler::WeightedSampler;
+/// use lsdgnn_graph::NodeId;
+/// use rand::SeedableRng;
+///
+/// let cands: Vec<NodeId> = (0..4).map(NodeId).collect();
+/// let weights = [1.0, 1.0, 1.0, 100.0];
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+/// let picks = WeightedSampler.sample(&mut rng, &cands, &weights, 1);
+/// // Node 3 dominates the weight mass and is almost always chosen.
+/// assert_eq!(picks.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightedSampler;
+
+impl WeightedSampler {
+    /// Samples up to `k` candidates proportionally to `weights`.
+    ///
+    /// Zero/negative weights are treated as never-sampled unless fewer than
+    /// `k` positive-weight candidates exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != candidates.len()`.
+    pub fn sample<R: Rng>(
+        &self,
+        rng: &mut R,
+        candidates: &[NodeId],
+        weights: &[f32],
+        k: usize,
+    ) -> Vec<NodeId> {
+        assert_eq!(
+            candidates.len(),
+            weights.len(),
+            "weights length must match candidates"
+        );
+        if candidates.len() <= k {
+            return candidates.to_vec();
+        }
+        // (key, index) reservoir of size k.
+        let mut reservoir: Vec<(f64, usize)> = Vec::with_capacity(k);
+        for (i, &w) in weights.iter().enumerate() {
+            let key = if w > 0.0 {
+                rng.gen::<f64>().powf(1.0 / w as f64)
+            } else {
+                // Never preferred over a positive-weight candidate.
+                -rng.gen::<f64>()
+            };
+            if reservoir.len() < k {
+                reservoir.push((key, i));
+                reservoir.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            } else if key > reservoir[0].0 {
+                reservoir[0] = (key, i);
+                reservoir.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            }
+        }
+        reservoir.into_iter().map(|(_, i)| candidates[i]).collect()
+    }
+
+    /// Degree-proportional convenience wrapper: weights are the degrees of
+    /// each candidate in `graph`.
+    pub fn sample_by_degree<R: Rng>(
+        &self,
+        rng: &mut R,
+        graph: &lsdgnn_graph::CsrGraph,
+        candidates: &[NodeId],
+        k: usize,
+    ) -> Vec<NodeId> {
+        let weights: Vec<f32> = candidates
+            .iter()
+            .map(|&v| graph.degree(v) as f32)
+            .collect();
+        self.sample(rng, candidates, &weights, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdgnn_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn heavy_weight_dominates() {
+        let cands: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut weights = vec![1.0f32; 10];
+        weights[7] = 1000.0;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..500)
+            .filter(|_| {
+                WeightedSampler
+                    .sample(&mut rng, &cands, &weights, 1)
+                    .contains(&NodeId(7))
+            })
+            .count();
+        assert!(hits > 450, "heavy node picked only {hits}/500");
+    }
+
+    #[test]
+    fn equal_weights_look_uniform() {
+        let cands: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let weights = vec![1.0f32; 8];
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut counts = [0u32; 8];
+        for _ in 0..8_000 {
+            for p in WeightedSampler.sample(&mut rng, &cands, &weights, 2) {
+                counts[p.index()] += 1;
+            }
+        }
+        let expect = 8_000.0 * 2.0 / 8.0;
+        for c in counts {
+            assert!((c as f64 - expect).abs() < expect * 0.12, "count {c}");
+        }
+    }
+
+    #[test]
+    fn returns_all_when_k_exceeds_n() {
+        let cands: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let out = WeightedSampler.sample(&mut rng, &cands, &[1.0, 2.0, 3.0], 10);
+        assert_eq!(out, cands);
+    }
+
+    #[test]
+    fn zero_weights_lose_to_positive() {
+        let cands: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let weights = [0.0f32, 1.0, 0.0, 1.0];
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let out = WeightedSampler.sample(&mut rng, &cands, &weights, 2);
+            assert!(out.contains(&NodeId(1)) && out.contains(&NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn degree_based_prefers_hubs() {
+        let g = generators::power_law(500, 6, 13);
+        let hub = (0..500).map(NodeId).max_by_key(|&v| g.degree(v)).unwrap();
+        let cands: Vec<NodeId> = (0..500).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..200)
+            .filter(|_| {
+                WeightedSampler
+                    .sample_by_degree(&mut rng, &g, &cands, 10)
+                    .contains(&hub)
+            })
+            .count();
+        // Hub inclusion should far exceed the uniform 10/500 = 2% rate
+        // (which would be ~4 hits in 200 trials).
+        assert!(hits > 10, "hub sampled only {hits}/200 times");
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_weights_panic() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        WeightedSampler.sample(&mut rng, &[NodeId(0)], &[1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for every sampler: membership, cardinality and
+//! structural guarantees hold for arbitrary candidate lists.
+
+use lsdgnn_sampler::{
+    top_k_by_weight, NeighborSampler, StandardSampler, StreamingSampler,
+    StreamingWeightedSampler, WeightedSampler,
+};
+use lsdgnn_graph::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn ids(vals: &[u64]) -> Vec<NodeId> {
+    vals.iter().map(|&v| NodeId(v)).collect()
+}
+
+proptest! {
+    /// Every sampler returns min(k, n) items, all drawn from the
+    /// candidates.
+    #[test]
+    fn samplers_return_members_of_candidates(
+        vals in proptest::collection::vec(0u64..1_000, 0..200),
+        k in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let candidates = ids(&vals);
+        let set: HashSet<NodeId> = candidates.iter().copied().collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for (name, picks) in [
+            ("standard", StandardSampler.sample(&mut rng, &candidates, k)),
+            ("streaming", StreamingSampler.sample(&mut rng, &candidates, k)),
+            ("streaming-weighted", NeighborSampler::sample(&StreamingWeightedSampler, &mut rng, &candidates, k)),
+        ] {
+            prop_assert_eq!(picks.len(), k.min(candidates.len()), "{}", name);
+            for p in &picks {
+                prop_assert!(set.contains(p), "{} returned non-member {}", name, p);
+            }
+        }
+    }
+
+    /// Standard sampling never repeats a candidate position; with unique
+    /// candidates the output is a set.
+    #[test]
+    fn standard_sampling_without_replacement(
+        n in 1u64..200,
+        k in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let candidates: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let picks = StandardSampler.sample(&mut rng, &candidates, k);
+        let set: HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), picks.len());
+    }
+
+    /// Streaming sampling picks exactly one element per arrival-order
+    /// group, in group order.
+    #[test]
+    fn streaming_group_structure(
+        n in 1u64..300,
+        k in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let candidates: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let picks = StreamingSampler.sample(&mut rng, &candidates, k);
+        if (n as usize) > k {
+            // Picks are strictly increasing in stream position.
+            for w in picks.windows(2) {
+                prop_assert!(w[0] < w[1], "streaming picks out of order");
+            }
+        }
+    }
+
+    /// Weighted sampling with all-equal weights behaves like sampling
+    /// without replacement (unique members).
+    #[test]
+    fn weighted_equal_weights_unique(
+        n in 1u64..100,
+        k in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let candidates: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let weights = vec![1.0f32; candidates.len()];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let picks = WeightedSampler.sample(&mut rng, &candidates, &weights, k);
+        prop_assert_eq!(picks.len(), k.min(candidates.len()));
+        let set: HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), picks.len());
+    }
+
+    /// top-k by weight returns elements whose weights dominate every
+    /// unselected element.
+    #[test]
+    fn top_k_dominates_unselected(
+        weights in proptest::collection::vec(0.0f32..100.0, 1..80),
+        k in 1usize..16,
+    ) {
+        let candidates: Vec<NodeId> = (0..weights.len() as u64).map(NodeId).collect();
+        let picks = top_k_by_weight(&candidates, &weights, k);
+        let picked: HashSet<_> = picks.iter().map(|p| p.index()).collect();
+        if weights.len() > k {
+            let min_picked = picks
+                .iter()
+                .map(|p| weights[p.index()])
+                .fold(f32::INFINITY, f32::min);
+            for (i, &w) in weights.iter().enumerate() {
+                if !picked.contains(&i) {
+                    prop_assert!(w <= min_picked, "unselected {w} beats selected {min_picked}");
+                }
+            }
+        }
+    }
+
+    /// Sampler cost models are monotone in n.
+    #[test]
+    fn cost_models_monotone(n in 1usize..10_000, extra in 1usize..1_000, k in 1usize..64) {
+        prop_assert!(StandardSampler.cycles(n + extra, k) >= StandardSampler.cycles(n, k));
+        prop_assert!(StreamingSampler.cycles(n + extra, k) >= StreamingSampler.cycles(n, k));
+        prop_assert!(StreamingSampler.cycles(n, k) <= StandardSampler.cycles(n, k));
+        prop_assert_eq!(StreamingSampler.buffer_entries(n), 0);
+    }
+}

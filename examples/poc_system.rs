@@ -1,0 +1,78 @@
+//! The proof-of-concept system end to end (§7.1): the AxE discrete-event
+//! simulation standing in for the 4-card FPGA server, the RISC-V/QRCH
+//! control path issuing real AxE commands, and the Figure 14 comparison
+//! against the CPU baseline.
+//!
+//! ```text
+//! cargo run --release --example poc_system
+//! ```
+
+use lsdgnn_core::axe::{AxeCommand, CommandExecutor};
+use lsdgnn_core::riscv::{assemble, Cpu, QrchHub};
+use lsdgnn_core::PocSystem;
+
+fn main() {
+    // 1. Assemble the PoC around the paper's `ls` dataset (scaled down).
+    let poc = PocSystem::scaled_down("ls", 20_000, 42);
+    println!(
+        "PoC: dataset {} scaled to {} nodes, AxE {} cores @ {} MHz, 4-way partitioned",
+        poc.dataset.name,
+        poc.graph.num_nodes(),
+        poc.axe_config.cores,
+        poc.axe_config.clock_mhz
+    );
+
+    // 2. Drive the timing simulation (the "measurement").
+    let m = poc.run_axe(4);
+    println!(
+        "AxE DES: {} batches, {} samples, {:.2} ms simulated, {:.1}M samples/s",
+        m.batches,
+        m.samples,
+        m.elapsed.as_secs_f64() * 1e3,
+        m.samples_per_sec / 1e6
+    );
+    println!(
+        "  traffic: local {} MB, remote {} MB, output {} MB, cache hit rate {:.0}%, avg outstanding {:.1}",
+        m.local_bytes / 1_000_000,
+        m.remote_bytes / 1_000_000,
+        m.output_bytes / 1_000_000,
+        m.cache_hit_rate * 100.0,
+        m.avg_outstanding
+    );
+
+    // 3. The Figure 14 comparison.
+    let cmp = poc.compare_against_cpu(4);
+    println!(
+        "one simulated FPGA ~ {:.0} vCPUs of software sampling (paper: ~894 on average)",
+        cmp.fpga_vcpu_equivalent
+    );
+
+    // 4. The control path: a RISC-V program talks to the accelerator
+    //    through QRCH queues (functional command semantics).
+    let program = assemble(
+        "addi x11, x0, 21      # a command operand
+         qpush q0, x11         # enqueue command to the accelerator
+         qpop  x12, q1         # dequeue its response
+         halt",
+    )
+    .expect("control program assembles");
+    let mut cpu = Cpu::with_device(4096, QrchHub::new());
+    cpu.load_program(&program);
+    cpu.run(10_000).expect("control program halts");
+    println!(
+        "RISC-V/QRCH: response {} in {} cycles (QRCH costs ~10 cycles per queue op)",
+        cpu.reg(12),
+        cpu.cycles()
+    );
+
+    // 5. Functional AxE commands (Table 4) against the real graph.
+    let mut exec = CommandExecutor::new(&poc.graph, &poc.attributes, 7);
+    let batch = exec.sample_2hop(&[lsdgnn_core::graph::NodeId(5)], 10);
+    println!(
+        "Table 4 `sample n-hop` command: {} nodes sampled across {} hops",
+        batch.total_sampled(),
+        batch.hops.len()
+    );
+    let resp = exec.execute(&AxeCommand::ReadCsr { index: 0 });
+    println!("CSR read-back: {resp:?}");
+}

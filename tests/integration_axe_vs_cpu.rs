@@ -1,0 +1,107 @@
+//! Integration across the AxE simulation, the CPU baseline and the
+//! sampler substrate: the Figure 14 comparison and the micro-architecture
+//! claims at system level.
+
+use lsdgnn_core::axe::{AccessEngine, AxeConfig};
+use lsdgnn_core::graph::{DatasetConfig, PAPER_DATASETS};
+use lsdgnn_core::PocSystem;
+
+#[test]
+fn fpga_replaces_hundreds_of_vcpus_geomean() {
+    // Figure 14's headline: one FPGA ~ 894 vCPUs (order 10^2–10^3).
+    let mut log_sum = 0.0;
+    for d in &PAPER_DATASETS {
+        let poc = PocSystem::scaled_down(d.name, 2_000, 9);
+        let cmp = poc.compare_against_cpu(2);
+        assert!(
+            cmp.fpga_vcpu_equivalent > 50.0,
+            "{}: equivalent {}",
+            d.name,
+            cmp.fpga_vcpu_equivalent
+        );
+        log_sum += cmp.fpga_vcpu_equivalent.ln();
+    }
+    let geomean = (log_sum / PAPER_DATASETS.len() as f64).exp();
+    assert!(
+        (100.0..3_000.0).contains(&geomean),
+        "geomean vCPU equivalence {geomean} outside the paper's order of magnitude"
+    );
+}
+
+#[test]
+fn outstanding_requests_track_eq3_in_the_des() {
+    // The DES's time-weighted outstanding-request average should be of
+    // the order Equation 3 predicts for the configured budget.
+    let d = DatasetConfig::by_name("ss").unwrap();
+    let (g, _) = d.instantiate_scaled(2_000, 3);
+    let cfg = AxeConfig::poc()
+        .with_batch_size(48)
+        .with_max_outstanding(64);
+    let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, 2);
+    assert!(
+        m.avg_outstanding > 4.0,
+        "massive MLP expected, got {}",
+        m.avg_outstanding
+    );
+    assert!(
+        m.avg_outstanding <= 2.0 * 64.0,
+        "outstanding {} exceeds the tag budget",
+        m.avg_outstanding
+    );
+}
+
+#[test]
+fn streaming_sampler_does_not_change_engine_results_statistically() {
+    // Swapping Tech-2 streaming for the conventional sampler changes
+    // timing, not the sample volume.
+    let d = DatasetConfig::by_name("sl").unwrap();
+    let (g, _) = d.instantiate_scaled(2_000, 4);
+    let stream = AccessEngine::new(AxeConfig::poc().with_batch_size(32).with_streaming(true))
+        .run(&g, d.attr_len as usize, 2);
+    let standard = AccessEngine::new(AxeConfig::poc().with_batch_size(32).with_streaming(false))
+        .run(&g, d.attr_len as usize, 2);
+    let ratio = stream.samples as f64 / standard.samples as f64;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "sample volumes diverge: {} vs {}",
+        stream.samples,
+        standard.samples
+    );
+}
+
+#[test]
+fn four_node_poc_sees_mostly_remote_traffic() {
+    // The 4-card PoC: ~3/4 of graph bytes cross the MoF fabric.
+    let d = DatasetConfig::by_name("ss").unwrap();
+    let (g, _) = d.instantiate_scaled(2_000, 5);
+    let m = AccessEngine::new(AxeConfig::poc().with_partitions(4).with_batch_size(32))
+        .run(&g, d.attr_len as usize, 2);
+    let frac = m.remote_bytes as f64 / (m.remote_bytes + m.local_bytes) as f64;
+    assert!((0.6..0.9).contains(&frac), "remote byte fraction {frac}");
+}
+
+#[test]
+fn bigger_attributes_slow_the_output_bound_engine() {
+    // PCIe-output-bound throughput scales inversely with attribute size —
+    // the cross-dataset shape visible in Figure 14.
+    let ss = DatasetConfig::by_name("ss").unwrap(); // 72 floats
+    let ll = DatasetConfig::by_name("ll").unwrap(); // 152 floats
+    let (g_ss, _) = ss.instantiate_scaled(2_000, 6);
+    let (g_ll, _) = ll.instantiate_scaled(2_000, 6);
+    let m_ss = AccessEngine::new(AxeConfig::poc().with_batch_size(32))
+        .run(&g_ss, ss.attr_len as usize, 2);
+    let m_ll = AccessEngine::new(AxeConfig::poc().with_batch_size(32))
+        .run(&g_ll, ll.attr_len as usize, 2);
+    assert!(
+        m_ss.samples_per_sec > m_ll.samples_per_sec,
+        "ss {} vs ll {}",
+        m_ss.samples_per_sec,
+        m_ll.samples_per_sec
+    );
+    let ratio = m_ss.samples_per_sec / m_ll.samples_per_sec;
+    let attr_ratio = ll.attr_len as f64 / ss.attr_len as f64;
+    assert!(
+        ratio < attr_ratio * 1.5,
+        "throughput ratio {ratio} inconsistent with attribute ratio {attr_ratio}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Integration of the FaaS analytical model with the AxE discrete-event
+//! simulation (the Figure 15 validation) and the end-to-end DSE headline
+//! checks across crates.
+
+use lsdgnn_core::axe::{AccessEngine, AxeConfig};
+use lsdgnn_core::faas::dse::{min_cost_table, run_dse};
+use lsdgnn_core::faas::perf::{bottleneck_rates, PerfInputs};
+use lsdgnn_core::faas::{CostModel, InstanceSize, QuoteSet};
+use lsdgnn_core::framework::CpuClusterModel;
+use lsdgnn_core::graph::DatasetConfig;
+use lsdgnn_core::memfabric::{MemoryTier, TierConfig};
+
+#[test]
+fn analytical_model_tracks_the_des_within_tolerance() {
+    // Figure 15: the paper validates to ~1% against its hardware; our
+    // model-vs-DES agreement stays within a small factor across the PoC
+    // sweep and preserves ordering.
+    let d = DatasetConfig::by_name("ss").unwrap();
+    let (g, _) = d.instantiate_scaled(2_500, 11);
+    let mut worst: f64 = 0.0;
+    for (chans, cores, nodes) in [
+        (None, 2usize, 1u32),
+        (Some(1), 2, 1),
+        (Some(4), 2, 1),
+        (None, 2, 4),
+        (Some(4), 4, 4),
+    ] {
+        let tier = TierConfig {
+            local: match chans {
+                None => MemoryTier::PcieHostDram,
+                Some(c) => MemoryTier::FpgaLocalDram { channels: c },
+            },
+            remote: MemoryTier::Mof { links: 3 },
+            output: MemoryTier::PciePeerToPeer,
+        };
+        let des = AccessEngine::new(
+            AxeConfig::poc()
+                .with_cores(cores)
+                .with_tier(tier)
+                .with_partitions(nodes)
+                .with_batch_size(32),
+        )
+        .run(&g, d.attr_len as usize, 2);
+        let model = bottleneck_rates(&PerfInputs {
+            local: tier.local.link_model(),
+            remote: tier.remote.link_model(),
+            output: Some(tier.output.link_model()),
+            output_shares_remote: false,
+            cores: cores as u32,
+            tags_per_core: 64,
+            clock_hz: 250e6,
+            avg_degree: g.avg_degree(),
+            fanout: 10.0,
+            attr_bytes: d.attr_len as f64 * 4.0,
+            remote_fraction: 1.0 - 1.0 / nodes as f64,
+        })
+        .samples_per_sec();
+        let err = (model - des.samples_per_sec).abs() / des.samples_per_sec;
+        worst = worst.max(err);
+    }
+    assert!(worst < 0.35, "worst model-vs-DES error {worst}");
+}
+
+#[test]
+fn dse_headline_numbers_hold_shape() {
+    // The Figure 21 conclusions, end to end through cost + perf models.
+    let dse = run_dse(&CpuClusterModel::default(), &CostModel::default_fitted());
+    let base_decp = dse.arch_perf_per_dollar("base.decp");
+    let base_tc = dse.arch_perf_per_dollar("base.tc");
+    let comm_tc = dse.arch_perf_per_dollar("comm-opt.tc");
+    let mem_tc = dse.arch_perf_per_dollar("mem-opt.tc");
+    // Paper: 2.47x, 4.11x, 7.78x, 12.58x — assert the band and ordering.
+    assert!((1.5..4.0).contains(&base_decp), "base.decp {base_decp}");
+    assert!((3.0..7.0).contains(&base_tc), "base.tc {base_tc}");
+    assert!((6.0..14.0).contains(&comm_tc), "comm-opt.tc {comm_tc}");
+    assert!((9.0..20.0).contains(&mem_tc), "mem-opt.tc {mem_tc}");
+    assert!(base_decp < base_tc && base_tc < comm_tc && comm_tc <= mem_tc);
+}
+
+#[test]
+fn comm_opt_decp_gains_over_base_decp() {
+    // §7.4: comm-opt.decp provides ~1.6x extra performance over base.decp.
+    let dse = run_dse(&CpuClusterModel::default(), &CostModel::default_fitted());
+    let gain = dse.speedup("comm-opt.decp", "base.decp");
+    assert!((1.2..2.5).contains(&gain), "comm-opt.decp gain {gain}");
+}
+
+#[test]
+fn cost_model_end_to_end_profile() {
+    let quotes = QuoteSet::alibaba_like();
+    let model = CostModel::fit(&quotes);
+    let errors = model.validation_errors(&quotes);
+    let mean: f64 = errors.iter().map(|(_, e)| e).sum::<f64>() / errors.len() as f64;
+    assert!(mean < 0.08, "mean validation error {mean}");
+    // Instances needed for the biggest graph dwarf the smallest.
+    let rows = min_cost_table(&model);
+    let syn_small = rows
+        .iter()
+        .find(|r| r.dataset == "syn" && r.size == InstanceSize::Small)
+        .unwrap();
+    assert!(syn_small.instances > 500, "syn on 8GB instances: {}", syn_small.instances);
+}
+
+#[test]
+fn per_instance_perf_is_consistent_between_dse_and_perf_module() {
+    use lsdgnn_core::faas::{perf, Architecture};
+    let dse = run_dse(&CpuClusterModel::default(), &CostModel::default_fitted());
+    let d = DatasetConfig::by_name("ml").unwrap();
+    for a in Architecture::ALL {
+        let direct = perf::samples_per_sec(a, InstanceSize::Medium, &d);
+        let cell = dse
+            .faas
+            .iter()
+            .find(|c| c.arch == a.name() && c.size == InstanceSize::Medium && c.dataset == "ml")
+            .unwrap();
+        assert!(
+            (direct - cell.samples_per_sec).abs() < 1e-6 * direct.max(1.0),
+            "{}: {direct} vs {}",
+            a.name(),
+            cell.samples_per_sec
+        );
+    }
+}
