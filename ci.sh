@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Repo CI gate: formatting, lints-as-errors, and the full test suite.
+# Run from the workspace root: ./ci.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

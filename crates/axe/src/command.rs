@@ -8,8 +8,7 @@
 
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId};
 use lsdgnn_sampler::{
-    MultiHopSampler, NegativeSampler, SampleBatch, StandardSampler,
-    StreamingSampler,
+    MultiHopSampler, NegativeSampler, SampleBatch, StandardSampler, StreamingSampler,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -144,8 +143,8 @@ impl<'a> CommandExecutor<'a> {
                         mh.sample(&mut self.rng, self.graph, &StreamingSampler, roots)
                     }
                 };
-                let attributes = with_attributes
-                    .then(|| self.attributes.gather(&batch.attr_fetch_list()));
+                let attributes =
+                    with_attributes.then(|| self.attributes.gather(&batch.attr_fetch_list()));
                 AxeResponse::Sampled { batch, attributes }
             }
             AxeCommand::ReadNodeAttr { nodes } => {
@@ -155,9 +154,11 @@ impl<'a> CommandExecutor<'a> {
                 pairs
                     .iter()
                     .map(|&(u, v)| {
-                        self.graph.neighbors(u).binary_search(&v).ok().map(|i| {
-                            self.graph.edge_weights(u).map_or(1.0, |w| w[i])
-                        })
+                        self.graph
+                            .neighbors(u)
+                            .binary_search(&v)
+                            .ok()
+                            .map(|i| self.graph.edge_weights(u).map_or(1.0, |w| w[i]))
                     })
                     .collect(),
             ),
@@ -210,7 +211,10 @@ mod tests {
         let (g, a) = setup();
         let mut ex = CommandExecutor::new(&g, &a, 1);
         assert_eq!(
-            ex.execute(&AxeCommand::SetCsr { index: 5, value: 99 }),
+            ex.execute(&AxeCommand::SetCsr {
+                index: 5,
+                value: 99
+            }),
             AxeResponse::CsrWritten
         );
         assert_eq!(

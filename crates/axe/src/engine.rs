@@ -246,10 +246,9 @@ impl AccessEngine {
         debug_assert!(st.batch_pending.is_empty(), "all batches must drain");
         let elapsed = st.last_done;
         let secs = elapsed.as_secs_f64().max(1e-12);
-        let (h, m) = st
-            .cores
-            .iter()
-            .fold((0u64, 0u64), |(h, m), c| (h + c.cache.hits(), m + c.cache.misses()));
+        let (h, m) = st.cores.iter().fold((0u64, 0u64), |(h, m), c| {
+            (h + c.cache.hits(), m + c.cache.misses())
+        });
         Measurement {
             batches: st.completed_batches,
             samples: st.samples,
@@ -461,7 +460,7 @@ fn issue_negative(
         let edge_addr = EDGE_BASE + root.0 * avg * 8;
         // A binary search touches ~log2(deg) positions; model as one
         // line-granular probe in the middle of the list.
-        
+
         memory_access(now, &mut s, core, edge_addr + deg * 4, 8, local_root)
     };
     let st2 = st.clone();
@@ -512,9 +511,8 @@ fn issue_attr(sim: &mut Simulation, st: &Shared, core: usize, bid: u32, v: NodeI
             let bytes = s.attr_bytes;
             s.output_bytes += bytes;
             if s.cfg.model_output_limit {
-                let lat = Time::from_nanos(
-                    s.output_link.base_latency_ns + s.output_link.per_request_ns,
-                );
+                let lat =
+                    Time::from_nanos(s.output_link.base_latency_ns + s.output_link.per_request_ns);
                 let (_, f) = s.output_bw.acquire(now, bytes);
                 f + lat
             } else {
@@ -581,8 +579,8 @@ mod tests {
         let four_way = AccessEngine::new(quick_cfg().with_partitions(4)).run(&g, 72, 2);
         assert!(four_way.remote_bytes > 0);
         // ~3/4 of bytes remote under 4-way hash partitioning.
-        let frac = four_way.remote_bytes as f64
-            / (four_way.remote_bytes + four_way.local_bytes) as f64;
+        let frac =
+            four_way.remote_bytes as f64 / (four_way.remote_bytes + four_way.local_bytes) as f64;
         assert!((0.55..0.95).contains(&frac), "remote fraction {frac}");
     }
 
@@ -623,10 +621,10 @@ mod tests {
     #[test]
     fn more_cores_scale_throughput_until_bottleneck() {
         let g = small_graph();
-        let one = AccessEngine::new(quick_cfg().with_cores(1).with_max_outstanding(8))
-            .run(&g, 72, 4);
-        let four = AccessEngine::new(quick_cfg().with_cores(4).with_max_outstanding(8))
-            .run(&g, 72, 4);
+        let one =
+            AccessEngine::new(quick_cfg().with_cores(1).with_max_outstanding(8)).run(&g, 72, 4);
+        let four =
+            AccessEngine::new(quick_cfg().with_cores(4).with_max_outstanding(8)).run(&g, 72, 4);
         assert!(
             four.samples_per_sec > 1.5 * one.samples_per_sec,
             "4-core {} vs 1-core {}",
@@ -640,7 +638,10 @@ mod tests {
         let g = small_graph();
         let m = AccessEngine::new(quick_cfg()).run(&g, 72, 2);
         assert!(m.cache_hit_rate > 0.0, "hit rate {}", m.cache_hit_rate);
-        assert!(m.cache_hit_rate < 0.9, "8KB must not capture temporal reuse");
+        assert!(
+            m.cache_hit_rate < 0.9,
+            "8KB must not capture temporal reuse"
+        );
     }
 
     #[test]
@@ -668,14 +669,9 @@ mod tests {
         .run(&g, 152, 2);
         assert!(serving.samples_per_sec <= base.samples_per_sec * 1.01);
         // Single-partition deployments have no remote traffic to serve.
-        let solo = AccessEngine::new(
-            quick_cfg()
-                .with_partitions(1)
-                .with_symmetric_serving(true),
-        )
-        .run(&g, 152, 2);
-        let solo_base =
-            AccessEngine::new(quick_cfg().with_partitions(1)).run(&g, 152, 2);
+        let solo = AccessEngine::new(quick_cfg().with_partitions(1).with_symmetric_serving(true))
+            .run(&g, 152, 2);
+        let solo_base = AccessEngine::new(quick_cfg().with_partitions(1)).run(&g, 152, 2);
         assert_eq!(solo.samples_per_sec, solo_base.samples_per_sec);
     }
 
@@ -724,10 +720,7 @@ mod tests {
         // 10 negatives per root add 10 output attrs per root.
         let extra = 2 * 16 * 10; // batches * batch_size * rate
         assert_eq!(with.samples, without.samples + extra);
-        assert_eq!(
-            with.output_bytes,
-            without.output_bytes + extra * 72 * 4
-        );
+        assert_eq!(with.output_bytes, without.output_bytes + extra * 72 * 4);
         assert!(with.elapsed > without.elapsed);
     }
 

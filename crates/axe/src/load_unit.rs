@@ -99,7 +99,12 @@ pub fn simulate_stream(
         // both in-flight requests and score-board residents.
         while next_issue < requests && inflight.len() + scoreboard.len() < cfg.max_outstanding {
             let span = max_latency - min_latency;
-            let lat = min_latency + if span == 0 { 0 } else { rng.next_below(span + 1) };
+            let lat = min_latency
+                + if span == 0 {
+                    0
+                } else {
+                    rng.next_below(span + 1)
+                };
             inflight.push(Reverse((now + lat, next_issue)));
             next_issue += 1;
             now += 1; // one issue slot per cycle

@@ -334,12 +334,7 @@ mod tests {
         // slow stage (e.g. pipelining the scoreboard update) raises
         // whole-pipeline throughput.
         let unbalanced = StagePipeline::new(&[("a", 1), ("slow", 6), ("c", 1)]);
-        let balanced = StagePipeline::new(&[
-            ("a", 1),
-            ("slow-1", 3),
-            ("slow-2", 3),
-            ("c", 1),
-        ]);
+        let balanced = StagePipeline::new(&[("a", 1), ("slow-1", 3), ("slow-2", 3), ("c", 1)]);
         assert!(balanced.throughput() > 1.5 * unbalanced.throughput());
         assert!(balanced.batch_latency(500) < unbalanced.batch_latency(500));
     }

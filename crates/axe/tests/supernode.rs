@@ -34,7 +34,11 @@ fn engine_completes_batches_containing_the_supernode() {
     let m = AccessEngine::new(cfg).run(&g, 72, 3);
     assert_eq!(m.batches, 3);
     assert!(m.samples > 0);
-    assert!(m.samples_per_sec > 1e6, "throughput collapsed: {}", m.samples_per_sec);
+    assert!(
+        m.samples_per_sec > 1e6,
+        "throughput collapsed: {}",
+        m.samples_per_sec
+    );
 }
 
 #[test]
@@ -90,5 +94,9 @@ fn streaming_sampler_handles_the_hub_in_one_pass() {
     assert_eq!(picks.len(), 10);
     assert!(StreamingSampler.cycles(n, 10) == n as u64);
     assert_eq!(StreamingSampler.buffer_entries(n), 0);
-    assert_eq!(StandardSampler.buffer_entries(n), n, "conventional needs the full buffer");
+    assert_eq!(
+        StandardSampler.buffer_entries(n),
+        n,
+        "conventional needs the full buffer"
+    );
 }

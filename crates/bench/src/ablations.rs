@@ -12,11 +12,17 @@ use lsdgnn_core::mof::packing::ByteBreakdown;
 /// 8 KB captures all the spatial reuse there is; bigger caches buy
 /// nothing because temporal reuse is absent at LSD-GNN scale.
 pub fn cache_sweep(scale_nodes: u64, batches: u32) {
-    banner("Ablation: cache", "coalescing-cache size vs hit rate and throughput");
+    banner(
+        "Ablation: cache",
+        "coalescing-cache size vs hit rate and throughput",
+    );
     let d = DatasetConfig::by_name("ss").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 31);
     let w = [10, 12, 16, 14];
-    row(&["cache", "hit rate", "samples/s", "mem bytes"].map(String::from), &w);
+    row(
+        &["cache", "hit rate", "samples/s", "mem bytes"].map(String::from),
+        &w,
+    );
     for kb in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut cfg = AxeConfig::poc().with_batch_size(48);
         cfg.cache_bytes = kb * 1024;
@@ -37,7 +43,10 @@ pub fn cache_sweep(scale_nodes: u64, batches: u32) {
 /// Core-count sweep vs the Equation 3 demand. Throughput should rise
 /// until the Eq.3-sized core count saturates the dominant link.
 pub fn core_sweep(scale_nodes: u64, batches: u32) {
-    banner("Ablation: cores", "AxE core count vs throughput (PoC tiers)");
+    banner(
+        "Ablation: cores",
+        "AxE core count vs throughput (PoC tiers)",
+    );
     let d = DatasetConfig::by_name("ss").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 32);
     let tier = TierConfig {
@@ -56,7 +65,10 @@ pub fn core_sweep(scale_nodes: u64, batches: u32) {
         demand / 64.0
     );
     let w = [8, 16, 16];
-    row(&["cores", "samples/s", "avg outstanding"].map(String::from), &w);
+    row(
+        &["cores", "samples/s", "avg outstanding"].map(String::from),
+        &w,
+    );
     let mut prev = 0.0;
     for cores in [1usize, 2, 4, 8, 16] {
         let cfg = AxeConfig::poc()
@@ -86,7 +98,10 @@ pub fn core_sweep(scale_nodes: u64, batches: u32) {
 /// Tech-1 ablation: requests-per-package factor. Utilization climbs
 /// steeply from 1 to 64 requests per package for fine-grained reads.
 pub fn packing_sweep() {
-    banner("Ablation: packing", "requests per package vs wire utilization (16B reads)");
+    banner(
+        "Ablation: packing",
+        "requests per package vs wire utilization (16B reads)",
+    );
     let w = [14, 10, 12];
     row(&["req/package", "pkgs", "data util"].map(String::from), &w);
     for per in [1u64, 4, 16, 64] {
@@ -98,15 +113,16 @@ pub fn packing_sweep() {
             request_packages: pkgs,
             response_packages: pkgs,
             header_bytes: 12 * 2 * pkgs,
-            address_bytes: (8 + 4 * per) * (n / per) + if !n.is_multiple_of(per) { 8 + 4 * (n % per) } else { 0 },
+            address_bytes: (8 + 4 * per) * (n / per)
+                + if !n.is_multiple_of(per) {
+                    8 + 4 * (n % per)
+                } else {
+                    0
+                },
             data_bytes: n * 16,
         };
         row(
-            &[
-                per.to_string(),
-                pkgs.to_string(),
-                pct(b.data_fraction()),
-            ],
+            &[per.to_string(), pkgs.to_string(), pct(b.data_fraction())],
             &w,
         );
     }
@@ -165,7 +181,10 @@ pub fn serving_sweep(scale_nodes: u64, batches: u32) {
     let d = DatasetConfig::by_name("ll").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 34);
     let w = [22, 16, 16];
-    row(&["config", "samples/s", "local bytes"].map(String::from), &w);
+    row(
+        &["config", "samples/s", "local bytes"].map(String::from),
+        &w,
+    );
     // A single local DDR channel makes the serving load visible (with
     // the PoC's 4 channels the MoF fabric binds first and serving is
     // absorbed).

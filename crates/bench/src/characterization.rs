@@ -1,7 +1,7 @@
 //! Section 3 characterization experiments: Figure 2(a)–(e) and Figure 3.
 
 use crate::util::{banner, eng, pct, row};
-use lsdgnn_core::framework::CpuClusterModel;
+use lsdgnn_core::framework::{CpuBackend, CpuClusterModel, SampleRequest, SamplingService};
 use lsdgnn_core::graph::{FootprintModel, NodeId, PAPER_DATASETS};
 use lsdgnn_core::memfabric::{figure_2e_series, LinkModel};
 use lsdgnn_core::nn::E2eModel;
@@ -12,12 +12,21 @@ use rand::SeedableRng;
 /// Figure 2(a): memory footprint of the six graphs and the minimal
 /// servers to carry them.
 pub fn fig2a() {
-    banner("Fig 2(a)", "memory footprint and minimal servers (paper scale)");
+    banner(
+        "Fig 2(a)",
+        "memory footprint and minimal servers (paper scale)",
+    );
     let fm = FootprintModel::default();
     let w = [6, 14, 14, 12, 10];
     row(
-        &["graph", "attr bytes", "struct bytes", "total GiB", "servers"]
-            .map(String::from),
+        &[
+            "graph",
+            "attr bytes",
+            "struct bytes",
+            "total GiB",
+            "servers",
+        ]
+        .map(String::from),
         &w,
     );
     for d in &PAPER_DATASETS {
@@ -35,13 +44,19 @@ pub fn fig2a() {
 }
 
 /// Figure 2(b): sub-linear performance scaling with server count.
-pub fn fig2b() {
-    banner("Fig 2(b)", "sampling speedup vs number of servers (CPU baseline)");
+pub fn fig2b(scale_nodes: u64) {
+    banner(
+        "Fig 2(b)",
+        "sampling speedup vs number of servers (CPU baseline)",
+    );
     let m = CpuClusterModel::default();
     let counts = [1u64, 5, 15];
     let curve = m.scaling_curve(&counts);
     let w = [8, 14, 16];
-    row(&["servers", "speedup", "per-vCPU rate"].map(String::from), &w);
+    row(
+        &["servers", "speedup", "per-vCPU rate"].map(String::from),
+        &w,
+    );
     for (s, x) in counts.iter().zip(curve) {
         row(
             &[
@@ -53,6 +68,45 @@ pub fn fig2b() {
         );
     }
     println!("(ideal would be 1x / 5x / 15x — communication makes it sub-linear)");
+
+    // The cause, executed: the same mini-batch stream served by the real
+    // mini-AliGraph cluster through the SamplingService — the remote
+    // request share grows with the server count.
+    let d = lsdgnn_core::graph::DatasetConfig::by_name("ml").expect("table 2 dataset");
+    let (g, attrs) = d.instantiate_scaled(scale_nodes, 1);
+    let w = [8, 12, 14, 16];
+    row(
+        &["servers", "requests", "samples", "remote share"].map(String::from),
+        &w,
+    );
+    for partitions in [1u32, 4, 8] {
+        let service =
+            SamplingService::with_defaults(Box::new(CpuBackend::new(&g, &attrs, partitions)));
+        let tickets: Vec<_> = (0..16u64)
+            .map(|b| {
+                service.submit(SampleRequest {
+                    roots: (0..32)
+                        .map(|r| NodeId((b * 32 + r) % g.num_nodes()))
+                        .collect(),
+                    hops: d.sampling.hops,
+                    fanout: d.sampling.fanout as usize,
+                    seed: b,
+                })
+            })
+            .collect();
+        let samples: usize = tickets.into_iter().map(|t| t.wait().total_sampled()).sum();
+        let stats = service.stats();
+        row(
+            &[
+                partitions.to_string(),
+                stats.requests.to_string(),
+                samples.to_string(),
+                pct(stats.backend.remote_fraction()),
+            ],
+            &w,
+        );
+        service.shutdown();
+    }
 }
 
 /// Figure 2(c): share of memory requests that are fine-grained structure
@@ -95,7 +149,10 @@ pub fn fig2c(scale_nodes: u64) {
         );
     }
     let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
-    println!("average structure-request share: {} (paper: ~48%)", pct(avg));
+    println!(
+        "average structure-request share: {} (paper: ~48%)",
+        pct(avg)
+    );
 }
 
 /// Figure 2(d): round-trip latency and effective bandwidth versus request
@@ -112,7 +169,10 @@ pub fn fig2d() {
     ];
     let sizes = [8u64, 16, 32, 64, 128, 256, 1024];
     let w = [18, 10, 12, 14];
-    row(&["link", "bytes", "latency", "eff BW"].map(String::from), &w);
+    row(
+        &["link", "bytes", "latency", "eff BW"].map(String::from),
+        &w,
+    );
     for l in &links {
         for &s in &sizes {
             row(
@@ -170,8 +230,15 @@ pub fn fig3() {
     let m = E2eModel::default();
     let w = [12, 12, 12, 10, 12, 14];
     row(
-        &["mode", "sampling", "embedding", "gnn", "end-model", "sampling %"]
-            .map(String::from),
+        &[
+            "mode",
+            "sampling",
+            "embedding",
+            "gnn",
+            "end-model",
+            "sampling %",
+        ]
+        .map(String::from),
         &w,
     );
     for (label, train) in [("training", true), ("inference", false)] {

@@ -16,7 +16,10 @@ pub fn fig16() {
     let quotes = QuoteSet::alibaba_like();
     let model = CostModel::fit(&quotes);
     let w = [12, 12, 12, 10];
-    row(&["instance", "quoted $/h", "model $/h", "error"].map(String::from), &w);
+    row(
+        &["instance", "quoted $/h", "model $/h", "error"].map(String::from),
+        &w,
+    );
     for (spec, price) in &quotes.quotes {
         let pred = model.predict(spec);
         row(
@@ -107,9 +110,18 @@ pub fn fig19() {
         row(
             &[
                 a.name(),
-                format!("{}/s", eng(r.arch_performance(&a.name(), InstanceSize::Small))),
-                format!("{}/s", eng(r.arch_performance(&a.name(), InstanceSize::Medium))),
-                format!("{}/s", eng(r.arch_performance(&a.name(), InstanceSize::Large))),
+                format!(
+                    "{}/s",
+                    eng(r.arch_performance(&a.name(), InstanceSize::Small))
+                ),
+                format!(
+                    "{}/s",
+                    eng(r.arch_performance(&a.name(), InstanceSize::Medium))
+                ),
+                format!(
+                    "{}/s",
+                    eng(r.arch_performance(&a.name(), InstanceSize::Large))
+                ),
             ],
             &w,
         );
@@ -161,13 +173,14 @@ pub fn fig21() {
     row(&["arch", "perf/$ vs CPU"].map(String::from), &w);
     for a in Architecture::ALL {
         row(
-            &[a.name(), format!("{:.2}x", r.arch_perf_per_dollar(&a.name()))],
+            &[
+                a.name(),
+                format!("{:.2}x", r.arch_perf_per_dollar(&a.name())),
+            ],
             &w,
         );
     }
-    println!(
-        "(paper headline: base.decp 2.47x, base.tc 4.11x, comm-opt 7.78x, mem-opt.tc 12.58x)"
-    );
+    println!("(paper headline: base.decp 2.47x, base.tc 4.11x, comm-opt 7.78x, mem-opt.tc 12.58x)");
     println!(
         "tc-over-decp gap: cost-opt {:.1}x, comm-opt {:.1}x, mem-opt {:.1}x (paper: 1.9x / 3.5x / 16.6x)",
         r.speedup("cost-opt.tc", "cost-opt.decp"),
@@ -187,7 +200,10 @@ pub fn limit2() {
     let cpu = CpuClusterModel::default();
     let cost = CostModel::default_fitted();
     let w = [12, 14, 14];
-    row(&["GPU factor", "base.decp", "mem-opt.tc"].map(String::from), &w);
+    row(
+        &["GPU factor", "base.decp", "mem-opt.tc"].map(String::from),
+        &w,
+    );
     for factor in [1.0f64, 2.0, 5.0, 10.0] {
         let r = run_dse_with_gpu_factor(&cpu, &cost, factor);
         row(
@@ -218,10 +234,31 @@ pub fn discussion() {
     let asic = asic_samples_per_sec(fpga_device, 10.0, 16.0, attr_bytes);
     let w = [26, 16];
     row(&["platform", "samples/s"].map(String::from), &w);
-    row(&["Grace-like 144-core CPU".into(), format!("{}/s", eng(grace))], &w);
-    row(&["BlueField-like 300-core DPU".into(), format!("{}/s", eng(dpu))], &w);
-    row(&["10x ASIC behind PCIe".into(), format!("{}/s", eng(asic))], &w);
-    row(&["AxE FPGA (PoC, PCIe-bound)".into(), format!("{}/s", eng(fpga_device))], &w);
+    row(
+        &[
+            "Grace-like 144-core CPU".into(),
+            format!("{}/s", eng(grace)),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "BlueField-like 300-core DPU".into(),
+            format!("{}/s", eng(dpu)),
+        ],
+        &w,
+    );
+    row(
+        &["10x ASIC behind PCIe".into(), format!("{}/s", eng(asic))],
+        &w,
+    );
+    row(
+        &[
+            "AxE FPGA (PoC, PCIe-bound)".into(),
+            format!("{}/s", eng(fpga_device)),
+        ],
+        &w,
+    );
     let (mof, cxl) = cxl_variant_rates(&d);
     println!(
         "CXL outlook (comm-opt.tc on ll/medium): custom MoF {}/s vs standard CXL {}/s",
@@ -234,7 +271,10 @@ pub fn discussion() {
 /// The deployment planner: cheapest (architecture, size, fleet) per
 /// throughput target.
 pub fn planner() {
-    banner("Planner", "cheapest deployment per sampling-throughput target (graph ll)");
+    banner(
+        "Planner",
+        "cheapest deployment per sampling-throughput target (graph ll)",
+    );
     use lsdgnn_core::faas::{plan_sweep, CostModel};
     let d = lsdgnn_core::graph::DatasetConfig::by_name("ll").unwrap();
     let cost = CostModel::default_fitted();
@@ -258,7 +298,14 @@ pub fn planner() {
                 &w,
             ),
             None => row(
-                &[format!("{}/s", eng(t)), "unreachable".into(), "-".into(), "-".into(), "-".into(), "-".into()],
+                &[
+                    format!("{}/s", eng(t)),
+                    "unreachable".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
                 &w,
             ),
         }
@@ -272,5 +319,8 @@ pub fn export_csv() {
     let r = dse();
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/dse.csv", r.to_csv()).expect("write csv");
-    println!("wrote results/dse.csv ({} rows)", r.faas.len() + r.cpu.len());
+    println!(
+        "wrote results/dse.csv ({} rows)",
+        r.faas.len() + r.cpu.len()
+    );
 }

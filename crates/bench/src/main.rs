@@ -30,9 +30,31 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig3", "fig7", "table5", "table6",
-            "table7", "tech2", "tech3", "table11", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "fig19", "fig20", "fig21", "ablations", "limit2", "discussion", "planner",
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "fig2d",
+            "fig2e",
+            "fig3",
+            "fig7",
+            "table5",
+            "table6",
+            "table7",
+            "tech2",
+            "tech3",
+            "table11",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "ablations",
+            "limit2",
+            "discussion",
+            "planner",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -41,7 +63,7 @@ fn main() {
     for exp in selected {
         match exp {
             "fig2a" => characterization::fig2a(),
-            "fig2b" => characterization::fig2b(),
+            "fig2b" => characterization::fig2b(scale),
             "fig2c" => characterization::fig2c(scale),
             "fig2d" => characterization::fig2d(),
             "fig2e" => characterization::fig2e(),

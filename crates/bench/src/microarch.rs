@@ -36,15 +36,20 @@ pub fn fig7() {
 
 /// Table 5: MoF packing versus Gen-Z.
 pub fn table5() {
-    banner("Table 5", "bandwidth utilization vs Gen-Z multi-read packing");
+    banner(
+        "Table 5",
+        "bandwidth utilization vs Gen-Z multi-read packing",
+    );
     let w = [10, 14, 10, 10, 10, 14];
     row(
-        &["scheme", "request", "pkgs", "header", "addr", "data (util)"]
-            .map(String::from),
+        &["scheme", "request", "pkgs", "header", "addr", "data (util)"].map(String::from),
         &w,
     );
     for &size in &[16u64, 64] {
-        for (name, scheme) in [("genz", PackingScheme::GenZ), ("proposed", PackingScheme::Mof)] {
+        for (name, scheme) in [
+            ("genz", PackingScheme::GenZ),
+            ("proposed", PackingScheme::Mof),
+        ] {
             let b = scheme.breakdown(128, size);
             let pkgs = match scheme {
                 PackingScheme::GenZ => b.request_packages + b.response_packages,
@@ -88,7 +93,10 @@ pub fn table6() {
     let mof_acomp = mof_dcomp - addr_raw.min(mof_dcomp) + addr_comp.min(addr_raw);
 
     let w = [26, 14, 10];
-    row(&["configuration", "bytes to send", "saving"].map(String::from), &w);
+    row(
+        &["configuration", "bytes to send", "saving"].map(String::from),
+        &w,
+    );
     let mut prev = genz;
     for (name, bytes) in [
         ("GENZ", genz),
@@ -109,11 +117,19 @@ pub fn table6() {
 
 /// Table 7: QRCH versus MMIO and tightly-coupled ISA extension.
 pub fn table7() {
-    banner("Table 7", "accelerator interaction styles (measured on RV32 interpreter)");
+    banner(
+        "Table 7",
+        "accelerator interaction styles (measured on RV32 interpreter)",
+    );
     let w = [10, 18, 24, 16];
     row(
-        &["style", "cyc/interaction", "programmability", "extensibility"]
-            .map(String::from),
+        &[
+            "style",
+            "cyc/interaction",
+            "programmability",
+            "extensibility",
+        ]
+        .map(String::from),
         &w,
     );
     for (name, style) in [
@@ -182,8 +198,13 @@ pub fn tech3() {
 
 /// Table 11: VU13P resource utilization of the PoC design.
 pub fn table11() {
-    banner("Table 11", "resource utilization of VU13P (PoC configuration)");
-    let u = PocDesign::table10().resources().utilization(&Vu13p::default());
+    banner(
+        "Table 11",
+        "resource utilization of VU13P (PoC configuration)",
+    );
+    let u = PocDesign::table10()
+        .resources()
+        .utilization(&Vu13p::default());
     let w = [10, 10, 10, 10, 10, 10];
     row(
         &["CLBs", "LUTs", "CLB Reg", "BRAM", "URAM", "DSP"].map(String::from),

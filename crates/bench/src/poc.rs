@@ -4,9 +4,12 @@
 use crate::util::{banner, eng, row};
 use lsdgnn_core::axe::{AccessEngine, AxeConfig};
 use lsdgnn_core::faas::perf::{bottleneck_rates, PerfInputs};
-use lsdgnn_core::framework::CpuClusterModel;
-use lsdgnn_core::graph::{FootprintModel, PAPER_DATASETS};
+use lsdgnn_core::framework::{
+    AxeBackend, CpuBackend, CpuClusterModel, SampleRequest, SamplingBackend, SamplingService,
+};
+use lsdgnn_core::graph::{FootprintModel, NodeId, PAPER_DATASETS};
 use lsdgnn_core::memfabric::{MemoryTier, TierConfig};
+use std::sync::Arc;
 
 /// Figure 14: simulated PoC FPGA sampling rate versus the per-vCPU CPU
 /// baseline, per dataset.
@@ -42,6 +45,63 @@ pub fn fig14(scale_nodes: u64, batches: u32) {
     }
     let geomean = (log_sum / PAPER_DATASETS.len() as f64).exp();
     println!("geomean vCPU equivalence: {geomean:.0} (paper: one FPGA ~ 894 vCPUs)");
+
+    // The same workload served functionally through the serving stack:
+    // the backend constructor is the single line that changes between
+    // the two rows of the comparison.
+    let d = lsdgnn_core::graph::DatasetConfig::by_name("ss").expect("table 2 dataset");
+    let (g, attrs) = d.instantiate_scaled(scale_nodes, 10);
+    let backends: [(&str, Box<dyn SamplingBackend>); 2] = [
+        ("cpu", Box::new(CpuBackend::new(&g, &attrs, 4))),
+        (
+            "axe",
+            Box::new(AxeBackend::new(
+                Arc::new(g.clone()),
+                Arc::new(attrs.clone()),
+            )),
+        ),
+    ];
+    let w = [8, 12, 12, 16, 14];
+    row(
+        &[
+            "backend",
+            "requests",
+            "samples",
+            "mean latency",
+            "p99 latency",
+        ]
+        .map(String::from),
+        &w,
+    );
+    for (name, backend) in backends {
+        let service = SamplingService::with_defaults(backend);
+        let tickets: Vec<_> = (0..u64::from(batches) * 4)
+            .map(|b| {
+                service.submit(SampleRequest {
+                    roots: (0..64)
+                        .map(|r| NodeId((b * 64 + r) % g.num_nodes()))
+                        .collect(),
+                    hops: d.sampling.hops,
+                    fanout: d.sampling.fanout as usize,
+                    seed: b,
+                })
+            })
+            .collect();
+        let samples: usize = tickets.into_iter().map(|t| t.wait().total_sampled()).sum();
+        let stats = service.stats();
+        row(
+            &[
+                name.to_string(),
+                stats.requests.to_string(),
+                samples.to_string(),
+                format!("{:.0}us", stats.latency_us.mean()),
+                format!("{}us", stats.latency_us.quantile(0.99)),
+            ],
+            &w,
+        );
+        service.shutdown();
+    }
+    println!("(identical sample counts: the backend swap is invisible in results)");
 }
 
 /// One Figure 15 sweep point.
@@ -61,10 +121,7 @@ fn poc_tier(fpga_channels: Option<u32>) -> TierConfig {
 /// (1/2/4 cores x PCIe/1/2/4-channel x 1-node/4-node), plus the modelled
 /// "w/o PCIe output limitation" series.
 pub fn fig15(scale_nodes: u64, batches: u32) {
-    banner(
-        "Fig 15",
-        "analytical model vs DES measurement (PoC sweeps)",
-    );
+    banner("Fig 15", "analytical model vs DES measurement (PoC sweeps)");
     let d = lsdgnn_core::graph::DatasetConfig::by_name("ss").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 11);
     let avg_deg = g.avg_degree();
@@ -72,12 +129,24 @@ pub fn fig15(scale_nodes: u64, batches: u32) {
 
     let w = [8, 8, 8, 16, 16, 10, 18];
     row(
-        &["cores", "mem", "nodes", "DES samples/s", "model samples/s", "err", "model w/o PCIe"]
-            .map(String::from),
+        &[
+            "cores",
+            "mem",
+            "nodes",
+            "DES samples/s",
+            "model samples/s",
+            "err",
+            "model w/o PCIe",
+        ]
+        .map(String::from),
         &w,
     );
-    let mem_configs: [(&str, Option<u32>); 4] =
-        [("PCIe", None), ("1-chn", Some(1)), ("2-chn", Some(2)), ("4-chn", Some(4))];
+    let mem_configs: [(&str, Option<u32>); 4] = [
+        ("PCIe", None),
+        ("1-chn", Some(1)),
+        ("2-chn", Some(2)),
+        ("4-chn", Some(4)),
+    ];
     let mut errs = Vec::new();
     for nodes in [1u32, 4] {
         for (mem_name, chans) in mem_configs {

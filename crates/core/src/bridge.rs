@@ -3,10 +3,11 @@
 //!
 //! The paper's §4.4/§5 stack has user C code on the RISC-V issuing AxE
 //! commands through QRCH queues. [`QrchAxeBridge`] implements the
-//! [`lsdgnn_riscv::Device`] trait over a live
-//! [`lsdgnn_axe::CommandExecutor`], so an assembled RV32 program samples
-//! a *real graph*: queue 0 carries the command words, queue 1 the
-//! responses.
+//! [`lsdgnn_riscv::Device`] trait over the framework's
+//! [`AxeBackend`] — the same `SamplingBackend` the serving stack
+//! dispatches to — so an assembled RV32 program samples a *real graph*
+//! through the same interface the `SamplingService` uses: queue 0
+//! carries the command words, queue 1 the responses.
 //!
 //! Wire protocol (one word per queue push):
 //!
@@ -17,24 +18,25 @@
 //!   the attribute vector's float sum as `f32` bits (a compact way for a
 //!   32-bit control core to verify payloads).
 
-use lsdgnn_axe::command::SampleMethod;
-use lsdgnn_axe::{AxeCommand, AxeResponse, CommandExecutor};
+use lsdgnn_framework::{AxeBackend, SampleRequest, SamplingBackend};
 use lsdgnn_graph::NodeId;
 use lsdgnn_riscv::Device;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// The bridge device: owns a command executor over borrowed graph data.
-pub struct QrchAxeBridge<'a> {
-    executor: CommandExecutor<'a>,
+/// The bridge device: drives an [`AxeBackend`] over shared graph data.
+pub struct QrchAxeBridge {
+    backend: AxeBackend,
+    graph: Arc<lsdgnn_graph::CsrGraph>,
+    seed: u64,
     /// Pending root for the two-word sample command.
     staged_root: Option<u32>,
     /// Response queue toward the CPU (q1).
     responses: VecDeque<u32>,
-    /// Scratch queues (q2..) for raw values.
     commands_served: u64,
 }
 
-impl std::fmt::Debug for QrchAxeBridge<'_> {
+impl std::fmt::Debug for QrchAxeBridge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QrchAxeBridge")
             .field("commands_served", &self.commands_served)
@@ -42,15 +44,19 @@ impl std::fmt::Debug for QrchAxeBridge<'_> {
     }
 }
 
-impl<'a> QrchAxeBridge<'a> {
+impl QrchAxeBridge {
     /// Creates a bridge over graph + attributes.
     pub fn new(
-        graph: &'a lsdgnn_graph::CsrGraph,
-        attributes: &'a lsdgnn_graph::AttributeStore,
+        graph: &lsdgnn_graph::CsrGraph,
+        attributes: &lsdgnn_graph::AttributeStore,
         seed: u64,
     ) -> Self {
+        let graph = Arc::new(graph.clone());
+        let attributes = Arc::new(attributes.clone());
         QrchAxeBridge {
-            executor: CommandExecutor::new(graph, attributes, seed),
+            backend: AxeBackend::new(graph.clone(), attributes),
+            graph,
+            seed,
             staged_root: None,
             responses: VecDeque::new(),
             commands_served: 0,
@@ -65,39 +71,28 @@ impl<'a> QrchAxeBridge<'a> {
     fn run_sample(&mut self, root: u32, spec: u32) {
         let hops = (spec >> 16).max(1);
         let fanout = (spec & 0xFFFF).max(1) as usize;
-        let resp = self.executor.execute(&AxeCommand::SampleNHop {
-            roots: vec![NodeId(root as u64)],
+        let batch = self.backend.sample_neighbors(&SampleRequest {
+            roots: vec![NodeId(u64::from(root))],
             hops,
             fanout,
-            method: SampleMethod::Streaming,
-            with_attributes: false,
+            // Each command draws fresh, reproducible randomness.
+            seed: self.seed.wrapping_add(self.commands_served),
         });
-        if let AxeResponse::Sampled { batch, .. } = resp {
-            let sampled: Vec<u32> = batch
-                .hops
-                .iter()
-                .flatten()
-                .map(|v| v.0 as u32)
-                .collect();
-            self.responses.push_back(sampled.len() as u32);
-            self.responses.extend(sampled);
-            self.commands_served += 1;
-        }
+        let sampled: Vec<u32> = batch.hops.iter().flatten().map(|v| v.0 as u32).collect();
+        self.responses.push_back(sampled.len() as u32);
+        self.responses.extend(sampled);
+        self.commands_served += 1;
     }
 
     fn run_attr_checksum(&mut self, node: u32) {
-        let resp = self.executor.execute(&AxeCommand::ReadNodeAttr {
-            nodes: vec![NodeId(node as u64)],
-        });
-        if let AxeResponse::NodeAttrs(attrs) = resp {
-            let sum: f32 = attrs.iter().sum();
-            self.responses.push_back(sum.to_bits());
-            self.commands_served += 1;
-        }
+        let attrs = self.backend.gather_attributes(&[NodeId(u64::from(node))]);
+        let sum: f32 = attrs.iter().sum();
+        self.responses.push_back(sum.to_bits());
+        self.commands_served += 1;
     }
 }
 
-impl Device for QrchAxeBridge<'_> {
+impl Device for QrchAxeBridge {
     fn mmio_read(&mut self, offset: u32) -> u32 {
         match offset {
             // Status register: pending responses.
@@ -137,8 +132,8 @@ impl Device for QrchAxeBridge<'_> {
 
     fn accel_op(&mut self, a: u32, _b: u32) -> u32 {
         // Tightly-coupled degree query: deg(node a).
-        self.executor
-            .graph_degree(NodeId(a as u64))
+        self.graph
+            .degree(NodeId(u64::from(a)))
             .try_into()
             .unwrap_or(u32::MAX)
     }
@@ -222,5 +217,26 @@ mod tests {
         cpu.load_program(&program);
         cpu.run(10_000).unwrap();
         assert_eq!(cpu.reg(12) as u64, g.degree(NodeId(7)));
+    }
+
+    #[test]
+    fn bridge_commands_are_reproducible() {
+        // Same seed, same command stream -> same responses (the
+        // per-request-seed contract surfacing at the control plane).
+        let (g, a) = setup();
+        let run = || {
+            let mut bridge = QrchAxeBridge::new(&g, &a, 12);
+            bridge.qrch_push(0, 5);
+            bridge.qrch_push(0, (2 << 16) | 4);
+            let mut out = Vec::new();
+            while let Some(v) = bridge.qrch_pop(1) {
+                out.push(v);
+                if bridge.qrch_len(1) == 0 {
+                    break;
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

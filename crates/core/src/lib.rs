@@ -53,8 +53,9 @@ pub use lsdgnn_sampler as sampler;
 pub use bridge::QrchAxeBridge;
 
 use lsdgnn_axe::{AccessEngine, AxeConfig, Measurement};
-use lsdgnn_framework::CpuClusterModel;
-use lsdgnn_graph::{AttributeStore, CsrGraph, DatasetConfig, FootprintModel};
+use lsdgnn_framework::{AxeBackend, CpuClusterModel, SampleRequest, SamplingService};
+use lsdgnn_graph::{AttributeStore, CsrGraph, DatasetConfig, FootprintModel, NodeId};
+use std::sync::Arc;
 
 /// The assembled proof-of-concept system: a scaled-down dataset, the
 /// Table 10 AxE configuration, and the CPU baseline model — enough to
@@ -83,6 +84,10 @@ pub struct PocComparison {
     /// How many vCPUs one FPGA replaces (the paper's headline is ~894 on
     /// average across the six datasets).
     pub fpga_vcpu_equivalent: f64,
+    /// Nodes actually sampled by routing the same mini-batches through
+    /// the serving stack (`SamplingService` over an `AxeBackend`) — the
+    /// functional validation beside the timing numbers.
+    pub served_samples: u64,
 }
 
 impl PocSystem {
@@ -93,8 +98,8 @@ impl PocSystem {
     ///
     /// Panics if `name` is not a Table 2 dataset.
     pub fn scaled_down(name: &str, max_nodes: u64, seed: u64) -> Self {
-        let dataset = DatasetConfig::by_name(name)
-            .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
+        let dataset =
+            DatasetConfig::by_name(name).unwrap_or_else(|| panic!("unknown dataset `{name}`"));
         let (graph, attributes) = dataset.instantiate_scaled(max_nodes, seed);
         PocSystem {
             dataset,
@@ -114,16 +119,44 @@ impl PocSystem {
         )
     }
 
+    /// Opens the serving stack over this system's graph: a
+    /// [`SamplingService`] fed by an [`AxeBackend`]. Swapping the boxed
+    /// backend for a `CpuBackend` is the one-line CPU-vs-AxE switch.
+    pub fn serving_stack(&self) -> SamplingService {
+        SamplingService::with_defaults(Box::new(AxeBackend::new(
+            Arc::new(self.graph.clone()),
+            Arc::new(self.attributes.clone()),
+        )))
+    }
+
     /// Runs the Figure 14 comparison: AxE throughput versus the per-vCPU
-    /// CPU baseline for this dataset.
+    /// CPU baseline for this dataset, with the same mini-batches also
+    /// routed functionally through the sampling service.
     pub fn compare_against_cpu(&self, batches: u32) -> PocComparison {
         let m = self.run_axe(batches);
         let fm = FootprintModel::default();
         let vcpu = self.cpu_model.vcpu_rate_for(&self.dataset, &fm);
+        // The timing numbers above come from the DES; serve the same
+        // workload through the real backend interface so the comparison
+        // is backed by executed sampling, not just a model.
+        let service = self.serving_stack();
+        let roots_per_batch = 64.min(self.graph.num_nodes() as usize);
+        let mut served_samples = 0u64;
+        for b in 0..batches {
+            let batch = service.sample(SampleRequest {
+                roots: (0..roots_per_batch as u64).map(NodeId).collect(),
+                hops: self.dataset.sampling.hops,
+                fanout: self.dataset.sampling.fanout as usize,
+                seed: self.axe_config.seed ^ u64::from(b),
+            });
+            served_samples += batch.total_sampled() as u64;
+        }
+        service.shutdown();
         PocComparison {
             fpga_samples_per_sec: m.samples_per_sec,
             vcpu_samples_per_sec: vcpu,
             fpga_vcpu_equivalent: m.samples_per_sec / vcpu,
+            served_samples,
         }
     }
 }
@@ -150,6 +183,24 @@ mod tests {
             "vcpu equivalent {}",
             cmp.fpga_vcpu_equivalent
         );
+        assert!(
+            cmp.served_samples > 0,
+            "the serving stack produced no samples"
+        );
+    }
+
+    #[test]
+    fn serving_stack_is_deterministic_per_request_seed() {
+        let poc = PocSystem::scaled_down("ss", 1_500, 9);
+        let service = poc.serving_stack();
+        let req = SampleRequest {
+            roots: (0..16).map(NodeId).collect(),
+            hops: 2,
+            fanout: 5,
+            seed: 3,
+        };
+        assert_eq!(service.sample(req.clone()), service.sample(req));
+        service.shutdown();
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&mut self, sample: Time) {
         let t = sample.as_ticks();
-        let idx = if t == 0 { 0 } else { 63 - t.leading_zeros() as usize };
+        let idx = if t == 0 {
+            0
+        } else {
+            63 - t.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += t as u128;

@@ -40,14 +40,38 @@ impl Architecture {
     /// All eight architectures in the paper's presentation order
     /// (decoupled first, then tightly coupled).
     pub const ALL: [Architecture; 8] = [
-        Architecture { kind: ArchKind::Base, coupling: Coupling::Decp },
-        Architecture { kind: ArchKind::CostOpt, coupling: Coupling::Decp },
-        Architecture { kind: ArchKind::CommOpt, coupling: Coupling::Decp },
-        Architecture { kind: ArchKind::MemOpt, coupling: Coupling::Decp },
-        Architecture { kind: ArchKind::Base, coupling: Coupling::Tc },
-        Architecture { kind: ArchKind::CostOpt, coupling: Coupling::Tc },
-        Architecture { kind: ArchKind::CommOpt, coupling: Coupling::Tc },
-        Architecture { kind: ArchKind::MemOpt, coupling: Coupling::Tc },
+        Architecture {
+            kind: ArchKind::Base,
+            coupling: Coupling::Decp,
+        },
+        Architecture {
+            kind: ArchKind::CostOpt,
+            coupling: Coupling::Decp,
+        },
+        Architecture {
+            kind: ArchKind::CommOpt,
+            coupling: Coupling::Decp,
+        },
+        Architecture {
+            kind: ArchKind::MemOpt,
+            coupling: Coupling::Decp,
+        },
+        Architecture {
+            kind: ArchKind::Base,
+            coupling: Coupling::Tc,
+        },
+        Architecture {
+            kind: ArchKind::CostOpt,
+            coupling: Coupling::Tc,
+        },
+        Architecture {
+            kind: ArchKind::CommOpt,
+            coupling: Coupling::Tc,
+        },
+        Architecture {
+            kind: ArchKind::MemOpt,
+            coupling: Coupling::Tc,
+        },
     ];
 
     /// Name in the paper's `kind.coupling` format, e.g. `comm-opt.tc`.
@@ -235,7 +259,9 @@ mod tests {
 
     #[test]
     fn nic_sharing_flags() {
-        assert!(Architecture::parse("base.decp").unwrap().output_shares_nic());
+        assert!(Architecture::parse("base.decp")
+            .unwrap()
+            .output_shares_nic());
         assert!(!Architecture::parse("base.tc").unwrap().output_shares_nic());
         assert!(Architecture::parse("base.tc").unwrap().remote_on_nic());
         assert!(!Architecture::parse("comm-opt.tc").unwrap().remote_on_nic());

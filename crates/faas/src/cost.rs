@@ -174,13 +174,7 @@ impl CostModel {
 
     /// Hourly price of the CPU-only variant of a Table 12 instance.
     pub fn cpu_instance_price(&self, inst: InstanceSize) -> f64 {
-        let spec = InstanceSpec::new(
-            inst.name(),
-            inst.vcpus(),
-            inst.memory_gb() as u32,
-            0,
-            0,
-        );
+        let spec = InstanceSpec::new(inst.name(), inst.vcpus(), inst.memory_gb() as u32, 0, 0);
         self.predict(&spec)
     }
 
@@ -310,9 +304,8 @@ mod tests {
                 .enumerate()
                 .map(|(i, &(v, m, f, g))| {
                     let spec = InstanceSpec::new(&format!("s{i}"), v, m, f, g);
-                    let price = 0.1 + 0.05 * v as f64 + 0.005 * m as f64
-                        + 1.0 * f as f64
-                        + 2.0 * g as f64;
+                    let price =
+                        0.1 + 0.05 * v as f64 + 0.005 * m as f64 + 1.0 * f as f64 + 2.0 * g as f64;
                     (spec, price)
                 })
                 .collect(),

@@ -61,12 +61,7 @@ impl DpuNode {
     /// Sampling throughput: min(core-limited software rate, wire rate).
     /// §9: "limited by the processing capability. Hence they cannot
     /// fully utilize the bandwidth."
-    pub fn samples_per_sec(
-        &self,
-        cpu: &CpuClusterModel,
-        servers: u64,
-        attr_bytes: f64,
-    ) -> f64 {
+    pub fn samples_per_sec(&self, cpu: &CpuClusterModel, servers: u64, attr_bytes: f64) -> f64 {
         let core_rate = self.cores as f64 * cpu.vcpu_rate(servers);
         let wire_rate = self.nic_gbps * 1e9 / attr_bytes;
         core_rate.min(wire_rate)

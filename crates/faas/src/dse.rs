@@ -102,8 +102,7 @@ pub fn run_dse_with_gpu_factor(
             });
             for a in Architecture::ALL {
                 let rate = perf::samples_per_sec(a, size, d);
-                let price =
-                    cost_model.faas_instance_price(size, gpu_factor * gpus_needed(rate, d));
+                let price = cost_model.faas_instance_price(size, gpu_factor * gpus_needed(rate, d));
                 faas.push(DseCell {
                     arch: a.name(),
                     size,
@@ -287,7 +286,10 @@ mod tests {
         let r = dse();
         let base = r.arch_perf_per_dollar("base.tc");
         let cost = r.arch_perf_per_dollar("cost-opt.tc");
-        assert!((cost / base - 1.0).abs() < 0.25, "base {base} vs cost {cost}");
+        assert!(
+            (cost / base - 1.0).abs() < 0.25,
+            "base {base} vs cost {cost}"
+        );
     }
 
     #[test]
@@ -342,9 +344,7 @@ mod tests {
     fn tc_vs_decp_gap_grows_with_optimization() {
         // §7.4: the tc benefit magnifies from cost-opt to mem-opt.
         let r = dse();
-        let gap = |kind: &str| {
-            r.speedup(&format!("{kind}.tc"), &format!("{kind}.decp"))
-        };
+        let gap = |kind: &str| r.speedup(&format!("{kind}.tc"), &format!("{kind}.decp"));
         let cost_gap = gap("cost-opt");
         let mem_gap = gap("mem-opt");
         assert!(mem_gap > cost_gap, "mem {mem_gap} vs cost {cost_gap}");
@@ -380,7 +380,10 @@ mod tests {
         let heavy = run_dse_with_gpu_factor(&cpu, &cost, 10.0);
         let light_mem = light.arch_perf_per_dollar("mem-opt.tc");
         let heavy_mem = heavy.arch_perf_per_dollar("mem-opt.tc");
-        assert!(heavy_mem < light_mem / 3.0, "light {light_mem} vs heavy {heavy_mem}");
+        assert!(
+            heavy_mem < light_mem / 3.0,
+            "light {light_mem} vs heavy {heavy_mem}"
+        );
         assert!(
             (1.0..4.0).contains(&heavy_mem),
             "heavy-NN mem-opt.tc perf/$ {heavy_mem} (paper: 1.48x)"

@@ -129,8 +129,7 @@ pub fn bottleneck_rates(p: &PerfInputs) -> BottleneckRates {
     let rtt_local = p.local.round_trip(mean_req as u64).as_nanos_f64();
     let rtt_remote = p.remote.round_trip(mean_req as u64).as_nanos_f64();
     let rtt = rtt_local * (1.0 - p.remote_fraction) + rtt_remote * p.remote_fraction;
-    let concurrency =
-        (p.cores as f64 * p.tags_per_core as f64 / (rtt * 1e-9)) / reqs_per_sample;
+    let concurrency = (p.cores as f64 * p.tags_per_core as f64 / (rtt * 1e-9)) / reqs_per_sample;
 
     // The streaming sampler consumes deg cycles per expansion, i.e.
     // deg/fanout cycles per sample, per core.
@@ -237,8 +236,7 @@ mod tests {
         for kind in ["base", "cost-opt", "comm-opt", "mem-opt"] {
             for d in &PAPER_DATASETS {
                 let tc = samples_per_sec(arch(&format!("{kind}.tc")), InstanceSize::Medium, d);
-                let decp =
-                    samples_per_sec(arch(&format!("{kind}.decp")), InstanceSize::Medium, d);
+                let decp = samples_per_sec(arch(&format!("{kind}.decp")), InstanceSize::Medium, d);
                 assert!(tc >= decp, "{kind} on {}: tc {tc} < decp {decp}", d.name);
             }
         }

@@ -70,14 +70,10 @@ pub fn plan_cheapest(
                 if instances > 4096 {
                     break;
                 }
-                let throughput =
-                    per_instance * instances as f64 * fleet_efficiency(instances);
+                let throughput = per_instance * instances as f64 * fleet_efficiency(instances);
                 if throughput >= target_samples_per_sec {
                     let price = instances as f64
-                        * cost_model.faas_instance_price(
-                            size,
-                            gpus_needed(per_instance, dataset),
-                        );
+                        * cost_model.faas_instance_price(size, gpus_needed(per_instance, dataset));
                     let cand = Deployment {
                         arch,
                         size,
@@ -165,7 +161,10 @@ mod tests {
         let (d, cost) = setup();
         let plan = plan_cheapest(&d, 500e6, &cost).unwrap();
         assert!(
-            matches!(plan.arch.kind, crate::arch::ArchKind::MemOpt | crate::arch::ArchKind::CommOpt),
+            matches!(
+                plan.arch.kind,
+                crate::arch::ArchKind::MemOpt | crate::arch::ArchKind::CommOpt
+            ),
             "expected an optimized architecture, got {}",
             plan.arch.name()
         );

@@ -352,7 +352,9 @@ mod tests {
 
     #[test]
     fn table11_utilization_reproduced() {
-        let u = PocDesign::table10().resources().utilization(&Vu13p::default());
+        let u = PocDesign::table10()
+            .resources()
+            .utilization(&Vu13p::default());
         // Paper: 60.53% CLB, 35.07% LUT, 22.48% reg, 39.29% BRAM,
         // 40% URAM, 12.5% DSP.
         assert!((u.clb_pct - 60.53).abs() < 5.0, "clb {}", u.clb_pct);

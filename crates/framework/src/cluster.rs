@@ -1,7 +1,7 @@
 //! The distributed graph service: server threads own partitions, workers
 //! traverse and sample through channels.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_graph::{NodeId, PartitionId, PartitionedGraph};
 use lsdgnn_sampler::{NeighborSampler, SampleBatch, StreamingSampler};
 use rand::rngs::SmallRng;
@@ -23,6 +23,12 @@ enum Request {
     },
     Shutdown,
 }
+
+/// Per-server request-queue depth. Bounded so a storm of workers blocks
+/// at the send (backpressure) instead of growing server queues without
+/// limit — the serving-layer discipline the §2.4 heavy-traffic scenario
+/// requires end to end.
+const SERVER_QUEUE_DEPTH: usize = 64;
 
 /// Local/remote request accounting of one operation (feeds the
 /// Figure 2(b)/(c) characterization).
@@ -49,7 +55,9 @@ impl RequestStats {
         }
     }
 
-    fn merge(&mut self, other: RequestStats) {
+    /// Folds another operation's accounting into this one (used by
+    /// backends accumulating per-request stats into a running total).
+    pub fn merge(&mut self, other: RequestStats) {
         self.local_requests += other.local_requests;
         self.remote_requests += other.remote_requests;
         self.nodes_expanded += other.nodes_expanded;
@@ -115,7 +123,7 @@ impl Cluster {
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for p in 0..graph.partitions() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(SERVER_QUEUE_DEPTH);
             let g = graph.clone();
             handles.push(std::thread::spawn(move || serve(g, PartitionId(p), rx)));
             senders.push(tx);
@@ -230,7 +238,7 @@ impl Cluster {
             } else {
                 stats.remote_requests += 1;
             }
-            let (reply_tx, reply_rx) = unbounded();
+            let (reply_tx, reply_rx) = bounded(1);
             self.senders[p]
                 .send(Request::Attrs {
                     nodes: group,
@@ -248,10 +256,7 @@ impl Cluster {
 
     /// Like `fetch_neighbors`, with per-group reply channels so responses
     /// are matched to their request groups.
-    pub fn fetch_neighbors_indexed(
-        &self,
-        nodes: &[NodeId],
-    ) -> (Vec<Vec<NodeId>>, RequestStats) {
+    pub fn fetch_neighbors_indexed(&self, nodes: &[NodeId]) -> (Vec<Vec<NodeId>>, RequestStats) {
         let mut stats = RequestStats {
             nodes_expanded: nodes.len() as u64,
             ..Default::default()
@@ -273,7 +278,7 @@ impl Cluster {
             } else {
                 stats.remote_requests += 1;
             }
-            let (reply_tx, reply_rx) = unbounded();
+            let (reply_tx, reply_rx) = bounded(1);
             self.senders[p]
                 .send(Request::Neighbors {
                     nodes: group,

@@ -82,7 +82,13 @@ impl CpuClusterModel {
     /// keep wall-clock reasonable, and returns the measured samples/sec
     /// (scaled back). Used to sanity-check the analytic numbers against
     /// real execution.
-    pub fn execute_scaled<R: Rng>(&self, rng: &mut R, servers: u64, samples: u64, scale: f64) -> f64 {
+    pub fn execute_scaled<R: Rng>(
+        &self,
+        rng: &mut R,
+        servers: u64,
+        samples: u64,
+        scale: f64,
+    ) -> f64 {
         assert!(scale >= 1.0, "scale must be >= 1");
         let per_ns = self.per_sample_ns(servers) / scale;
         let start = std::time::Instant::now();
@@ -111,8 +117,16 @@ mod tests {
         let curve = m.scaling_curve(&[1, 5, 15]);
         assert_eq!(curve[0], 1.0);
         // 5 servers: well below 5x; 15 servers: well below 15x.
-        assert!((2.0..4.5).contains(&curve[1]), "5-server speedup {}", curve[1]);
-        assert!((4.0..9.0).contains(&curve[2]), "15-server speedup {}", curve[2]);
+        assert!(
+            (2.0..4.5).contains(&curve[1]),
+            "5-server speedup {}",
+            curve[1]
+        );
+        assert!(
+            (4.0..9.0).contains(&curve[2]),
+            "15-server speedup {}",
+            curve[2]
+        );
         assert!(curve[1] < curve[2]);
     }
 

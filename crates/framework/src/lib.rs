@@ -1,44 +1,62 @@
 //! Mini-AliGraph: the industrial framework layer of the reproduction
 //! (paper §2.4 and §5).
 //!
-//! Three pieces:
+//! The serving stack, bottom to top:
 //!
 //! * [`cluster`] — a real multi-threaded distributed graph service in the
 //!   AliGraph mold: one *server* thread per partition owning that shard's
 //!   adjacency + attributes, *workers* driving traversal/sampling through
-//!   message channels. Local/remote request accounting feeds the
+//!   bounded message channels. Local/remote request accounting feeds the
 //!   Figure 2(b)/(c) characterization.
+//! * [`backend`] — the hardware-abstraction layer: the
+//!   [`SamplingBackend`] trait plus its implementations — `CpuBackend`
+//!   (the cluster), `AxeBackend` (the Access Engine, in [`offload`]) and
+//!   the `CachedBackend` decorator folding [`hot_cache`] in front of any
+//!   of them.
+//! * [`service`] — the batched, backpressured [`SamplingService`]:
+//!   worker shards coalescing `SampleRequest`s from a bounded queue into
+//!   deadline-bounded batches, with queue/batch/latency histograms.
 //! * [`cpu_model`] — the calibrated CPU-baseline timing model: per-vCPU
 //!   sampling rate and the sub-linear server-scaling curve of
 //!   Figure 2(b).
 //! * [`offload`] — the near-transparent user interface of §5: a
-//!   `GraphLearnSession` whose sampling calls route to either the CPU
-//!   path or the AxE accelerator, unchanged for the caller.
+//!   `GraphLearnSession` whose sampling calls route through the service
+//!   over either backend, unchanged for the caller.
 //!
 //! # Example
 //!
 //! ```
-//! use lsdgnn_framework::cluster::Cluster;
-//! use lsdgnn_graph::{generators, AttributeStore, NodeId, PartitionedGraph};
+//! use lsdgnn_framework::{CpuBackend, SampleRequest, SamplingService};
+//! use lsdgnn_graph::{generators, AttributeStore, NodeId};
 //!
 //! let g = generators::power_law(500, 8, 1);
 //! let attrs = AttributeStore::synthetic(500, 16, 1);
-//! let pg = PartitionedGraph::new(g, 4).with_attributes(attrs);
-//! let cluster = Cluster::spawn(pg);
-//! let (batch, stats) = cluster.sample_batch(&[NodeId(1), NodeId(2)], 2, 5, 7);
+//! // The one-line backend choice: swap CpuBackend for AxeBackend and
+//! // the rest of this snippet is unchanged.
+//! let service = SamplingService::with_defaults(Box::new(CpuBackend::new(&g, &attrs, 4)));
+//! let batch = service.sample(SampleRequest {
+//!     roots: vec![NodeId(1), NodeId(2)],
+//!     hops: 2,
+//!     fanout: 5,
+//!     seed: 7,
+//! });
 //! assert_eq!(batch.hops.len(), 2);
-//! assert!(stats.remote_requests > 0);
-//! cluster.shutdown();
+//! assert!(service.stats().backend.remote_requests > 0);
+//! service.shutdown();
 //! ```
 
+pub mod backend;
 pub mod cluster;
 pub mod cpu_model;
 pub mod hot_cache;
 pub mod offload;
+pub mod service;
 pub mod trainer;
 
+pub use backend::{CachedBackend, CpuBackend, SampleRequest, SamplingBackend};
 pub use cluster::{Cluster, RequestStats};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
-pub use offload::{GraphLearnSession, SamplerBackend};
+pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
+pub use service::{Histogram, SampleTicket, SamplingService, ServiceConfig, ServiceStats};
 pub use trainer::{EpochReport, TrainerConfig, TrainingJob};

@@ -66,10 +66,11 @@ pub struct EpochReport {
     pub sampled: usize,
 }
 
-/// The training job: owns the model, borrows the graph.
+/// The training job: owns the model and its sampling session, borrows
+/// the graph for structure checks.
 pub struct TrainingJob<'a> {
     graph: &'a CsrGraph,
-    session: GraphLearnSession<'a>,
+    session: GraphLearnSession,
     sage: SageMaxLayer,
     predictor: LinkPredictor,
     embed: lsdgnn_nn::Linear,
@@ -79,7 +80,9 @@ pub struct TrainingJob<'a> {
 
 impl std::fmt::Debug for TrainingJob<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TrainingJob").field("cfg", &self.cfg).finish()
+        f.debug_struct("TrainingJob")
+            .field("cfg", &self.cfg)
+            .finish()
     }
 }
 
@@ -93,8 +96,7 @@ impl<'a> TrainingJob<'a> {
         partitions: u32,
         cfg: TrainerConfig,
     ) -> Self {
-        let session =
-            GraphLearnSession::open(graph, attributes, backend, partitions, cfg.seed);
+        let session = GraphLearnSession::open(graph, attributes, backend, partitions, cfg.seed);
         TrainingJob {
             graph,
             sage: SageMaxLayer::new(cfg.embed_dim, cfg.embed_dim, cfg.seed),
@@ -158,9 +160,9 @@ impl<'a> TrainingJob<'a> {
             for (i, &root) in roots.iter().enumerate() {
                 if let Some(&first) = adjacency[i].first() {
                     let h_root = l2_normalized(hidden.row(i));
-                    total_loss += self
-                        .predictor
-                        .train_pair(&h_root, &l2_normalized(emb.row(first)), 1.0);
+                    total_loss +=
+                        self.predictor
+                            .train_pair(&h_root, &l2_normalized(emb.row(first)), 1.0);
                     total_pairs += 1;
                     for _ in 0..self.cfg.negative_rate {
                         let neg = NodeId(self.rng.gen_range(0..n));
@@ -182,11 +184,9 @@ impl<'a> TrainingJob<'a> {
                                 }
                             };
                             let h_root = l2_normalized(hidden.row(i));
-                            total_loss += self.predictor.train_pair(
-                                &h_root,
-                                &l2_normalized(&neg_emb),
-                                0.0,
-                            );
+                            total_loss +=
+                                self.predictor
+                                    .train_pair(&h_root, &l2_normalized(&neg_emb), 0.0);
                             total_pairs += 1;
                         }
                     }
@@ -229,13 +229,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let (g, a) = setup();
-        let mut job = TrainingJob::new(
-            &g,
-            &a,
-            SamplerBackend::Axe,
-            1,
-            TrainerConfig::default(),
-        );
+        let mut job = TrainingJob::new(&g, &a, SamplerBackend::Axe, 1, TrainerConfig::default());
         let first = job.run_epoch(4);
         let mut last = first;
         for _ in 0..5 {
@@ -256,8 +250,7 @@ mod tests {
     fn cpu_and_axe_backends_both_train() {
         let (g, a) = setup();
         for backend in [SamplerBackend::Cpu, SamplerBackend::Axe] {
-            let mut job =
-                TrainingJob::new(&g, &a, backend, 2, TrainerConfig::default());
+            let mut job = TrainingJob::new(&g, &a, backend, 2, TrainerConfig::default());
             let r1 = job.run_epoch(3);
             let mut r2 = r1;
             for _ in 0..4 {
@@ -276,13 +269,7 @@ mod tests {
     #[test]
     fn predictor_is_accessible_after_training() {
         let (g, a) = setup();
-        let mut job = TrainingJob::new(
-            &g,
-            &a,
-            SamplerBackend::Axe,
-            1,
-            TrainerConfig::default(),
-        );
+        let mut job = TrainingJob::new(&g, &a, SamplerBackend::Axe, 1, TrainerConfig::default());
         job.run_epoch(2);
         assert_eq!(job.predictor().dim(), TrainerConfig::default().embed_dim);
         job.finish();

@@ -173,9 +173,7 @@ pub fn two_community(num_nodes: u64, p_in: f64, p_out: f64, seed: u64) -> (CsrGr
         "probabilities must be in [0, 1]"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let labels: Vec<u8> = (0..num_nodes)
-        .map(|v| (v >= num_nodes / 2) as u8)
-        .collect();
+    let labels: Vec<u8> = (0..num_nodes).map(|v| (v >= num_nodes / 2) as u8).collect();
     let mut builder = GraphBuilder::new(num_nodes);
     for u in 0..num_nodes {
         for v in (u + 1)..num_nodes {
@@ -198,12 +196,7 @@ pub fn two_community(num_nodes: u64, p_in: f64, p_out: f64, seed: u64) -> (CsrGr
 /// # Panics
 ///
 /// Panics if `max_nodes < 2`.
-pub fn scaled_power_law(
-    paper_nodes: u64,
-    paper_edges: u64,
-    max_nodes: u64,
-    seed: u64,
-) -> CsrGraph {
+pub fn scaled_power_law(paper_nodes: u64, paper_edges: u64, max_nodes: u64, seed: u64) -> CsrGraph {
     assert!(max_nodes >= 2, "need at least two nodes");
     let nodes = paper_nodes.min(max_nodes);
     let avg_degree = (paper_edges as f64 / paper_nodes as f64).round().max(1.0) as u64;

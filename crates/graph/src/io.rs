@@ -113,7 +113,12 @@ pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<u64>) -> Result<CsrG
 /// Propagates write failures.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for u in 0..graph.num_nodes() {
         let node = NodeId(u);
         let ns = graph.neighbors(node);

@@ -161,8 +161,7 @@ mod tests {
     fn small_requests_collapse_rdma_bandwidth() {
         // Paper: 8 B vs 1024 B remote bandwidth differs by ~100x.
         let rdma = LinkModel::rdma_remote();
-        let ratio =
-            rdma.effective_bandwidth_gbps(1024) / rdma.effective_bandwidth_gbps(8);
+        let ratio = rdma.effective_bandwidth_gbps(1024) / rdma.effective_bandwidth_gbps(8);
         assert!(
             (50.0..200.0).contains(&ratio),
             "bandwidth collapse ratio {ratio} outside paper's ~100x"

@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn mix_mean_is_probability_weighted() {
-        let mix = [
-            AccessPattern::new(8, 0.5),
-            AccessPattern::new(512, 0.5),
-        ];
+        let mix = [AccessPattern::new(8, 0.5), AccessPattern::new(512, 0.5)];
         assert_eq!(mean_request_bytes(&mix), 260.0);
     }
 

@@ -84,11 +84,7 @@ impl CreditFlow {
 /// `drain_period` producer attempts. Returns `(stalls, max_in_flight)` —
 /// demonstrating that in-flight never exceeds the credit budget no
 /// matter the rate mismatch.
-pub fn simulate_producer_consumer(
-    credits: u32,
-    packages: u64,
-    drain_period: u64,
-) -> (u64, u32) {
+pub fn simulate_producer_consumer(credits: u32, packages: u64, drain_period: u64) -> (u64, u32) {
     let mut flow = CreditFlow::new(credits);
     let mut produced = 0u64;
     let mut buffered = 0u32;

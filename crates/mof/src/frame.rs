@@ -181,7 +181,10 @@ impl ReadResponsePackage {
     /// Returns [`MofError::Malformed`] if `data` length is not a non-zero
     /// multiple of `request_bytes`, or carries more than 64 requests.
     pub fn new(seq: u32, request_bytes: u16, data: Vec<u8>) -> Result<Self, MofError> {
-        if request_bytes == 0 || data.is_empty() || !data.len().is_multiple_of(request_bytes as usize) {
+        if request_bytes == 0
+            || data.is_empty()
+            || !data.len().is_multiple_of(request_bytes as usize)
+        {
             return Err(MofError::Malformed("data not a multiple of request size"));
         }
         let count = data.len() / request_bytes as usize;
@@ -476,7 +479,10 @@ mod tests {
         // Corruption detected.
         let mut bad = bytes.clone();
         bad[20] ^= 0x55;
-        assert_eq!(WriteRequestPackage::decode(&bad), Err(MofError::CrcMismatch));
+        assert_eq!(
+            WriteRequestPackage::decode(&bad),
+            Err(MofError::CrcMismatch)
+        );
     }
 
     #[test]

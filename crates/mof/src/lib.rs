@@ -41,7 +41,9 @@ pub mod reliability;
 pub use bdi::{bdi_compress, bdi_decompress, CompressedBlock};
 pub use endpoint::{EndpointStats, MofEndpoint};
 pub use flow::CreditFlow;
-pub use frame::{ReadRequestPackage, ReadResponsePackage, WriteRequestPackage, MAX_REQUESTS_PER_PACKAGE};
+pub use frame::{
+    ReadRequestPackage, ReadResponsePackage, WriteRequestPackage, MAX_REQUESTS_PER_PACKAGE,
+};
 pub use packing::{ByteBreakdown, PackingScheme};
 pub use reliability::{LinkOutcome, ReliableChannel};
 
@@ -62,7 +64,10 @@ impl std::fmt::Display for MofError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MofError::TooManyRequests(n) => {
-                write!(f, "package holds {n} requests, max {MAX_REQUESTS_PER_PACKAGE}")
+                write!(
+                    f,
+                    "package holds {n} requests, max {MAX_REQUESTS_PER_PACKAGE}"
+                )
             }
             MofError::EmptyPackage => write!(f, "package must carry at least one request"),
             MofError::Malformed(what) => write!(f, "malformed package: {what}"),

@@ -134,10 +134,18 @@ mod tests {
         // Paper: Gen-Z 51.02% hdr / 10.20% addr / 32.65% data;
         // proposed 2.36% / 19.53% / 78.11%.
         let genz = PackingScheme::GenZ.breakdown(128, 16);
-        assert!((genz.header_fraction() - 0.51).abs() < 0.05, "{}", genz.header_fraction());
+        assert!(
+            (genz.header_fraction() - 0.51).abs() < 0.05,
+            "{}",
+            genz.header_fraction()
+        );
         assert!((genz.data_fraction() - 0.33).abs() < 0.05);
         let mof = PackingScheme::Mof.breakdown(128, 16);
-        assert!((mof.header_fraction() - 0.024).abs() < 0.01, "{}", mof.header_fraction());
+        assert!(
+            (mof.header_fraction() - 0.024).abs() < 0.01,
+            "{}",
+            mof.header_fraction()
+        );
         assert!((mof.address_fraction() - 0.195).abs() < 0.03);
         assert!((mof.data_fraction() - 0.78).abs() < 0.03);
     }
@@ -146,9 +154,17 @@ mod tests {
     fn table5_64byte_fractions() {
         // Paper: Gen-Z 65.98% data; proposed 94.03% data.
         let genz = PackingScheme::GenZ.breakdown(128, 64);
-        assert!((genz.data_fraction() - 0.66).abs() < 0.07, "{}", genz.data_fraction());
+        assert!(
+            (genz.data_fraction() - 0.66).abs() < 0.07,
+            "{}",
+            genz.data_fraction()
+        );
         let mof = PackingScheme::Mof.breakdown(128, 64);
-        assert!((mof.data_fraction() - 0.94).abs() < 0.02, "{}", mof.data_fraction());
+        assert!(
+            (mof.data_fraction() - 0.94).abs() < 0.02,
+            "{}",
+            mof.data_fraction()
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! codec fuzzing, reliability under arbitrary loss patterns, and packing
 //! accounting invariants.
 
-use lsdgnn_mof::{
-    PackingScheme, ReadRequestPackage, ReadResponsePackage, ReliableChannel,
-};
+use lsdgnn_mof::{PackingScheme, ReadRequestPackage, ReadResponsePackage, ReliableChannel};
 use proptest::prelude::*;
 
 proptest! {

@@ -45,7 +45,9 @@ impl Dssm {
         );
         let q = self.query_tower.forward(queries);
         let v = self.item_tower.forward(items);
-        (0..q.shape().0).map(|r| cosine(q.row(r), v.row(r))).collect()
+        (0..q.shape().0)
+            .map(|r| cosine(q.row(r), v.row(r)))
+            .collect()
     }
 
     /// Scores one query against many items (ranking mode).
@@ -53,7 +55,9 @@ impl Dssm {
         assert_eq!(query.shape().0, 1, "rank takes a single query row");
         let q = self.query_tower.forward(query);
         let v = self.item_tower.forward(items);
-        (0..v.shape().0).map(|r| cosine(q.row(0), v.row(r))).collect()
+        (0..v.shape().0)
+            .map(|r| cosine(q.row(0), v.row(r)))
+            .collect()
     }
 
     /// Total parameters across both towers.

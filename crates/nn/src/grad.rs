@@ -212,12 +212,7 @@ mod tests {
     #[test]
     fn mlp_learns_xor() {
         // XOR requires the hidden layer — the canonical backprop test.
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
         let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
         let mut mlp = GradMlp::new(&[2, 8, 1], 3);
         let mut loss = f32::INFINITY;

@@ -51,12 +51,7 @@ impl SageMaxLayer {
     /// # Panics
     ///
     /// Panics on dimension mismatches or out-of-range indices.
-    pub fn forward(
-        &self,
-        nodes: &Matrix,
-        neighbors: &Matrix,
-        adjacency: &[Vec<usize>],
-    ) -> Matrix {
+    pub fn forward(&self, nodes: &Matrix, neighbors: &Matrix, adjacency: &[Vec<usize>]) -> Matrix {
         let (n, d) = nodes.shape();
         assert_eq!(d, self.in_dim, "node feature width mismatch");
         assert_eq!(neighbors.shape().1, self.in_dim, "neighbor width mismatch");

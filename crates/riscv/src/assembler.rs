@@ -170,7 +170,13 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             "halt" | "ecall" => 0x0000_0073,
             "mv" => {
                 need(2)?;
-                encode::i(0x13, parse_reg(it.ops[0], line)?, 0, parse_reg(it.ops[1], line)?, 0)
+                encode::i(
+                    0x13,
+                    parse_reg(it.ops[0], line)?,
+                    0,
+                    parse_reg(it.ops[1], line)?,
+                    0,
+                )
             }
             "li" => {
                 need(2)?;
@@ -382,9 +388,15 @@ mod tests {
     #[test]
     fn qrch_mnemonics() {
         let words = assemble("qpush q3, x7\nqpop x5, q3\nqstat x6, q3\nhalt").unwrap();
-        assert_eq!(decode(words[0]).unwrap(), Instruction::QPush { q: 3, rs1: 7 });
+        assert_eq!(
+            decode(words[0]).unwrap(),
+            Instruction::QPush { q: 3, rs1: 7 }
+        );
         assert_eq!(decode(words[1]).unwrap(), Instruction::QPop { q: 3, rd: 5 });
-        assert_eq!(decode(words[2]).unwrap(), Instruction::QStat { q: 3, rd: 6 });
+        assert_eq!(
+            decode(words[2]).unwrap(),
+            Instruction::QStat { q: 3, rd: 6 }
+        );
     }
 
     #[test]

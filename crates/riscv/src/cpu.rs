@@ -226,10 +226,7 @@ impl<D: Device> Cpu<D> {
             }
             u32::from_le_bytes(self.ram[a..a + 4].try_into().unwrap())
         };
-        let inst = decode(word).map_err(|_| CpuError::IllegalInstruction {
-            pc: self.pc,
-            word,
-        })?;
+        let inst = decode(word).map_err(|_| CpuError::IllegalInstruction { pc: self.pc, word })?;
         let mut next_pc = self.pc.wrapping_add(4);
         match inst {
             Instruction::Lui { rd, imm } => {
@@ -265,12 +262,7 @@ impl<D: Device> Cpu<D> {
                     5 => (a as i32) >= (b as i32),
                     6 => a < b,
                     7 => a >= b,
-                    _ => {
-                        return Err(CpuError::IllegalInstruction {
-                            pc: self.pc,
-                            word,
-                        })
-                    }
+                    _ => return Err(CpuError::IllegalInstruction { pc: self.pc, word }),
                 };
                 if taken {
                     next_pc = self.pc.wrapping_add(offset as u32);
@@ -363,12 +355,7 @@ impl<D: Device> Cpu<D> {
                                 a % b
                             }
                         }
-                        _ => {
-                            return Err(CpuError::IllegalInstruction {
-                                pc: self.pc,
-                                word,
-                            })
-                        }
+                        _ => return Err(CpuError::IllegalInstruction { pc: self.pc, word }),
                     }
                 } else {
                     match funct3 {
@@ -429,12 +416,7 @@ impl<D: Device> Cpu<D> {
                     0xC02 => self.instret as u32,         // instret
                     0xC80 => (self.cycles >> 32) as u32,  // cycleh
                     0xC82 => (self.instret >> 32) as u32, // instreth
-                    _ => {
-                        return Err(CpuError::IllegalInstruction {
-                            pc: self.pc,
-                            word,
-                        })
-                    }
+                    _ => return Err(CpuError::IllegalInstruction { pc: self.pc, word }),
                 };
                 self.set_reg(rd, v);
                 self.cycles += 1;

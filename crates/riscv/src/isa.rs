@@ -32,10 +32,23 @@ pub enum Instruction {
     /// SW rs2, offset(rs1).
     Sw { rs1: u8, rs2: u8, offset: i32 },
     /// Register-immediate ALU op (funct3 selects, 0=addi, etc).
-    OpImm { funct3: u8, rd: u8, rs1: u8, imm: i32, shift_arith: bool },
+    OpImm {
+        funct3: u8,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+        shift_arith: bool,
+    },
     /// Register-register ALU op, including the M extension when
     /// `m_ext` is set.
-    Op { funct3: u8, rd: u8, rs1: u8, rs2: u8, alt: bool, m_ext: bool },
+    Op {
+        funct3: u8,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        alt: bool,
+        m_ext: bool,
+    },
     /// QRCH push: enqueue rs1's value onto queue `q` (custom-0, funct3 0).
     QPush { q: u8, rs1: u8 },
     /// QRCH pop: dequeue from queue `q` into rd; stalls if empty
@@ -92,14 +105,23 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
     let rs2 = bits(word, 24, 20) as u8;
     let funct7 = bits(word, 31, 25);
     match opcode {
-        0x37 => Ok(Instruction::Lui { rd, imm: word & 0xFFFF_F000 }),
-        0x17 => Ok(Instruction::Auipc { rd, imm: word & 0xFFFF_F000 }),
+        0x37 => Ok(Instruction::Lui {
+            rd,
+            imm: word & 0xFFFF_F000,
+        }),
+        0x17 => Ok(Instruction::Auipc {
+            rd,
+            imm: word & 0xFFFF_F000,
+        }),
         0x6F => {
             let imm = (bits(word, 31, 31) << 20)
                 | (bits(word, 19, 12) << 12)
                 | (bits(word, 20, 20) << 11)
                 | (bits(word, 30, 21) << 1);
-            Ok(Instruction::Jal { rd, offset: sign_extend(imm, 21) })
+            Ok(Instruction::Jal {
+                rd,
+                offset: sign_extend(imm, 21),
+            })
         }
         0x67 if funct3 == 0 => Ok(Instruction::Jalr {
             rd,
@@ -234,7 +256,13 @@ mod tests {
         let w = encode::i(0x13, 1, 0, 0, 5);
         assert_eq!(
             decode(w).unwrap(),
-            Instruction::OpImm { funct3: 0, rd: 1, rs1: 0, imm: 5, shift_arith: false }
+            Instruction::OpImm {
+                funct3: 0,
+                rd: 1,
+                rs1: 0,
+                imm: 5,
+                shift_arith: false
+            }
         );
     }
 
@@ -301,7 +329,11 @@ mod tests {
         let acc = encode::r(0x2B, 4, 0, 1, 2, 0);
         assert_eq!(
             decode(acc).unwrap(),
-            Instruction::AccelOp { rd: 4, rs1: 1, rs2: 2 }
+            Instruction::AccelOp {
+                rd: 4,
+                rs1: 1,
+                rs2: 2
+            }
         );
     }
 
@@ -309,7 +341,10 @@ mod tests {
     fn csr_read_decodes() {
         // csrrs rd=5, csr=0xC00 (cycle), rs1=x0
         let w = encode::i(0x73, 5, 2, 0, 0xC00u32 as i32);
-        assert_eq!(decode(w).unwrap(), Instruction::CsrRead { rd: 5, csr: 0xC00 });
+        assert_eq!(
+            decode(w).unwrap(),
+            Instruction::CsrRead { rd: 5, csr: 0xC00 }
+        );
     }
 
     #[test]

@@ -160,7 +160,11 @@ pub fn measure_interaction_cost(style: InteractionStyle, n: u32) -> f64 {
     let mut cpu = Cpu::with_device(64 * 1024, QrchHub::new());
     cpu.load_program(&words);
     cpu.run(10_000_000).expect("interaction program halts");
-    assert_eq!(cpu.device().ops(), n as u64, "every iteration hit the accel");
+    assert_eq!(
+        cpu.device().ops(),
+        n as u64,
+        "every iteration hit the accel"
+    );
     assert_eq!(cpu.reg(12), n * accel_fn(5), "responses accumulated");
 
     // Subtract the loop overhead measured with an empty body (x13 held
@@ -193,7 +197,10 @@ mod tests {
         let mmio = measure_interaction_cost(InteractionStyle::Mmio, 100);
         let isa = measure_interaction_cost(InteractionStyle::IsaExt, 100);
         let qrch = measure_interaction_cost(InteractionStyle::Qrch, 100);
-        assert!(isa < qrch && qrch < mmio, "isa {isa}, qrch {qrch}, mmio {mmio}");
+        assert!(
+            isa < qrch && qrch < mmio,
+            "isa {isa}, qrch {qrch}, mmio {mmio}"
+        );
     }
 
     #[test]

@@ -95,9 +95,7 @@ impl AliasTable {
 
     /// Draws `k` root nodes for a training batch.
     pub fn sample_roots<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<NodeId> {
-        (0..k)
-            .map(|_| NodeId(self.sample(rng) as u64))
-            .collect()
+        (0..k).map(|_| NodeId(self.sample(rng) as u64)).collect()
     }
 }
 

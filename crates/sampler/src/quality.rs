@@ -40,10 +40,7 @@ pub fn neighborhood_vote_accuracy<R: Rng, S: NeighborSampler>(
         }
         considered += 1;
         let picked = sampler.sample(rng, ns, k);
-        let ones = picked
-            .iter()
-            .filter(|p| labels[p.index()] == 1)
-            .count();
+        let ones = picked.iter().filter(|p| labels[p.index()] == 1).count();
         let zeros = picked.len() - ones;
         let predicted = match ones.cmp(&zeros) {
             std::cmp::Ordering::Greater => Some(1u8),

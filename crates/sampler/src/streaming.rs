@@ -111,7 +111,10 @@ mod tests {
         // Last candidate must be reachable.
         let mut saw_last = false;
         for _ in 0..200 {
-            if StreamingSampler.sample(&mut rng, &cands, 5).contains(&NodeId(16)) {
+            if StreamingSampler
+                .sample(&mut rng, &cands, 5)
+                .contains(&NodeId(16))
+            {
                 saw_last = true;
                 break;
             }

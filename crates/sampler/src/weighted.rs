@@ -82,10 +82,7 @@ impl WeightedSampler {
         candidates: &[NodeId],
         k: usize,
     ) -> Vec<NodeId> {
-        let weights: Vec<f32> = candidates
-            .iter()
-            .map(|&v| graph.degree(v) as f32)
-            .collect();
+        let weights: Vec<f32> = candidates.iter().map(|&v| graph.degree(v) as f32).collect();
         self.sample(rng, candidates, &weights, k)
     }
 }

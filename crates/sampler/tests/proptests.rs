@@ -1,11 +1,11 @@
 //! Property-based tests for every sampler: membership, cardinality and
 //! structural guarantees hold for arbitrary candidate lists.
 
-use lsdgnn_sampler::{
-    top_k_by_weight, NeighborSampler, StandardSampler, StreamingSampler,
-    StreamingWeightedSampler, WeightedSampler,
-};
 use lsdgnn_graph::NodeId;
+use lsdgnn_sampler::{
+    top_k_by_weight, NeighborSampler, StandardSampler, StreamingSampler, StreamingWeightedSampler,
+    WeightedSampler,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,15 +1,16 @@
-//! Distributed sampling: run the mini-AliGraph cluster (one server thread
-//! per partition) on a scaled-down Table 2 dataset, show where the
-//! requests go, and compare against the single-machine view — the
-//! characterization workflow of §3.
+//! Distributed sampling: serve a scaled-down Table 2 dataset through the
+//! `SamplingService` over the mini-AliGraph cluster backend (one server
+//! thread per partition), show where the requests go, and compare
+//! against the single-machine view — the characterization workflow of §3.
 //!
 //! ```text
 //! cargo run --example distributed_sampling
 //! ```
 
-use lsdgnn_core::framework::cluster::Cluster;
-use lsdgnn_core::framework::CpuClusterModel;
-use lsdgnn_core::graph::{DatasetConfig, NodeId, PartitionedGraph};
+use lsdgnn_core::framework::{
+    CachedBackend, CpuBackend, CpuClusterModel, SampleRequest, SamplingService,
+};
+use lsdgnn_core::graph::{DatasetConfig, NodeId};
 
 fn main() {
     // The paper's `ml` dataset (207M nodes, 5.7B edges) scaled down to an
@@ -26,25 +27,58 @@ fn main() {
     );
 
     for partitions in [1u32, 4, 8] {
-        let pg = PartitionedGraph::new(graph.clone(), partitions).with_attributes(attrs.clone());
-        let cut = pg.edge_cut_fraction();
-        let cluster = Cluster::spawn(pg);
-        let roots: Vec<NodeId> = (0..64).map(NodeId).collect();
-        let (batch, stats) = cluster.sample_batch(
-            &roots,
-            dataset.sampling.hops,
-            dataset.sampling.fanout as usize,
-            7,
-        );
+        let backend = CpuBackend::new(&graph, &attrs, partitions);
+        let cut = backend.cluster().graph().edge_cut_fraction();
+        let service = SamplingService::with_defaults(Box::new(backend));
+        // A burst of mini-batches: the bounded queue applies
+        // backpressure, the shards coalesce, every request keeps its own
+        // seed so results are reproducible.
+        let tickets: Vec<_> = (0..8u64)
+            .map(|b| {
+                let roots: Vec<NodeId> = (0..64)
+                    .map(|r| NodeId((b * 64 + r) % graph.num_nodes()))
+                    .collect();
+                service.submit(SampleRequest {
+                    roots,
+                    hops: dataset.sampling.hops,
+                    fanout: dataset.sampling.fanout as usize,
+                    seed: 7 + b,
+                })
+            })
+            .collect();
+        let samples: usize = tickets.into_iter().map(|t| t.wait().total_sampled()).sum();
+        let stats = service.stats();
         println!(
-            "{partitions} server(s): {} samples, {} node expansions, remote requests {:.0}% (edge cut {:.0}%)",
-            batch.total_sampled(),
-            stats.nodes_expanded,
-            stats.remote_fraction() * 100.0,
-            cut * 100.0
+            "{partitions} server(s): {} samples over {} requests in {} dispatches, \
+             remote requests {:.0}% (edge cut {:.0}%), mean latency {:.0}us",
+            samples,
+            stats.requests,
+            stats.dispatches,
+            stats.backend.remote_fraction() * 100.0,
+            cut * 100.0,
+            stats.latency_us.mean(),
         );
-        cluster.shutdown();
+        service.shutdown();
     }
+
+    // The framework-level hot-node cache (Tech-4's "the framework already
+    // caches") is one decorator away from any backend.
+    let cached = CachedBackend::new(
+        Box::new(CpuBackend::new(&graph, &attrs, 4)),
+        2_048,
+        attrs.attr_len(),
+    );
+    let hot: Vec<NodeId> = (0..256).map(|i| NodeId(i % 32)).collect();
+    let service = SamplingService::with_defaults(Box::new(cached));
+    for _ in 0..4 {
+        service.gather_attributes(&hot);
+    }
+    println!(
+        "cache-decorated backend: {} attribute floats per gather of {} hub nodes",
+        hot.len() * attrs.attr_len(),
+        hot.len(),
+    );
+    service.shutdown();
 
     // The timing model behind Figure 2(b): why scaling is sub-linear.
     let model = CpuClusterModel::default();

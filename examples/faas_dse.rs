@@ -20,7 +20,10 @@ fn main() {
     let cost = CostModel::default_fitted();
     let dse = run_dse(&CpuClusterModel::default(), &cost);
 
-    println!("FaaS DSE for dataset `{}` ({} nodes at paper scale)\n", name, dataset.nodes);
+    println!(
+        "FaaS DSE for dataset `{}` ({} nodes at paper scale)\n",
+        name, dataset.nodes
+    );
     println!(
         "{:<14} {:>14} {:>14} {:>12} {:>12}",
         "architecture", "samples/s", "$/hour", "perf/$ vs cpu", "bottleneck"
@@ -30,7 +33,9 @@ fn main() {
         let cell = dse
             .faas
             .iter()
-            .find(|c| c.arch == a.name() && c.size == InstanceSize::Medium && c.dataset == dataset.name)
+            .find(|c| {
+                c.arch == a.name() && c.size == InstanceSize::Medium && c.dataset == dataset.name
+            })
             .expect("grid complete");
         let norm = dse.normalized_perf_per_dollar(cell);
         let binding = perf::rates_for(a, InstanceSize::Medium, &dataset).binding();
@@ -50,6 +55,8 @@ fn main() {
     println!(
         "\nrecommendation: {winner} ({value:.2}x CPU performance per dollar on medium instances)"
     );
-    println!("paper's conclusion: mem-opt.tc wins outright (12.58x) but needs custom infrastructure;");
+    println!(
+        "paper's conclusion: mem-opt.tc wins outright (12.58x) but needs custom infrastructure;"
+    );
     println!("base is deployable today; cost-opt pays off for the provider, not the user.");
 }

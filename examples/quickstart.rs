@@ -1,18 +1,19 @@
-//! Quickstart: build a graph, open a Graph-Learn-style session, sample a
-//! mini-batch and fetch its attributes — the user-facing API of §5.
+//! Quickstart: build a graph, start the sampling service over a backend,
+//! sample a mini-batch and fetch its attributes — the serving API of §5.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use lsdgnn_core::framework::{GraphLearnSession, SamplerBackend};
+use lsdgnn_core::framework::{AxeBackend, SampleRequest, SamplingService};
 use lsdgnn_core::graph::{generators, AttributeStore, NodeId};
+use std::sync::Arc;
 
 fn main() {
     // A scaled-down e-commerce-like power-law graph with 64-float
     // attributes.
-    let graph = generators::power_law(10_000, 9, 42);
-    let attrs = AttributeStore::synthetic(graph.num_nodes(), 64, 42);
+    let graph = Arc::new(generators::power_law(10_000, 9, 42));
+    let attrs = Arc::new(AttributeStore::synthetic(graph.num_nodes(), 64, 42));
     println!(
         "graph: {} nodes, {} edges, avg degree {:.1}, max degree {}",
         graph.num_nodes(),
@@ -21,14 +22,21 @@ fn main() {
         graph.max_degree()
     );
 
-    // Open a session with the AxE-offloaded backend (the CPU cluster
-    // backend is a one-word change).
-    let mut session = GraphLearnSession::open(&graph, &attrs, SamplerBackend::Axe, 4, 7);
+    // Start the service over the AxE-offloaded backend. The CPU cluster
+    // path is the one-line swap:
+    //   Box::new(CpuBackend::new(&graph, &attrs, 4))
+    let service =
+        SamplingService::with_defaults(Box::new(AxeBackend::new(graph.clone(), attrs.clone())));
 
     // 2-hop, fanout-10 mini-batch over 8 roots — the paper's Table 2
-    // sampling setup in miniature.
-    let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
-    let batch = session.sample(&roots, 2, 10);
+    // sampling setup in miniature. The request carries its own seed, so
+    // the same request is reproducible on any backend.
+    let batch = service.sample(SampleRequest {
+        roots: (0..8).map(NodeId).collect(),
+        hops: 2,
+        fanout: 10,
+        seed: 7,
+    });
     println!(
         "sampled {} hop-1 and {} hop-2 neighbors for {} roots",
         batch.hops[0].len(),
@@ -38,16 +46,22 @@ fn main() {
 
     // Fetch attributes for everything a GNN layer would consume.
     let fetch = batch.attr_fetch_list();
-    let features = session.node_attributes(&fetch);
+    let features = service.gather_attributes(&fetch);
     println!(
         "gathered {} attribute floats for {} nodes",
         features.len(),
         fetch.len()
     );
 
-    // Negative sampling for link-prediction training.
-    let negatives = session.negative_sample(&[(roots[0], batch.hops[0][0])], 10);
-    println!("drew {} negatives for the first positive pair", negatives[0].len());
-
-    session.close();
+    // The service keeps the operational stats a serving fleet would
+    // alarm on.
+    let stats = service.stats();
+    println!(
+        "service: {} requests in {} dispatches, mean latency {:.0}us, backend expanded {} nodes",
+        stats.requests,
+        stats.dispatches,
+        stats.latency_us.mean(),
+        stats.backend.nodes_expanded
+    );
+    service.shutdown();
 }

@@ -1,0 +1,419 @@
+//! Multi-producer multi-consumer channels with optional capacity bounds.
+//!
+//! API-compatible (for the operations this workspace uses) with
+//! `crossbeam-channel`: [`unbounded`], [`bounded`], cloneable
+//! [`Sender`]/[`Receiver`], blocking `send`/`recv`, `try_*` variants and
+//! `recv_timeout`. Disconnection follows crossbeam semantics: `recv`
+//! drains remaining messages before reporting disconnect; `send` fails
+//! once every receiver is gone.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are dropped.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like real crossbeam, Debug does not require `T: Debug` — the payload
+// is elided so `expect` works on channels of non-Debug messages.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// All receivers are dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and all senders are dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders are dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half; cloneable for multiple producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; cloneable for multiple consumers.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates a channel with no capacity bound: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a channel holding at most `cap` in-flight messages: sends
+/// block (backpressure) once the queue is full.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (rendezvous channels are not supported by
+/// this shim).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity channels are not supported");
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value when all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if self.shared.disconnected_rx() {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self.shared.not_full.wait(queue).expect("channel lock");
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when a bounded queue is at
+    /// capacity, [`TrySendError::Disconnected`] when all receivers are
+    /// gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        if self.shared.disconnected_rx() {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake receivers blocked on an empty queue so they observe
+            // the disconnect.
+            let _guard = self.shared.queue.lock().expect("channel lock");
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking while the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the queue is empty and all senders are
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.disconnected_tx() {
+                return Err(RecvError);
+            }
+            queue = self.shared.not_empty.wait(queue).expect("channel lock");
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when additionally all senders are
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        match queue.pop_front() {
+            Some(v) => {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if self.shared.disconnected_tx() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Receives, blocking at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] on a drained, sender-less
+    /// channel.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, result) = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .expect("channel lock");
+            queue = q;
+            if result.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator over messages; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.shared.queue.lock().expect("channel lock");
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking message iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_round_trip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let t = thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn mpmc_consumers_partition_the_stream() {
+        let (tx, rx) = bounded(16);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+}

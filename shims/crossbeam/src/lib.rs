@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the subset of crossbeam it uses: [`channel`], an MPMC
+//! bounded/unbounded channel built on `Mutex` + `Condvar`. Bounded
+//! sends block when the queue is full (the backpressure the
+//! `SamplingService` relies on); receivers are cloneable so a sharded
+//! worker pool can pull from one shared queue.
+
+pub mod channel;

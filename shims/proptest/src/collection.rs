@@ -1,0 +1,62 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Acceptable sizes for a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec<E::Value>` with a size drawn from the range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E> {
+    element: E,
+    size: SizeRange,
+}
+
+/// Builds a [`VecStrategy`]: each case draws a length in `size`, then
+/// that many elements.
+pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.rng().gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

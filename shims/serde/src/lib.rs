@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so existing
+//! `#[derive(...)]` annotations compile unchanged without crates.io
+//! access. No serialization actually happens in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace tags config structs `#[derive(Serialize, Deserialize)]`
+//! for future interchange but never serializes them (there is no
+//! `serde_json` in the tree), so empty expansions keep every annotation
+//! compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

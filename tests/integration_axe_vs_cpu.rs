@@ -56,8 +56,11 @@ fn streaming_sampler_does_not_change_engine_results_statistically() {
     // timing, not the sample volume.
     let d = DatasetConfig::by_name("sl").unwrap();
     let (g, _) = d.instantiate_scaled(2_000, 4);
-    let stream = AccessEngine::new(AxeConfig::poc().with_batch_size(32).with_streaming(true))
-        .run(&g, d.attr_len as usize, 2);
+    let stream = AccessEngine::new(AxeConfig::poc().with_batch_size(32).with_streaming(true)).run(
+        &g,
+        d.attr_len as usize,
+        2,
+    );
     let standard = AccessEngine::new(AxeConfig::poc().with_batch_size(32).with_streaming(false))
         .run(&g, d.attr_len as usize, 2);
     let ratio = stream.samples as f64 / standard.samples as f64;
@@ -74,8 +77,11 @@ fn four_node_poc_sees_mostly_remote_traffic() {
     // The 4-card PoC: ~3/4 of graph bytes cross the MoF fabric.
     let d = DatasetConfig::by_name("ss").unwrap();
     let (g, _) = d.instantiate_scaled(2_000, 5);
-    let m = AccessEngine::new(AxeConfig::poc().with_partitions(4).with_batch_size(32))
-        .run(&g, d.attr_len as usize, 2);
+    let m = AccessEngine::new(AxeConfig::poc().with_partitions(4).with_batch_size(32)).run(
+        &g,
+        d.attr_len as usize,
+        2,
+    );
     let frac = m.remote_bytes as f64 / (m.remote_bytes + m.local_bytes) as f64;
     assert!((0.6..0.9).contains(&frac), "remote byte fraction {frac}");
 }
@@ -88,10 +94,10 @@ fn bigger_attributes_slow_the_output_bound_engine() {
     let ll = DatasetConfig::by_name("ll").unwrap(); // 152 floats
     let (g_ss, _) = ss.instantiate_scaled(2_000, 6);
     let (g_ll, _) = ll.instantiate_scaled(2_000, 6);
-    let m_ss = AccessEngine::new(AxeConfig::poc().with_batch_size(32))
-        .run(&g_ss, ss.attr_len as usize, 2);
-    let m_ll = AccessEngine::new(AxeConfig::poc().with_batch_size(32))
-        .run(&g_ll, ll.attr_len as usize, 2);
+    let m_ss =
+        AccessEngine::new(AxeConfig::poc().with_batch_size(32)).run(&g_ss, ss.attr_len as usize, 2);
+    let m_ll =
+        AccessEngine::new(AxeConfig::poc().with_batch_size(32)).run(&g_ll, ll.attr_len as usize, 2);
     assert!(
         m_ss.samples_per_sec > m_ll.samples_per_sec,
         "ss {} vs ll {}",

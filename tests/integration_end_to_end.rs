@@ -21,11 +21,7 @@ fn run_pipeline(backend: SamplerBackend, seed: u64) -> Vec<f32> {
 
     // Embed raw attributes to 32 dims.
     let embed = Linear::new(attr_len, 32, true, seed);
-    let root_feats = Matrix::from_vec(
-        roots.len(),
-        attr_len,
-        session.node_attributes(&roots),
-    );
+    let root_feats = Matrix::from_vec(roots.len(), attr_len, session.node_attributes(&roots));
     let neigh_feats = Matrix::from_vec(
         batch.hops[0].len(),
         attr_len,
@@ -140,7 +136,10 @@ fn full_pipeline_training_quality_matches_across_samplers() {
     for (v, &label) in labels.iter().enumerate() {
         let sign = if label == 1 { 1.0 } else { -1.0 };
         for c in 0..8 {
-            feats.set(v, c, sign + rng.gen_range(-0.5..0.5));
+            // Seed triage: the unsuffixed float literals left `gen_range`'s
+            // type ambiguous (f64 fallback) against `Matrix::set`'s f32
+            // column — pin the range to f32.
+            feats.set(v, c, sign + rng.gen_range(-0.5f32..0.5));
         }
     }
 

@@ -98,7 +98,11 @@ fn cost_model_end_to_end_profile() {
         .iter()
         .find(|r| r.dataset == "syn" && r.size == InstanceSize::Small)
         .unwrap();
-    assert!(syn_small.instances > 500, "syn on 8GB instances: {}", syn_small.instances);
+    assert!(
+        syn_small.instances > 500,
+        "syn on 8GB instances: {}",
+        syn_small.instances
+    );
 }
 
 #[test]
