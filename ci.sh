@@ -12,4 +12,21 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p lsdgnn-telemetry -q"
+cargo test -p lsdgnn-telemetry -q
+
+echo "==> telemetry smoke: fig14 with --metrics-out/--trace-out"
+SMOKE_DIR=results/ci_smoke
+rm -rf "$SMOKE_DIR"
+LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 \
+    --metrics-out "$SMOKE_DIR/metrics.json" --trace-out "$SMOKE_DIR/trace.json"
+test -s "$SMOKE_DIR/metrics.json" || { echo "FAIL: metrics snapshot missing or empty"; exit 1; }
+test -s "$SMOKE_DIR/trace.json" || { echo "FAIL: chrome trace missing or empty"; exit 1; }
+grep -q 'cache_hit_rate' "$SMOKE_DIR/metrics.json" \
+    || { echo "FAIL: AxE cache hit rate absent from metrics snapshot"; exit 1; }
+grep -q 'latency_us' "$SMOKE_DIR/metrics.json" \
+    || { echo "FAIL: service latency histogram absent from metrics snapshot"; exit 1; }
+grep -q '"ph"' "$SMOKE_DIR/trace.json" \
+    || { echo "FAIL: no trace events in chrome trace"; exit 1; }
+
 echo "CI OK"

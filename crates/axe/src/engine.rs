@@ -16,6 +16,7 @@ use lsdgnn_desim::{BandwidthResource, Server, Simulation, Time, TimeWeighted};
 use lsdgnn_graph::{CsrGraph, NodeId};
 use lsdgnn_memfabric::LinkModel;
 use lsdgnn_sampler::{NeighborSampler, StandardSampler, StreamingSampler};
+use lsdgnn_telemetry::{pids, ticks_to_us, MetricSource, Scope, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -60,6 +61,34 @@ pub struct Measurement {
     pub attribute_requests: u64,
     /// Mean request latency in nanoseconds (issue to response).
     pub avg_request_latency_ns: f64,
+    /// Busy fraction of the local memory tier over the run.
+    pub local_utilization: f64,
+    /// Busy fraction of the remote (MoF) link over the run.
+    pub remote_utilization: f64,
+    /// Busy fraction of the output (PCIe/GPU) link over the run.
+    pub output_utilization: f64,
+}
+
+impl MetricSource for Measurement {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("batches", self.batches);
+        out.counter("samples", self.samples);
+        out.gauge("elapsed_us", self.elapsed.as_micros_f64());
+        out.gauge("samples_per_sec", self.samples_per_sec);
+        out.gauge("batches_per_sec", self.batches_per_sec);
+        out.counter("local_bytes", self.local_bytes);
+        out.counter("remote_bytes", self.remote_bytes);
+        out.counter("output_bytes", self.output_bytes);
+        out.gauge("cache_hit_rate", self.cache_hit_rate);
+        out.gauge("avg_outstanding", self.avg_outstanding);
+        out.counter("requests", self.requests);
+        out.counter("structure_requests", self.structure_requests);
+        out.counter("attribute_requests", self.attribute_requests);
+        out.gauge("avg_request_latency_ns", self.avg_request_latency_ns);
+        out.gauge("local_utilization", self.local_utilization);
+        out.gauge("remote_utilization", self.remote_utilization);
+        out.gauge("output_utilization", self.output_utilization);
+    }
 }
 
 struct CoreState {
@@ -95,12 +124,24 @@ struct EngineState {
     attribute_requests: u64,
     latency_sum_ns: f64,
     rng: SmallRng,
+    tracer: Option<Tracer>,
 }
 
 impl EngineState {
     fn note_response(&mut self, issued: Time, now: Time) {
         self.requests += 1;
         self.latency_sum_ns += (now.saturating_sub(issued)).as_nanos_f64();
+    }
+
+    /// Records a pipeline-stage span on core `core` over `[from, to]`
+    /// simulated time (no-op without an attached tracer).
+    fn trace_stage(&self, cat: &str, name: &str, core: usize, from: Time, to: Time) {
+        if let Some(tracer) = &self.tracer {
+            let pid = if cat == "mof" { pids::MOF } else { pids::AXE };
+            let ts = ticks_to_us(from.as_ticks());
+            let dur = ticks_to_us(to.saturating_sub(from).as_ticks());
+            tracer.span(cat, name, pid, core as u32, ts, dur);
+        }
     }
 }
 
@@ -154,6 +195,24 @@ impl AccessEngine {
     ///
     /// Panics if `num_batches` is zero or the graph is empty.
     pub fn run(&self, graph: &CsrGraph, attr_len: usize, num_batches: u32) -> Measurement {
+        self.run_traced(graph, attr_len, num_batches, None)
+    }
+
+    /// Like [`AccessEngine::run`], but records per-stage spans
+    /// (`get_neighbor`, `get_sample`, `negative_probe`, `get_attribute`
+    /// under cat `axe`; `remote_read` under cat `mof`) plus the kernel's
+    /// calendar counters into `tracer`, in simulated-time microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_batches` is zero or the graph is empty.
+    pub fn run_traced(
+        &self,
+        graph: &CsrGraph,
+        attr_len: usize,
+        num_batches: u32,
+        tracer: Option<Tracer>,
+    ) -> Measurement {
         assert!(num_batches > 0, "need at least one batch");
         assert!(graph.num_nodes() > 0, "graph must be non-empty");
         let cfg = self.cfg.clone();
@@ -207,10 +266,19 @@ impl AccessEngine {
             attribute_requests: 0,
             latency_sum_ns: 0.0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5),
+            tracer: tracer.clone(),
             cfg,
         }));
 
         let mut sim = Simulation::new();
+        if let Some(tracer) = &tracer {
+            tracer.name_process(pids::AXE, "axe-engine");
+            tracer.name_process(pids::MOF, "mof-remote");
+            for core in 0..state.borrow().cfg.cores {
+                tracer.name_thread(pids::AXE, core as u32, &format!("core{core}"));
+            }
+            sim.attach_tracer(tracer.clone(), pids::DESIM);
+        }
         // Seed the work: batch b goes to core b % cores; each root spawns
         // one GetNeighbor work item and one attribute fetch.
         {
@@ -272,6 +340,9 @@ impl AccessEngine {
             } else {
                 st.latency_sum_ns / st.requests as f64
             },
+            local_utilization: st.local_bw.utilization(elapsed),
+            remote_utilization: st.remote_bw.utilization(elapsed),
+            output_utilization: st.output_bw.utilization(elapsed),
         }
     }
 }
@@ -338,7 +409,10 @@ fn memory_access(
             s.local_bw.acquire(now, miss_bytes);
         }
         let (_, finish) = s.remote_bw.acquire(now, miss_bytes);
-        finish + Time::from_nanos(s.remote_link.base_latency_ns + s.remote_link.per_request_ns)
+        let done =
+            finish + Time::from_nanos(s.remote_link.base_latency_ns + s.remote_link.per_request_ns);
+        s.trace_stage("mof", "remote_read", core, now, done);
+        done
     }
 }
 
@@ -353,14 +427,16 @@ fn issue_neighbor(sim: &mut Simulation, st: &Shared, core: usize, bid: u32, hop:
         let deg = s.graph.degree(v);
         let meta_addr = META_BASE + v.0 * 16;
         let t1 = memory_access(now, &mut s, core, meta_addr, 16, local);
-        if deg > 0 {
+        let done = if deg > 0 {
             let avg = (s.graph.num_edges() / s.graph.num_nodes().max(1)).max(1);
             let edge_addr = EDGE_BASE + v.0 * avg * 8;
             let t2 = memory_access(now, &mut s, core, edge_addr, deg * 8, local);
             t1.max(t2)
         } else {
             t1
-        }
+        };
+        s.trace_stage("axe", "get_neighbor", core, now, done);
+        done
     };
     let st2 = st.clone();
     sim.schedule_at(done, move |sim| {
@@ -396,6 +472,7 @@ fn on_neighbor_response(
         };
         let service = Time::from_ticks(cycles.max(1) * s.cfg.clock_period_ticks());
         let (_, finish) = s.cores[core].sampler_unit.acquire(now, service);
+        s.trace_stage("axe", "get_sample", core, now, finish);
         finish
     };
     let st2 = st.clone();
@@ -460,8 +537,9 @@ fn issue_negative(
         let edge_addr = EDGE_BASE + root.0 * avg * 8;
         // A binary search touches ~log2(deg) positions; model as one
         // line-granular probe in the middle of the list.
-
-        memory_access(now, &mut s, core, edge_addr + deg * 4, 8, local_root)
+        let done = memory_access(now, &mut s, core, edge_addr + deg * 4, 8, local_root);
+        s.trace_stage("axe", "negative_probe", core, now, done);
+        done
     };
     let st2 = st.clone();
     sim.schedule_at(done, move |sim| {
@@ -496,7 +574,9 @@ fn issue_attr(sim: &mut Simulation, st: &Shared, core: usize, bid: u32, v: NodeI
         let local = s.is_local(v);
         let addr = ATTR_BASE + v.0 * s.attr_bytes;
         let bytes = s.attr_bytes;
-        memory_access(now, &mut s, core, addr, bytes, local)
+        let done = memory_access(now, &mut s, core, addr, bytes, local);
+        s.trace_stage("axe", "get_attribute", core, now, done);
+        done
     };
     let st2 = st.clone();
     sim.schedule_at(done, move |sim| {

@@ -1,0 +1,85 @@
+//! Trace-writer validation: a small AxE run must emit Chrome trace-event
+//! JSON whose every event carries `ph`, `ts`, `pid` and `tid`, with spans
+//! from the desim kernel, the AxE pipeline stages and the MoF remote path.
+
+use lsdgnn_axe::{AccessEngine, AxeConfig};
+use lsdgnn_graph::generators;
+use lsdgnn_telemetry::{Json, Registry, Tracer};
+
+#[test]
+fn small_run_emits_valid_chrome_trace() {
+    let g = generators::power_law(1_000, 8, 11);
+    let cfg = AxeConfig::poc().with_batch_size(8).with_sampling(2, 5);
+    let tracer = Tracer::new();
+    let m = AccessEngine::new(cfg).run_traced(&g, 72, 2, Some(tracer.clone()));
+    assert_eq!(m.batches, 2);
+    assert!(!tracer.is_empty());
+
+    let text = tracer.to_chrome_json();
+    let doc = Json::parse(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut cats = std::collections::BTreeSet::new();
+    for ev in events {
+        assert!(ev.get("ph").and_then(Json::as_str).is_some(), "ph field");
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "ts field");
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some(), "pid field");
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some(), "tid field");
+        if let Some(cat) = ev.get("cat").and_then(Json::as_str) {
+            cats.insert(cat.to_string());
+        }
+        if ev.get("ph").and_then(Json::as_str) == Some("X") {
+            let dur = ev.get("dur").and_then(Json::as_f64).expect("dur field");
+            assert!(dur >= 0.0, "negative duration");
+        }
+    }
+    // The default PoC deployment is 4-way partitioned, so remote (MoF)
+    // reads must appear alongside the pipeline stages and the kernel run.
+    for want in ["desim", "axe", "mof"] {
+        assert!(cats.contains(want), "missing category {want} in {cats:?}");
+    }
+
+    let names: Vec<String> = tracer.events().into_iter().map(|e| e.name).collect();
+    for stage in ["get_neighbor", "get_sample", "get_attribute", "remote_read"] {
+        assert!(
+            names.iter().any(|n| n == stage),
+            "missing stage span {stage}"
+        );
+    }
+}
+
+#[test]
+fn traced_and_untraced_runs_measure_identically() {
+    let g = generators::power_law(1_000, 8, 11);
+    let cfg = AxeConfig::poc().with_batch_size(8).with_sampling(2, 5);
+    let plain = AccessEngine::new(cfg.clone()).run(&g, 72, 2);
+    let traced = AccessEngine::new(cfg).run_traced(&g, 72, 2, Some(Tracer::new()));
+    assert_eq!(plain, traced, "tracing must not perturb the simulation");
+}
+
+#[test]
+fn measurement_registers_the_paper_metrics() {
+    let g = generators::power_law(1_000, 8, 11);
+    let m = AccessEngine::new(AxeConfig::poc().with_batch_size(8)).run(&g, 72, 2);
+    let mut reg = Registry::new();
+    reg.register("axe", &[("dataset", "synthetic")], Box::new(m));
+    let snap = reg.snapshot();
+    let hit_rate = snap
+        .get("axe/cache_hit_rate")
+        .expect("cache hit rate exported")
+        .as_f64();
+    assert!((0.0..=1.0).contains(&hit_rate));
+    let remote_util = snap
+        .get("axe/remote_utilization")
+        .expect("MoF link utilization exported")
+        .as_f64();
+    assert!((0.0..=1.0).contains(&remote_util));
+    assert!(
+        remote_util > 0.0,
+        "4-way partitioning must touch the MoF link"
+    );
+}

@@ -2,7 +2,7 @@
 //! coalescing-cache size (Tech-4), AxE core count vs Equation 3, MoF
 //! packing factor (Tech-1), and the outstanding-request budget (Tech-3).
 
-use crate::util::{banner, eng, pct, row};
+use crate::util::{banner, eng, pct, Table, Telemetry};
 use lsdgnn_core::axe::{AccessEngine, AxeConfig};
 use lsdgnn_core::graph::DatasetConfig;
 use lsdgnn_core::memfabric::{outstanding_for_mix, AccessPattern, MemoryTier, TierConfig};
@@ -11,33 +11,34 @@ use lsdgnn_core::mof::packing::ByteBreakdown;
 /// Tech-4 ablation: coalescing-cache capacity sweep. The paper argues
 /// 8 KB captures all the spatial reuse there is; bigger caches buy
 /// nothing because temporal reuse is absent at LSD-GNN scale.
-pub fn cache_sweep(scale_nodes: u64, batches: u32) {
+pub fn cache_sweep(scale_nodes: u64, batches: u32, tel: &mut Telemetry) {
     banner(
         "Ablation: cache",
         "coalescing-cache size vs hit rate and throughput",
     );
     let d = DatasetConfig::by_name("ss").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 31);
-    let w = [10, 12, 16, 14];
-    row(
-        &["cache", "hit rate", "samples/s", "mem bytes"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["cache", "hit rate", "samples/s", "mem bytes"],
+        &[10, 12, 16, 14],
     );
     for kb in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut cfg = AxeConfig::poc().with_batch_size(48);
         cfg.cache_bytes = kb * 1024;
         let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
-        row(
-            &[
-                format!("{kb}KB"),
-                pct(m.cache_hit_rate),
-                format!("{}/s", eng(m.samples_per_sec)),
-                eng((m.local_bytes + m.remote_bytes) as f64),
-            ],
-            &w,
+        tel.registry.register(
+            "axe/ablation/cache",
+            &[("cache_kb", &kb.to_string())],
+            Box::new(m),
         );
+        t.row(&[
+            format!("{kb}KB"),
+            pct(m.cache_hit_rate),
+            format!("{}/s", eng(m.samples_per_sec)),
+            eng((m.local_bytes + m.remote_bytes) as f64),
+        ]);
     }
-    println!("(paper Tech-4: 8KB suffices — spatial coalescing only, no temporal reuse to find)");
+    t.note("paper Tech-4: 8KB suffices — spatial coalescing only, no temporal reuse to find");
 }
 
 /// Core-count sweep vs the Equation 3 demand. Throughput should rise
@@ -64,11 +65,7 @@ pub fn core_sweep(scale_nodes: u64, batches: u32) {
         demand,
         demand / 64.0
     );
-    let w = [8, 16, 16];
-    row(
-        &["cores", "samples/s", "avg outstanding"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["cores", "samples/s", "avg outstanding"], &[8, 16, 16]);
     let mut prev = 0.0;
     for cores in [1usize, 2, 4, 8, 16] {
         let cfg = AxeConfig::poc()
@@ -83,14 +80,11 @@ pub fn core_sweep(scale_nodes: u64, batches: u32) {
         } else {
             ""
         };
-        row(
-            &[
-                format!("{cores}{note}"),
-                format!("{}/s", eng(m.samples_per_sec)),
-                format!("{:.1}", m.avg_outstanding),
-            ],
-            &w,
-        );
+        t.row(&[
+            format!("{cores}{note}"),
+            format!("{}/s", eng(m.samples_per_sec)),
+            format!("{:.1}", m.avg_outstanding),
+        ]);
         prev = m.samples_per_sec;
     }
 }
@@ -102,8 +96,7 @@ pub fn packing_sweep() {
         "Ablation: packing",
         "requests per package vs wire utilization (16B reads)",
     );
-    let w = [14, 10, 12];
-    row(&["req/package", "pkgs", "data util"].map(String::from), &w);
+    let t = Table::new(&["req/package", "pkgs", "data util"], &[14, 10, 12]);
     for per in [1u64, 4, 16, 64] {
         // Generalized MoF accounting: header 12B per package each way,
         // 8B base + 4B offsets on requests.
@@ -121,12 +114,9 @@ pub fn packing_sweep() {
                 },
             data_bytes: n * 16,
         };
-        row(
-            &[per.to_string(), pkgs.to_string(), pct(b.data_fraction())],
-            &w,
-        );
+        t.row(&[per.to_string(), pkgs.to_string(), pct(b.data_fraction())]);
     }
-    println!("(Gen-Z-style 4-req packing is the paper's comparison point; MoF uses 64)");
+    t.note("Gen-Z-style 4-req packing is the paper's comparison point; MoF uses 64");
 }
 
 /// Tech-3 ablation at system level: the per-core outstanding budget on
@@ -138,8 +128,7 @@ pub fn outstanding_sweep(scale_nodes: u64, batches: u32) {
     );
     let d = DatasetConfig::by_name("ll").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 33);
-    let w = [8, 16, 16];
-    row(&["tags", "samples/s", "speedup"].map(String::from), &w);
+    let t = Table::new(&["tags", "samples/s", "speedup"], &[8, 16, 16]);
     let mut base = 0.0;
     for tags in [1usize, 4, 16, 64, 128] {
         let cfg = AxeConfig::poc()
@@ -150,21 +139,18 @@ pub fn outstanding_sweep(scale_nodes: u64, batches: u32) {
         if base == 0.0 {
             base = m.samples_per_sec;
         }
-        row(
-            &[
-                tags.to_string(),
-                format!("{}/s", eng(m.samples_per_sec)),
-                format!("{:.1}x", m.samples_per_sec / base),
-            ],
-            &w,
-        );
+        t.row(&[
+            tags.to_string(),
+            format!("{}/s", eng(m.samples_per_sec)),
+            format!("{:.1}x", m.samples_per_sec / base),
+        ]);
     }
-    println!("(the engine-level view of the Tech-3 '30x' claim)");
+    t.note("the engine-level view of the Tech-3 '30x' claim");
 }
 
 /// Runs every ablation.
-pub fn all(scale_nodes: u64, batches: u32) {
-    cache_sweep(scale_nodes, batches);
+pub fn all(scale_nodes: u64, batches: u32, tel: &mut Telemetry) {
+    cache_sweep(scale_nodes, batches, tel);
     core_sweep(scale_nodes, batches);
     packing_sweep();
     outstanding_sweep(scale_nodes, batches);
@@ -180,11 +166,7 @@ pub fn serving_sweep(scale_nodes: u64, batches: u32) {
     );
     let d = DatasetConfig::by_name("ll").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 34);
-    let w = [22, 16, 16];
-    row(
-        &["config", "samples/s", "local bytes"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["config", "samples/s", "local bytes"], &[22, 16, 16]);
     // A single local DDR channel makes the serving load visible (with
     // the PoC's 4 channels the MoF fabric binds first and serving is
     // absorbed).
@@ -200,14 +182,11 @@ pub fn serving_sweep(scale_nodes: u64, batches: u32) {
             .with_output_limit(false)
             .with_symmetric_serving(serving);
         let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
-        row(
-            &[
-                name.to_string(),
-                format!("{}/s", eng(m.samples_per_sec)),
-                eng(m.local_bytes as f64),
-            ],
-            &w,
-        );
+        t.row(&[
+            name.to_string(),
+            format!("{}/s", eng(m.samples_per_sec)),
+            eng(m.local_bytes as f64),
+        ]);
     }
-    println!("(all-to-all fabric symmetry: every byte fetched remotely is served by a peer)");
+    t.note("all-to-all fabric symmetry: every byte fetched remotely is served by a peer");
 }

@@ -1,7 +1,9 @@
 //! Section 3 characterization experiments: Figure 2(a)–(e) and Figure 3.
 
-use crate::util::{banner, eng, pct, row};
-use lsdgnn_core::framework::{CpuBackend, CpuClusterModel, SampleRequest, SamplingService};
+use crate::util::{banner, eng, pct, Table, Telemetry};
+use lsdgnn_core::framework::{
+    CpuBackend, CpuClusterModel, SampleRequest, SamplingService, ServiceConfig,
+};
 use lsdgnn_core::graph::{FootprintModel, NodeId, PAPER_DATASETS};
 use lsdgnn_core::memfabric::{figure_2e_series, LinkModel};
 use lsdgnn_core::nn::E2eModel;
@@ -17,34 +19,29 @@ pub fn fig2a() {
         "memory footprint and minimal servers (paper scale)",
     );
     let fm = FootprintModel::default();
-    let w = [6, 14, 14, 12, 10];
-    row(
+    let t = Table::new(
         &[
             "graph",
             "attr bytes",
             "struct bytes",
             "total GiB",
             "servers",
-        ]
-        .map(String::from),
-        &w,
+        ],
+        &[6, 14, 14, 12, 10],
     );
     for d in &PAPER_DATASETS {
-        row(
-            &[
-                d.name.to_string(),
-                eng(d.attribute_bytes() as f64),
-                eng(d.structure_bytes() as f64),
-                format!("{:.0}", fm.footprint_gib(d)),
-                fm.min_servers(d).to_string(),
-            ],
-            &w,
-        );
+        t.row(&[
+            d.name.to_string(),
+            eng(d.attribute_bytes() as f64),
+            eng(d.structure_bytes() as f64),
+            format!("{:.0}", fm.footprint_gib(d)),
+            fm.min_servers(d).to_string(),
+        ]);
     }
 }
 
 /// Figure 2(b): sub-linear performance scaling with server count.
-pub fn fig2b(scale_nodes: u64) {
+pub fn fig2b(scale_nodes: u64, tel: &mut Telemetry) {
     banner(
         "Fig 2(b)",
         "sampling speedup vs number of servers (CPU baseline)",
@@ -52,36 +49,31 @@ pub fn fig2b(scale_nodes: u64) {
     let m = CpuClusterModel::default();
     let counts = [1u64, 5, 15];
     let curve = m.scaling_curve(&counts);
-    let w = [8, 14, 16];
-    row(
-        &["servers", "speedup", "per-vCPU rate"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["servers", "speedup", "per-vCPU rate"], &[8, 14, 16]);
     for (s, x) in counts.iter().zip(curve) {
-        row(
-            &[
-                s.to_string(),
-                format!("{x:.2}x"),
-                format!("{}/s", eng(m.vcpu_rate(*s))),
-            ],
-            &w,
-        );
+        t.row(&[
+            s.to_string(),
+            format!("{x:.2}x"),
+            format!("{}/s", eng(m.vcpu_rate(*s))),
+        ]);
     }
-    println!("(ideal would be 1x / 5x / 15x — communication makes it sub-linear)");
+    t.note("ideal would be 1x / 5x / 15x — communication makes it sub-linear");
 
     // The cause, executed: the same mini-batch stream served by the real
     // mini-AliGraph cluster through the SamplingService — the remote
     // request share grows with the server count.
     let d = lsdgnn_core::graph::DatasetConfig::by_name("ml").expect("table 2 dataset");
     let (g, attrs) = d.instantiate_scaled(scale_nodes, 1);
-    let w = [8, 12, 14, 16];
-    row(
-        &["servers", "requests", "samples", "remote share"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["servers", "requests", "samples", "remote share"],
+        &[8, 12, 14, 16],
     );
     for partitions in [1u32, 4, 8] {
-        let service =
-            SamplingService::with_defaults(Box::new(CpuBackend::new(&g, &attrs, partitions)));
+        let service = SamplingService::start_traced(
+            Box::new(CpuBackend::new(&g, &attrs, partitions)),
+            ServiceConfig::default(),
+            tel.tracer(),
+        );
         let tickets: Vec<_> = (0..16u64)
             .map(|b| {
                 service.submit(SampleRequest {
@@ -96,14 +88,16 @@ pub fn fig2b(scale_nodes: u64) {
             .collect();
         let samples: usize = tickets.into_iter().map(|t| t.wait().total_sampled()).sum();
         let stats = service.stats();
-        row(
-            &[
-                partitions.to_string(),
-                stats.requests.to_string(),
-                samples.to_string(),
-                pct(stats.backend.remote_fraction()),
-            ],
-            &w,
+        t.row(&[
+            partitions.to_string(),
+            stats.requests.to_string(),
+            samples.to_string(),
+            pct(stats.backend.remote_fraction()),
+        ]);
+        tel.registry.register(
+            "service/fig2b",
+            &[("partitions", &partitions.to_string())],
+            Box::new(stats),
         );
         service.shutdown();
     }
@@ -116,10 +110,9 @@ pub fn fig2c(scale_nodes: u64) {
         "Fig 2(c)",
         "fine-grained structure accesses in total memory requests",
     );
-    let w = [6, 12, 16, 18];
-    row(
-        &["graph", "analytic", "executed", "avg struct bytes"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["graph", "analytic", "executed", "avg struct bytes"],
+        &[6, 12, 16, 18],
     );
     let mut fractions = Vec::new();
     for d in &PAPER_DATASETS {
@@ -138,15 +131,12 @@ pub fn fig2c(scale_nodes: u64) {
             d.sampling.fanout as usize,
             d.attr_len as usize,
         );
-        row(
-            &[
-                d.name.to_string(),
-                pct(analytic.structure_request_fraction()),
-                pct(p.structure_request_fraction()),
-                format!("{:.1}B", p.avg_structure_request_bytes()),
-            ],
-            &w,
-        );
+        t.row(&[
+            d.name.to_string(),
+            pct(analytic.structure_request_fraction()),
+            pct(p.structure_request_fraction()),
+            format!("{:.1}B", p.avg_structure_request_bytes()),
+        ]);
     }
     let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
     println!(
@@ -168,22 +158,15 @@ pub fn fig2d() {
         LinkModel::rdma_remote(),
     ];
     let sizes = [8u64, 16, 32, 64, 128, 256, 1024];
-    let w = [18, 10, 12, 14];
-    row(
-        &["link", "bytes", "latency", "eff BW"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["link", "bytes", "latency", "eff BW"], &[18, 10, 12, 14]);
     for l in &links {
         for &s in &sizes {
-            row(
-                &[
-                    l.name.clone(),
-                    s.to_string(),
-                    format!("{}", l.round_trip(s)),
-                    format!("{:.3} GB/s", l.effective_bandwidth_gbps(s)),
-                ],
-                &w,
-            );
+            t.row(&[
+                l.name.clone(),
+                s.to_string(),
+                format!("{}", l.round_trip(s)),
+                format!("{:.3} GB/s", l.effective_bandwidth_gbps(s)),
+            ]);
         }
     }
     let rdma = LinkModel::rdma_remote();
@@ -201,26 +184,22 @@ pub fn fig2e() {
     );
     let latencies = [100u64, 250, 500, 1_000, 2_500, 5_000, 10_000];
     let bandwidths = [16.0, 50.0, 100.0, 200.0];
-    let w = [12, 10, 10, 10, 10];
-    row(
-        &["latency", "16GB/s", "50GB/s", "100GB/s", "200GB/s"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["latency", "16GB/s", "50GB/s", "100GB/s", "200GB/s"],
+        &[12, 10, 10, 10, 10],
     );
     let series: Vec<Vec<(u64, f64)>> = bandwidths
         .iter()
         .map(|&b| figure_2e_series(b, 64, &latencies))
         .collect();
     for (i, &l) in latencies.iter().enumerate() {
-        row(
-            &[
-                format!("{l} ns"),
-                format!("{:.0}", series[0][i].1),
-                format!("{:.0}", series[1][i].1),
-                format!("{:.0}", series[2][i].1),
-                format!("{:.0}", series[3][i].1),
-            ],
-            &w,
-        );
+        t.row(&[
+            format!("{l} ns"),
+            format!("{:.0}", series[0][i].1),
+            format!("{:.0}", series[1][i].1),
+            format!("{:.0}", series[2][i].1),
+            format!("{:.0}", series[3][i].1),
+        ]);
     }
 }
 
@@ -228,8 +207,7 @@ pub fn fig2e() {
 pub fn fig3() {
     banner("Fig 3", "end-to-end LSD-GNN characterization (Table 3 app)");
     let m = E2eModel::default();
-    let w = [12, 12, 12, 10, 12, 14];
-    row(
+    let t = Table::new(
         &[
             "mode",
             "sampling",
@@ -237,25 +215,21 @@ pub fn fig3() {
             "gnn",
             "end-model",
             "sampling %",
-        ]
-        .map(String::from),
-        &w,
+        ],
+        &[12, 12, 12, 10, 12, 14],
     );
     for (label, train) in [("training", true), ("inference", false)] {
         let b = m.breakdown(train);
-        row(
-            &[
-                label.to_string(),
-                format!("{:.2}ms", b.sampling_s * 1e3),
-                format!("{:.2}ms", b.embedding_s * 1e3),
-                format!("{:.2}ms", b.gnn_s * 1e3),
-                format!("{:.2}ms", b.end_model_s * 1e3),
-                pct(b.sampling_fraction()),
-            ],
-            &w,
-        );
+        t.row(&[
+            label.to_string(),
+            format!("{:.2}ms", b.sampling_s * 1e3),
+            format!("{:.2}ms", b.embedding_s * 1e3),
+            format!("{:.2}ms", b.gnn_s * 1e3),
+            format!("{:.2}ms", b.end_model_s * 1e3),
+            pct(b.sampling_fraction()),
+        ]);
     }
-    println!("(paper: sampling is 64% of training, 88% of inference)");
+    t.note("paper: sampling is 64% of training, 88% of inference");
     let fm = FootprintModel::default();
     let ls = lsdgnn_core::graph::DatasetConfig::by_name("ls").unwrap();
     let ratio = m.storage_to_model_ratio(fm.footprint_bytes(&ls));

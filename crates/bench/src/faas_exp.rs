@@ -1,6 +1,6 @@
 //! FaaS DSE experiments: Figures 16–21.
 
-use crate::util::{banner, eng, row};
+use crate::util::{banner, eng, Table};
 use lsdgnn_core::faas::dse::{min_cost_table, run_dse, DseResult};
 use lsdgnn_core::faas::{Architecture, CostModel, InstanceSize, QuoteSet};
 use lsdgnn_core::framework::CpuClusterModel;
@@ -15,22 +15,18 @@ pub fn fig16() {
     banner("Fig 16", "linear cost model vs instance quotes");
     let quotes = QuoteSet::alibaba_like();
     let model = CostModel::fit(&quotes);
-    let w = [12, 12, 12, 10];
-    row(
-        &["instance", "quoted $/h", "model $/h", "error"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["instance", "quoted $/h", "model $/h", "error"],
+        &[12, 12, 12, 10],
     );
     for (spec, price) in &quotes.quotes {
         let pred = model.predict(spec);
-        row(
-            &[
-                spec.name.clone(),
-                format!("{price:.3}"),
-                format!("{pred:.3}"),
-                format!("{:.1}%", 100.0 * (pred - price).abs() / price),
-            ],
-            &w,
-        );
+        t.row(&[
+            spec.name.clone(),
+            format!("{price:.3}"),
+            format!("{pred:.3}"),
+            format!("{:.1}%", 100.0 * (pred - price).abs() / price),
+        ]);
     }
     println!(
         "fit: $/h = {:.3} + {:.4}*vCPU + {:.5}*GB + {:.3}*FPGA + {:.3}*GPU",
@@ -40,7 +36,7 @@ pub fn fig16() {
         model.coefficients[3],
         model.coefficients[4]
     );
-    println!("(paper: accurate except the 906GB ecs-ram-e premium instance)");
+    t.note("paper: accurate except the 906GB ecs-ram-e premium instance");
 }
 
 /// Figure 17: sampling performance per instance for the full grid.
@@ -50,10 +46,9 @@ pub fn fig17() {
         "GNN sampling performance/instance: 8 architectures x 6 graphs x 3 sizes",
     );
     let r = dse();
-    let mut header = vec!["arch".to_string(), "size".to_string()];
-    header.extend(PAPER_DATASETS.iter().map(|d| d.name.to_string()));
-    let w = [14, 8, 9, 9, 9, 9, 9, 9];
-    row(&header, &w);
+    let mut header = vec!["arch", "size"];
+    header.extend(PAPER_DATASETS.iter().map(|d| d.name));
+    let t = Table::new(&header, &[14, 8, 9, 9, 9, 9, 9, 9]);
     for a in Architecture::ALL {
         for size in InstanceSize::ALL {
             let mut cells = vec![a.name(), size.name().to_string()];
@@ -65,7 +60,7 @@ pub fn fig17() {
                     .expect("grid complete");
                 cells.push(format!("{}/s", eng(cell.samples_per_sec)));
             }
-            row(&cells, &w);
+            t.row(&cells);
         }
     }
 }
@@ -77,10 +72,9 @@ pub fn fig18() {
         "normalized performance/dollar: 8 architectures x 6 graphs x 3 sizes",
     );
     let r = dse();
-    let mut header = vec!["arch".to_string(), "size".to_string()];
-    header.extend(PAPER_DATASETS.iter().map(|d| d.name.to_string()));
-    let w = [14, 8, 8, 8, 8, 8, 8, 8];
-    row(&header, &w);
+    let mut header = vec!["arch", "size"];
+    header.extend(PAPER_DATASETS.iter().map(|d| d.name));
+    let t = Table::new(&header, &[14, 8, 8, 8, 8, 8, 8, 8]);
     for a in Architecture::ALL {
         for size in InstanceSize::ALL {
             let mut cells = vec![a.name(), size.name().to_string()];
@@ -92,7 +86,7 @@ pub fn fig18() {
                     .expect("grid complete");
                 cells.push(format!("{:.2}x", r.normalized_perf_per_dollar(cell)));
             }
-            row(&cells, &w);
+            t.row(&cells);
         }
     }
 }
@@ -104,27 +98,23 @@ pub fn fig19() {
         "average sampling performance/instance (geomean over graphs)",
     );
     let r = dse();
-    let w = [14, 14, 14, 14];
-    row(&["arch", "small", "medium", "large"].map(String::from), &w);
+    let t = Table::new(&["arch", "small", "medium", "large"], &[14, 14, 14, 14]);
     for a in Architecture::ALL {
-        row(
-            &[
-                a.name(),
-                format!(
-                    "{}/s",
-                    eng(r.arch_performance(&a.name(), InstanceSize::Small))
-                ),
-                format!(
-                    "{}/s",
-                    eng(r.arch_performance(&a.name(), InstanceSize::Medium))
-                ),
-                format!(
-                    "{}/s",
-                    eng(r.arch_performance(&a.name(), InstanceSize::Large))
-                ),
-            ],
-            &w,
-        );
+        t.row(&[
+            a.name(),
+            format!(
+                "{}/s",
+                eng(r.arch_performance(&a.name(), InstanceSize::Small))
+            ),
+            format!(
+                "{}/s",
+                eng(r.arch_performance(&a.name(), InstanceSize::Medium))
+            ),
+            format!(
+                "{}/s",
+                eng(r.arch_performance(&a.name(), InstanceSize::Large))
+            ),
+        ]);
     }
     let m = |s: &str| r.arch_performance(s, InstanceSize::Medium);
     println!(
@@ -142,22 +132,18 @@ pub fn fig20() {
         "minimal service cost to carry each graph (CPU vs FaaS.base)",
     );
     let rows = min_cost_table(&CostModel::default_fitted());
-    let w = [6, 8, 11, 12, 12];
-    row(
-        &["graph", "size", "instances", "CPU $/h", "FaaS $/h"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["graph", "size", "instances", "CPU $/h", "FaaS $/h"],
+        &[6, 8, 11, 12, 12],
     );
     for r in rows {
-        row(
-            &[
-                r.dataset.to_string(),
-                r.size.name().to_string(),
-                r.instances.to_string(),
-                format!("{:.2}", r.cpu_cost),
-                format!("{:.2}", r.faas_cost),
-            ],
-            &w,
-        );
+        t.row(&[
+            r.dataset.to_string(),
+            r.size.name().to_string(),
+            r.instances.to_string(),
+            format!("{:.2}", r.cpu_cost),
+            format!("{:.2}", r.faas_cost),
+        ]);
     }
 }
 
@@ -169,18 +155,14 @@ pub fn fig21() {
         "average normalized performance/dollar per architecture",
     );
     let r = dse();
-    let w = [14, 12];
-    row(&["arch", "perf/$ vs CPU"].map(String::from), &w);
+    let t = Table::new(&["arch", "perf/$ vs CPU"], &[14, 12]);
     for a in Architecture::ALL {
-        row(
-            &[
-                a.name(),
-                format!("{:.2}x", r.arch_perf_per_dollar(&a.name())),
-            ],
-            &w,
-        );
+        t.row(&[
+            a.name(),
+            format!("{:.2}x", r.arch_perf_per_dollar(&a.name())),
+        ]);
     }
-    println!("(paper headline: base.decp 2.47x, base.tc 4.11x, comm-opt 7.78x, mem-opt.tc 12.58x)");
+    t.note("paper headline: base.decp 2.47x, base.tc 4.11x, comm-opt 7.78x, mem-opt.tc 12.58x");
     println!(
         "tc-over-decp gap: cost-opt {:.1}x, comm-opt {:.1}x, mem-opt {:.1}x (paper: 1.9x / 3.5x / 16.6x)",
         r.speedup("cost-opt.tc", "cost-opt.decp"),
@@ -199,23 +181,16 @@ pub fn limit2() {
     use lsdgnn_core::faas::dse::run_dse_with_gpu_factor;
     let cpu = CpuClusterModel::default();
     let cost = CostModel::default_fitted();
-    let w = [12, 14, 14];
-    row(
-        &["GPU factor", "base.decp", "mem-opt.tc"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["GPU factor", "base.decp", "mem-opt.tc"], &[12, 14, 14]);
     for factor in [1.0f64, 2.0, 5.0, 10.0] {
         let r = run_dse_with_gpu_factor(&cpu, &cost, factor);
-        row(
-            &[
-                format!("{factor}x"),
-                format!("{:.2}x", r.arch_perf_per_dollar("base.decp")),
-                format!("{:.2}x", r.arch_perf_per_dollar("mem-opt.tc")),
-            ],
-            &w,
-        );
+        t.row(&[
+            format!("{factor}x"),
+            format!("{:.2}x", r.arch_perf_per_dollar("base.decp")),
+            format!("{:.2}x", r.arch_perf_per_dollar("mem-opt.tc")),
+        ]);
     }
-    println!("(paper: at 10 GPUs per 12 GB/s, mem-opt.tc falls from 12.58x to 1.48x)");
+    t.note("paper: at 10 GPUs per 12 GB/s, mem-opt.tc falls from 12.58x to 1.48x");
 }
 
 /// §9 discussion: Grace-like CPU/GPU, DPU, ASIC and the CXL outlook.
@@ -232,40 +207,27 @@ pub fn discussion() {
     let dpu = DpuNode::bluefield().samples_per_sec(&cpu, 4, attr_bytes);
     let fpga_device = 55e6;
     let asic = asic_samples_per_sec(fpga_device, 10.0, 16.0, attr_bytes);
-    let w = [26, 16];
-    row(&["platform", "samples/s"].map(String::from), &w);
-    row(
-        &[
-            "Grace-like 144-core CPU".into(),
-            format!("{}/s", eng(grace)),
-        ],
-        &w,
-    );
-    row(
-        &[
-            "BlueField-like 300-core DPU".into(),
-            format!("{}/s", eng(dpu)),
-        ],
-        &w,
-    );
-    row(
-        &["10x ASIC behind PCIe".into(), format!("{}/s", eng(asic))],
-        &w,
-    );
-    row(
-        &[
-            "AxE FPGA (PoC, PCIe-bound)".into(),
-            format!("{}/s", eng(fpga_device)),
-        ],
-        &w,
-    );
+    let t = Table::new(&["platform", "samples/s"], &[26, 16]);
+    t.row(&[
+        "Grace-like 144-core CPU".into(),
+        format!("{}/s", eng(grace)),
+    ]);
+    t.row(&[
+        "BlueField-like 300-core DPU".into(),
+        format!("{}/s", eng(dpu)),
+    ]);
+    t.row(&["10x ASIC behind PCIe".into(), format!("{}/s", eng(asic))]);
+    t.row(&[
+        "AxE FPGA (PoC, PCIe-bound)".into(),
+        format!("{}/s", eng(fpga_device)),
+    ]);
     let (mof, cxl) = cxl_variant_rates(&d);
     println!(
         "CXL outlook (comm-opt.tc on ll/medium): custom MoF {}/s vs standard CXL {}/s",
         eng(mof),
         eng(cxl)
     );
-    println!("(paper §9: CPU/DPU under-utilize; ASIC hits the same output wall; CXL bridges the fabric gap)");
+    t.note("paper §9: CPU/DPU under-utilize; ASIC hits the same output wall; CXL bridges the fabric gap");
 }
 
 /// The deployment planner: cheapest (architecture, size, fleet) per
@@ -279,38 +241,31 @@ pub fn planner() {
     let d = lsdgnn_core::graph::DatasetConfig::by_name("ll").unwrap();
     let cost = CostModel::default_fitted();
     let targets = [1e6, 10e6, 50e6, 200e6, 1e9];
-    let w = [14, 16, 8, 10, 16, 10];
-    row(
-        &["target", "arch", "size", "fleet", "throughput", "$/h"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["target", "arch", "size", "fleet", "throughput", "$/h"],
+        &[14, 16, 8, 10, 16, 10],
     );
-    for (t, plan) in plan_sweep(&d, &targets, &cost) {
+    for (tgt, plan) in plan_sweep(&d, &targets, &cost) {
         match plan {
-            Some(p) => row(
-                &[
-                    format!("{}/s", eng(t)),
-                    p.arch.name(),
-                    p.size.name().to_string(),
-                    p.instances.to_string(),
-                    format!("{}/s", eng(p.throughput)),
-                    format!("{:.2}", p.dollars_per_hour),
-                ],
-                &w,
-            ),
-            None => row(
-                &[
-                    format!("{}/s", eng(t)),
-                    "unreachable".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                ],
-                &w,
-            ),
+            Some(p) => t.row(&[
+                format!("{}/s", eng(tgt)),
+                p.arch.name(),
+                p.size.name().to_string(),
+                p.instances.to_string(),
+                format!("{}/s", eng(p.throughput)),
+                format!("{:.2}", p.dollars_per_hour),
+            ]),
+            None => t.row(&[
+                format!("{}/s", eng(tgt)),
+                "unreachable".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
-    println!("(the Figure 20 analysis generalized with a throughput target)");
+    t.note("the Figure 20 analysis generalized with a throughput target");
 }
 
 /// Writes the full DSE grid to `results/dse.csv` for external plotting.

@@ -4,7 +4,15 @@
 //! ```text
 //! cargo run -p lsdgnn-bench --release -- all
 //! cargo run -p lsdgnn-bench --release -- fig14 fig21
+//! cargo run -p lsdgnn-bench --release -- fig14 \
+//!     --metrics-out results/metrics.json --trace-out results/trace.json
 //! ```
+//!
+//! Flags:
+//! * `--metrics-out <path.json>` — write the telemetry registry snapshot
+//!   (every metric the selected experiments registered) as JSON
+//! * `--trace-out <path.json>`   — record spans during the simulated runs
+//!   and write Chrome trace-event JSON (open in Perfetto)
 //!
 //! Environment:
 //! * `LSDGNN_SCALE`   — max nodes for scaled-down graphs (default 4000)
@@ -27,7 +35,26 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() {
     let scale = env_u64("LSDGNN_SCALE", 4_000);
     let batches = env_u64("LSDGNN_BATCHES", 3) as u32;
-    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut args = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if let Some(v) = a.strip_prefix("--metrics-out=") {
+            metrics_out = Some(v.to_string());
+        } else if a == "--metrics-out" {
+            metrics_out = Some(raw.next().expect("--metrics-out needs a path"));
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(v.to_string());
+        } else if a == "--trace-out" {
+            trace_out = Some(raw.next().expect("--trace-out needs a path"));
+        } else {
+            args.push(a);
+        }
+    }
+    let mut tel = util::Telemetry::new(metrics_out, trace_out);
+
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig2a",
@@ -63,7 +90,7 @@ fn main() {
     for exp in selected {
         match exp {
             "fig2a" => characterization::fig2a(),
-            "fig2b" => characterization::fig2b(scale),
+            "fig2b" => characterization::fig2b(scale, &mut tel),
             "fig2c" => characterization::fig2c(scale),
             "fig2d" => characterization::fig2d(),
             "fig2e" => characterization::fig2e(),
@@ -75,7 +102,7 @@ fn main() {
             "tech2" => microarch::tech2(),
             "tech3" => microarch::tech3(),
             "table11" => microarch::table11(),
-            "fig14" => poc::fig14(scale, batches),
+            "fig14" => poc::fig14(scale, batches, &mut tel),
             "fig15" => poc::fig15(scale, batches),
             "fig16" => faas_exp::fig16(),
             "fig17" => faas_exp::fig17(),
@@ -83,12 +110,12 @@ fn main() {
             "fig19" => faas_exp::fig19(),
             "fig20" => faas_exp::fig20(),
             "fig21" => faas_exp::fig21(),
-            "ablations" => ablations::all(scale, batches),
+            "ablations" => ablations::all(scale, batches, &mut tel),
             "limit2" => faas_exp::limit2(),
             "discussion" => faas_exp::discussion(),
             "planner" => faas_exp::planner(),
             "export-csv" => faas_exp::export_csv(),
-            "ablation-cache" => ablations::cache_sweep(scale, batches),
+            "ablation-cache" => ablations::cache_sweep(scale, batches, &mut tel),
             "ablation-cores" => ablations::core_sweep(scale, batches),
             "ablation-packing" => ablations::packing_sweep(),
             "ablation-outstanding" => ablations::outstanding_sweep(scale, batches),
@@ -99,4 +126,5 @@ fn main() {
             }
         }
     }
+    tel.finish();
 }

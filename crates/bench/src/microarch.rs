@@ -1,7 +1,7 @@
 //! Micro-architecture experiments: Figure 7, Tables 5–7, Table 11, and
 //! the Tech-2/Tech-3 claims.
 
-use crate::util::{banner, pct, row};
+use crate::util::{banner, pct, Table};
 use lsdgnn_core::axe::load_unit;
 use lsdgnn_core::axe::{pipeline_batch_latency, LoadUnitConfig, PipelineSpec};
 use lsdgnn_core::fpga::{sampler_savings, PocDesign, Vu13p};
@@ -17,21 +17,17 @@ pub fn fig7() {
     banner("Fig 7", "batch latency vs GetNeighbor pipeline depth");
     let items = 512u64;
     let work = 16u64;
-    let w = [8, 16, 12];
-    row(&["depth", "latency (cyc)", "speedup"].map(String::from), &w);
+    let t = Table::new(&["depth", "latency (cyc)", "speedup"], &[8, 16, 12]);
     let base = pipeline_batch_latency(&PipelineSpec::new(work, 1, 8), items);
     for depth in [1u32, 2, 4, 8, 16] {
         let l = pipeline_batch_latency(&PipelineSpec::new(work, depth, 8), items);
-        row(
-            &[
-                depth.to_string(),
-                l.to_string(),
-                format!("{:.2}x", base as f64 / l as f64),
-            ],
-            &w,
-        );
+        t.row(&[
+            depth.to_string(),
+            l.to_string(),
+            format!("{:.2}x", base as f64 / l as f64),
+        ]);
     }
-    println!("(deeper pipeline -> better performance, as in the paper)");
+    t.note("deeper pipeline -> better performance, as in the paper");
 }
 
 /// Table 5: MoF packing versus Gen-Z.
@@ -40,10 +36,9 @@ pub fn table5() {
         "Table 5",
         "bandwidth utilization vs Gen-Z multi-read packing",
     );
-    let w = [10, 14, 10, 10, 10, 14];
-    row(
-        &["scheme", "request", "pkgs", "header", "addr", "data (util)"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["scheme", "request", "pkgs", "header", "addr", "data (util)"],
+        &[10, 14, 10, 10, 10, 14],
     );
     for &size in &[16u64, 64] {
         for (name, scheme) in [
@@ -55,20 +50,17 @@ pub fn table5() {
                 PackingScheme::GenZ => b.request_packages + b.response_packages,
                 PackingScheme::Mof => b.request_packages,
             };
-            row(
-                &[
-                    name.to_string(),
-                    format!("128x{size}B"),
-                    pkgs.to_string(),
-                    pct(b.header_fraction()),
-                    pct(b.address_fraction()),
-                    pct(b.data_fraction()),
-                ],
-                &w,
-            );
+            t.row(&[
+                name.to_string(),
+                format!("128x{size}B"),
+                pkgs.to_string(),
+                pct(b.header_fraction()),
+                pct(b.address_fraction()),
+                pct(b.data_fraction()),
+            ]);
         }
     }
-    println!("(paper: genz 64 pkgs / 32.65% & 65.98% util; proposed 2 pkgs / 78.11% & 94.03%)");
+    t.note("paper: genz 64 pkgs / 32.65% & 65.98% util; proposed 2 pkgs / 78.11% & 94.03%");
 }
 
 /// Table 6: BDI compression on a 128 x 8B read package.
@@ -92,11 +84,7 @@ pub fn table6() {
     let addr_comp = bdi_compress(&addrs).compressed_bytes();
     let mof_acomp = mof_dcomp - addr_raw.min(mof_dcomp) + addr_comp.min(addr_raw);
 
-    let w = [26, 14, 10];
-    row(
-        &["configuration", "bytes to send", "saving"].map(String::from),
-        &w,
-    );
+    let t = Table::new(&["configuration", "bytes to send", "saving"], &[26, 14, 10]);
     let mut prev = genz;
     for (name, bytes) in [
         ("GENZ", genz),
@@ -109,10 +97,10 @@ pub fn table6() {
         } else {
             "-".into()
         };
-        row(&[name.to_string(), bytes.to_string(), saving], &w);
+        t.row(&[name.to_string(), bytes.to_string(), saving]);
         prev = bytes;
     }
-    println!("(paper: 6336 -> 1600 -> 864 -> 779 bytes)");
+    t.note("paper: 6336 -> 1600 -> 864 -> 779 bytes");
 }
 
 /// Table 7: QRCH versus MMIO and tightly-coupled ISA extension.
@@ -121,16 +109,14 @@ pub fn table7() {
         "Table 7",
         "accelerator interaction styles (measured on RV32 interpreter)",
     );
-    let w = [10, 18, 24, 16];
-    row(
+    let t = Table::new(
         &[
             "style",
             "cyc/interaction",
             "programmability",
             "extensibility",
-        ]
-        .map(String::from),
-        &w,
+        ],
+        &[10, 18, 24, 16],
     );
     for (name, style) in [
         ("MMIO", InteractionStyle::Mmio),
@@ -138,29 +124,31 @@ pub fn table7() {
         ("QRCH", InteractionStyle::Qrch),
     ] {
         let cost = measure_interaction_cost(style, 500);
-        row(
-            &[
-                name.to_string(),
-                format!("{cost:.1}"),
-                style.programmability().to_string(),
-                style.extensibility().to_string(),
-            ],
-            &w,
-        );
+        t.row(&[
+            name.to_string(),
+            format!("{cost:.1}"),
+            style.programmability().to_string(),
+            style.extensibility().to_string(),
+        ]);
     }
-    println!("(paper: MMIO ~100 cyc, ISA-ext ~1 cyc, QRCH ~10 cyc)");
+    t.note("paper: MMIO ~100 cyc, ISA-ext ~1 cyc, QRCH ~10 cyc");
 }
 
 /// Tech-2: streaming sampling — cycles, resources, model quality.
 pub fn tech2() {
     banner("Tech-2", "streaming step-based sampling vs conventional");
     let (n, k) = (1_000usize, 100usize);
-    println!(
-        "cycles to sample {k} of {n}: conventional {} (buffer {} entries), streaming {} (no buffer)",
-        StandardSampler.cycles(n, k),
-        StandardSampler.buffer_entries(n),
-        StreamingSampler.cycles(n, k),
-    );
+    let t = Table::new(&["sampler", "cycles", "buffer entries"], &[14, 10, 16]);
+    t.row(&[
+        "conventional".into(),
+        StandardSampler.cycles(n, k).to_string(),
+        StandardSampler.buffer_entries(n).to_string(),
+    ]);
+    t.row(&[
+        "streaming".into(),
+        StreamingSampler.cycles(n, k).to_string(),
+        "0".into(),
+    ]);
     let (lut, reg) = sampler_savings();
     println!(
         "sampler resource saving: {} LUTs, {} registers (paper: 91.9% / 23%)",
@@ -179,21 +167,17 @@ pub fn tech2() {
 /// Tech-3: OoO load unit throughput gain.
 pub fn tech3() {
     banner("Tech-3", "OoO massive outstanding requests vs in-order");
-    let w = [12, 16, 12];
-    row(&["tags", "throughput", "speedup"].map(String::from), &w);
+    let t = Table::new(&["tags", "throughput", "speedup"], &[12, 16, 12]);
     let base = load_unit::simulate_stream(&LoadUnitConfig::in_order(), 2_000, 1_100, 1_400, 5);
     for tags in [1usize, 8, 16, 32, 64, 128] {
         let r = load_unit::simulate_stream(&LoadUnitConfig::ooo(tags), 2_000, 1_100, 1_400, 5);
-        row(
-            &[
-                tags.to_string(),
-                format!("{:.4} req/cyc", r.throughput),
-                format!("{:.1}x", r.throughput / base.throughput),
-            ],
-            &w,
-        );
+        t.row(&[
+            tags.to_string(),
+            format!("{:.4} req/cyc", r.throughput),
+            format!("{:.1}x", r.throughput / base.throughput),
+        ]);
     }
-    println!("(paper: OoO design improves throughput by ~30x)");
+    t.note("paper: OoO design improves throughput by ~30x");
 }
 
 /// Table 11: VU13P resource utilization of the PoC design.
@@ -205,23 +189,19 @@ pub fn table11() {
     let u = PocDesign::table10()
         .resources()
         .utilization(&Vu13p::default());
-    let w = [10, 10, 10, 10, 10, 10];
-    row(
-        &["CLBs", "LUTs", "CLB Reg", "BRAM", "URAM", "DSP"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["CLBs", "LUTs", "CLB Reg", "BRAM", "URAM", "DSP"],
+        &[10, 10, 10, 10, 10, 10],
     );
-    row(
-        &[
-            format!("{:.2}%", u.clb_pct),
-            format!("{:.2}%", u.lut_pct),
-            format!("{:.2}%", u.reg_pct),
-            format!("{:.2}%", u.bram_pct),
-            format!("{:.2}%", u.uram_pct),
-            format!("{:.2}%", u.dsp_pct),
-        ],
-        &w,
-    );
-    println!("(paper: 60.53% / 35.07% / 22.48% / 39.29% / 40.00% / 12.50%)");
+    t.row(&[
+        format!("{:.2}%", u.clb_pct),
+        format!("{:.2}%", u.lut_pct),
+        format!("{:.2}%", u.reg_pct),
+        format!("{:.2}%", u.bram_pct),
+        format!("{:.2}%", u.uram_pct),
+        format!("{:.2}%", u.dsp_pct),
+    ]);
+    t.note("paper: 60.53% / 35.07% / 22.48% / 39.29% / 40.00% / 12.50%");
     let max = PocDesign::table10().max_cores_fitting(&Vu13p::default());
     println!("scale-up headroom: up to {max} AxE cores fit the device");
 }

@@ -1,47 +1,52 @@
 //! PoC measurement experiments: Figure 14 (FPGA vs per-vCPU sampling
 //! rate) and Figure 15 (analytical model validation against the DES).
 
-use crate::util::{banner, eng, row};
+use crate::util::{banner, eng, metric_cell, Table, Telemetry};
 use lsdgnn_core::axe::{AccessEngine, AxeConfig};
 use lsdgnn_core::faas::perf::{bottleneck_rates, PerfInputs};
+use lsdgnn_core::framework::CpuClusterModel;
 use lsdgnn_core::framework::{
-    AxeBackend, CpuBackend, CpuClusterModel, SampleRequest, SamplingBackend, SamplingService,
+    AxeBackend, CpuBackend, SampleRequest, SamplingBackend, SamplingService, ServiceConfig,
 };
 use lsdgnn_core::graph::{FootprintModel, NodeId, PAPER_DATASETS};
 use lsdgnn_core::memfabric::{MemoryTier, TierConfig};
 use std::sync::Arc;
 
 /// Figure 14: simulated PoC FPGA sampling rate versus the per-vCPU CPU
-/// baseline, per dataset.
-pub fn fig14(scale_nodes: u64, batches: u32) {
+/// baseline, per dataset. The acceptance experiment for the telemetry
+/// layer: its engine run is traced (desim/axe/mof spans), its serving
+/// run is traced (service spans), and every measurement lands in the
+/// registry for `--metrics-out`.
+pub fn fig14(scale_nodes: u64, batches: u32, tel: &mut Telemetry) {
     banner(
         "Fig 14",
         "PoC sampling rate vs CPU software baseline (per vCPU)",
     );
     let cpu = CpuClusterModel::default();
     let fm = FootprintModel::default();
-    let w = [6, 16, 16, 14];
-    row(
-        &["graph", "FPGA samples/s", "vCPU samples/s", "vCPU-equiv"].map(String::from),
-        &w,
+    let t = Table::new(
+        &["graph", "FPGA samples/s", "vCPU samples/s", "vCPU-equiv"],
+        &[6, 16, 16, 14],
     );
     let mut log_sum = 0.0;
-    for d in &PAPER_DATASETS {
+    for (i, d) in PAPER_DATASETS.iter().enumerate() {
         let (g, _) = d.instantiate_scaled(scale_nodes, 10);
         let cfg = AxeConfig::poc().with_batch_size(64);
-        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        // Trace one representative engine run (the first dataset) so the
+        // Chrome trace stays a single readable set of pid/tid tracks.
+        let tracer = if i == 0 { tel.tracer() } else { None };
+        let m = AccessEngine::new(cfg).run_traced(&g, d.attr_len as usize, batches, tracer);
+        tel.registry
+            .register("axe", &[("graph", d.name)], Box::new(m));
         let vcpu = cpu.vcpu_rate_for(d, &fm);
         let equiv = m.samples_per_sec / vcpu;
         log_sum += equiv.ln();
-        row(
-            &[
-                d.name.to_string(),
-                format!("{}/s", eng(m.samples_per_sec)),
-                format!("{}/s", eng(vcpu)),
-                format!("{equiv:.0}"),
-            ],
-            &w,
-        );
+        t.row(&[
+            d.name.to_string(),
+            format!("{}/s", eng(m.samples_per_sec)),
+            format!("{}/s", eng(vcpu)),
+            format!("{equiv:.0}"),
+        ]);
     }
     let geomean = (log_sum / PAPER_DATASETS.len() as f64).exp();
     println!("geomean vCPU equivalence: {geomean:.0} (paper: one FPGA ~ 894 vCPUs)");
@@ -61,20 +66,10 @@ pub fn fig14(scale_nodes: u64, batches: u32) {
             )),
         ),
     ];
-    let w = [8, 12, 12, 16, 14];
-    row(
-        &[
-            "backend",
-            "requests",
-            "samples",
-            "mean latency",
-            "p99 latency",
-        ]
-        .map(String::from),
-        &w,
-    );
+    let mut sample_counts = Vec::new();
     for (name, backend) in backends {
-        let service = SamplingService::with_defaults(backend);
+        let service =
+            SamplingService::start_traced(backend, ServiceConfig::default(), tel.tracer());
         let tickets: Vec<_> = (0..u64::from(batches) * 4)
             .map(|b| {
                 service.submit(SampleRequest {
@@ -88,20 +83,39 @@ pub fn fig14(scale_nodes: u64, batches: u32) {
             })
             .collect();
         let samples: usize = tickets.into_iter().map(|t| t.wait().total_sampled()).sum();
-        let stats = service.stats();
-        row(
-            &[
-                name.to_string(),
-                stats.requests.to_string(),
-                samples.to_string(),
-                format!("{:.0}us", stats.latency_us.mean()),
-                format!("{}us", stats.latency_us.quantile(0.99)),
-            ],
-            &w,
-        );
+        sample_counts.push((name, samples));
+        tel.registry
+            .register("service", &[("backend", name)], Box::new(service.stats()));
         service.shutdown();
     }
-    println!("(identical sample counts: the backend swap is invisible in results)");
+    // The serving table reads back from the registry snapshot — the
+    // printed numbers are exactly what `--metrics-out` exports.
+    let snap = tel.registry.snapshot();
+    let t = Table::new(
+        &["backend", "requests", "samples", "latency (us)", "p99 (us)"],
+        &[8, 12, 12, 22, 12],
+    );
+    for (name, samples) in sample_counts {
+        let labels = [("backend", name)];
+        let get = |metric: &str| {
+            snap.get_labeled(metric, &labels)
+                .map(metric_cell)
+                .unwrap_or_else(|| "-".into())
+        };
+        let p99 = snap
+            .get_labeled("service/latency_us", &labels)
+            .and_then(|v| v.as_histogram())
+            .map(|h| format!("{:.0}", h.p99))
+            .unwrap_or_else(|| "-".into());
+        t.row(&[
+            name.to_string(),
+            get("service/requests"),
+            samples.to_string(),
+            get("service/latency_us"),
+            p99,
+        ]);
+    }
+    t.note("identical sample counts: the backend swap is invisible in results");
 }
 
 /// One Figure 15 sweep point.
@@ -127,8 +141,7 @@ pub fn fig15(scale_nodes: u64, batches: u32) {
     let avg_deg = g.avg_degree();
     let attr_bytes = d.attr_len as f64 * 4.0;
 
-    let w = [8, 8, 8, 16, 16, 10, 18];
-    row(
+    let t = Table::new(
         &[
             "cores",
             "mem",
@@ -137,9 +150,8 @@ pub fn fig15(scale_nodes: u64, batches: u32) {
             "model samples/s",
             "err",
             "model w/o PCIe",
-        ]
-        .map(String::from),
-        &w,
+        ],
+        &[8, 8, 8, 16, 16, 10, 18],
     );
     let mem_configs: [(&str, Option<u32>); 4] = [
         ("PCIe", None),
@@ -179,18 +191,15 @@ pub fn fig15(scale_nodes: u64, batches: u32) {
                 .samples_per_sec();
                 let err = (model - des.samples_per_sec).abs() / des.samples_per_sec;
                 errs.push(err);
-                row(
-                    &[
-                        cores.to_string(),
-                        mem_name.to_string(),
-                        format!("{nodes}n"),
-                        format!("{}/s", eng(des.samples_per_sec)),
-                        format!("{}/s", eng(model)),
-                        format!("{:.0}%", err * 100.0),
-                        format!("{}/s", eng(no_pcie)),
-                    ],
-                    &w,
-                );
+                t.row(&[
+                    cores.to_string(),
+                    mem_name.to_string(),
+                    format!("{nodes}n"),
+                    format!("{}/s", eng(des.samples_per_sec)),
+                    format!("{}/s", eng(model)),
+                    format!("{:.0}%", err * 100.0),
+                    format!("{}/s", eng(no_pcie)),
+                ]);
             }
         }
     }

@@ -25,6 +25,7 @@
 //! | [`framework`] | §5 | mini-AliGraph service, CPU baseline, offload |
 //! | [`faas`] | §6–7 | the eight-architecture FaaS DSE + cost model |
 //! | [`fpga`] | §7.1 | VU13P resource model (Table 11) |
+//! | [`telemetry`] | §5–6 methodology | metrics registry + Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use lsdgnn_mof as mof;
 pub use lsdgnn_nn as nn;
 pub use lsdgnn_riscv as riscv;
 pub use lsdgnn_sampler as sampler;
+pub use lsdgnn_telemetry as telemetry;
 
 pub use bridge::QrchAxeBridge;
 

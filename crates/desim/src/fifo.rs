@@ -5,7 +5,36 @@
 //! separated by these queues; the stall counters expose where back-pressure
 //! forms.
 
+use lsdgnn_telemetry::{MetricSource, Scope};
 use std::collections::VecDeque;
+
+/// A point-in-time summary of a [`Fifo`]'s accounting, detached from the
+/// item type so it can be registered as a telemetry [`MetricSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Occupancy when the snapshot was taken.
+    pub len: usize,
+    /// Total successful enqueues.
+    pub pushes: u64,
+    /// Total successful dequeues.
+    pub pops: u64,
+    /// Rejected enqueues (producer stall cycles).
+    pub stalls: u64,
+    /// Maximum occupancy observed.
+    pub high_water: usize,
+}
+
+impl MetricSource for FifoStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("pushes", self.pushes);
+        out.counter("pops", self.pops);
+        out.counter("stalls", self.stalls);
+        out.gauge("high_water", self.high_water as f64);
+        out.gauge("occupancy", self.len as f64 / self.capacity as f64);
+    }
+}
 
 /// A bounded FIFO queue with occupancy statistics.
 ///
@@ -125,6 +154,18 @@ impl<T> Fifo<T> {
         self.pops += self.items.len() as u64;
         self.items.drain(..)
     }
+
+    /// The accounting counters as a registrable snapshot.
+    pub fn stats(&self) -> FifoStats {
+        FifoStats {
+            capacity: self.capacity,
+            len: self.items.len(),
+            pushes: self.pushes,
+            pops: self.pops,
+            stalls: self.stalls,
+            high_water: self.high_water,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +230,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _: Fifo<u8> = Fifo::new(0);
+    }
+
+    #[test]
+    fn stats_register_as_metric_source() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert!(f.push(3).is_err());
+        f.pop();
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("fifo", &[("stage", "gn")], Box::new(f.stats()));
+        let snap = reg.snapshot();
+        use lsdgnn_telemetry::MetricValue;
+        assert_eq!(snap.get("fifo/pushes"), Some(&MetricValue::Counter(2)));
+        assert_eq!(snap.get("fifo/stalls"), Some(&MetricValue::Counter(1)));
+        assert_eq!(snap.get("fifo/occupancy"), Some(&MetricValue::Gauge(0.5)));
     }
 }

@@ -36,8 +36,8 @@ pub mod stats;
 pub mod time;
 
 pub use arbiter::RoundRobinArbiter;
-pub use fifo::Fifo;
-pub use resource::{BandwidthResource, LatencyPipe, Server};
+pub use fifo::{Fifo, FifoStats};
+pub use resource::{BandwidthResource, BandwidthStats, LatencyPipe, Server, ServerStats};
 pub use rng::DetRng;
 pub use sim::Simulation;
 pub use stats::{Counter, Histogram, ThroughputMeter, TimeWeighted};

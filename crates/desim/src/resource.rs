@@ -2,6 +2,45 @@
 //! pipes, and k-server queues.
 
 use crate::time::Time;
+use lsdgnn_telemetry::{MetricSource, Scope};
+
+/// A registrable summary of a [`BandwidthResource`] over a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthStats {
+    /// Configured bandwidth in GB/s.
+    pub gbytes_per_sec: f64,
+    /// Total bytes transferred.
+    pub bytes_moved: u64,
+    /// Busy fraction of the horizon.
+    pub utilization: f64,
+}
+
+impl MetricSource for BandwidthStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.gauge("gbytes_per_sec", self.gbytes_per_sec);
+        out.counter("bytes_moved", self.bytes_moved);
+        out.gauge("utilization", self.utilization);
+    }
+}
+
+/// A registrable summary of a [`Server`] pool over a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Number of parallel servers.
+    pub servers: usize,
+    /// Total jobs admitted.
+    pub jobs: u64,
+    /// Aggregate busy fraction of `servers * horizon`.
+    pub utilization: f64,
+}
+
+impl MetricSource for ServerStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.gauge("servers", self.servers as f64);
+        out.counter("jobs", self.jobs);
+        out.gauge("utilization", self.utilization);
+    }
+}
 
 /// A resource that serializes transfers at a fixed byte rate — a bus, link
 /// or DRAM channel.
@@ -94,6 +133,15 @@ impl BandwidthResource {
             0.0
         } else {
             self.busy.as_ticks() as f64 / horizon.as_ticks() as f64
+        }
+    }
+
+    /// A registrable summary over `[0, horizon]`.
+    pub fn stats(&self, horizon: Time) -> BandwidthStats {
+        BandwidthStats {
+            gbytes_per_sec: self.gbytes_per_sec(),
+            bytes_moved: self.bytes_moved,
+            utilization: self.utilization(horizon),
         }
     }
 }
@@ -204,6 +252,15 @@ impl Server {
             self.busy.as_ticks() as f64 / (horizon.as_ticks() as f64 * self.slots.len() as f64)
         }
     }
+
+    /// A registrable summary over `[0, horizon]`.
+    pub fn stats(&self, horizon: Time) -> ServerStats {
+        ServerStats {
+            servers: self.slots.len(),
+            jobs: self.jobs,
+            utilization: self.utilization(horizon),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +338,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn negative_bandwidth_panics() {
         let _ = BandwidthResource::from_gbytes_per_sec(-1.0);
+    }
+
+    #[test]
+    fn resource_stats_register_as_metric_sources() {
+        let mut bw = BandwidthResource::from_gbytes_per_sec(1.0);
+        bw.acquire(Time::ZERO, 10);
+        let mut srv = Server::new(2);
+        srv.acquire(Time::ZERO, Time::from_nanos(10));
+        let horizon = Time::from_nanos(10);
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("link", &[], Box::new(bw.stats(horizon)));
+        reg.register("pool", &[], Box::new(srv.stats(horizon)));
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("link/utilization").unwrap().as_f64(), 1.0);
+        assert_eq!(snap.get("link/bytes_moved").unwrap().as_f64(), 10.0);
+        assert_eq!(snap.get("pool/utilization").unwrap().as_f64(), 0.5);
     }
 }

@@ -1,8 +1,13 @@
 //! The event-calendar simulation kernel.
 
 use crate::time::Time;
+use lsdgnn_telemetry::{ticks_to_us, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// How often (in processed events) an attached tracer samples the
+/// calendar depth. Power of two so the modulus is a mask.
+const TRACE_SAMPLE_EVERY: u64 = 1024;
 
 /// A scheduled event: a one-shot closure run at its timestamp.
 type EventFn = Box<dyn FnOnce(&mut Simulation)>;
@@ -58,6 +63,7 @@ pub struct Simulation {
     seq: u64,
     processed: u64,
     calendar: BinaryHeap<Reverse<Scheduled>>,
+    tracer: Option<(Tracer, u32)>,
 }
 
 impl Default for Simulation {
@@ -84,7 +90,16 @@ impl Simulation {
             seq: 0,
             processed: 0,
             calendar: BinaryHeap::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer: the kernel periodically emits a `calendar`
+    /// counter track (pending/processed events) under `pid` in
+    /// simulated-time microseconds.
+    pub fn attach_tracer(&mut self, tracer: Tracer, pid: u32) {
+        tracer.name_process(pid, "desim-kernel");
+        self.tracer = Some((tracer, pid));
     }
 
     /// Current simulated time.
@@ -136,6 +151,16 @@ impl Simulation {
                 debug_assert!(ev.at >= self.now);
                 self.now = ev.at;
                 self.processed += 1;
+                if self.processed.is_multiple_of(TRACE_SAMPLE_EVERY) {
+                    if let Some((tracer, pid)) = &self.tracer {
+                        tracer.counter(
+                            "calendar",
+                            *pid,
+                            ticks_to_us(self.now.as_ticks()),
+                            &[("pending", self.calendar.len() as f64)],
+                        );
+                    }
+                }
                 (ev.f)(self);
                 true
             }
@@ -145,7 +170,20 @@ impl Simulation {
 
     /// Runs until the calendar drains.
     pub fn run(&mut self) {
+        let (start, before) = (self.now, self.processed);
         while self.step() {}
+        if let Some((tracer, pid)) = &self.tracer {
+            let ts = ticks_to_us(start.as_ticks());
+            tracer.span_args(
+                "desim",
+                "run",
+                *pid,
+                0,
+                ts,
+                ticks_to_us(self.now.as_ticks()) - ts,
+                &[("events", (self.processed - before) as f64)],
+            );
+        }
     }
 
     /// Runs until the calendar drains or the next event would pass
@@ -269,5 +307,23 @@ mod tests {
     fn debug_is_nonempty() {
         let sim = Simulation::new();
         assert!(!format!("{sim:?}").is_empty());
+    }
+
+    #[test]
+    fn attached_tracer_records_the_run() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        sim.attach_tracer(tracer.clone(), 1);
+        for t in 0..10u64 {
+            sim.schedule(Time::from_ticks(t), |_| {});
+        }
+        sim.run();
+        let events = tracer.events();
+        let run = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "run")
+            .expect("run span recorded");
+        assert_eq!(run.cat, "desim");
+        assert_eq!(run.args, vec![("events".to_string(), 10.0)]);
     }
 }

@@ -144,6 +144,52 @@ impl Histogram {
         }
         Time::from_ticks(self.max)
     }
+
+    /// Interpolated `q`-percentile: linear within the containing power-of-two
+    /// bucket, clamped to the observed `[min, max]` — so an empty histogram
+    /// returns zero and a single-sample histogram returns that sample at
+    /// every `q`. Tighter than [`Histogram::quantile`], which only reports
+    /// the bucket's upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Time {
+        assert!((0.0..=1.0).contains(&q), "percentile must be within [0, 1]");
+        if self.count == 0 {
+            return Time::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if seen + b >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                let frac = (target - seen) as f64 / b as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return Time::from_ticks(v.clamp(self.min as f64, self.max as f64) as u64);
+            }
+            seen += b;
+        }
+        Time::from_ticks(self.max)
+    }
+
+    /// The telemetry summary of this histogram with every statistic
+    /// converted to microseconds.
+    pub fn snapshot_micros(&self) -> lsdgnn_telemetry::HistogramSnapshot {
+        lsdgnn_telemetry::HistogramSnapshot {
+            count: self.count,
+            mean: self.mean().as_micros_f64(),
+            min: self.min().as_micros_f64(),
+            max: self.max().as_micros_f64(),
+            p50: self.percentile(0.50).as_micros_f64(),
+            p90: self.percentile(0.90).as_micros_f64(),
+            p99: self.percentile(0.99).as_micros_f64(),
+        }
+    }
 }
 
 /// Tracks the time-weighted average of a piecewise-constant level, e.g.
@@ -290,6 +336,64 @@ mod tests {
     #[should_panic(expected = "within")]
     fn bad_quantile_panics() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), Time::ZERO);
+        assert_eq!(h.percentile(0.99), Time::ZERO);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(Time::from_ticks(1234));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Time::from_ticks(1234), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_crosses_buckets_monotonically() {
+        let mut h = Histogram::new();
+        // 90 samples in the [4,8) bucket, 10 in the [1024,2048) bucket.
+        for _ in 0..90 {
+            h.record(Time::from_ticks(5));
+        }
+        for _ in 0..10 {
+            h.record(Time::from_ticks(1500));
+        }
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        let p99 = h.percentile(0.99);
+        assert!(
+            p50 >= Time::from_ticks(4) && p50 < Time::from_ticks(8),
+            "p50 {p50}"
+        );
+        assert!(p50 <= p90 && p90 <= p99, "ordering {p50} {p90} {p99}");
+        assert!(p99 <= h.max() && p99 >= Time::from_ticks(1024), "p99 {p99}");
+        // Interpolated percentile never exceeds the coarse quantile bound.
+        assert!(p99 <= h.quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn bad_percentile_panics() {
+        Histogram::new().percentile(-0.1);
+    }
+
+    #[test]
+    fn snapshot_micros_converts_units() {
+        let mut h = Histogram::new();
+        h.record(Time::from_micros(100));
+        h.record(Time::from_micros(300));
+        let s = h.snapshot_micros();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 200.0).abs() < 1e-9);
+        assert!((s.min - 100.0).abs() < 1e-9);
+        assert!((s.max - 300.0).abs() < 1e-9);
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
     }
 
     #[test]

@@ -65,6 +65,16 @@ impl RequestStats {
     }
 }
 
+impl lsdgnn_telemetry::MetricSource for RequestStats {
+    fn collect(&self, out: &mut lsdgnn_telemetry::Scope<'_>) {
+        out.counter("local_requests", self.local_requests);
+        out.counter("remote_requests", self.remote_requests);
+        out.counter("nodes_expanded", self.nodes_expanded);
+        out.counter("attrs_fetched", self.attrs_fetched);
+        out.gauge("remote_fraction", self.remote_fraction());
+    }
+}
+
 /// A running cluster: one server thread per partition, the caller acting
 /// as the worker co-located with partition 0.
 pub struct Cluster {

@@ -58,5 +58,5 @@ pub use cluster::{Cluster, RequestStats};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
-pub use service::{Histogram, SampleTicket, SamplingService, ServiceConfig, ServiceStats};
+pub use service::{SampleTicket, SamplingService, ServiceConfig, ServiceStats};
 pub use trainer::{EpochReport, TrainerConfig, TrainingJob};

@@ -347,7 +347,7 @@ mod tests {
         }
         let stats = s.stats();
         assert_eq!(stats.requests, 4);
-        assert_eq!(stats.latency_us.count(), 4);
+        assert_eq!(stats.latency.count(), 4);
         assert!(stats.backend.nodes_expanded > 0);
         s.close();
     }

@@ -18,90 +18,56 @@
 use crate::backend::{SampleRequest, SamplingBackend};
 use crate::cluster::RequestStats;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use lsdgnn_desim::{Histogram, Time};
 use lsdgnn_graph::NodeId;
 use lsdgnn_sampler::SampleBatch;
+use lsdgnn_telemetry::{pids, Log2Histogram, MetricSource, Scope, Tracer};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A power-of-two-bucketed histogram (bucket `i` counts values in
-/// `[2^(i-1), 2^i)`, bucket 0 counts zeros and ones).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 24],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&mut self, v: u64) {
-        let idx = (64 - v.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx.saturating_sub(1)] += 1;
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean observed value.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Maximum observed value.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Upper bound of the bucket containing the `p`-quantile
-    /// (`0.0 < p <= 1.0`), e.g. `quantile(0.99)` for a p99 estimate.
-    pub fn quantile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((self.count as f64 * p).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << i;
-            }
-        }
-        self.max
-    }
-
-    /// Raw bucket counts (log2 scale).
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-}
-
 /// Service-level accounting: request/batch totals plus the three
 /// operational histograms, and a snapshot of the backend's own stats.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Registers into a telemetry `Registry` directly (it is a
+/// [`MetricSource`]), exporting `queue_depth`, `batch_size` and
+/// `latency_us` percentile summaries plus the nested `backend/*`
+/// counters.
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Requests completed.
     pub requests: u64,
     /// Dispatches to the backend (each serving >= 1 request).
     pub dispatches: u64,
     /// Queue depth observed at each dispatch (requests left waiting).
-    pub queue_depth: Histogram,
+    pub queue_depth: Log2Histogram,
     /// Coalesced batch size per dispatch.
-    pub batch_size: Histogram,
-    /// Submit-to-reply latency per request, in microseconds.
-    pub latency_us: Histogram,
+    pub batch_size: Log2Histogram,
+    /// Submit-to-reply latency per request (recorded as wall-clock
+    /// microseconds via [`Time::from_micros`]).
+    pub latency: Histogram,
     /// The backend's cumulative request accounting.
     pub backend: RequestStats,
+}
+
+impl ServiceStats {
+    /// Interpolated p99 of the submit-to-reply latency, in microseconds
+    /// (the operator alarm threshold of the §2.4 heavy-traffic scenario).
+    pub fn latency_p99_us(&self) -> f64 {
+        self.latency.percentile(0.99).as_micros_f64()
+    }
+}
+
+impl MetricSource for ServiceStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("requests", self.requests);
+        out.counter("dispatches", self.dispatches);
+        out.histogram("queue_depth", self.queue_depth.snapshot());
+        out.histogram("batch_size", self.batch_size.snapshot());
+        out.histogram("latency_us", self.latency.snapshot_micros());
+        let mut backend = out.nested("backend");
+        self.backend.collect(&mut backend);
+    }
 }
 
 /// Tuning knobs of a [`SamplingService`].
@@ -159,6 +125,7 @@ pub struct SamplingService {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<ServiceStats>>,
     config: ServiceConfig,
+    tracer: Option<Tracer>,
 }
 
 impl std::fmt::Debug for SamplingService {
@@ -174,6 +141,8 @@ fn shard_loop(
     rx: Receiver<Job>,
     stats: Arc<Mutex<ServiceStats>>,
     cfg: ServiceConfig,
+    tracer: Option<Tracer>,
+    shard: u32,
 ) {
     // A closed queue (sender dropped) ends the shard once drained.
     while let Ok(first) = rx.recv() {
@@ -189,17 +158,44 @@ fn shard_loop(
                 Err(_) => break, // deadline hit or queue closed
             }
         }
+        let queue_depth = rx.len() as u64;
+        let dispatch_start = tracer.as_ref().map(|t| t.wall_us());
         let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
         let results = backend.sample_many(&reqs);
+        if let (Some(tracer), Some(start)) = (&tracer, dispatch_start) {
+            tracer.span_args(
+                "service",
+                "dispatch",
+                pids::SERVICE,
+                shard,
+                start,
+                tracer.wall_us() - start,
+                &[
+                    ("batch", jobs.len() as f64),
+                    ("queue_depth", queue_depth as f64),
+                ],
+            );
+        }
         {
             let mut s = stats.lock().expect("stats lock");
             s.dispatches += 1;
             s.requests += jobs.len() as u64;
-            s.queue_depth.record(rx.len() as u64);
+            s.queue_depth.record(queue_depth);
             s.batch_size.record(jobs.len() as u64);
             for job in &jobs {
-                s.latency_us
-                    .record(job.submitted.elapsed().as_micros() as u64);
+                let elapsed_us = job.submitted.elapsed().as_micros() as u64;
+                s.latency.record(Time::from_micros(elapsed_us));
+                if let Some(tracer) = &tracer {
+                    // Submit→reply lifecycle, anchored at submit time.
+                    tracer.span(
+                        "service",
+                        "request",
+                        pids::SERVICE,
+                        shard,
+                        tracer.us_of(job.submitted),
+                        elapsed_us as f64,
+                    );
+                }
             }
         }
         for (job, batch) in jobs.into_iter().zip(results) {
@@ -216,18 +212,44 @@ impl SamplingService {
     ///
     /// Panics if `workers`, `queue_capacity` or `max_batch` is zero.
     pub fn start(backend: Box<dyn SamplingBackend>, config: ServiceConfig) -> Self {
+        Self::start_traced(backend, config, None)
+    }
+
+    /// Like [`SamplingService::start`], but records wall-clock
+    /// `service`-category spans into `tracer`: one `dispatch` span per
+    /// backend call and one `request` span per submit→reply lifecycle,
+    /// on the shard's thread track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_capacity` or `max_batch` is zero.
+    pub fn start_traced(
+        backend: Box<dyn SamplingBackend>,
+        config: ServiceConfig,
+        tracer: Option<Tracer>,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one worker shard");
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(config.max_batch > 0, "max batch must be non-zero");
+        if let Some(tracer) = &tracer {
+            tracer.name_process(pids::SERVICE, "sampling-service");
+            for shard in 0..config.workers {
+                tracer.name_thread(pids::SERVICE, shard as u32, &format!("shard{shard}"));
+            }
+            tracer.name_thread(pids::SERVICE, config.workers as u32, "clients");
+        }
         let backend: Arc<dyn SamplingBackend> = Arc::from(backend);
         let stats = Arc::new(Mutex::new(ServiceStats::default()));
         let (tx, rx) = bounded(config.queue_capacity);
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|shard| {
                 let backend = backend.clone();
                 let rx = rx.clone();
                 let stats = stats.clone();
-                std::thread::spawn(move || shard_loop(backend, rx, stats, config))
+                let tracer = tracer.clone();
+                std::thread::spawn(move || {
+                    shard_loop(backend, rx, stats, config, tracer, shard as u32)
+                })
             })
             .collect();
         SamplingService {
@@ -236,6 +258,7 @@ impl SamplingService {
             workers,
             stats,
             config,
+            tracer,
         }
     }
 
@@ -252,6 +275,15 @@ impl SamplingService {
     /// Enqueues a request, blocking while the queue is full
     /// (backpressure), and returns a ticket for the result.
     pub fn submit(&self, req: SampleRequest) -> SampleTicket {
+        if let Some(tracer) = &self.tracer {
+            tracer.instant(
+                "service",
+                "submit",
+                pids::SERVICE,
+                self.config.workers as u32,
+                tracer.wall_us(),
+            );
+        }
         let (reply, rx) = bounded(1);
         self.tx
             .as_ref()
@@ -279,7 +311,7 @@ impl SamplingService {
     /// A snapshot of service-level stats, with the backend's own
     /// accounting folded in.
     pub fn stats(&self) -> ServiceStats {
-        let mut s = *self.stats.lock().expect("stats lock");
+        let mut s = self.stats.lock().expect("stats lock").clone();
         s.backend = self.backend.stats();
         s
     }
@@ -360,7 +392,8 @@ mod tests {
         let s = svc.stats();
         assert_eq!(s.requests, 41);
         assert!(s.dispatches >= 1 && s.dispatches <= 41);
-        assert_eq!(s.latency_us.count(), 41);
+        assert_eq!(s.latency.count(), 41);
+        assert!(s.latency_p99_us() >= s.latency.percentile(0.5).as_micros_f64());
         assert!(s.backend.nodes_expanded > 0);
         svc.shutdown();
     }
@@ -402,15 +435,55 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = Histogram::default();
-        for v in [0, 1, 1, 2, 3, 700] {
-            h.record(v);
+    fn stats_register_as_metric_source() {
+        let svc = service(2);
+        for s in 0..4 {
+            svc.sample(req(s));
         }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.max(), 700);
-        assert!(h.mean() > 100.0);
-        assert_eq!(h.quantile(0.5), 1); // median lands in the {0,1} bucket
-        assert!(h.quantile(1.0) >= 512);
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("service", &[("backend", "cpu")], Box::new(svc.stats()));
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("service/requests").unwrap().as_f64(), 4.0);
+        let lat = snap
+            .get("service/latency_us")
+            .and_then(|v| v.as_histogram().copied())
+            .expect("latency histogram exported");
+        assert_eq!(lat.count, 4);
+        assert!(lat.p99 >= lat.p50);
+        assert!(
+            snap.get("service/backend/nodes_expanded").unwrap().as_f64() > 0.0,
+            "backend stats nest under the service scope"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_service_records_lifecycle_spans() {
+        let g = generators::power_law(300, 8, 33);
+        let a = AttributeStore::synthetic(300, 8, 33);
+        let tracer = Tracer::new();
+        let svc = SamplingService::start_traced(
+            Box::new(CpuBackend::new(&g, &a, 2)),
+            ServiceConfig::default(),
+            Some(tracer.clone()),
+        );
+        for s in 0..3 {
+            svc.sample(req(s));
+        }
+        svc.shutdown();
+        let events = tracer.events();
+        let requests = events
+            .iter()
+            .filter(|e| e.ph == 'X' && e.name == "request" && e.cat == "service")
+            .count();
+        assert_eq!(requests, 3);
+        assert!(
+            events.iter().any(|e| e.ph == 'X' && e.name == "dispatch"),
+            "dispatch spans present"
+        );
+        assert!(
+            events.iter().any(|e| e.ph == 'i' && e.name == "submit"),
+            "submit instants present"
+        );
     }
 }

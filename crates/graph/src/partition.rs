@@ -173,12 +173,19 @@ impl PartitionedGraph {
     }
 }
 
-/// A greedy label-propagation partitioner: starts from the hash
-/// assignment and iteratively moves each node to the partition holding
-/// the plurality of its neighbors, subject to a balance cap. Cuts far
-/// fewer edges than hashing on clustered graphs — the kind of
-/// framework-level optimization the paper calls orthogonal to its
-/// hardware (§8, "caching and partition in AliGraph").
+/// A greedy partitioner: grows one BFS region per partition from
+/// distance-spread seeds, then refines with label-propagation sweeps
+/// that move each node to the partition holding the plurality of its
+/// neighbors, subject to a balance cap. Cuts far fewer edges than
+/// hashing on clustered graphs — the kind of framework-level
+/// optimization the paper calls orthogonal to its hardware (§8,
+/// "caching and partition in AliGraph").
+///
+/// The seeded growth matters: label propagation alone, started from a
+/// random assignment, tends to merge distinct communities under one
+/// label until the balance cap halts it, leaving a mixed boundary.
+/// Growing contiguous regions first gives the sweeps a coherent
+/// starting point to polish.
 ///
 /// # Panics
 ///
@@ -187,14 +194,8 @@ pub fn greedy_partition(graph: &CsrGraph, partitions: u32, sweeps: u32) -> Vec<u
     assert!(partitions > 0, "partition count must be non-zero");
     let n = graph.num_nodes();
     assert!(n > 0, "graph must be non-empty");
-    // Start from the hash assignment.
-    let mut assign: Vec<u32> = (0..n)
-        .map(|v| {
-            let h = v.wrapping_mul(0x9E3779B97F4A7C15);
-            (h >> 32) as u32 % partitions
-        })
-        .collect();
     let cap = (n as usize).div_ceil(partitions as usize) * 11 / 10 + 1;
+    let mut assign = grow_regions(graph, partitions, cap);
     let mut sizes = vec![0usize; partitions as usize];
     for &p in &assign {
         sizes[p as usize] += 1;
@@ -227,6 +228,92 @@ pub fn greedy_partition(graph: &CsrGraph, partitions: u32, sweeps: u32) -> Vec<u
         }
         if moved == 0 {
             break;
+        }
+    }
+    assign
+}
+
+/// Contiguous-region initialization for [`greedy_partition`]: picks
+/// distance-spread seeds (highest-degree node first, then whatever lies
+/// farthest from every chosen seed) and grows one FIFO frontier per
+/// partition, round-robin, until every node is claimed.
+fn grow_regions(graph: &CsrGraph, partitions: u32, cap: usize) -> Vec<u32> {
+    const UNASSIGNED: u32 = u32::MAX;
+    let n = graph.num_nodes() as usize;
+    let k = partitions as usize;
+    let degree = |v: usize| graph.neighbors(NodeId(v as u64)).len();
+
+    // k-center seed spread: each next seed maximizes the BFS distance to
+    // the seeds so far (unreachable counts as farthest), ties broken by
+    // degree. Keeps seeds in distinct clusters when the graph has them.
+    let mut seeds: Vec<usize> = Vec::with_capacity(k.min(n));
+    if let Some(first) = (0..n).max_by_key(|&v| (degree(v), std::cmp::Reverse(v))) {
+        seeds.push(first);
+    }
+    while seeds.len() < k.min(n) {
+        let mut dist = vec![u32::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        for &s in &seeds {
+            dist[s] = 0;
+            q.push_back(s);
+        }
+        while let Some(v) = q.pop_front() {
+            for &u in graph.neighbors(NodeId(v as u64)) {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = dist[v] + 1;
+                    q.push_back(u.index());
+                }
+            }
+        }
+        let next = (0..n)
+            .filter(|v| dist[*v] != 0)
+            .max_by_key(|&v| (dist[v], degree(v), std::cmp::Reverse(v)))
+            .expect("seed count is capped at the node count");
+        seeds.push(next);
+    }
+
+    let mut assign = vec![UNASSIGNED; n];
+    let mut sizes = vec![0usize; k];
+    let mut frontiers = vec![std::collections::VecDeque::new(); k];
+    for (p, &s) in seeds.iter().enumerate() {
+        frontiers[p].push_back(s);
+    }
+    // Round-robin growth: each partition claims one node per round from
+    // its frontier (falling back to a scan cursor once the frontier is
+    // exhausted, which also absorbs disconnected nodes), so regions stay
+    // contiguous and sizes stay within the cap.
+    let mut cursor = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        for p in 0..k {
+            if remaining == 0 || sizes[p] >= cap {
+                continue;
+            }
+            let mut picked = None;
+            while let Some(v) = frontiers[p].pop_front() {
+                if assign[v] == UNASSIGNED {
+                    picked = Some(v);
+                    break;
+                }
+            }
+            if picked.is_none() {
+                while cursor < n && assign[cursor] != UNASSIGNED {
+                    cursor += 1;
+                }
+                if cursor < n {
+                    picked = Some(cursor);
+                }
+            }
+            if let Some(v) = picked {
+                assign[v] = p as u32;
+                sizes[p] += 1;
+                remaining -= 1;
+                for &u in graph.neighbors(NodeId(v as u64)) {
+                    if assign[u.index()] == UNASSIGNED {
+                        frontiers[p].push_back(u.index());
+                    }
+                }
+            }
         }
     }
     assign
@@ -312,12 +399,12 @@ mod tests {
         let greedy = PartitionedGraph::with_assignment(g, assign);
         let hash_cut = hash.edge_cut_fraction();
         let greedy_cut = greedy.edge_cut_fraction();
-        // Seed triage: the exact improvement factor depends on the RNG
-        // stream behind `two_community`; the claim worth pinning (§8,
-        // partitioning cuts remote traffic vs hashing) is a clear win,
-        // not a specific 2x margin.
+        // With seeded region growth the partitioner recovers the planted
+        // communities (cut near the ~0.11 ideal for these densities), so
+        // the §8 claim holds with margin: at least 2x fewer cut edges
+        // than hashing.
         assert!(
-            greedy_cut < hash_cut * 0.8,
+            greedy_cut * 2.0 < hash_cut,
             "greedy {greedy_cut} vs hash {hash_cut}"
         );
     }

@@ -10,6 +10,7 @@
 use crate::flow::CreditFlow;
 use crate::frame::{ReadRequestPackage, ReadResponsePackage, MAX_REQUESTS_PER_PACKAGE};
 use crate::MofError;
+use lsdgnn_telemetry::{pids, ticks_to_us, MetricSource, Scope, Tracer};
 use std::collections::HashMap;
 
 /// An outstanding read batch.
@@ -17,6 +18,9 @@ use std::collections::HashMap;
 struct Pending {
     pkg: ReadRequestPackage,
     sent_at: u64,
+    /// Original submission time (unchanged across retransmissions), so
+    /// the traced package lifecycle covers the full loss-recovery tail.
+    first_sent: u64,
     retries: u32,
 }
 
@@ -33,6 +37,21 @@ pub struct EndpointStats {
     pub orphans: u64,
 }
 
+impl MetricSource for EndpointStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("transmissions", self.transmissions);
+        out.counter("retransmissions", self.retransmissions);
+        out.counter("completed", self.completed);
+        out.counter("orphans", self.orphans);
+        if self.transmissions > 0 {
+            out.gauge(
+                "retransmit_rate",
+                self.retransmissions as f64 / self.transmissions as f64,
+            );
+        }
+    }
+}
+
 /// The requester side of a MoF link.
 #[derive(Debug)]
 pub struct MofEndpoint {
@@ -42,6 +61,10 @@ pub struct MofEndpoint {
     timeout_ticks: u64,
     max_retries: u32,
     stats: EndpointStats,
+    tracer: Option<(Tracer, u32)>,
+    /// Latest timestamp this endpoint has seen (the session layer has no
+    /// clock of its own; `deliver` stamps completion spans with it).
+    last_now: u64,
 }
 
 impl MofEndpoint {
@@ -60,7 +83,17 @@ impl MofEndpoint {
             timeout_ticks,
             max_retries,
             stats: EndpointStats::default(),
+            tracer: None,
+            last_now: 0,
         }
+    }
+
+    /// Attaches a tracer: package lifecycles become `mof`-category spans
+    /// and retransmit/abandon decisions become instants, on thread `tid`
+    /// of the MoF process track.
+    pub fn set_tracer(&mut self, tracer: Tracer, tid: u32) {
+        tracer.name_process(pids::MOF, "mof-endpoint");
+        self.tracer = Some((tracer, tid));
     }
 
     /// Submits a batch of reads (≤64, one package). Returns the wire
@@ -83,6 +116,7 @@ impl MofEndpoint {
         if !self.flow.try_send() {
             return Ok(None);
         }
+        self.last_now = self.last_now.max(now);
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         let pkg = ReadRequestPackage::new(seq, base_address, offsets, request_bytes)?;
@@ -92,6 +126,7 @@ impl MofEndpoint {
             Pending {
                 pkg,
                 sent_at: now,
+                first_sent: now,
                 retries: 0,
             },
         );
@@ -114,6 +149,23 @@ impl MofEndpoint {
             Some(p) => {
                 self.flow.return_credit();
                 self.stats.completed += 1;
+                if let Some((tracer, tid)) = &self.tracer {
+                    let ts = ticks_to_us(p.first_sent);
+                    let end = ticks_to_us(self.last_now.max(p.first_sent));
+                    tracer.span_args(
+                        "mof",
+                        "package",
+                        pids::MOF,
+                        *tid,
+                        ts,
+                        end - ts,
+                        &[
+                            ("seq", resp.seq as f64),
+                            ("requests", p.pkg.request_count() as f64),
+                            ("retries", p.retries as f64),
+                        ],
+                    );
+                }
                 Ok(Some((p.pkg, resp)))
             }
             None => {
@@ -127,6 +179,7 @@ impl MofEndpoint {
     /// pending package (go-back on loss). Packages beyond `max_retries`
     /// are abandoned and their credit reclaimed.
     pub fn poll_timeouts(&mut self, now: u64) -> Vec<Vec<u8>> {
+        self.last_now = self.last_now.max(now);
         let mut resend = Vec::new();
         let mut abandoned = Vec::new();
         for (&seq, p) in self.pending.iter_mut() {
@@ -138,6 +191,9 @@ impl MofEndpoint {
                     p.sent_at = now;
                     self.stats.transmissions += 1;
                     self.stats.retransmissions += 1;
+                    if let Some((tracer, tid)) = &self.tracer {
+                        tracer.instant("mof", "retransmit", pids::MOF, *tid, ticks_to_us(now));
+                    }
                     resend.push(p.pkg.encode());
                 }
             }
@@ -145,6 +201,9 @@ impl MofEndpoint {
         for seq in abandoned {
             self.pending.remove(&seq);
             self.flow.return_credit();
+            if let Some((tracer, tid)) = &self.tracer {
+                tracer.instant("mof", "abandon", pids::MOF, *tid, ticks_to_us(now));
+            }
         }
         resend
     }
@@ -282,5 +341,49 @@ mod tests {
         }
         assert_eq!(ep.stats().completed, 20);
         assert!(ep.stats().retransmissions > 0);
+    }
+
+    #[test]
+    fn tracer_records_package_lifecycle_and_retransmits() {
+        let tracer = Tracer::new();
+        let mut ep = MofEndpoint::new(4, 10, 3);
+        ep.set_tracer(tracer.clone(), 0);
+        let f = ep.submit_read(0, 0x1000, &[0, 8], 8).unwrap().unwrap();
+        // Time out once, then deliver.
+        let resent = ep.poll_timeouts(10);
+        assert_eq!(resent.len(), 1);
+        assert!(ep.deliver(&respond(&f)).unwrap().is_some());
+        let events = tracer.events();
+        let span = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "package")
+            .expect("package span");
+        assert_eq!(span.cat, "mof");
+        assert!(span.args.iter().any(|(k, v)| k == "retries" && *v == 1.0));
+        assert!(events.iter().any(|e| e.ph == 'i' && e.name == "retransmit"));
+    }
+
+    #[test]
+    fn stats_register_as_metric_source() {
+        let mut ep = MofEndpoint::new(4, 10, 3);
+        let f = ep.submit_read(0, 0, &[0], 8).unwrap().unwrap();
+        ep.poll_timeouts(10);
+        ep.deliver(&respond(&f)).unwrap();
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("mof/endpoint", &[("link", "0")], Box::new(ep.stats()));
+        let snap = reg.snapshot();
+        use lsdgnn_telemetry::MetricValue;
+        assert_eq!(
+            snap.get("mof/endpoint/transmissions"),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snap.get("mof/endpoint/retransmissions"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            snap.get("mof/endpoint/retransmit_rate"),
+            Some(&MetricValue::Gauge(0.5))
+        );
     }
 }

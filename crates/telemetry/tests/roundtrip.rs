@@ -1,0 +1,113 @@
+//! Snapshot round-trip and Chrome-trace format tests (integration
+//! surface: only the public API).
+
+use lsdgnn_telemetry::{
+    pids, ticks_to_us, Json, Log2Histogram, MetricSource, MetricValue, Registry, Scope, Snapshot,
+    Tracer,
+};
+
+struct FakeCache {
+    hits: u64,
+    misses: u64,
+}
+
+impl MetricSource for FakeCache {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("hits", self.hits);
+        out.counter("misses", self.misses);
+        let total = (self.hits + self.misses).max(1);
+        out.gauge("hit_rate", self.hits as f64 / total as f64);
+    }
+}
+
+#[test]
+fn snapshot_roundtrips_through_json() {
+    let mut reg = Registry::new();
+    reg.register(
+        "axe/cache",
+        &[("core", "0")],
+        Box::new(FakeCache {
+            hits: 900,
+            misses: 100,
+        }),
+    );
+    let mut hist = Log2Histogram::new();
+    for v in [1u64, 2, 3, 100, 1000, 10_000] {
+        hist.record(v);
+    }
+    reg.register(
+        "service",
+        &[],
+        Box::new(move |out: &mut Scope<'_>| out.histogram("latency_us", hist.snapshot())),
+    );
+
+    let snap = reg.snapshot();
+    let json = snap.to_json();
+    let parsed = Snapshot::from_json(&json).expect("snapshot JSON parses back");
+
+    assert_eq!(parsed.metrics().len(), snap.metrics().len());
+    for m in snap.metrics() {
+        let labels: Vec<(&str, &str)> = m
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let back = parsed
+            .get_labeled(&m.name, &labels)
+            .unwrap_or_else(|| panic!("metric {} lost in round-trip", m.name));
+        assert_eq!(back, &m.value, "value mismatch for {}", m.name);
+    }
+
+    let rate = parsed
+        .get_labeled("axe/cache/hit_rate", &[("core", "0")])
+        .expect("hit_rate present");
+    assert_eq!(rate, &MetricValue::Gauge(0.9));
+    let lat = parsed.get("service/latency_us").expect("latency present");
+    let h = lat.as_histogram().expect("histogram value");
+    assert_eq!(h.count, 6);
+    assert!(h.p99 >= h.p50 && h.p50 >= h.min);
+}
+
+#[test]
+fn empty_snapshot_roundtrips() {
+    let reg = Registry::new();
+    let snap = reg.snapshot();
+    let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert!(parsed.metrics().is_empty());
+}
+
+#[test]
+fn chrome_trace_has_required_fields_per_event() {
+    let tracer = Tracer::new();
+    tracer.name_process(pids::AXE, "axe-engine");
+    tracer.span(
+        "axe",
+        "get_neighbor",
+        pids::AXE,
+        2,
+        ticks_to_us(1_000_000),
+        3.0,
+    );
+    tracer.instant("mof", "retransmit", pids::MOF, 1, 4.0);
+    tracer.counter("queue", pids::SERVICE, 5.0, &[("depth", 7.0)]);
+
+    let doc = Json::parse(&tracer.to_chrome_json()).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 4);
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        assert!(
+            matches!(ph, "X" | "i" | "C" | "M"),
+            "unexpected phase {ph:?}"
+        );
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "ts field");
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some(), "pid field");
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some(), "tid field");
+        if ph == "X" {
+            assert!(ev.get("dur").and_then(Json::as_f64).is_some(), "dur field");
+        }
+    }
+}
