@@ -29,4 +29,14 @@ grep -q 'latency_us' "$SMOKE_DIR/metrics.json" \
 grep -q '"ph"' "$SMOKE_DIR/trace.json" \
     || { echo "FAIL: no trace events in chrome trace"; exit 1; }
 
+echo "==> kernel microbenchmark smoke: bench kernel --quick"
+cargo run --release -q -p lsdgnn-bench -- kernel --quick
+test -s BENCH_desim_kernel.json \
+    || { echo "FAIL: BENCH_desim_kernel.json missing or empty"; exit 1; }
+grep -q 'schedule_heavy' BENCH_desim_kernel.json \
+    || { echo "FAIL: schedule_heavy workload absent from kernel bench json"; exit 1; }
+
+echo "==> parallel harness smoke: fig14 through --jobs 2"
+LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 --jobs 2
+
 echo "CI OK"

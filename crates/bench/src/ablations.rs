@@ -2,7 +2,7 @@
 //! coalescing-cache size (Tech-4), AxE core count vs Equation 3, MoF
 //! packing factor (Tech-1), and the outstanding-request budget (Tech-3).
 
-use crate::util::{banner, eng, pct, Table, Telemetry};
+use crate::util::{banner, eng, outln, par_map, pct, Table, Telemetry};
 use lsdgnn_core::axe::{AccessEngine, AxeConfig};
 use lsdgnn_core::graph::DatasetConfig;
 use lsdgnn_core::memfabric::{outstanding_for_mix, AccessPattern, MemoryTier, TierConfig};
@@ -22,10 +22,16 @@ pub fn cache_sweep(scale_nodes: u64, batches: u32, tel: &mut Telemetry) {
         &["cache", "hit rate", "samples/s", "mem bytes"],
         &[10, 12, 16, 14],
     );
-    for kb in [1usize, 2, 4, 8, 16, 32, 64] {
+    let sizes = vec![1usize, 2, 4, 8, 16, 32, 64];
+    let measured = par_map(sizes, |kb| {
         let mut cfg = AxeConfig::poc().with_batch_size(48);
         cfg.cache_bytes = kb * 1024;
-        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        (
+            kb,
+            AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches),
+        )
+    });
+    for (kb, m) in measured {
         tel.registry.register(
             "axe/ablation/cache",
             &[("cache_kb", &kb.to_string())],
@@ -60,21 +66,28 @@ pub fn core_sweep(scale_nodes: u64, batches: u32) {
         AccessPattern::new(d.attr_len as u64 * 4, 0.52),
     ];
     let demand = outstanding_for_mix(&tier.remote.link_model(), &mix);
-    println!(
+    outln!(
         "Eq.3 outstanding demand on the remote path: {:.0} requests (= {:.1} cores at 64 tags)",
         demand,
         demand / 64.0
     );
     let t = Table::new(&["cores", "samples/s", "avg outstanding"], &[8, 16, 16]);
-    let mut prev = 0.0;
-    for cores in [1usize, 2, 4, 8, 16] {
+    let measured = par_map(vec![1usize, 2, 4, 8, 16], |cores| {
         let cfg = AxeConfig::poc()
             .with_cores(cores)
             .with_tier(tier)
             .with_batch_size(48)
             .with_output_limit(false)
             .with_max_outstanding(64);
-        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        (
+            cores,
+            AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches),
+        )
+    });
+    // Saturation detection compares neighbours, so it stays a serial
+    // pass over the ordered results.
+    let mut prev = 0.0;
+    for (cores, m) in measured {
         let note = if prev > 0.0 && m.samples_per_sec < prev * 1.15 {
             " (saturated)"
         } else {
@@ -129,13 +142,18 @@ pub fn outstanding_sweep(scale_nodes: u64, batches: u32) {
     let d = DatasetConfig::by_name("ll").unwrap();
     let (g, _) = d.instantiate_scaled(scale_nodes, 33);
     let t = Table::new(&["tags", "samples/s", "speedup"], &[8, 16, 16]);
-    let mut base = 0.0;
-    for tags in [1usize, 4, 16, 64, 128] {
+    let measured = par_map(vec![1usize, 4, 16, 64, 128], |tags| {
         let cfg = AxeConfig::poc()
             .with_batch_size(32)
             .with_max_outstanding(tags)
             .with_output_limit(false);
-        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        (
+            tags,
+            AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches),
+        )
+    });
+    let mut base = 0.0;
+    for (tags, m) in measured {
         if base == 0.0 {
             base = m.samples_per_sec;
         }
@@ -175,13 +193,19 @@ pub fn serving_sweep(scale_nodes: u64, batches: u32) {
         remote: MemoryTier::Mof { links: 3 },
         output: MemoryTier::PciePeerToPeer,
     };
-    for (name, serving) in [("issue-only (PoC)", false), ("issue + serve peers", true)] {
+    let configs = vec![("issue-only (PoC)", false), ("issue + serve peers", true)];
+    let measured = par_map(configs, |(name, serving)| {
         let cfg = AxeConfig::poc()
             .with_batch_size(32)
             .with_tier(tier)
             .with_output_limit(false)
             .with_symmetric_serving(serving);
-        let m = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        (
+            name,
+            AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches),
+        )
+    });
+    for (name, m) in measured {
         t.row(&[
             name.to_string(),
             format!("{}/s", eng(m.samples_per_sec)),

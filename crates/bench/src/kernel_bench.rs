@@ -1,0 +1,240 @@
+//! `bench kernel` / `bench harness` — the event-kernel throughput
+//! microbenchmark and the `--jobs` wall-clock scaling benchmark.
+//!
+//! `kernel` drives three workloads through both event kernels — the
+//! calendar-queue [`Simulation`] and the heap-based
+//! [`ReferenceSimulation`] baseline — and writes the measured events/sec
+//! plus speedups to `BENCH_desim_kernel.json`:
+//!
+//! * `schedule_heavy` — thousands of self-rescheduling chains keep a
+//!   deep pending pool; every fire schedules again (the O(log n) heap
+//!   worst case, the O(1) wheel best case).
+//! * `cancel_heavy` — rounds of schedule / cancel-half / drain exercise
+//!   the tombstone path and the arena freelist.
+//! * `fig14_shaped` — per-core pipeline ticks issuing bimodal
+//!   local/remote memory-latency events, shaped like the AxE engine
+//!   runs behind Figure 14.
+//!
+//! `harness` re-executes this binary as `all --jobs {1,2,4}` on a
+//! scaled-up workload, records wall-clock times to `BENCH_harness.json`
+//! and reports the parallel speedup.
+
+use crate::util::outln;
+use lsdgnn_core::desim::{ReferenceSimulation, Simulation, Time};
+use lsdgnn_core::telemetry::Json;
+use std::time::Instant;
+
+/// Events per workload per kernel (full mode).
+const FULL_EVENTS: u64 = 2_000_000;
+/// Events per workload per kernel (`--quick`, the CI smoke size).
+const QUICK_EVENTS: u64 = 100_000;
+
+/// Self-rescheduling chains kept pending in `schedule_heavy`.
+const CHAINS: u64 = 16_384;
+
+fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// Spreads delays over the low wheel levels with ~1/16 far events that
+/// exercise the high levels and the overflow heap.
+fn chain_delay(s: u64) -> u64 {
+    let near = (s >> 33) & ((1 << 18) - 1);
+    if s >> 60 == 0 {
+        near | 1 << 34
+    } else {
+        near
+    }
+}
+
+/// Generates the three workloads for one kernel type. Both kernels
+/// expose the same surface (`schedule`/`cancel`/`run`/`run_bounded`), so
+/// the bodies are textually identical — the macro keeps them so.
+macro_rules! kernel_workloads {
+    ($mod_name:ident, $sim:ty) => {
+        mod $mod_name {
+            use super::*;
+
+            fn tick(sim: &mut $sim, state: u64) {
+                let state = lcg(state);
+                sim.schedule(
+                    Time::from_ticks(chain_delay(state)),
+                    move |sim: &mut $sim| tick(sim, state),
+                );
+            }
+
+            /// Deep pending pool, one schedule per fire. Returns events/sec.
+            pub fn schedule_heavy(events: u64) -> f64 {
+                let mut sim = <$sim>::new();
+                for c in 0..CHAINS {
+                    tick(&mut sim, c);
+                }
+                let start = Instant::now();
+                let fired = sim.run_bounded(events);
+                fired as f64 / start.elapsed().as_secs_f64()
+            }
+
+            /// Rounds of schedule 1024 / cancel 512 / drain 512. Returns
+            /// operations (schedules + cancels + fires) per second.
+            pub fn cancel_heavy(events: u64) -> f64 {
+                let mut sim = <$sim>::new();
+                let mut state = 1u64;
+                let mut ops = 0u64;
+                let start = Instant::now();
+                while ops < events {
+                    let handles: Vec<_> = (0..1024)
+                        .map(|_| {
+                            state = lcg(state);
+                            sim.schedule(Time::from_ticks((state >> 40) & 0xfffff), |_| {})
+                        })
+                        .collect();
+                    for h in handles.iter().step_by(2) {
+                        assert!(sim.cancel(*h), "fresh handles cancel");
+                    }
+                    sim.run();
+                    ops += 1024 + 512 + 512;
+                }
+                ops as f64 / start.elapsed().as_secs_f64()
+            }
+
+            fn pipeline(sim: &mut $sim, core: u64, state: u64) {
+                let state = lcg(state);
+                // 250 MHz pipeline tick; each issues one memory access:
+                // ~100 ns local or ~1.3 us remote (the Fig. 14 MoF mix).
+                let latency = if state % 100 < 60 { 100_000 } else { 1_300_000 };
+                sim.schedule(Time::from_ticks(latency), |_| {});
+                sim.schedule(Time::from_ticks(4_000), move |sim: &mut $sim| {
+                    pipeline(sim, core, state)
+                });
+            }
+
+            /// Multi-core engine-shaped event mix. Returns events/sec.
+            pub fn fig14_shaped(events: u64) -> f64 {
+                let mut sim = <$sim>::new();
+                for core in 0..4 {
+                    pipeline(&mut sim, core, core * 77);
+                }
+                let start = Instant::now();
+                let fired = sim.run_bounded(events);
+                fired as f64 / start.elapsed().as_secs_f64()
+            }
+        }
+    };
+}
+
+kernel_workloads!(calendar, Simulation);
+kernel_workloads!(reference, ReferenceSimulation);
+
+/// One workload driver: takes the event budget, returns events/sec.
+type WorkloadFn = fn(u64) -> f64;
+
+/// Runs the microbenchmark and writes `BENCH_desim_kernel.json`.
+pub fn kernel(quick: bool) {
+    let events = if quick { QUICK_EVENTS } else { FULL_EVENTS };
+    outln!(
+        "event-kernel microbenchmark: {events} events/workload, calendar queue vs reference heap"
+    );
+    let workloads: [(&str, WorkloadFn, WorkloadFn); 3] = [
+        (
+            "schedule_heavy",
+            calendar::schedule_heavy,
+            reference::schedule_heavy,
+        ),
+        (
+            "cancel_heavy",
+            calendar::cancel_heavy,
+            reference::cancel_heavy,
+        ),
+        (
+            "fig14_shaped",
+            calendar::fig14_shaped,
+            reference::fig14_shaped,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cal, reference) in workloads {
+        // Interleave and keep the best of two runs per kernel so one
+        // scheduler hiccup doesn't skew the ratio.
+        let cal_eps = cal(events).max(cal(events));
+        let ref_eps = reference(events).max(reference(events));
+        let speedup = cal_eps / ref_eps;
+        outln!(
+            "  {name:<16} reference {:>12.0} ev/s   calendar {:>12.0} ev/s   speedup {speedup:.2}x",
+            ref_eps,
+            cal_eps
+        );
+        rows.push(Json::Obj(vec![
+            ("workload".to_string(), Json::Str(name.to_string())),
+            ("events".to_string(), Json::Num(events as f64)),
+            ("reference_events_per_sec".to_string(), Json::Num(ref_eps)),
+            ("calendar_events_per_sec".to_string(), Json::Num(cal_eps)),
+            ("speedup".to_string(), Json::Num(speedup)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), Json::Str("desim_kernel".to_string())),
+        ("quick".to_string(), Json::Bool(quick)),
+        ("workloads".to_string(), Json::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_desim_kernel.json", doc.render()).expect("write kernel bench json");
+    outln!("wrote BENCH_desim_kernel.json");
+}
+
+/// Wall-clock for one child `all --jobs N` run (best of `reps`).
+fn time_all(jobs: usize, scale: u64, batches: u64, reps: u32) -> f64 {
+    let exe = std::env::current_exe().expect("current exe path");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(["all", "--jobs", &jobs.to_string()])
+            .env("LSDGNN_SCALE", scale.to_string())
+            .env("LSDGNN_BATCHES", batches.to_string())
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("spawn child tables run");
+        assert!(status.success(), "child `all --jobs {jobs}` failed");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `all` at 1/2/4 jobs and writes `BENCH_harness.json`.
+pub fn harness() {
+    // A heavier-than-default workload so the parallel section dominates
+    // process startup; both knobs stay overridable from the environment.
+    let scale = crate::env_u64("LSDGNN_SCALE", 60_000);
+    let batches = crate::env_u64("LSDGNN_BATCHES", 6);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    outln!(
+        "harness scaling benchmark: `all` at LSDGNN_SCALE={scale} LSDGNN_BATCHES={batches}, best of 2 ({host_cores} host cores)"
+    );
+    if host_cores < 2 {
+        outln!("  note: single-core host — parallel jobs can only tie the serial run");
+    }
+    let mut rows = Vec::new();
+    let mut serial = 0.0;
+    for jobs in [1usize, 2, 4] {
+        let secs = time_all(jobs, scale, batches, 2);
+        if jobs == 1 {
+            serial = secs;
+        }
+        let speedup = serial / secs;
+        outln!("  --jobs {jobs}: {secs:.2}s  ({speedup:.2}x vs serial)");
+        rows.push(Json::Obj(vec![
+            ("jobs".to_string(), Json::Num(jobs as f64)),
+            ("seconds".to_string(), Json::Num(secs)),
+            ("speedup".to_string(), Json::Num(speedup)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), Json::Str("harness".to_string())),
+        ("host_cores".to_string(), Json::Num(host_cores as f64)),
+        ("scale".to_string(), Json::Num(scale as f64)),
+        ("batches".to_string(), Json::Num(batches as f64)),
+        ("runs".to_string(), Json::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_harness.json", doc.render()).expect("write harness bench json");
+    outln!("wrote BENCH_harness.json");
+}

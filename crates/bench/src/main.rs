@@ -4,26 +4,40 @@
 //! ```text
 //! cargo run -p lsdgnn-bench --release -- all
 //! cargo run -p lsdgnn-bench --release -- fig14 fig21
+//! cargo run -p lsdgnn-bench --release -- all --jobs 4
 //! cargo run -p lsdgnn-bench --release -- fig14 \
 //!     --metrics-out results/metrics.json --trace-out results/trace.json
+//! cargo run -p lsdgnn-bench --release -- kernel          # event-kernel microbench
+//! cargo run -p lsdgnn-bench --release -- harness         # --jobs scaling bench
 //! ```
 //!
 //! Flags:
+//! * `--jobs N` — run the selected experiments (and the sweep points
+//!   inside them) on up to N worker threads. Output order, table values
+//!   and the `--metrics-out` snapshot are identical to the serial run:
+//!   workers capture their output and the scheduler prints/merges in
+//!   selection order.
 //! * `--metrics-out <path.json>` — write the telemetry registry snapshot
 //!   (every metric the selected experiments registered) as JSON
 //! * `--trace-out <path.json>`   — record spans during the simulated runs
 //!   and write Chrome trace-event JSON (open in Perfetto)
+//! * `--quick` — (with `kernel`) a fast smoke-sized run for CI
 //!
 //! Environment:
 //! * `LSDGNN_SCALE`   — max nodes for scaled-down graphs (default 4000)
 //! * `LSDGNN_BATCHES` — mini-batches per DES measurement (default 3)
+//! * `LSDGNN_JOBS`    — default worker count when `--jobs` is absent
 
 mod ablations;
 mod characterization;
 mod faas_exp;
+mod kernel_bench;
 mod microarch;
 mod poc;
 mod util;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use util::{capture, Telemetry, TelemetrySink};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -32,12 +46,89 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Per-invocation experiment inputs shared by every entry point.
+struct Ctx {
+    scale: u64,
+    batches: u32,
+}
+
+type ExpFn = fn(&Ctx, &mut Telemetry);
+
+/// Every experiment, in `all` order. Names must be unique — the
+/// selection validator rejects duplicates against this table.
+const EXPERIMENTS: &[(&str, ExpFn)] = &[
+    ("fig2a", |_, _| characterization::fig2a()),
+    ("fig2b", |c, t| characterization::fig2b(c.scale, t)),
+    ("fig2c", |c, _| characterization::fig2c(c.scale)),
+    ("fig2d", |_, _| characterization::fig2d()),
+    ("fig2e", |_, _| characterization::fig2e()),
+    ("fig3", |_, _| characterization::fig3()),
+    ("fig7", |_, _| microarch::fig7()),
+    ("table5", |_, _| microarch::table5()),
+    ("table6", |_, _| microarch::table6()),
+    ("table7", |_, _| microarch::table7()),
+    ("tech2", |_, _| microarch::tech2()),
+    ("tech3", |_, _| microarch::tech3()),
+    ("table11", |_, _| microarch::table11()),
+    ("fig14", |c, t| poc::fig14(c.scale, c.batches, t)),
+    ("fig15", |c, _| poc::fig15(c.scale, c.batches)),
+    ("fig16", |_, _| faas_exp::fig16()),
+    ("fig17", |_, _| faas_exp::fig17()),
+    ("fig18", |_, _| faas_exp::fig18()),
+    ("fig19", |_, _| faas_exp::fig19()),
+    ("fig20", |_, _| faas_exp::fig20()),
+    ("fig21", |_, _| faas_exp::fig21()),
+    ("ablations", |c, t| ablations::all(c.scale, c.batches, t)),
+    ("limit2", |_, _| faas_exp::limit2()),
+    ("discussion", |_, _| faas_exp::discussion()),
+    ("planner", |_, _| faas_exp::planner()),
+];
+
+/// Subcommands valid on the command line but excluded from `all` (they
+/// write files or sweep what `all` already covers).
+const EXTRA: &[(&str, ExpFn)] = &[
+    ("export-csv", |_, _| faas_exp::export_csv()),
+    ("ablation-cache", |c, t| {
+        ablations::cache_sweep(c.scale, c.batches, t)
+    }),
+    ("ablation-cores", |c, _| {
+        ablations::core_sweep(c.scale, c.batches)
+    }),
+    ("ablation-packing", |_, _| ablations::packing_sweep()),
+    ("ablation-outstanding", |c, _| {
+        ablations::outstanding_sweep(c.scale, c.batches)
+    }),
+    ("ablation-serving", |c, _| {
+        ablations::serving_sweep(c.scale, c.batches)
+    }),
+];
+
+fn lookup(name: &str) -> Option<ExpFn> {
+    EXPERIMENTS
+        .iter()
+        .chain(EXTRA)
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| *f)
+}
+
+fn usage_and_exit(unknown: &str) -> ! {
+    eprintln!("unknown experiment `{unknown}`; available:");
+    let names: Vec<&str> = EXPERIMENTS.iter().chain(EXTRA).map(|(n, _)| *n).collect();
+    eprintln!("  all {}", names.join(" "));
+    eprintln!("  kernel [--quick]   event-kernel throughput microbenchmark");
+    eprintln!("  harness            --jobs wall-clock scaling benchmark");
+    eprintln!("(see DESIGN.md for the experiment index)");
+    std::process::exit(2);
+}
+
 fn main() {
     let scale = env_u64("LSDGNN_SCALE", 4_000);
     let batches = env_u64("LSDGNN_BATCHES", 3) as u32;
 
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut jobs = env_u64("LSDGNN_JOBS", 1).max(1) as usize;
+    let mut quick = false;
     let mut args = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -49,82 +140,105 @@ fn main() {
             trace_out = Some(v.to_string());
         } else if a == "--trace-out" {
             trace_out = Some(raw.next().expect("--trace-out needs a path"));
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse::<usize>().expect("--jobs needs a number").max(1);
+        } else if a == "--jobs" {
+            jobs = raw
+                .next()
+                .expect("--jobs needs a number")
+                .parse::<usize>()
+                .expect("--jobs needs a number")
+                .max(1);
+        } else if a == "--quick" {
+            quick = true;
         } else {
             args.push(a);
         }
     }
-    let mut tel = util::Telemetry::new(metrics_out, trace_out);
+    util::set_jobs(jobs);
+
+    // The benchmark subcommands run outside the experiment scheduler:
+    // they time the binary itself.
+    if args.iter().any(|a| a == "kernel") {
+        kernel_bench::kernel(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "harness") {
+        kernel_bench::harness();
+        return;
+    }
 
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "fig2a",
-            "fig2b",
-            "fig2c",
-            "fig2d",
-            "fig2e",
-            "fig3",
-            "fig7",
-            "table5",
-            "table6",
-            "table7",
-            "tech2",
-            "tech3",
-            "table11",
-            "fig14",
-            "fig15",
-            "fig16",
-            "fig17",
-            "fig18",
-            "fig19",
-            "fig20",
-            "fig21",
-            "ablations",
-            "limit2",
-            "discussion",
-            "planner",
-        ]
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
     } else {
         args.iter().map(String::as_str).collect()
     };
-
-    for exp in selected {
-        match exp {
-            "fig2a" => characterization::fig2a(),
-            "fig2b" => characterization::fig2b(scale, &mut tel),
-            "fig2c" => characterization::fig2c(scale),
-            "fig2d" => characterization::fig2d(),
-            "fig2e" => characterization::fig2e(),
-            "fig3" => characterization::fig3(),
-            "fig7" => microarch::fig7(),
-            "table5" => microarch::table5(),
-            "table6" => microarch::table6(),
-            "table7" => microarch::table7(),
-            "tech2" => microarch::tech2(),
-            "tech3" => microarch::tech3(),
-            "table11" => microarch::table11(),
-            "fig14" => poc::fig14(scale, batches, &mut tel),
-            "fig15" => poc::fig15(scale, batches),
-            "fig16" => faas_exp::fig16(),
-            "fig17" => faas_exp::fig17(),
-            "fig18" => faas_exp::fig18(),
-            "fig19" => faas_exp::fig19(),
-            "fig20" => faas_exp::fig20(),
-            "fig21" => faas_exp::fig21(),
-            "ablations" => ablations::all(scale, batches, &mut tel),
-            "limit2" => faas_exp::limit2(),
-            "discussion" => faas_exp::discussion(),
-            "planner" => faas_exp::planner(),
-            "export-csv" => faas_exp::export_csv(),
-            "ablation-cache" => ablations::cache_sweep(scale, batches, &mut tel),
-            "ablation-cores" => ablations::core_sweep(scale, batches),
-            "ablation-packing" => ablations::packing_sweep(),
-            "ablation-outstanding" => ablations::outstanding_sweep(scale, batches),
-            "ablation-serving" => ablations::serving_sweep(scale, batches),
-            other => {
-                eprintln!("unknown experiment `{other}`; see DESIGN.md for the experiment index");
-                std::process::exit(2);
-            }
+    for (i, name) in selected.iter().enumerate() {
+        if lookup(name).is_none() {
+            usage_and_exit(name);
+        }
+        if selected[..i].contains(name) {
+            eprintln!("duplicate experiment `{name}`: each experiment registers its metrics once; pass each name once");
+            std::process::exit(2);
         }
     }
-    tel.finish();
+
+    let ctx = Ctx { scale, batches };
+    let mut sink = TelemetrySink::new(metrics_out, trace_out);
+    run_selected(&selected, &ctx, &mut sink, jobs);
+    sink.finish();
+}
+
+/// Runs the selected experiments on up to `jobs` worker threads. Every
+/// experiment executes with a private [`Telemetry`] and a captured
+/// output buffer; the main thread streams buffers to stdout in selection
+/// order as soon as each contiguous prefix completes, and merges the
+/// telemetry in that same order — so results are byte-identical for any
+/// job count.
+fn run_selected(selected: &[&str], ctx: &Ctx, sink: &mut TelemetrySink, jobs: usize) {
+    let tracing = sink.tracing();
+    let workers = jobs.min(selected.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut parts = Vec::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let ctx = &ctx;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= selected.len() {
+                    break;
+                }
+                let f = lookup(selected[i]).expect("selection validated");
+                let mut tel = Telemetry::worker(tracing);
+                let ((), out) = capture(|| f(ctx, &mut tel));
+                let (snap, events) = tel.into_parts();
+                if tx.send((i, out, snap, events)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Stream outputs in selection order as they complete.
+        let mut done: Vec<Option<(String, _, _)>> = (0..selected.len()).map(|_| None).collect();
+        let mut cursor = 0;
+        for (i, out, snap, events) in rx {
+            done[i] = Some((out, snap, events));
+            while cursor < selected.len() {
+                match done[cursor].take() {
+                    Some((out, snap, events)) => {
+                        print!("{out}");
+                        parts.push((snap, events));
+                        cursor += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    for (snap, events) in parts {
+        sink.absorb(snap, events);
+    }
 }

@@ -1,7 +1,7 @@
 //! PoC measurement experiments: Figure 14 (FPGA vs per-vCPU sampling
 //! rate) and Figure 15 (analytical model validation against the DES).
 
-use crate::util::{banner, eng, metric_cell, Table, Telemetry};
+use crate::util::{banner, eng, metric_cell, outln, par_map, Table, Telemetry};
 use lsdgnn_core::axe::{AccessEngine, AxeConfig};
 use lsdgnn_core::faas::perf::{bottleneck_rates, PerfInputs};
 use lsdgnn_core::framework::CpuClusterModel;
@@ -49,7 +49,7 @@ pub fn fig14(scale_nodes: u64, batches: u32, tel: &mut Telemetry) {
         ]);
     }
     let geomean = (log_sum / PAPER_DATASETS.len() as f64).exp();
-    println!("geomean vCPU equivalence: {geomean:.0} (paper: one FPGA ~ 894 vCPUs)");
+    outln!("geomean vCPU equivalence: {geomean:.0} (paper: one FPGA ~ 894 vCPUs)");
 
     // The same workload served functionally through the serving stack:
     // the backend constructor is the single line that changes between
@@ -159,52 +159,61 @@ pub fn fig15(scale_nodes: u64, batches: u32) {
         ("2-chn", Some(2)),
         ("4-chn", Some(4)),
     ];
-    let mut errs = Vec::new();
+    // The 24-point sweep is the costliest DES work in `all` — compute
+    // the grid in parallel, then print the ordered results serially.
+    let mut grid = Vec::new();
     for nodes in [1u32, 4] {
         for (mem_name, chans) in mem_configs {
             for cores in [1usize, 2, 4] {
-                let tier = poc_tier(chans);
-                let cfg = AxeConfig::poc()
-                    .with_cores(cores)
-                    .with_tier(tier)
-                    .with_partitions(nodes)
-                    .with_batch_size(48);
-                let des = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
-                let inputs = PerfInputs {
-                    local: tier.local.link_model(),
-                    remote: tier.remote.link_model(),
-                    output: Some(tier.output.link_model()),
-                    output_shares_remote: false,
-                    cores: cores as u32,
-                    tags_per_core: 64,
-                    clock_hz: 250e6,
-                    avg_degree: avg_deg,
-                    fanout: 10.0,
-                    attr_bytes,
-                    remote_fraction: 1.0 - 1.0 / nodes as f64,
-                };
-                let model = bottleneck_rates(&inputs).samples_per_sec();
-                let no_pcie = bottleneck_rates(&PerfInputs {
-                    output: None,
-                    ..inputs
-                })
-                .samples_per_sec();
-                let err = (model - des.samples_per_sec).abs() / des.samples_per_sec;
-                errs.push(err);
-                t.row(&[
-                    cores.to_string(),
-                    mem_name.to_string(),
-                    format!("{nodes}n"),
-                    format!("{}/s", eng(des.samples_per_sec)),
-                    format!("{}/s", eng(model)),
-                    format!("{:.0}%", err * 100.0),
-                    format!("{}/s", eng(no_pcie)),
-                ]);
+                grid.push((nodes, mem_name, chans, cores));
             }
         }
     }
+    let results = par_map(grid, |(nodes, mem_name, chans, cores)| {
+        let tier = poc_tier(chans);
+        let cfg = AxeConfig::poc()
+            .with_cores(cores)
+            .with_tier(tier)
+            .with_partitions(nodes)
+            .with_batch_size(48);
+        let des = AccessEngine::new(cfg).run(&g, d.attr_len as usize, batches);
+        let inputs = PerfInputs {
+            local: tier.local.link_model(),
+            remote: tier.remote.link_model(),
+            output: Some(tier.output.link_model()),
+            output_shares_remote: false,
+            cores: cores as u32,
+            tags_per_core: 64,
+            clock_hz: 250e6,
+            avg_degree: avg_deg,
+            fanout: 10.0,
+            attr_bytes,
+            remote_fraction: 1.0 - 1.0 / nodes as f64,
+        };
+        let model = bottleneck_rates(&inputs).samples_per_sec();
+        let no_pcie = bottleneck_rates(&PerfInputs {
+            output: None,
+            ..inputs
+        })
+        .samples_per_sec();
+        (nodes, mem_name, cores, des.samples_per_sec, model, no_pcie)
+    });
+    let mut errs = Vec::new();
+    for (nodes, mem_name, cores, des_rate, model, no_pcie) in results {
+        let err = (model - des_rate).abs() / des_rate;
+        errs.push(err);
+        t.row(&[
+            cores.to_string(),
+            mem_name.to_string(),
+            format!("{nodes}n"),
+            format!("{}/s", eng(des_rate)),
+            format!("{}/s", eng(model)),
+            format!("{:.0}%", err * 100.0),
+            format!("{}/s", eng(no_pcie)),
+        ]);
+    }
     let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
-    println!(
+    outln!(
         "mean |model - DES| error: {:.1}% over {} configurations (paper reports ~1% against its PoC)",
         mean_err * 100.0,
         errs.len()

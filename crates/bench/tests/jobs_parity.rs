@@ -1,0 +1,63 @@
+//! Parallel-harness parity: `--jobs 4` must produce byte-identical
+//! stdout and metrics output to `--jobs 1` for the same experiment
+//! selection. The harness promises parity by construction (private
+//! per-worker registries merged in selection order, captured output
+//! streamed in selection order), and this test pins that promise.
+//!
+//! The selection is restricted to pure-DES experiments: the wall-clock
+//! serving experiments (fig2b, fig14) measure real thread latencies and
+//! differ even between two identical serial runs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// DES-only ablation experiments — deterministic at fixed scale.
+const SELECTION: [&str; 3] = ["ablation-cache", "ablation-outstanding", "ablation-packing"];
+
+fn run(jobs: &str, metrics_out: &PathBuf) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args(SELECTION)
+        .args(["--jobs", jobs, "--metrics-out"])
+        .arg(metrics_out)
+        .env("LSDGNN_SCALE", "600")
+        .env("LSDGNN_BATCHES", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        out.status.success(),
+        "bench --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn jobs4_output_is_byte_identical_to_serial() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_jobs_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let serial_metrics = dir.join("serial.json");
+    let parallel_metrics = dir.join("parallel.json");
+
+    let serial_stdout = run("1", &serial_metrics);
+    let parallel_stdout = run("4", &parallel_metrics);
+
+    // The final `wrote N metrics to <path>` line necessarily names the
+    // per-run output file — mask the path, keep the metric count.
+    let normalize = |stdout: &[u8], path: &PathBuf| {
+        String::from_utf8_lossy(stdout).replace(&path.display().to_string(), "<metrics-out>")
+    };
+    assert_eq!(
+        normalize(&serial_stdout, &serial_metrics),
+        normalize(&parallel_stdout, &parallel_metrics),
+        "stdout must not depend on --jobs"
+    );
+    let serial = std::fs::read(&serial_metrics).expect("serial metrics written");
+    let parallel = std::fs::read(&parallel_metrics).expect("parallel metrics written");
+    assert!(!serial.is_empty(), "metrics export is non-empty");
+    assert_eq!(
+        String::from_utf8_lossy(&serial),
+        String::from_utf8_lossy(&parallel),
+        "metrics export must not depend on --jobs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

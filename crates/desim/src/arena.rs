@@ -1,0 +1,274 @@
+//! The event arena: a slab of reusable event slots with inline closure
+//! storage and generation-checked handles.
+//!
+//! The scheduling hot path used to allocate a fresh `Box<dyn FnOnce>` per
+//! event. The arena removes that allocation for the common case: closures
+//! of at most [`INLINE_BYTES`] bytes (and word alignment) are written
+//! directly into the slot's inline buffer; only oversized closures fall
+//! back to a `Box`. Freed slots go on a freelist and are reused, so a
+//! steady-state simulation stops touching the allocator entirely.
+//!
+//! Each slot carries a generation counter. An [`EventHandle`] names a
+//! `(slot, generation)` pair, so a handle to an event that already fired
+//! (or was cancelled, or whose slot was recycled) is detected instead of
+//! aliasing a newer event — the calendar can keep stale keys as lazy
+//! tombstones and the arena disambiguates on pop.
+
+use crate::sim::Simulation;
+use std::mem::{align_of, size_of, MaybeUninit};
+
+/// Closures up to this many bytes are stored inline in the slot
+/// (four words: enough for an `Rc` handle plus a few captured scalars,
+/// which covers the hardware models' event closures).
+pub const INLINE_BYTES: usize = 4 * size_of::<usize>();
+
+const INLINE_WORDS: usize = INLINE_BYTES / size_of::<usize>();
+
+type InlineBuf = [MaybeUninit<usize>; INLINE_WORDS];
+
+/// A boxed event closure — the fallback for captures larger than
+/// [`INLINE_BYTES`].
+pub(crate) type BoxedEvent = Box<dyn FnOnce(&mut Simulation)>;
+
+/// SAFETY contract for the inline variant: `buf` holds a valid, fully
+/// initialized value of the closure type `F` that `call`/`drop` were
+/// instantiated for, and that value is consumed exactly once (by `call`
+/// or by `drop`, never both). The buffer is plain bytes, so moving the
+/// `Payload` (slab growth, `mem::replace`) is a plain `memcpy`, which is
+/// sound because Rust closures are movable values.
+pub(crate) enum Payload {
+    /// The closure lives in `buf`; `call` runs it, `drop_in_place` drops
+    /// it without running.
+    Inline {
+        call: unsafe fn(*mut u8, &mut Simulation),
+        drop_in_place: unsafe fn(*mut u8),
+        buf: InlineBuf,
+    },
+    /// Oversized closure, heap-allocated as before.
+    Boxed(BoxedEvent),
+}
+
+unsafe fn call_inline<F: FnOnce(&mut Simulation)>(p: *mut u8, sim: &mut Simulation) {
+    // SAFETY: caller guarantees `p` holds an initialized `F` that is
+    // consumed exactly once; `read` moves it out.
+    let f = unsafe { p.cast::<F>().read() };
+    f(sim)
+}
+
+unsafe fn drop_inline<F>(p: *mut u8) {
+    // SAFETY: caller guarantees `p` holds an initialized `F` that is
+    // consumed exactly once.
+    unsafe { p.cast::<F>().drop_in_place() }
+}
+
+impl Payload {
+    pub(crate) fn new<F>(f: F) -> Payload
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<usize>() {
+            let mut buf: InlineBuf = [MaybeUninit::uninit(); INLINE_WORDS];
+            // SAFETY: the size/align check above guarantees `f` fits the
+            // buffer; `write` initializes it without dropping the
+            // uninitialized destination.
+            unsafe { buf.as_mut_ptr().cast::<F>().write(f) };
+            Payload::Inline {
+                call: call_inline::<F>,
+                drop_in_place: drop_inline::<F>,
+                buf,
+            }
+        } else {
+            Payload::Boxed(Box::new(f))
+        }
+    }
+
+    /// Consumes the payload, running the closure.
+    pub(crate) fn run(self, sim: &mut Simulation) {
+        match self {
+            // SAFETY: `buf` (moved into this frame) holds the initialized
+            // closure; `call` consumes it exactly once.
+            Payload::Inline { call, mut buf, .. } => unsafe { call(buf.as_mut_ptr().cast(), sim) },
+            Payload::Boxed(f) => f(sim),
+        }
+    }
+
+    /// Consumes the payload without running it (cancellation / teardown),
+    /// still dropping whatever the closure captured.
+    pub(crate) fn discard(self) {
+        match self {
+            Payload::Inline {
+                drop_in_place,
+                mut buf,
+                ..
+            } =>
+            // SAFETY: `buf` holds the initialized closure; dropping in
+            // place consumes it exactly once.
+            unsafe { drop_in_place(buf.as_mut_ptr().cast()) },
+            Payload::Boxed(f) => drop(f),
+        }
+    }
+}
+
+struct Slot {
+    generation: u32,
+    payload: Option<Payload>,
+}
+
+/// A handle to one scheduled event, returned by
+/// [`Simulation::schedule`](crate::Simulation::schedule) and consumed by
+/// [`Simulation::cancel`](crate::Simulation::cancel). Copyable; a handle
+/// whose event already fired (or was cancelled) is harmlessly stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+/// The slab of event slots backing a [`Simulation`]'s calendar.
+#[derive(Default)]
+pub(crate) struct EventArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl EventArena {
+    pub(crate) fn new() -> EventArena {
+        EventArena::default()
+    }
+
+    /// Number of live (scheduled, not yet fired or cancelled) events.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Stores `payload`, reusing a free slot when one exists.
+    pub(crate) fn insert(&mut self, payload: Payload) -> EventHandle {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.payload.is_none(), "freelist slot still occupied");
+                s.payload = Some(payload);
+                EventHandle {
+                    slot,
+                    generation: s.generation,
+                }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(payload),
+                });
+                EventHandle {
+                    slot,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the payload for `handle`, freeing its slot.
+    /// Returns `None` when the handle is stale (already fired, cancelled,
+    /// or the slot was recycled) — the tombstone-skip path.
+    pub(crate) fn take(&mut self, handle: EventHandle) -> Option<Payload> {
+        let s = self.slots.get_mut(handle.slot as usize)?;
+        if s.generation != handle.generation {
+            return None;
+        }
+        let payload = s.payload.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(handle.slot);
+        self.live -= 1;
+        Some(payload)
+    }
+}
+
+impl Drop for EventArena {
+    fn drop(&mut self) {
+        // Inline payloads need their captured state dropped explicitly;
+        // a plain field drop would leak it.
+        for slot in &mut self.slots {
+            if let Some(p) = slot.payload.take() {
+                p.discard();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn drop_probe() -> (Rc<Cell<u32>>, impl FnOnce(&mut Simulation)) {
+        let drops = Rc::new(Cell::new(0));
+        struct Probe(Rc<Cell<u32>>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let probe = Probe(drops.clone());
+        (drops, move |_: &mut Simulation| {
+            let _keep = &probe;
+        })
+    }
+
+    #[test]
+    fn small_closures_go_inline_and_large_ones_box() {
+        let small = Payload::new(|_| {});
+        assert!(matches!(small, Payload::Inline { .. }));
+        let big = [0u64; 16];
+        let large = Payload::new(move |_| {
+            assert_eq!(big[0], 0);
+        });
+        assert!(matches!(large, Payload::Boxed(_)));
+        small.discard();
+        large.discard();
+    }
+
+    #[test]
+    fn run_consumes_captures_exactly_once() {
+        let (drops, f) = drop_probe();
+        let mut sim = Simulation::new();
+        Payload::new(f).run(&mut sim);
+        assert_eq!(drops.get(), 1);
+    }
+
+    #[test]
+    fn discard_drops_captures_without_running() {
+        let (drops, f) = drop_probe();
+        Payload::new(f).discard();
+        assert_eq!(drops.get(), 1);
+    }
+
+    #[test]
+    fn arena_drop_releases_pending_inline_captures() {
+        let (drops, f) = drop_probe();
+        {
+            let mut arena = EventArena::new();
+            arena.insert(Payload::new(f));
+            assert_eq!(arena.live(), 1);
+        }
+        assert_eq!(drops.get(), 1);
+    }
+
+    #[test]
+    fn stale_handles_miss_after_take_and_reuse() {
+        let mut arena = EventArena::new();
+        let h1 = arena.insert(Payload::new(|_| {}));
+        assert!(arena.take(h1).is_some());
+        assert!(arena.take(h1).is_none(), "second take is stale");
+        // The slot is reused with a bumped generation; the old handle
+        // still misses.
+        let h2 = arena.insert(Payload::new(|_| {}));
+        assert_eq!(h1.slot, h2.slot);
+        assert_ne!(h1.generation, h2.generation);
+        assert!(arena.take(h1).is_none());
+        assert!(arena.take(h2).is_some());
+        assert_eq!(arena.live(), 0);
+    }
+}

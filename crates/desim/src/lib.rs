@@ -1,10 +1,15 @@
 //! Discrete-event simulation engine underpinning the LSD-GNN hardware models.
 //!
 //! This crate is the timing substrate for the Access Engine (`lsdgnn-axe`),
-//! Memory-over-Fabric and link models: a classic event-calendar kernel plus
-//! the small set of queueing primitives hardware simulation needs — bounded
-//! FIFOs with back-pressure accounting, bandwidth-serialized resources,
-//! fixed-latency pipes and time-weighted statistics.
+//! Memory-over-Fabric and link models: a fast event-calendar kernel (a
+//! hierarchical bucketed time wheel with an overflow heap, over a slab
+//! event arena with inline closure storage and cancellable handles —
+//! see [`calendar`] and [`arena`]) plus the small set of queueing
+//! primitives hardware simulation needs — bounded FIFOs with
+//! back-pressure accounting, bandwidth-serialized resources,
+//! fixed-latency pipes and time-weighted statistics. The original
+//! heap-based kernel is preserved in [`reference`] as the differential
+//! -testing model and benchmark baseline.
 //!
 //! Time is an opaque tick count. Hardware crates interpret one tick as one
 //! picosecond so that clocks of different frequencies (250 MHz logic,
@@ -28,7 +33,10 @@
 //! ```
 
 pub mod arbiter;
+pub mod arena;
+pub mod calendar;
 pub mod fifo;
+pub mod reference;
 pub mod resource;
 pub mod rng;
 pub mod sim;
@@ -36,7 +44,9 @@ pub mod stats;
 pub mod time;
 
 pub use arbiter::RoundRobinArbiter;
+pub use arena::EventHandle;
 pub use fifo::{Fifo, FifoStats};
+pub use reference::ReferenceSimulation;
 pub use resource::{BandwidthResource, BandwidthStats, LatencyPipe, Server, ServerStats};
 pub use rng::DetRng;
 pub use sim::Simulation;

@@ -1,39 +1,14 @@
 //! The event-calendar simulation kernel.
 
+use crate::arena::{EventArena, EventHandle, Payload};
+use crate::calendar::{CalendarQueue, EventKey};
 use crate::time::Time;
 use lsdgnn_telemetry::{ticks_to_us, Tracer};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// How often (in processed events) an attached tracer samples the
-/// calendar depth. Power of two so the modulus is a mask.
+/// calendar depth. The check is `is_multiple_of`, so any non-zero value
+/// works; a power of two keeps it a cheap masked compare in practice.
 const TRACE_SAMPLE_EVERY: u64 = 1024;
-
-/// A scheduled event: a one-shot closure run at its timestamp.
-type EventFn = Box<dyn FnOnce(&mut Simulation)>;
-
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    f: EventFn,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// Discrete-event simulation kernel.
 ///
@@ -41,6 +16,14 @@ impl Ord for Scheduled {
 /// timestamps, so causality between same-cycle events is deterministic).
 /// Closures receive `&mut Simulation` and typically capture the model state
 /// as `Rc<RefCell<...>>` handles.
+///
+/// Internally the calendar is a hierarchical bucketed time wheel with an
+/// overflow heap (see [`calendar`](crate::calendar)), and closures live
+/// in a slab arena with inline storage for small captures (see
+/// [`arena`](crate::arena)) — `schedule` → fire is allocation-free in
+/// steady state. The pre-optimization heap kernel survives as
+/// [`reference::ReferenceSimulation`](crate::reference::ReferenceSimulation),
+/// the differential-test model.
 ///
 /// # Example
 ///
@@ -58,11 +41,24 @@ impl Ord for Scheduled {
 /// sim.run();
 /// assert_eq!(hits.get(), 4);
 /// ```
+///
+/// Scheduling returns an [`EventHandle`] that can revoke the event while
+/// it is still pending:
+///
+/// ```
+/// use lsdgnn_desim::{Simulation, Time};
+///
+/// let mut sim = Simulation::new();
+/// let timeout = sim.schedule(Time::from_nanos(100), |_| panic!("timed out"));
+/// assert!(sim.cancel(timeout));
+/// sim.run(); // no panic: the timeout was revoked
+/// ```
 pub struct Simulation {
     now: Time,
     seq: u64,
     processed: u64,
-    calendar: BinaryHeap<Reverse<Scheduled>>,
+    calendar: CalendarQueue,
+    arena: EventArena,
     tracer: Option<(Tracer, u32)>,
 }
 
@@ -76,7 +72,7 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
-            .field("pending", &self.calendar.len())
+            .field("pending", &self.arena.live())
             .field("processed", &self.processed)
             .finish()
     }
@@ -89,7 +85,8 @@ impl Simulation {
             now: Time::ZERO,
             seq: 0,
             processed: 0,
-            calendar: BinaryHeap::new(),
+            calendar: CalendarQueue::new(),
+            arena: EventArena::new(),
             tracer: None,
         }
     }
@@ -112,17 +109,20 @@ impl Simulation {
         self.processed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled events excluded).
     pub fn events_pending(&self) -> usize {
-        self.calendar.len()
+        self.arena.live()
     }
 
     /// Schedules `f` to run `delay` after the current time.
-    pub fn schedule<F>(&mut self, delay: Time, f: F)
+    ///
+    /// The returned handle can [`cancel`](Self::cancel) the event while
+    /// it is pending; simply dropping the handle does nothing.
+    pub fn schedule<F>(&mut self, delay: Time, f: F) -> EventHandle
     where
         F: FnOnce(&mut Simulation) + 'static,
     {
-        self.schedule_at(self.now + delay, f);
+        self.schedule_at(self.now + delay, f)
     }
 
     /// Schedules `f` at an absolute timestamp.
@@ -130,38 +130,87 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if `at` is in the simulated past.
-    pub fn schedule_at<F>(&mut self, at: Time, f: F)
+    pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventHandle
     where
         F: FnOnce(&mut Simulation) + 'static,
     {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.calendar.push(Reverse(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        }));
+        let handle = self.arena.insert(Payload::new(f));
+        self.calendar.push(EventKey { at, seq, handle });
+        handle
+    }
+
+    /// Revokes a pending event: its closure is dropped unrun and it no
+    /// longer counts as pending or processed. Returns `true` if the
+    /// event was still pending, `false` for a stale handle (already
+    /// fired or already cancelled). The calendar entry is tombstoned and
+    /// skipped lazily.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self.arena.take(handle) {
+            Some(payload) => {
+                payload.discard();
+                // The calendar key stays behind as a lazy tombstone, so
+                // the queue always holds at least one key per live event.
+                debug_assert!(self.calendar.keys() >= self.arena.live());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the next *live* event, skipping cancelled tombstones.
+    fn pop_live(&mut self) -> Option<(Time, Payload)> {
+        while let Some(EventKey { at, handle, .. }) = self.calendar.pop() {
+            if let Some(payload) = self.arena.take(handle) {
+                return Some((at, payload));
+            }
+        }
+        None
+    }
+
+    /// Advances the clock and runs one popped event — the single fire
+    /// path shared by `step`, `run`, `run_until` and `run_bounded`, so
+    /// every entry point samples the tracer identically.
+    fn fire(&mut self, at: Time, payload: Payload) {
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.processed += 1;
+        if self.processed.is_multiple_of(TRACE_SAMPLE_EVERY) {
+            if let Some((tracer, pid)) = &self.tracer {
+                tracer.counter(
+                    "calendar",
+                    *pid,
+                    ticks_to_us(self.now.as_ticks()),
+                    &[("pending", self.arena.live() as f64)],
+                );
+            }
+        }
+        payload.run(self);
+    }
+
+    /// Emits the span a traced bulk run records.
+    fn trace_run_span(&self, name: &str, start: Time, before: u64) {
+        if let Some((tracer, pid)) = &self.tracer {
+            let ts = ticks_to_us(start.as_ticks());
+            tracer.span_args(
+                "desim",
+                name,
+                *pid,
+                0,
+                ts,
+                ticks_to_us(self.now.as_ticks()) - ts,
+                &[("events", (self.processed - before) as f64)],
+            );
+        }
     }
 
     /// Runs a single event; returns `false` if the calendar is empty.
     pub fn step(&mut self) -> bool {
-        match self.calendar.pop() {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
-                self.processed += 1;
-                if self.processed.is_multiple_of(TRACE_SAMPLE_EVERY) {
-                    if let Some((tracer, pid)) = &self.tracer {
-                        tracer.counter(
-                            "calendar",
-                            *pid,
-                            ticks_to_us(self.now.as_ticks()),
-                            &[("pending", self.calendar.len() as f64)],
-                        );
-                    }
-                }
-                (ev.f)(self);
+        match self.pop_live() {
+            Some((at, payload)) => {
+                self.fire(at, payload);
                 true
             }
             None => false,
@@ -172,36 +221,39 @@ impl Simulation {
     pub fn run(&mut self) {
         let (start, before) = (self.now, self.processed);
         while self.step() {}
-        if let Some((tracer, pid)) = &self.tracer {
-            let ts = ticks_to_us(start.as_ticks());
-            tracer.span_args(
-                "desim",
-                "run",
-                *pid,
-                0,
-                ts,
-                ticks_to_us(self.now.as_ticks()) - ts,
-                &[("events", (self.processed - before) as f64)],
-            );
-        }
+        self.trace_run_span("run", start, before);
     }
 
     /// Runs until the calendar drains or the next event would pass
     /// `horizon`; events strictly after the horizon stay pending.
     ///
+    /// A tracer-attached run records the same `calendar` counter samples
+    /// as [`run`](Self::run) plus a `run_until` span.
+    ///
     /// Returns the number of events executed.
     pub fn run_until(&mut self, horizon: Time) -> u64 {
-        let start = self.processed;
-        while let Some(Reverse(head)) = self.calendar.peek() {
-            if head.at > horizon {
+        let (start, before) = (self.now, self.processed);
+        while let Some(at) = self.calendar.peek_at() {
+            if at > horizon {
                 break;
             }
-            self.step();
+            // The head may be a cancelled tombstone; popping resolves it
+            // without advancing the clock.
+            if let Some(EventKey { at, handle, .. }) = self.calendar.pop() {
+                if let Some(payload) = self.arena.take(handle) {
+                    self.fire(at, payload);
+                }
+            }
         }
         if self.now < horizon {
             self.now = horizon;
         }
-        self.processed - start
+        if self.processed > before {
+            // Skipped for empty windows so polling callers (the service
+            // path calls run_until in a loop) don't flood the trace.
+            self.trace_run_span("run_until", start, before);
+        }
+        self.processed - before
     }
 
     /// Runs at most `limit` events (a runaway-model backstop).
@@ -310,6 +362,60 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_events_never_fire() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let mut handles = Vec::new();
+        for i in 0..6u64 {
+            let hits = hits.clone();
+            handles.push(sim.schedule(Time::from_ticks(i * 10), move |_| {
+                hits.borrow_mut().push(i);
+            }));
+        }
+        assert!(sim.cancel(handles[1]));
+        assert!(sim.cancel(handles[4]));
+        assert!(!sim.cancel(handles[4]), "double cancel reports stale");
+        assert_eq!(sim.events_pending(), 4);
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![0, 2, 3, 5]);
+        assert_eq!(sim.events_processed(), 4);
+        assert!(!sim.cancel(handles[0]), "fired handles are stale");
+    }
+
+    #[test]
+    fn cancelled_head_does_not_leak_past_run_until_horizon() {
+        let hit = Rc::new(RefCell::new(0u32));
+        let mut sim = Simulation::new();
+        let hit2 = hit.clone();
+        let h = sim.schedule(Time::from_ticks(5), move |_| *hit2.borrow_mut() += 1);
+        let hit2 = hit.clone();
+        sim.schedule(Time::from_ticks(50), move |_| *hit2.borrow_mut() += 1);
+        sim.cancel(h);
+        // The tombstone at t=5 must not cause the t=50 event to fire
+        // inside a t=10 horizon.
+        assert_eq!(sim.run_until(Time::from_ticks(10)), 0);
+        assert_eq!(*hit.borrow(), 0);
+        assert_eq!(sim.now(), Time::from_ticks(10));
+        sim.run();
+        assert_eq!(*hit.borrow(), 1);
+    }
+
+    #[test]
+    fn scheduling_after_run_until_parks_clock_correctly() {
+        // run_until advances `now` past the wheel cursor; scheduling
+        // relative to the parked clock must still order correctly.
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let o = order.clone();
+        sim.schedule(Time::from_millis(2), move |_| o.borrow_mut().push("far"));
+        sim.run_until(Time::from_micros(10));
+        let o = order.clone();
+        sim.schedule(Time::from_micros(1), move |_| o.borrow_mut().push("near"));
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["near", "far"]);
+    }
+
+    #[test]
     fn attached_tracer_records_the_run() {
         let tracer = Tracer::new();
         let mut sim = Simulation::new();
@@ -325,5 +431,25 @@ mod tests {
             .expect("run span recorded");
         assert_eq!(run.cat, "desim");
         assert_eq!(run.args, vec![("events".to_string(), 10.0)]);
+    }
+
+    #[test]
+    fn run_until_records_span_and_counter_samples() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        sim.attach_tracer(tracer.clone(), 1);
+        for t in 0..3000u64 {
+            sim.schedule(Time::from_ticks(t), |_| {});
+        }
+        sim.run_until(Time::from_ticks(5_000));
+        let events = tracer.events();
+        let span = events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "run_until")
+            .expect("run_until span recorded");
+        assert_eq!(span.cat, "desim");
+        assert_eq!(span.args, vec![("events".to_string(), 3000.0)]);
+        let counters = events.iter().filter(|e| e.ph == 'C').count();
+        assert_eq!(counters, 2, "3000 events at 1/1024 sampling");
     }
 }

@@ -1,9 +1,230 @@
-//! Property-based tests for the simulation kernel's timing primitives.
+//! Property-based tests for the simulation kernel's timing primitives,
+//! including the differential test that replays random event programs
+//! on the calendar-queue kernel and the heap-based reference kernel.
 
-use lsdgnn_desim::{BandwidthResource, DetRng, Server, Simulation, Time};
+use lsdgnn_desim::{BandwidthResource, DetRng, ReferenceSimulation, Server, Simulation, Time};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One step of a random kernel program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event `delay` ticks ahead; if `chain` is set, the
+    /// event schedules a child that far ahead when it fires.
+    Schedule { delay: u64, chain: Option<u64> },
+    /// Cancel the `victim % handles.len()`-th handle issued so far.
+    Cancel { victim: usize },
+    /// Fire a single event.
+    Step,
+    /// Run until `now + dt`.
+    RunUntil { dt: u64 },
+    /// Drain the calendar.
+    Run,
+}
+
+/// Raw generated tuple decoded into an [`Op`]: a weighted kind selector
+/// plus two (shift, mantissa) delay encodings spanning the wheel's
+/// levels and the overflow heap (`mantissa << shift` reaches ~5e14
+/// ticks, far beyond the wheel span).
+type RawOp = ((u8, usize), (u32, u64), (u32, u64));
+
+fn decode_op(((kind, victim), (s1, m1), (s2, m2)): RawOp) -> Op {
+    let delay = m1 << s1;
+    match kind {
+        0..=3 => Op::Schedule { delay, chain: None },
+        4..=5 => Op::Schedule {
+            delay,
+            chain: Some(m2 << s2),
+        },
+        6..=7 => Op::Cancel { victim },
+        8 => Op::Step,
+        9 => Op::RunUntil { dt: delay },
+        _ => Op::Run,
+    }
+}
+
+/// Everything observable about one program execution: the fired-event
+/// log (label, firing time), cancel outcomes, run_until counts, and the
+/// final clock/counters.
+#[derive(Debug, PartialEq, Eq)]
+struct KernelTrace {
+    fired: Vec<(u64, u64)>,
+    cancels: Vec<bool>,
+    ran_until: Vec<u64>,
+    now: u64,
+    processed: u64,
+    pending: usize,
+}
+
+/// The common kernel surface the differential test drives.
+trait Kernel: Default {
+    type Handle: Copy;
+    fn schedule_logged(
+        &mut self,
+        delay: Time,
+        label: u64,
+        chain: Option<u64>,
+        log: Rc<RefCell<Vec<(u64, u64)>>>,
+    ) -> Self::Handle;
+    fn cancel_handle(&mut self, h: Self::Handle) -> bool;
+    fn step_one(&mut self) -> bool;
+    fn run_all(&mut self);
+    fn run_to(&mut self, horizon: Time) -> u64;
+    fn clock(&self) -> Time;
+    fn processed_count(&self) -> u64;
+    fn pending_count(&self) -> usize;
+}
+
+impl Kernel for Simulation {
+    type Handle = lsdgnn_desim::EventHandle;
+    fn schedule_logged(
+        &mut self,
+        delay: Time,
+        label: u64,
+        chain: Option<u64>,
+        log: Rc<RefCell<Vec<(u64, u64)>>>,
+    ) -> Self::Handle {
+        self.schedule(delay, move |sim: &mut Simulation| {
+            log.borrow_mut().push((label, sim.now().as_ticks()));
+            if let Some(d) = chain {
+                let log = log.clone();
+                sim.schedule(Time::from_ticks(d), move |sim: &mut Simulation| {
+                    log.borrow_mut()
+                        .push((label | CHAIN_BIT, sim.now().as_ticks()));
+                });
+            }
+        })
+    }
+    fn cancel_handle(&mut self, h: Self::Handle) -> bool {
+        self.cancel(h)
+    }
+    fn step_one(&mut self) -> bool {
+        self.step()
+    }
+    fn run_all(&mut self) {
+        self.run()
+    }
+    fn run_to(&mut self, horizon: Time) -> u64 {
+        self.run_until(horizon)
+    }
+    fn clock(&self) -> Time {
+        self.now()
+    }
+    fn processed_count(&self) -> u64 {
+        self.events_processed()
+    }
+    fn pending_count(&self) -> usize {
+        self.events_pending()
+    }
+}
+
+impl Kernel for ReferenceSimulation {
+    type Handle = lsdgnn_desim::reference::ReferenceHandle;
+    fn schedule_logged(
+        &mut self,
+        delay: Time,
+        label: u64,
+        chain: Option<u64>,
+        log: Rc<RefCell<Vec<(u64, u64)>>>,
+    ) -> Self::Handle {
+        self.schedule(delay, move |sim: &mut ReferenceSimulation| {
+            log.borrow_mut().push((label, sim.now().as_ticks()));
+            if let Some(d) = chain {
+                let log = log.clone();
+                sim.schedule(Time::from_ticks(d), move |sim: &mut ReferenceSimulation| {
+                    log.borrow_mut()
+                        .push((label | CHAIN_BIT, sim.now().as_ticks()));
+                });
+            }
+        })
+    }
+    fn cancel_handle(&mut self, h: Self::Handle) -> bool {
+        self.cancel(h)
+    }
+    fn step_one(&mut self) -> bool {
+        self.step()
+    }
+    fn run_all(&mut self) {
+        self.run()
+    }
+    fn run_to(&mut self, horizon: Time) -> u64 {
+        self.run_until(horizon)
+    }
+    fn clock(&self) -> Time {
+        self.now()
+    }
+    fn processed_count(&self) -> u64 {
+        self.events_processed()
+    }
+    fn pending_count(&self) -> usize {
+        self.events_pending()
+    }
+}
+
+const CHAIN_BIT: u64 = 1 << 63;
+
+fn replay<K: Kernel>(ops: &[Op]) -> KernelTrace {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = K::default();
+    let mut handles = Vec::new();
+    let mut cancels = Vec::new();
+    let mut ran_until = Vec::new();
+    for (label, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Schedule { delay, chain } => handles.push(sim.schedule_logged(
+                Time::from_ticks(delay),
+                label as u64,
+                chain,
+                log.clone(),
+            )),
+            Op::Cancel { victim } => {
+                if !handles.is_empty() {
+                    let h = handles[victim % handles.len()];
+                    cancels.push(sim.cancel_handle(h));
+                }
+            }
+            Op::Step => {
+                sim.step_one();
+            }
+            Op::RunUntil { dt } => {
+                ran_until.push(sim.run_to(sim.clock() + Time::from_ticks(dt)));
+            }
+            Op::Run => sim.run_all(),
+        }
+    }
+    // Drain whatever is left so the full firing order is compared.
+    sim.run_all();
+    let fired = log.borrow().clone();
+    KernelTrace {
+        fired,
+        cancels,
+        ran_until,
+        now: sim.clock().as_ticks(),
+        processed: sim.processed_count(),
+        pending: sim.pending_count(),
+    }
+}
 
 proptest! {
+    /// Differential test: the calendar-queue kernel and the heap-based
+    /// reference kernel observe identical behaviour — same event firing
+    /// order (including FIFO tie-breaks), same clock, same
+    /// processed/pending counters, same cancel and run_until results —
+    /// on random programs of schedule/cancel/step/run_until/run.
+    #[test]
+    fn calendar_kernel_matches_reference_heap(
+        raw in proptest::collection::vec(
+            ((0u8..11, any::<usize>()), (0u32..40, 0u64..1024), (0u32..40, 0u64..1024)),
+            1..80,
+        ),
+    ) {
+        let ops: Vec<Op> = raw.into_iter().map(decode_op).collect();
+        let calendar = replay::<Simulation>(&ops);
+        let reference = replay::<ReferenceSimulation>(&ops);
+        prop_assert_eq!(calendar, reference);
+    }
+
     /// A bandwidth resource serializes transfers: bookings never overlap
     /// and always start at or after the request time.
     #[test]

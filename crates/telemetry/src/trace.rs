@@ -232,6 +232,21 @@ impl Tracer {
         });
     }
 
+    /// Appends already-built events (e.g. drained from a worker thread's
+    /// private tracer) into this buffer, respecting its capacity — the
+    /// overflow is counted as dropped exactly like locally recorded
+    /// events.
+    pub fn absorb(&self, events: Vec<TraceEvent>) {
+        let mut buf = self.buf.lock().expect("trace buffer lock");
+        for ev in events {
+            if buf.events.len() >= buf.capacity {
+                buf.dropped += 1;
+            } else {
+                buf.events.push(ev);
+            }
+        }
+    }
+
     /// Events currently buffered.
     pub fn len(&self) -> usize {
         self.buf.lock().expect("trace buffer lock").events.len()
@@ -361,6 +376,20 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn absorb_merges_and_respects_capacity() {
+        let main = Tracer::with_capacity(3);
+        main.instant("x", "local", 1, 0, 0.0);
+        let worker = Tracer::new();
+        for i in 0..4 {
+            worker.instant("x", "remote", 1, 0, i as f64);
+        }
+        main.absorb(worker.events());
+        assert_eq!(main.len(), 3);
+        assert_eq!(main.dropped(), 2);
+        assert_eq!(main.events()[1].name, "remote");
     }
 
     #[test]
