@@ -36,6 +36,15 @@ test -s BENCH_desim_kernel.json \
 grep -q 'schedule_heavy' BENCH_desim_kernel.json \
     || { echo "FAIL: schedule_heavy workload absent from kernel bench json"; exit 1; }
 
+echo "==> chaos sweep smoke: bench chaos --quick"
+cargo run --release -q -p lsdgnn-bench -- chaos --quick
+test -s BENCH_chaos.json \
+    || { echo "FAIL: BENCH_chaos.json missing or empty"; exit 1; }
+grep -q '"any_degraded_success":true' BENCH_chaos.json \
+    || { echo "FAIL: no degraded-but-successful response under card failure"; exit 1; }
+grep -q '"identical":true' BENCH_chaos.json \
+    || { echo "FAIL: zero-fault plan not bit-identical to fault-free run"; exit 1; }
+
 echo "==> parallel harness smoke: fig14 through --jobs 2"
 LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 --jobs 2
 

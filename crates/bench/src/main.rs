@@ -29,6 +29,7 @@
 //! * `LSDGNN_JOBS`    — default worker count when `--jobs` is absent
 
 mod ablations;
+mod chaos_exp;
 mod characterization;
 mod faas_exp;
 mod kernel_bench;
@@ -117,6 +118,7 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!("  all {}", names.join(" "));
     eprintln!("  kernel [--quick]   event-kernel throughput microbenchmark");
     eprintln!("  harness            --jobs wall-clock scaling benchmark");
+    eprintln!("  chaos [--quick] [--seed N] [--out path]   fault-injection sweep");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
 }
@@ -129,6 +131,8 @@ fn main() {
     let mut trace_out = None;
     let mut jobs = env_u64("LSDGNN_JOBS", 1).max(1) as usize;
     let mut quick = false;
+    let mut seed = 42u64;
+    let mut out = None;
     let mut args = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -151,6 +155,18 @@ fn main() {
                 .max(1);
         } else if a == "--quick" {
             quick = true;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = v.parse().expect("--seed needs a number");
+        } else if a == "--seed" {
+            seed = raw
+                .next()
+                .expect("--seed needs a number")
+                .parse()
+                .expect("--seed needs a number");
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = Some(v.to_string());
+        } else if a == "--out" {
+            out = Some(raw.next().expect("--out needs a path"));
         } else {
             args.push(a);
         }
@@ -165,6 +181,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "harness") {
         kernel_bench::harness();
+        return;
+    }
+    if args.iter().any(|a| a == "chaos") {
+        chaos_exp::chaos(quick, seed, out.as_deref().unwrap_or("BENCH_chaos.json"));
         return;
     }
 

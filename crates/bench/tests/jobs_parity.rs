@@ -61,3 +61,56 @@ fn jobs4_output_is_byte_identical_to_serial() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Runs `chaos --quick` with timing fields zeroed, returning stdout and
+/// the artifact bytes.
+fn run_chaos(jobs: &str, seed: &str, out: &PathBuf) -> (String, Vec<u8>) {
+    let cmd = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args(["chaos", "--quick", "--jobs", jobs, "--seed", seed, "--out"])
+        .arg(out)
+        .env("LSDGNN_CHAOS_OMIT_TIMING", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        cmd.status.success(),
+        "chaos --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&cmd.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cmd.stdout).replace(&out.display().to_string(), "<out>");
+    let artifact = std::fs::read(out).expect("chaos artifact written");
+    (stdout, artifact)
+}
+
+/// Same chaos seed + scenario grid → byte-identical fault-plan digests,
+/// sample-result digests and artifact across `--jobs 1` and `--jobs 4`
+/// (wall-clock observations are zeroed via `LSDGNN_CHAOS_OMIT_TIMING`
+/// since attempt counts under load are inherently timing-dependent).
+#[test]
+fn chaos_sweep_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_chaos_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+
+    let (out1, art1) = run_chaos("1", "42", &dir.join("j1.json"));
+    let (out4, art4) = run_chaos("4", "42", &dir.join("j4.json"));
+    assert_eq!(out1, out4, "chaos stdout must not depend on --jobs");
+    assert!(!art1.is_empty(), "chaos artifact is non-empty");
+    assert_eq!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&art4),
+        "chaos artifact must not depend on --jobs"
+    );
+    assert!(
+        String::from_utf8_lossy(&art1).contains("\"plan_digest\""),
+        "artifact carries the fault-plan fingerprints"
+    );
+
+    // A different seed must change the stochastic decisions (and thus
+    // the plan digests in the artifact) — the seed is the identity.
+    let (_, other) = run_chaos("1", "43", &dir.join("seed43.json"));
+    assert_ne!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&other),
+        "seed must be part of the replay identity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

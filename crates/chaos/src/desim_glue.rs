@@ -1,0 +1,99 @@
+//! Bridges a [`FaultPlan`]'s deterministic timeline into a desim
+//! [`Simulation`]: every [`FaultEvent`] becomes a scheduled simulation
+//! event, so hardware models (AxE memory channels, fabric links) react
+//! to card crashes, partitions and stalls at exact simulated instants —
+//! the same mechanism their own traffic uses, with no chaos-specific
+//! clocking.
+
+use crate::plan::{FaultEvent, FaultPlan};
+use lsdgnn_desim::{Simulation, Time};
+use std::rc::Rc;
+
+/// Schedules every timeline event of `plan` into `sim` (at the event's
+/// tick, relative to the simulation epoch), invoking `handler` when each
+/// fires. Returns the number of events installed.
+///
+/// The handler is shared across events via `Rc`, so it may own mutable
+/// model state behind a `RefCell`.
+pub fn install<F>(sim: &mut Simulation, plan: &FaultPlan, handler: F) -> usize
+where
+    F: Fn(&mut Simulation, FaultEvent) + 'static,
+{
+    let handler = Rc::new(handler);
+    let events = plan.schedule().to_vec();
+    let n = events.len();
+    for ev in events {
+        let h = handler.clone();
+        sim.schedule_at(Time::from_ticks(ev.at), move |sim: &mut Simulation| {
+            h(sim, ev)
+        });
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, MemStall, ScenarioSpec};
+    use std::cell::RefCell;
+
+    #[test]
+    fn timeline_events_fire_at_their_ticks() {
+        let spec = ScenarioSpec::none()
+            .with_card_failure(1, 300)
+            .with_mem_stall(MemStall {
+                channel: 0,
+                at: 100,
+                duration: 50,
+            });
+        let plan = FaultPlan::build(5, spec).unwrap();
+        let mut sim = Simulation::new();
+        let seen: Rc<RefCell<Vec<(u64, FaultEvent)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        let installed = install(&mut sim, &plan, move |sim, ev| {
+            sink.borrow_mut().push((sim.now().as_ticks(), ev));
+        });
+        assert_eq!(installed, 2);
+        sim.run();
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, 100);
+        assert!(matches!(
+            seen[0].1.kind,
+            FaultKind::MemStall {
+                channel: 0,
+                duration: 50
+            }
+        ));
+        assert_eq!(seen[1].0, 300);
+        assert!(matches!(seen[1].1.kind, FaultKind::CardDown { card: 1 }));
+    }
+
+    #[test]
+    fn handler_can_schedule_follow_up_work() {
+        // A stall handler that models recovery by scheduling the
+        // stall-end itself.
+        let plan = FaultPlan::build(
+            6,
+            ScenarioSpec::none().with_mem_stall(MemStall {
+                channel: 2,
+                at: 10,
+                duration: 25,
+            }),
+        )
+        .unwrap();
+        let mut sim = Simulation::new();
+        let recovered: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+        let sink = recovered.clone();
+        install(&mut sim, &plan, move |sim, ev| {
+            if let FaultKind::MemStall { duration, .. } = ev.kind {
+                let sink = sink.clone();
+                sim.schedule(Time::from_ticks(duration), move |sim: &mut Simulation| {
+                    *sink.borrow_mut() = Some(sim.now().as_ticks());
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(*recovered.borrow(), Some(35));
+    }
+}

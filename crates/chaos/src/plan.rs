@@ -1,0 +1,770 @@
+//! Scenario specs and the [`FaultPlan`]: a deterministic, replayable
+//! fault schedule.
+//!
+//! A [`ScenarioSpec`] *describes* the failure modes to exercise — frame
+//! loss, link partitions, card crashes, stragglers, service-worker
+//! faults. [`FaultPlan::build`] fixes a seed, validates the spec and
+//! materializes the deterministic timeline; every stochastic decision is
+//! then a pure function of `(seed, stream, entity, index)` via
+//! [`crate::ChaosRng`], so the same seed + spec replays byte-for-byte on
+//! any machine, thread count or call order. [`FaultPlan::encode`]
+//! canonicalizes the whole plan into bytes for exactly that comparison.
+//!
+//! Virtual time: the plan is clocked in abstract *ticks*. Layers map
+//! their own notion of progress onto ticks — the MoF layer uses
+//! transmission indices, the serving layer uses per-request sequence
+//! numbers — which keeps every fault decision independent of wall-clock
+//! scheduling noise.
+
+use crate::rng::{mix, stream, ChaosRng};
+
+/// A bandwidth-degradation window on one fabric link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegrade {
+    /// Which link.
+    pub link: u32,
+    /// Window start (ticks, inclusive).
+    pub from: u64,
+    /// Window end (ticks, exclusive).
+    pub until: u64,
+    /// Multiplier on effective bandwidth in the window (0 < f <= 1).
+    pub bandwidth_factor: f64,
+}
+
+/// A full-loss partition window on one fabric link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// Which link.
+    pub link: u32,
+    /// Window start (ticks, inclusive).
+    pub from: u64,
+    /// Window end (ticks, exclusive).
+    pub until: u64,
+}
+
+/// A card (accelerator shard) crash: down from `at` onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardFailure {
+    /// Which card / backend shard.
+    pub card: u32,
+    /// Crash instant (ticks).
+    pub at: u64,
+}
+
+/// A persistent slowdown on one card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Which card.
+    pub card: u32,
+    /// Service-time multiplier (> 1).
+    pub slowdown: f64,
+}
+
+/// A memory-channel stall (consumed by the desim glue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemStall {
+    /// Which memory channel.
+    pub channel: u32,
+    /// Stall start (ticks).
+    pub at: u64,
+    /// Stall length (ticks).
+    pub duration: u64,
+}
+
+/// A service worker-shard panic after its N-th dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Which worker shard.
+    pub worker: u32,
+    /// Panic fires when the shard starts dispatch number
+    /// `after_dispatches` (0-based).
+    pub after_dispatches: u64,
+}
+
+/// A service queue stall: the worker freezes for `stall_us` before its
+/// N-th dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStall {
+    /// Which worker shard.
+    pub worker: u32,
+    /// Stall fires before dispatch number `after_dispatches` (0-based).
+    pub after_dispatches: u64,
+    /// Stall length in microseconds of real time.
+    pub stall_us: u64,
+}
+
+/// What faults to inject, across all three layers. Build one with the
+/// fluent `with_*` methods starting from [`ScenarioSpec::none`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Per-transmission frame-drop probability on MoF links.
+    pub frame_loss: f64,
+    /// Per-transmission frame-corruption probability on MoF links.
+    pub frame_corruption: f64,
+    /// Per-attempt whole-dispatch loss probability at the service layer
+    /// (models a request whose MoF recovery budget is exhausted).
+    pub request_loss: f64,
+    /// Base injected delay for straggler cards, microseconds.
+    pub straggler_delay_us: u64,
+    /// Bandwidth-degradation windows.
+    pub degrades: Vec<LinkDegrade>,
+    /// Link-partition windows.
+    pub partitions: Vec<LinkPartition>,
+    /// Card crashes.
+    pub card_failures: Vec<CardFailure>,
+    /// Slow cards.
+    pub stragglers: Vec<Straggler>,
+    /// Memory-channel stalls.
+    pub mem_stalls: Vec<MemStall>,
+    /// Worker-shard panics.
+    pub worker_panics: Vec<WorkerPanic>,
+    /// Worker-queue stalls.
+    pub queue_stalls: Vec<QueueStall>,
+}
+
+impl ScenarioSpec {
+    /// The empty scenario: no faults at all.
+    pub fn none() -> Self {
+        ScenarioSpec::default()
+    }
+
+    /// Sets the per-transmission frame-loss probability.
+    pub fn with_frame_loss(mut self, p: f64) -> Self {
+        self.frame_loss = p;
+        self
+    }
+
+    /// Sets the per-transmission corruption probability.
+    pub fn with_frame_corruption(mut self, p: f64) -> Self {
+        self.frame_corruption = p;
+        self
+    }
+
+    /// Sets the per-attempt service-level dispatch-loss probability.
+    pub fn with_request_loss(mut self, p: f64) -> Self {
+        self.request_loss = p;
+        self
+    }
+
+    /// Adds a bandwidth-degradation window.
+    pub fn with_degrade(mut self, d: LinkDegrade) -> Self {
+        self.degrades.push(d);
+        self
+    }
+
+    /// Adds a link-partition window.
+    pub fn with_partition(mut self, p: LinkPartition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Crashes `card` at tick `at`.
+    pub fn with_card_failure(mut self, card: u32, at: u64) -> Self {
+        self.card_failures.push(CardFailure { card, at });
+        self
+    }
+
+    /// Makes `card` a straggler with the given slowdown and base delay.
+    pub fn with_straggler(mut self, card: u32, slowdown: f64, base_delay_us: u64) -> Self {
+        self.stragglers.push(Straggler { card, slowdown });
+        self.straggler_delay_us = base_delay_us;
+        self
+    }
+
+    /// Adds a memory-channel stall.
+    pub fn with_mem_stall(mut self, s: MemStall) -> Self {
+        self.mem_stalls.push(s);
+        self
+    }
+
+    /// Panics worker `worker` at its `after`-th dispatch.
+    pub fn with_worker_panic(mut self, worker: u32, after: u64) -> Self {
+        self.worker_panics.push(WorkerPanic {
+            worker,
+            after_dispatches: after,
+        });
+        self
+    }
+
+    /// Stalls worker `worker` for `stall_us` before its `after`-th
+    /// dispatch.
+    pub fn with_queue_stall(mut self, worker: u32, after: u64, stall_us: u64) -> Self {
+        self.queue_stalls.push(QueueStall {
+            worker,
+            after_dispatches: after,
+            stall_us,
+        });
+        self
+    }
+}
+
+/// One entry of the materialized deterministic timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A card goes down (and stays down).
+    CardDown {
+        /// Which card.
+        card: u32,
+    },
+    /// A link-partition window opens.
+    PartitionStart {
+        /// Which link.
+        link: u32,
+    },
+    /// A link-partition window closes.
+    PartitionEnd {
+        /// Which link.
+        link: u32,
+    },
+    /// A bandwidth-degradation window opens.
+    DegradeStart {
+        /// Which link.
+        link: u32,
+        /// Bandwidth multiplier inside the window.
+        factor: f64,
+    },
+    /// A bandwidth-degradation window closes.
+    DegradeEnd {
+        /// Which link.
+        link: u32,
+    },
+    /// A memory channel stalls for `duration` ticks.
+    MemStall {
+        /// Which channel.
+        channel: u32,
+        /// Stall length (ticks).
+        duration: u64,
+    },
+}
+
+/// A timeline entry: `kind` fires at tick `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Fire time in plan ticks.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Errors rejected by [`FaultPlan::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A probability was outside `[0, 1]`.
+    BadProbability(&'static str, f64),
+    /// A window had `until <= from`.
+    EmptyWindow(&'static str),
+    /// A multiplicative factor was non-positive or (for slowdowns) < 1.
+    BadFactor(&'static str, f64),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadProbability(what, p) => {
+                write!(f, "{what} probability {p} outside [0, 1]")
+            }
+            PlanError::EmptyWindow(what) => write!(f, "{what} window is empty (until <= from)"),
+            PlanError::BadFactor(what, v) => write!(f, "{what} factor {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The built, validated, deterministic fault plan.
+///
+/// Immutable and cheap to share (`Arc<FaultPlan>`); all queries are pure.
+/// Two plans built from the same seed + spec are equal and encode to
+/// identical bytes — the replayability contract the determinism tests
+/// pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: ScenarioSpec,
+    rng: ChaosRng,
+    schedule: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Validates `spec` and materializes the deterministic timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] for out-of-range probabilities, empty
+    /// windows or nonsensical factors.
+    pub fn build(seed: u64, spec: ScenarioSpec) -> Result<FaultPlan, PlanError> {
+        for (what, p) in [
+            ("frame_loss", spec.frame_loss),
+            ("frame_corruption", spec.frame_corruption),
+            ("request_loss", spec.request_loss),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PlanError::BadProbability(what, p));
+            }
+        }
+        for d in &spec.degrades {
+            if d.until <= d.from {
+                return Err(PlanError::EmptyWindow("degrade"));
+            }
+            if !(d.bandwidth_factor > 0.0 && d.bandwidth_factor <= 1.0) {
+                return Err(PlanError::BadFactor(
+                    "degrade bandwidth",
+                    d.bandwidth_factor,
+                ));
+            }
+        }
+        for p in &spec.partitions {
+            if p.until <= p.from {
+                return Err(PlanError::EmptyWindow("partition"));
+            }
+        }
+        for s in &spec.stragglers {
+            if s.slowdown < 1.0 {
+                return Err(PlanError::BadFactor("straggler slowdown", s.slowdown));
+            }
+        }
+        let mut schedule = Vec::new();
+        for c in &spec.card_failures {
+            schedule.push(FaultEvent {
+                at: c.at,
+                kind: FaultKind::CardDown { card: c.card },
+            });
+        }
+        for p in &spec.partitions {
+            schedule.push(FaultEvent {
+                at: p.from,
+                kind: FaultKind::PartitionStart { link: p.link },
+            });
+            schedule.push(FaultEvent {
+                at: p.until,
+                kind: FaultKind::PartitionEnd { link: p.link },
+            });
+        }
+        for d in &spec.degrades {
+            schedule.push(FaultEvent {
+                at: d.from,
+                kind: FaultKind::DegradeStart {
+                    link: d.link,
+                    factor: d.bandwidth_factor,
+                },
+            });
+            schedule.push(FaultEvent {
+                at: d.until,
+                kind: FaultKind::DegradeEnd { link: d.link },
+            });
+        }
+        for s in &spec.mem_stalls {
+            schedule.push(FaultEvent {
+                at: s.at,
+                kind: FaultKind::MemStall {
+                    channel: s.channel,
+                    duration: s.duration,
+                },
+            });
+        }
+        // Canonical order: time, then an arbitrary-but-fixed kind rank so
+        // ties resolve identically on every build.
+        schedule.sort_by_key(|e| (e.at, kind_rank(&e.kind)));
+        Ok(FaultPlan {
+            seed,
+            rng: ChaosRng::new(seed),
+            spec,
+            schedule,
+        })
+    }
+
+    /// The all-healthy plan (every query answers "no fault").
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan::build(seed, ScenarioSpec::none()).expect("empty spec is valid")
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The validated scenario spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The sorted deterministic timeline.
+    pub fn schedule(&self) -> &[FaultEvent] {
+        &self.schedule
+    }
+
+    /// Whether the plan injects nothing at all — the pay-for-what-you-use
+    /// fast path callers may branch on.
+    pub fn is_zero_fault(&self) -> bool {
+        self.spec == ScenarioSpec::none()
+    }
+
+    // ---- Layer 1: MoF / memfabric ------------------------------------
+
+    /// Does transmission `attempt` on `link` at tick `now` get dropped?
+    pub fn drop_frame(&self, link: u32, attempt: u64, now: u64) -> bool {
+        self.link_partitioned(link, now)
+            || (self.spec.frame_loss > 0.0
+                && self.rng.uniform(stream::FRAME_LOSS, link as u64, attempt)
+                    < self.spec.frame_loss)
+    }
+
+    /// Does transmission `attempt` on `link` arrive corrupted?
+    pub fn corrupt_frame(&self, link: u32, attempt: u64) -> bool {
+        self.spec.frame_corruption > 0.0
+            && self
+                .rng
+                .uniform(stream::FRAME_CORRUPT, link as u64, attempt)
+                < self.spec.frame_corruption
+    }
+
+    /// Is `link` inside a partition window at tick `now`?
+    pub fn link_partitioned(&self, link: u32, now: u64) -> bool {
+        self.spec
+            .partitions
+            .iter()
+            .any(|p| p.link == link && (p.from..p.until).contains(&now))
+    }
+
+    /// Effective-bandwidth multiplier on `link` at tick `now` (1.0 when
+    /// healthy; the minimum of overlapping windows otherwise).
+    pub fn bandwidth_factor(&self, link: u32, now: u64) -> f64 {
+        self.spec
+            .degrades
+            .iter()
+            .filter(|d| d.link == link && (d.from..d.until).contains(&now))
+            .map(|d| d.bandwidth_factor)
+            .fold(1.0, f64::min)
+    }
+
+    // ---- Layer 2: AxE / cluster --------------------------------------
+
+    /// Is `card` down at tick `now`?
+    pub fn card_down(&self, card: u32, now: u64) -> bool {
+        self.spec
+            .card_failures
+            .iter()
+            .any(|c| c.card == card && now >= c.at)
+    }
+
+    /// The earliest crash tick of `card`, if any.
+    pub fn card_failure_at(&self, card: u32) -> Option<u64> {
+        self.spec
+            .card_failures
+            .iter()
+            .filter(|c| c.card == card)
+            .map(|c| c.at)
+            .min()
+    }
+
+    /// The persistent slowdown of `card` (1.0 when healthy).
+    pub fn card_slowdown(&self, card: u32) -> f64 {
+        self.spec
+            .stragglers
+            .iter()
+            .filter(|s| s.card == card)
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Injected straggler delay for `card` serving work item `key`, in
+    /// microseconds (0 when the card is healthy). Deterministic jitter:
+    /// `base * slowdown * [0.5, 1.5)`.
+    pub fn straggler_delay_us(&self, card: u32, key: u64) -> u64 {
+        let slow = self.card_slowdown(card);
+        if slow <= 1.0 || self.spec.straggler_delay_us == 0 {
+            return 0;
+        }
+        let jitter = 0.5 + self.rng.uniform(stream::STRAGGLER, card as u64, key);
+        (self.spec.straggler_delay_us as f64 * slow * jitter) as u64
+    }
+
+    // ---- Layer 3: SamplingService ------------------------------------
+
+    /// Does dispatch attempt `attempt` of the request keyed `key` fail
+    /// outright (MoF recovery budget exhausted)?
+    pub fn drop_request(&self, key: u64, attempt: u32) -> bool {
+        self.spec.request_loss > 0.0
+            && self
+                .rng
+                .uniform(stream::REQUEST_LOSS, key, mix(attempt as u64))
+                < self.spec.request_loss
+    }
+
+    /// Deterministic backoff jitter in `[0, 1)` for `(request, attempt)`.
+    pub fn backoff_jitter(&self, key: u64, attempt: u32) -> f64 {
+        self.rng
+            .uniform(stream::BACKOFF_JITTER, key, mix(attempt as u64))
+    }
+
+    /// The dispatch index at which `worker` panics, if scheduled.
+    pub fn worker_panic_after(&self, worker: u32) -> Option<u64> {
+        self.spec
+            .worker_panics
+            .iter()
+            .filter(|w| w.worker == worker)
+            .map(|w| w.after_dispatches)
+            .min()
+    }
+
+    /// The stall (microseconds) injected before `worker`'s dispatch
+    /// number `dispatch`, if scheduled.
+    pub fn queue_stall_us(&self, worker: u32, dispatch: u64) -> Option<u64> {
+        self.spec
+            .queue_stalls
+            .iter()
+            .find(|q| q.worker == worker && q.after_dispatches == dispatch)
+            .map(|q| q.stall_us)
+    }
+
+    // ---- Replayability ------------------------------------------------
+
+    /// Canonical byte encoding of the whole plan (seed, spec, timeline).
+    /// Equal plans encode identically; this is the artifact the
+    /// determinism tests compare byte-for-byte.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(b"LSDCHAOS1");
+        push_u64(&mut out, self.seed);
+        push_f64(&mut out, self.spec.frame_loss);
+        push_f64(&mut out, self.spec.frame_corruption);
+        push_f64(&mut out, self.spec.request_loss);
+        push_u64(&mut out, self.spec.straggler_delay_us);
+        push_u64(&mut out, self.spec.degrades.len() as u64);
+        for d in &self.spec.degrades {
+            push_u64(&mut out, d.link as u64);
+            push_u64(&mut out, d.from);
+            push_u64(&mut out, d.until);
+            push_f64(&mut out, d.bandwidth_factor);
+        }
+        push_u64(&mut out, self.spec.partitions.len() as u64);
+        for p in &self.spec.partitions {
+            push_u64(&mut out, p.link as u64);
+            push_u64(&mut out, p.from);
+            push_u64(&mut out, p.until);
+        }
+        push_u64(&mut out, self.spec.card_failures.len() as u64);
+        for c in &self.spec.card_failures {
+            push_u64(&mut out, c.card as u64);
+            push_u64(&mut out, c.at);
+        }
+        push_u64(&mut out, self.spec.stragglers.len() as u64);
+        for s in &self.spec.stragglers {
+            push_u64(&mut out, s.card as u64);
+            push_f64(&mut out, s.slowdown);
+        }
+        push_u64(&mut out, self.spec.mem_stalls.len() as u64);
+        for s in &self.spec.mem_stalls {
+            push_u64(&mut out, s.channel as u64);
+            push_u64(&mut out, s.at);
+            push_u64(&mut out, s.duration);
+        }
+        push_u64(&mut out, self.spec.worker_panics.len() as u64);
+        for w in &self.spec.worker_panics {
+            push_u64(&mut out, w.worker as u64);
+            push_u64(&mut out, w.after_dispatches);
+        }
+        push_u64(&mut out, self.spec.queue_stalls.len() as u64);
+        for q in &self.spec.queue_stalls {
+            push_u64(&mut out, q.worker as u64);
+            push_u64(&mut out, q.after_dispatches);
+            push_u64(&mut out, q.stall_us);
+        }
+        push_u64(&mut out, self.schedule.len() as u64);
+        for e in &self.schedule {
+            push_u64(&mut out, e.at);
+            push_u64(&mut out, kind_rank(&e.kind) as u64);
+            match e.kind {
+                FaultKind::CardDown { card } => push_u64(&mut out, card as u64),
+                FaultKind::PartitionStart { link } | FaultKind::PartitionEnd { link } => {
+                    push_u64(&mut out, link as u64)
+                }
+                FaultKind::DegradeStart { link, factor } => {
+                    push_u64(&mut out, link as u64);
+                    push_f64(&mut out, factor);
+                }
+                FaultKind::DegradeEnd { link } => push_u64(&mut out, link as u64),
+                FaultKind::MemStall { channel, duration } => {
+                    push_u64(&mut out, channel as u64);
+                    push_u64(&mut out, duration);
+                }
+            }
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`FaultPlan::encode`] — a compact replayability
+    /// fingerprint for bench artifacts.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.encode())
+    }
+}
+
+/// FNV-1a over arbitrary bytes (the workspace convention for stable
+/// digests without a hashing dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn kind_rank(k: &FaultKind) -> u8 {
+    match k {
+        FaultKind::CardDown { .. } => 0,
+        FaultKind::PartitionStart { .. } => 1,
+        FaultKind::PartitionEnd { .. } => 2,
+        FaultKind::DegradeStart { .. } => 3,
+        FaultKind::DegradeEnd { .. } => 4,
+        FaultKind::MemStall { .. } => 5,
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> ScenarioSpec {
+        ScenarioSpec::none()
+            .with_frame_loss(0.05)
+            .with_request_loss(0.1)
+            .with_card_failure(1, 500)
+            .with_straggler(2, 3.0, 40)
+            .with_partition(LinkPartition {
+                link: 0,
+                from: 100,
+                until: 200,
+            })
+            .with_degrade(LinkDegrade {
+                link: 1,
+                from: 50,
+                until: 300,
+                bandwidth_factor: 0.25,
+            })
+            .with_mem_stall(MemStall {
+                channel: 0,
+                at: 400,
+                duration: 50,
+            })
+    }
+
+    #[test]
+    fn same_seed_and_spec_encode_byte_identically() {
+        let a = FaultPlan::build(7, scenario()).unwrap();
+        let b = FaultPlan::build(7, scenario()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ_in_stochastic_decisions_only() {
+        let a = FaultPlan::build(1, scenario()).unwrap();
+        let b = FaultPlan::build(2, scenario()).unwrap();
+        assert_eq!(a.schedule(), b.schedule(), "timeline is seed-free");
+        assert_ne!(a.encode(), b.encode(), "seed is part of the identity");
+        let disagree = (0..1000).any(|i| a.drop_frame(0, i, 0) != b.drop_frame(0, i, 0));
+        assert!(disagree, "stochastic draws must depend on the seed");
+    }
+
+    #[test]
+    fn timeline_is_sorted_and_complete() {
+        let plan = FaultPlan::build(3, scenario()).unwrap();
+        let times: Vec<u64> = plan.schedule().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // card down + partition start/end + degrade start/end + stall.
+        assert_eq!(plan.schedule().len(), 6);
+    }
+
+    #[test]
+    fn partition_windows_force_drops() {
+        let plan = FaultPlan::build(4, scenario()).unwrap();
+        assert!(plan.drop_frame(0, 0, 150), "inside the window");
+        assert!(plan.link_partitioned(0, 100));
+        assert!(!plan.link_partitioned(0, 200), "until is exclusive");
+        assert!(!plan.link_partitioned(1, 150), "other links unaffected");
+    }
+
+    #[test]
+    fn degrade_windows_scale_bandwidth() {
+        let plan = FaultPlan::build(5, scenario()).unwrap();
+        assert_eq!(plan.bandwidth_factor(1, 60), 0.25);
+        assert_eq!(plan.bandwidth_factor(1, 300), 1.0);
+        assert_eq!(plan.bandwidth_factor(0, 60), 1.0);
+    }
+
+    #[test]
+    fn card_state_and_straggler_delays() {
+        let plan = FaultPlan::build(6, scenario()).unwrap();
+        assert!(!plan.card_down(1, 499));
+        assert!(plan.card_down(1, 500));
+        assert_eq!(plan.card_failure_at(1), Some(500));
+        assert_eq!(plan.card_failure_at(0), None);
+        assert_eq!(plan.straggler_delay_us(0, 9), 0, "healthy card");
+        let d = plan.straggler_delay_us(2, 9);
+        assert!(
+            (60..180).contains(&d),
+            "3x of 40us with [0.5,1.5) jitter, got {d}"
+        );
+        assert_eq!(d, plan.straggler_delay_us(2, 9), "deterministic per key");
+    }
+
+    #[test]
+    fn zero_fault_plan_answers_no_everywhere() {
+        let plan = FaultPlan::zero(9);
+        assert!(plan.is_zero_fault());
+        assert!(plan.schedule().is_empty());
+        for i in 0..100 {
+            assert!(!plan.drop_frame(0, i, i));
+            assert!(!plan.corrupt_frame(0, i));
+            assert!(!plan.drop_request(i, 0));
+            assert!(!plan.card_down(0, i));
+        }
+        assert!(!FaultPlan::build(9, scenario()).unwrap().is_zero_fault());
+    }
+
+    #[test]
+    fn frame_loss_rate_is_respected() {
+        let plan = FaultPlan::build(11, ScenarioSpec::none().with_frame_loss(0.2)).unwrap();
+        let drops = (0..10_000).filter(|&i| plan.drop_frame(3, i, 0)).count();
+        assert!(
+            (1_700..=2_300).contains(&drops),
+            "drops {drops} far from 2000"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(matches!(
+            FaultPlan::build(0, ScenarioSpec::none().with_frame_loss(1.5)),
+            Err(PlanError::BadProbability("frame_loss", _))
+        ));
+        assert!(matches!(
+            FaultPlan::build(
+                0,
+                ScenarioSpec::none().with_partition(LinkPartition {
+                    link: 0,
+                    from: 10,
+                    until: 10
+                })
+            ),
+            Err(PlanError::EmptyWindow("partition"))
+        ));
+        assert!(matches!(
+            FaultPlan::build(0, ScenarioSpec::none().with_straggler(0, 0.5, 10)),
+            Err(PlanError::BadFactor("straggler slowdown", _))
+        ));
+    }
+}

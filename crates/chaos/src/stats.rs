@@ -1,0 +1,257 @@
+//! The [`FaultInjector`]: a shared, counting front-end over a
+//! [`FaultPlan`].
+//!
+//! The plan itself is pure; the injector is what live components hold. It
+//! answers the same queries but *counts every injected fault* into a
+//! lock-free [`FaultStats`] snapshot, so the chaos layer is observable
+//! through the telemetry registry like every other subsystem: fault
+//! counters, plus the degraded-path counters the serving layer feeds
+//! back in ([`FaultInjector::note_degraded_reply`] and friends).
+
+use crate::plan::FaultPlan;
+use lsdgnn_telemetry::{MetricSource, Scope};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Distinct cards already counted into `cards_downed` (a card dies
+    /// once; every request observing it down must not re-count it).
+    noted_cards: Mutex<Vec<u32>>,
+    frames_dropped: AtomicU64,
+    frames_corrupted: AtomicU64,
+    requests_dropped: AtomicU64,
+    straggler_delays: AtomicU64,
+    straggler_delay_us: AtomicU64,
+    cards_downed: AtomicU64,
+    worker_panics: AtomicU64,
+    queue_stalls: AtomicU64,
+    degraded_replies: AtomicU64,
+    exact_replies: AtomicU64,
+}
+
+/// A point-in-time copy of the injector's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// MoF frames dropped by injection.
+    pub frames_dropped: u64,
+    /// MoF frames corrupted by injection.
+    pub frames_corrupted: u64,
+    /// Service dispatch attempts failed by injection.
+    pub requests_dropped: u64,
+    /// Straggler delays injected.
+    pub straggler_delays: u64,
+    /// Total injected straggler delay, microseconds.
+    pub straggler_delay_us: u64,
+    /// Cards taken down.
+    pub cards_downed: u64,
+    /// Worker-shard panics injected.
+    pub worker_panics: u64,
+    /// Queue stalls injected.
+    pub queue_stalls: u64,
+    /// Replies the service flagged `degraded`.
+    pub degraded_replies: u64,
+    /// Replies served exactly despite the plan.
+    pub exact_replies: u64,
+}
+
+impl FaultStats {
+    /// Fraction of replies that were degraded (0 when none recorded).
+    pub fn degraded_ratio(&self) -> f64 {
+        let total = self.degraded_replies + self.exact_replies;
+        if total == 0 {
+            0.0
+        } else {
+            self.degraded_replies as f64 / total as f64
+        }
+    }
+}
+
+impl MetricSource for FaultStats {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("frames_dropped", self.frames_dropped);
+        out.counter("frames_corrupted", self.frames_corrupted);
+        out.counter("requests_dropped", self.requests_dropped);
+        out.counter("straggler_delays", self.straggler_delays);
+        out.counter("straggler_delay_us", self.straggler_delay_us);
+        out.counter("cards_downed", self.cards_downed);
+        out.counter("worker_panics", self.worker_panics);
+        out.counter("queue_stalls", self.queue_stalls);
+        out.counter("degraded_replies", self.degraded_replies);
+        out.counter("exact_replies", self.exact_replies);
+        out.gauge("degraded_ratio", self.degraded_ratio());
+    }
+}
+
+/// A cloneable handle injecting faults from a shared [`FaultPlan`] and
+/// counting everything it injects.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: Arc<FaultPlan>,
+    counters: Arc<Counters>,
+}
+
+impl FaultInjector {
+    /// Wraps `plan` with fresh counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan: Arc::new(plan),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counting wrapper over [`FaultPlan::drop_frame`].
+    pub fn drop_frame(&self, link: u32, attempt: u64, now: u64) -> bool {
+        let hit = self.plan.drop_frame(link, attempt, now);
+        if hit {
+            self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Counting wrapper over [`FaultPlan::corrupt_frame`].
+    pub fn corrupt_frame(&self, link: u32, attempt: u64) -> bool {
+        let hit = self.plan.corrupt_frame(link, attempt);
+        if hit {
+            self.counters
+                .frames_corrupted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Counting wrapper over [`FaultPlan::drop_request`].
+    pub fn drop_request(&self, key: u64, attempt: u32) -> bool {
+        let hit = self.plan.drop_request(key, attempt);
+        if hit {
+            self.counters
+                .requests_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Counting wrapper over [`FaultPlan::straggler_delay_us`].
+    pub fn straggler_delay_us(&self, card: u32, key: u64) -> u64 {
+        let us = self.plan.straggler_delay_us(card, key);
+        if us > 0 {
+            self.counters
+                .straggler_delays
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .straggler_delay_us
+                .fetch_add(us, Ordering::Relaxed);
+        }
+        us
+    }
+
+    /// Records that a card was actually taken down by the harness.
+    pub fn note_card_downed(&self) {
+        self.counters.cards_downed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records cards observed down, counting each distinct card once no
+    /// matter how many requests witness the outage.
+    pub fn note_cards_down(&self, cards: &[u32]) {
+        let mut noted = self.counters.noted_cards.lock().expect("noted lock");
+        for &c in cards {
+            if !noted.contains(&c) {
+                noted.push(c);
+                self.counters.cards_downed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records an injected worker panic.
+    pub fn note_worker_panic(&self) {
+        self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an injected queue stall.
+    pub fn note_queue_stall(&self) {
+        self.counters.queue_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a degraded reply leaving the service.
+    pub fn note_degraded_reply(&self) {
+        self.counters
+            .degraded_replies
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an exact (non-degraded) reply leaving the service.
+    pub fn note_exact_reply(&self) {
+        self.counters.exact_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of everything injected so far.
+    pub fn stats(&self) -> FaultStats {
+        let c = &self.counters;
+        FaultStats {
+            frames_dropped: c.frames_dropped.load(Ordering::Relaxed),
+            frames_corrupted: c.frames_corrupted.load(Ordering::Relaxed),
+            requests_dropped: c.requests_dropped.load(Ordering::Relaxed),
+            straggler_delays: c.straggler_delays.load(Ordering::Relaxed),
+            straggler_delay_us: c.straggler_delay_us.load(Ordering::Relaxed),
+            cards_downed: c.cards_downed.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            queue_stalls: c.queue_stalls.load(Ordering::Relaxed),
+            degraded_replies: c.degraded_replies.load(Ordering::Relaxed),
+            exact_replies: c.exact_replies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioSpec;
+
+    #[test]
+    fn injector_counts_what_it_injects() {
+        let plan = FaultPlan::build(1, ScenarioSpec::none().with_frame_loss(0.5)).unwrap();
+        let inj = FaultInjector::new(plan);
+        let dropped = (0..1000).filter(|&i| inj.drop_frame(0, i, 0)).count() as u64;
+        assert!(dropped > 0);
+        assert_eq!(inj.stats().frames_dropped, dropped);
+        assert_eq!(inj.stats().frames_corrupted, 0);
+    }
+
+    #[test]
+    fn distinct_cards_count_once() {
+        let inj = FaultInjector::new(FaultPlan::zero(0));
+        inj.note_cards_down(&[1, 2]);
+        inj.note_cards_down(&[2, 3]);
+        inj.note_cards_down(&[1]);
+        assert_eq!(inj.stats().cards_downed, 3);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let inj = FaultInjector::new(FaultPlan::zero(0));
+        let other = inj.clone();
+        other.note_degraded_reply();
+        other.note_exact_reply();
+        other.note_exact_reply();
+        assert_eq!(inj.stats().degraded_replies, 1);
+        assert_eq!(inj.stats().exact_replies, 2);
+        let r = inj.stats().degraded_ratio();
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_register_as_metric_source() {
+        let inj = FaultInjector::new(FaultPlan::zero(0));
+        inj.note_degraded_reply();
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("chaos", &[("scenario", "test")], Box::new(inj.stats()));
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("chaos/degraded_replies").unwrap().as_f64(), 1.0);
+        assert_eq!(snap.get("chaos/degraded_ratio").unwrap().as_f64(), 1.0);
+    }
+}

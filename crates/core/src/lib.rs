@@ -26,6 +26,7 @@
 //! | [`faas`] | §6–7 | the eight-architecture FaaS DSE + cost model |
 //! | [`fpga`] | §7.1 | VU13P resource model (Table 11) |
 //! | [`telemetry`] | §5–6 methodology | metrics registry + Chrome-trace export |
+//! | [`chaos`] | robustness | deterministic fault plans + injection counters |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 pub mod bridge;
 
 pub use lsdgnn_axe as axe;
+pub use lsdgnn_chaos as chaos;
 pub use lsdgnn_desim as desim;
 pub use lsdgnn_faas as faas;
 pub use lsdgnn_fpga as fpga;

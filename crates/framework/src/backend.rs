@@ -37,6 +37,56 @@ pub struct SampleRequest {
     pub seed: u64,
 }
 
+/// One sampling answer with its degradation provenance: the batch plus
+/// whether any shard was unreachable while producing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleOutcome {
+    /// The sampled mini-batch (possibly partial).
+    pub batch: SampleBatch,
+    /// True when the batch is missing an unreachable shard's
+    /// contribution — still structurally valid, but approximate.
+    pub degraded: bool,
+    /// Nodes whose owner could not be reached (quantifies the quality
+    /// loss behind `degraded`).
+    pub unreachable: u64,
+}
+
+impl SampleOutcome {
+    /// Wraps a fault-free result.
+    pub fn exact(batch: SampleBatch) -> Self {
+        SampleOutcome {
+            batch,
+            degraded: false,
+            unreachable: 0,
+        }
+    }
+}
+
+/// Why a [`SamplingBackend::try_sample`] attempt failed. Transient by
+/// contract: the serving layer is entitled to retry, hedge, or fall back
+/// to [`SamplingBackend::sample_excluding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// A shard/card the request needed is down.
+    ShardDown(u32),
+    /// The attempt exceeded its time budget.
+    Timeout,
+    /// A fault-injection layer swallowed the attempt (chaos testing).
+    Injected,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::ShardDown(s) => write!(f, "shard {s} down"),
+            BackendError::Timeout => write!(f, "attempt timed out"),
+            BackendError::Injected => write!(f, "attempt lost to fault injection"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A sampling substrate the serving layer can dispatch to.
 ///
 /// Implementations are shared across the service's worker shards, so all
@@ -59,6 +109,38 @@ pub trait SamplingBackend: Send + Sync {
     /// them in order; hardware backends may overlap them.
     fn sample_many(&self, reqs: &[SampleRequest]) -> Vec<SampleBatch> {
         reqs.iter().map(|r| self.sample_neighbors(r)).collect()
+    }
+
+    /// The fallible sampling verb behind the service's retry/hedge
+    /// machinery. `attempt` numbers retries of the same request from 0 so
+    /// fault injectors can make a retry succeed where the first try
+    /// failed. The default cannot fail and returns an exact outcome —
+    /// fault-free backends pay nothing for the degradation machinery.
+    fn try_sample(&self, req: &SampleRequest, attempt: u32) -> Result<SampleOutcome, BackendError> {
+        let _ = attempt;
+        Ok(SampleOutcome::exact(self.sample_neighbors(req)))
+    }
+
+    /// The degraded fallback: sample while treating `excluded` shards as
+    /// unreachable, never failing — an incomplete neighbor set from the
+    /// reachable shards is still a valid approximate sample. Backends
+    /// without shard structure ignore the mask.
+    fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
+        let _ = excluded;
+        SampleOutcome::exact(self.sample_neighbors(req))
+    }
+
+    /// Marks a shard as crashed (chaos hook). Returns `true` if the
+    /// backend has such a shard and it was alive; the default has no
+    /// shard structure to fail.
+    fn fail_shard(&self, shard: u32) -> bool {
+        let _ = shard;
+        false
+    }
+
+    /// Shards/cards behind this backend (1 for monolithic devices).
+    fn shards(&self) -> u32 {
+        1
     }
 }
 
@@ -120,6 +202,43 @@ impl SamplingBackend for CpuBackend {
 
     fn stats(&self) -> RequestStats {
         *self.stats.lock().expect("stats lock")
+    }
+
+    fn try_sample(
+        &self,
+        req: &SampleRequest,
+        _attempt: u32,
+    ) -> Result<SampleOutcome, BackendError> {
+        let (batch, s) = self
+            .cluster
+            .sample_batch(&req.roots, req.hops, req.fanout, req.seed);
+        self.record(s);
+        Ok(SampleOutcome {
+            batch,
+            degraded: s.any_unreachable(),
+            unreachable: s.unreachable_nodes,
+        })
+    }
+
+    fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
+        let (batch, s) = self
+            .cluster
+            .sample_batch_excluding(&req.roots, req.hops, req.fanout, req.seed, excluded);
+        self.record(s);
+        SampleOutcome {
+            batch,
+            degraded: s.any_unreachable(),
+            unreachable: s.unreachable_nodes,
+        }
+    }
+
+    fn fail_shard(&self, shard: u32) -> bool {
+        self.cluster
+            .fail_partition(lsdgnn_graph::PartitionId(shard))
+    }
+
+    fn shards(&self) -> u32 {
+        self.cluster.partitions()
     }
 }
 
@@ -215,6 +334,25 @@ impl SamplingBackend for CachedBackend {
         drop(cache);
         self.inner.flush();
     }
+
+    // Degradation verbs pass straight through: the cache sits only on the
+    // attribute path, shard structure and faults belong to the inner
+    // backend.
+    fn try_sample(&self, req: &SampleRequest, attempt: u32) -> Result<SampleOutcome, BackendError> {
+        self.inner.try_sample(req, attempt)
+    }
+
+    fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
+        self.inner.sample_excluding(req, excluded)
+    }
+
+    fn fail_shard(&self, shard: u32) -> bool {
+        self.inner.fail_shard(shard)
+    }
+
+    fn shards(&self) -> u32 {
+        self.inner.shards()
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +406,44 @@ mod tests {
             plain.sample_neighbors(&req(9)),
             cached.sample_neighbors(&req(9))
         );
+    }
+
+    #[test]
+    fn try_sample_is_exact_on_a_healthy_backend() {
+        let (g, a) = setup();
+        let b = CpuBackend::new(&g, &a, 4);
+        let outcome = b.try_sample(&req(5), 0).expect("healthy");
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.unreachable, 0);
+        assert_eq!(outcome.batch, b.sample_neighbors(&req(5)));
+    }
+
+    #[test]
+    fn failed_shard_turns_try_sample_degraded() {
+        let (g, a) = setup();
+        let b = CpuBackend::new(&g, &a, 4);
+        let exact = b.sample_neighbors(&req(5));
+        assert!(b.fail_shard(1));
+        assert!(!b.fail_shard(1), "already down");
+        let outcome = b.try_sample(&req(5), 0).expect("degrades, not errors");
+        assert!(outcome.degraded);
+        assert!(outcome.unreachable > 0);
+        assert!(outcome.batch.total_sampled() <= exact.total_sampled());
+        assert_eq!(b.shards(), 4);
+    }
+
+    #[test]
+    fn sample_excluding_matches_persistent_failure() {
+        // The per-request mask and a real crash of the same shard must
+        // produce the same degraded batch — the chaos layer relies on it.
+        let (g, a) = setup();
+        let masked = CpuBackend::new(&g, &a, 4);
+        let crashed = CpuBackend::new(&g, &a, 4);
+        crashed.fail_shard(2);
+        let via_mask = masked.sample_excluding(&req(11), &[2]);
+        let via_crash = crashed.try_sample(&req(11), 0).unwrap();
+        assert_eq!(via_mask, via_crash);
+        assert!(via_mask.degraded);
     }
 
     #[test]

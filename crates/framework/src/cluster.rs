@@ -6,6 +6,7 @@ use lsdgnn_graph::{NodeId, PartitionId, PartitionedGraph};
 use lsdgnn_sampler::{NeighborSampler, SampleBatch, StreamingSampler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -42,6 +43,11 @@ pub struct RequestStats {
     pub nodes_expanded: u64,
     /// Individual attribute vectors gathered.
     pub attrs_fetched: u64,
+    /// Nodes whose owning partition was down or excluded: their neighbor
+    /// lists came back empty (attributes zeroed). Non-zero marks the
+    /// operation's result as *degraded* — structurally valid but missing
+    /// the unreachable shard's contribution.
+    pub unreachable_nodes: u64,
 }
 
 impl RequestStats {
@@ -62,6 +68,12 @@ impl RequestStats {
         self.remote_requests += other.remote_requests;
         self.nodes_expanded += other.nodes_expanded;
         self.attrs_fetched += other.attrs_fetched;
+        self.unreachable_nodes += other.unreachable_nodes;
+    }
+
+    /// True when any node's owner was unreachable during the operation.
+    pub fn any_unreachable(&self) -> bool {
+        self.unreachable_nodes > 0
     }
 }
 
@@ -71,6 +83,7 @@ impl lsdgnn_telemetry::MetricSource for RequestStats {
         out.counter("remote_requests", self.remote_requests);
         out.counter("nodes_expanded", self.nodes_expanded);
         out.counter("attrs_fetched", self.attrs_fetched);
+        out.counter("unreachable_nodes", self.unreachable_nodes);
         out.gauge("remote_fraction", self.remote_fraction());
     }
 }
@@ -82,6 +95,11 @@ pub struct Cluster {
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
     worker_partition: PartitionId,
+    /// Partitions whose server has crashed (or been failed by chaos
+    /// injection). Requests routed to a down partition are answered with
+    /// empty neighbor lists / zeroed attributes and counted as
+    /// [`RequestStats::unreachable_nodes`] instead of blocking forever.
+    down: Vec<AtomicBool>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -138,17 +156,59 @@ impl Cluster {
             handles.push(std::thread::spawn(move || serve(g, PartitionId(p), rx)));
             senders.push(tx);
         }
+        let down = (0..senders.len()).map(|_| AtomicBool::new(false)).collect();
         Cluster {
             graph,
             senders,
             handles,
             worker_partition: PartitionId(0),
+            down,
         }
     }
 
     /// Number of server partitions.
     pub fn partitions(&self) -> u32 {
         self.senders.len() as u32
+    }
+
+    /// Crashes partition `p`'s server: its thread stops and every future
+    /// request routed to it is answered degraded (empty/zeroed) instead
+    /// of blocking. Returns `true` if the partition was alive. Failing is
+    /// permanent for the cluster's lifetime — the graceful-degradation
+    /// machinery above (service retries, partial replies) is what turns a
+    /// crash into bounded quality loss rather than an outage.
+    pub fn fail_partition(&self, p: PartitionId) -> bool {
+        let i = p.0 as usize;
+        if i >= self.down.len() {
+            return false;
+        }
+        let was_up = !self.down[i].swap(true, Ordering::AcqRel);
+        if was_up {
+            // Best-effort: the serve loop exits on Shutdown; a racing
+            // in-flight request still gets its reply first because the
+            // channel is FIFO.
+            let _ = self.senders[i].send(Request::Shutdown);
+        }
+        was_up
+    }
+
+    /// Whether partition `p` is down (crashed or chaos-failed).
+    pub fn partition_down(&self, p: PartitionId) -> bool {
+        self.down
+            .get(p.0 as usize)
+            .is_some_and(|d| d.load(Ordering::Acquire))
+    }
+
+    /// Partitions still serving.
+    pub fn alive_partitions(&self) -> u32 {
+        self.down
+            .iter()
+            .filter(|d| !d.load(Ordering::Acquire))
+            .count() as u32
+    }
+
+    fn unreachable(&self, p: usize, excluded: &[u32]) -> bool {
+        excluded.contains(&(p as u32)) || self.down[p].load(Ordering::Acquire)
     }
 
     /// The partitioned graph being served.
@@ -165,12 +225,30 @@ impl Cluster {
         fanout: usize,
         seed: u64,
     ) -> (SampleBatch, RequestStats) {
+        self.sample_batch_excluding(roots, hops, fanout, seed, &[])
+    }
+
+    /// Like [`Cluster::sample_batch`], but additionally treats the
+    /// `excluded` partitions as unreachable *for this operation only* —
+    /// the per-request shard mask the chaos layer uses to model a card
+    /// crash deterministically. Frontier nodes owned by an excluded (or
+    /// genuinely down) partition expand to nothing; the result is a
+    /// structurally valid partial sample with
+    /// [`RequestStats::unreachable_nodes`] quantifying what was missed.
+    pub fn sample_batch_excluding(
+        &self,
+        roots: &[NodeId],
+        hops: u32,
+        fanout: usize,
+        seed: u64,
+        excluded: &[u32],
+    ) -> (SampleBatch, RequestStats) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut stats = RequestStats::default();
         let mut frontier = roots.to_vec();
         let mut hop_results = Vec::with_capacity(hops as usize);
         for _ in 0..hops {
-            let (lists, s) = self.fetch_neighbors_indexed(&frontier);
+            let (lists, s) = self.fetch_neighbors_masked(&frontier, excluded);
             stats.merge(s);
             let mut next = Vec::with_capacity(frontier.len() * fanout);
             for list in lists {
@@ -185,7 +263,7 @@ impl Cluster {
         };
         // Attribute fetch for roots + samples.
         let fetch = batch.attr_fetch_list();
-        let (_, s) = self.fetch_attrs(&fetch);
+        let (_, s) = self.fetch_attrs_masked(&fetch, excluded);
         stats.merge(s);
         (batch, stats)
     }
@@ -222,6 +300,16 @@ impl Cluster {
 
     /// Gathers attributes for arbitrary nodes (order preserved).
     pub fn fetch_attrs(&self, nodes: &[NodeId]) -> (Vec<f32>, RequestStats) {
+        self.fetch_attrs_masked(nodes, &[])
+    }
+
+    /// [`Cluster::fetch_attrs`] with a per-operation shard exclusion
+    /// mask; unreachable nodes' rows stay zeroed and are counted.
+    pub fn fetch_attrs_masked(
+        &self,
+        nodes: &[NodeId],
+        excluded: &[u32],
+    ) -> (Vec<f32>, RequestStats) {
         let attr_len = self
             .graph
             .attributes()
@@ -243,19 +331,29 @@ impl Cluster {
             if group.is_empty() {
                 continue;
             }
+            if self.unreachable(p, excluded) {
+                stats.unreachable_nodes += group.len() as u64;
+                continue; // rows stay zeroed: a degraded partial gather
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            let sent = self.senders[p].send(Request::Attrs {
+                nodes: group,
+                reply: reply_tx,
+            });
+            let attrs = match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                Some(attrs) => attrs,
+                None => {
+                    // The server died between the down-check and the
+                    // send/recv: same degraded answer, no panic.
+                    stats.unreachable_nodes += pos.len() as u64;
+                    continue;
+                }
+            };
             if PartitionId(p as u32) == self.worker_partition {
                 stats.local_requests += 1;
             } else {
                 stats.remote_requests += 1;
             }
-            let (reply_tx, reply_rx) = bounded(1);
-            self.senders[p]
-                .send(Request::Attrs {
-                    nodes: group,
-                    reply: reply_tx,
-                })
-                .expect("server thread alive");
-            let attrs = reply_rx.recv().expect("server replies");
             for (j, &orig) in pos.iter().enumerate() {
                 out[orig * attr_len..(orig + 1) * attr_len]
                     .copy_from_slice(&attrs[j * attr_len..(j + 1) * attr_len]);
@@ -267,6 +365,16 @@ impl Cluster {
     /// Like `fetch_neighbors`, with per-group reply channels so responses
     /// are matched to their request groups.
     pub fn fetch_neighbors_indexed(&self, nodes: &[NodeId]) -> (Vec<Vec<NodeId>>, RequestStats) {
+        self.fetch_neighbors_masked(nodes, &[])
+    }
+
+    /// [`Cluster::fetch_neighbors_indexed`] with a per-operation shard
+    /// exclusion mask; unreachable nodes get empty lists and are counted.
+    pub fn fetch_neighbors_masked(
+        &self,
+        nodes: &[NodeId],
+        excluded: &[u32],
+    ) -> (Vec<Vec<NodeId>>, RequestStats) {
         let mut stats = RequestStats {
             nodes_expanded: nodes.len() as u64,
             ..Default::default()
@@ -283,19 +391,27 @@ impl Cluster {
             if group.is_empty() {
                 continue;
             }
+            if self.unreachable(p, excluded) {
+                stats.unreachable_nodes += group.len() as u64;
+                continue; // lists stay empty: the frontier loses this shard
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            let sent = self.senders[p].send(Request::Neighbors {
+                nodes: group,
+                reply: reply_tx,
+            });
+            let lists = match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                Some(lists) => lists,
+                None => {
+                    stats.unreachable_nodes += pos.len() as u64;
+                    continue;
+                }
+            };
             if PartitionId(p as u32) == self.worker_partition {
                 stats.local_requests += 1;
             } else {
                 stats.remote_requests += 1;
             }
-            let (reply_tx, reply_rx) = bounded(1);
-            self.senders[p]
-                .send(Request::Neighbors {
-                    nodes: group,
-                    reply: reply_tx,
-                })
-                .expect("server thread alive");
-            let lists = reply_rx.recv().expect("server replies");
             for (list, &orig) in lists.into_iter().zip(&pos) {
                 out[orig] = list;
             }
@@ -422,6 +538,67 @@ mod tests {
         let (b1, _) = c.sample_batch(&roots, 2, 5, 42);
         let (b2, _) = c.sample_batch(&roots, 2, 5, 42);
         assert_eq!(b1, b2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn failed_partition_degrades_instead_of_hanging() {
+        let c = cluster(4);
+        assert!(c.fail_partition(PartitionId(1)));
+        assert!(!c.fail_partition(PartitionId(1)), "second fail is a no-op");
+        assert_eq!(c.alive_partitions(), 3);
+        assert!(c.partition_down(PartitionId(1)));
+        let nodes: Vec<NodeId> = (0..100).map(NodeId).collect();
+        let (lists, stats) = c.fetch_neighbors_indexed(&nodes);
+        assert!(stats.unreachable_nodes > 0, "partition 1 owns some nodes");
+        assert!(stats.any_unreachable());
+        for (i, list) in lists.iter().enumerate() {
+            if c.graph().owner(nodes[i]) == PartitionId(1) {
+                assert!(list.is_empty(), "down shard answers empty");
+            } else {
+                assert_eq!(list.as_slice(), c.graph().graph().neighbors(nodes[i]));
+            }
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn excluded_shards_mask_only_the_one_operation() {
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let (full, s_full) = c.sample_batch(&roots, 2, 5, 7);
+        let (partial, s_part) = c.sample_batch_excluding(&roots, 2, 5, 7, &[2]);
+        assert_eq!(s_full.unreachable_nodes, 0);
+        assert!(s_part.unreachable_nodes > 0);
+        assert!(partial.total_sampled() <= full.total_sampled());
+        // The mask is per-operation: the next unmasked call is exact again.
+        let (again, s_again) = c.sample_batch(&roots, 2, 5, 7);
+        assert_eq!(again, full);
+        assert_eq!(s_again.unreachable_nodes, 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn masked_sampling_is_deterministic() {
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let (b1, s1) = c.sample_batch_excluding(&roots, 2, 5, 42, &[1, 3]);
+        let (b2, s2) = c.sample_batch_excluding(&roots, 2, 5, 42, &[1, 3]);
+        assert_eq!(b1, b2);
+        assert_eq!(s1.unreachable_nodes, s2.unreachable_nodes);
+        c.shutdown();
+    }
+
+    #[test]
+    fn all_partitions_down_still_answers() {
+        let c = cluster(2);
+        c.fail_partition(PartitionId(0));
+        c.fail_partition(PartitionId(1));
+        assert_eq!(c.alive_partitions(), 0);
+        let roots: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let (batch, stats) = c.sample_batch(&roots, 2, 5, 1);
+        assert_eq!(batch.total_sampled(), 0, "nothing reachable");
+        assert!(stats.unreachable_nodes >= 4);
         c.shutdown();
     }
 }

@@ -46,6 +46,8 @@
 //! ```
 
 pub mod backend;
+pub mod breaker;
+pub mod chaos_backend;
 pub mod cluster;
 pub mod cpu_model;
 pub mod hot_cache;
@@ -53,10 +55,16 @@ pub mod offload;
 pub mod service;
 pub mod trainer;
 
-pub use backend::{CachedBackend, CpuBackend, SampleRequest, SamplingBackend};
+pub use backend::{
+    BackendError, CachedBackend, CpuBackend, SampleOutcome, SampleRequest, SamplingBackend,
+};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use chaos_backend::ChaosBackend;
 pub use cluster::{Cluster, RequestStats};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
-pub use service::{SampleTicket, SamplingService, ServiceConfig, ServiceStats};
+pub use service::{
+    DegradeConfig, SampleReply, SampleTicket, SamplingService, ServiceConfig, ServiceStats,
+};
 pub use trainer::{EpochReport, TrainerConfig, TrainingJob};

@@ -11,13 +11,35 @@
 //! answer is independent of which shard serves it or how batches form —
 //! batching changes latency, never results.
 //!
+//! # Graceful degradation
+//!
+//! Started with a [`FaultInjector`] ([`SamplingService::start_faulted`]),
+//! the service serves each request through the fallible
+//! [`SamplingBackend::try_sample`] path behind a ladder of defenses:
+//! bounded retries with exponential backoff and deterministic jitter, a
+//! hedged re-dispatch after repeated failures, a per-shard
+//! [`CircuitBreaker`] that stops hammering a failing backend, and — when
+//! everything above ran out — the never-failing
+//! [`SamplingBackend::sample_excluding`] fallback whose partial answer is
+//! returned flagged [`SampleReply::degraded`] instead of erroring. An
+//! incomplete neighbor sample from the reachable shards is still a valid
+//! approximate sample; the reply quantifies the loss via
+//! [`SampleReply::unreachable`].
+//!
+//! Pay for what you use: with no injector — or a zero-fault plan — the
+//! service takes the exact batched dispatch path it always had.
+//!
 //! [`ServiceStats`] extends the backend's [`RequestStats`] with the
 //! queue-depth, batch-size and latency histograms an operator of the
-//! paper's heavy-traffic scenario (§2.4) would alarm on.
+//! paper's heavy-traffic scenario (§2.4) would alarm on, plus the
+//! degradation counters (degraded replies, retries, hedges, breaker
+//! trips) the fault model adds.
 
-use crate::backend::{SampleRequest, SamplingBackend};
+use crate::backend::{SampleOutcome, SampleRequest, SamplingBackend};
+use crate::breaker::CircuitBreaker;
 use crate::cluster::RequestStats;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use lsdgnn_chaos::{rng::stream, ChaosRng, FaultInjector};
 use lsdgnn_desim::{Histogram, Time};
 use lsdgnn_graph::NodeId;
 use lsdgnn_sampler::SampleBatch;
@@ -27,7 +49,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Service-level accounting: request/batch totals plus the three
-/// operational histograms, and a snapshot of the backend's own stats.
+/// operational histograms, degradation counters, and a snapshot of the
+/// backend's own stats.
 ///
 /// Registers into a telemetry `Registry` directly (it is a
 /// [`MetricSource`]), exporting `queue_depth`, `batch_size` and
@@ -46,6 +69,21 @@ pub struct ServiceStats {
     /// Submit-to-reply latency per request (recorded as wall-clock
     /// microseconds via [`Time::from_micros`]).
     pub latency: Histogram,
+    /// Replies flagged degraded (partial results from reachable shards).
+    pub degraded: u64,
+    /// Backend attempts that failed (retried or degraded around).
+    pub faults: u64,
+    /// `try_sample` attempts per request (1 = first try succeeded).
+    pub retries: Log2Histogram,
+    /// Hedged re-dispatches fired.
+    pub hedges: u64,
+    /// Requests answered by the degraded fallback after the retry ladder
+    /// ran out.
+    pub fallbacks: u64,
+    /// Circuit-breaker open transitions across shards.
+    pub breaker_opens: u64,
+    /// Requests short-circuited to the fallback by an open breaker.
+    pub breaker_fastpaths: u64,
     /// The backend's cumulative request accounting.
     pub backend: RequestStats,
 }
@@ -56,6 +94,15 @@ impl ServiceStats {
     pub fn latency_p99_us(&self) -> f64 {
         self.latency.percentile(0.99).as_micros_f64()
     }
+
+    /// Fraction of completed requests whose reply was degraded.
+    pub fn degraded_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.requests as f64
+        }
+    }
 }
 
 impl MetricSource for ServiceStats {
@@ -65,8 +112,54 @@ impl MetricSource for ServiceStats {
         out.histogram("queue_depth", self.queue_depth.snapshot());
         out.histogram("batch_size", self.batch_size.snapshot());
         out.histogram("latency_us", self.latency.snapshot_micros());
+        out.counter("degraded", self.degraded);
+        out.counter("faults", self.faults);
+        out.histogram("retries", self.retries.snapshot());
+        out.counter("hedges", self.hedges);
+        out.counter("fallbacks", self.fallbacks);
+        out.counter("breaker_opens", self.breaker_opens);
+        out.counter("breaker_fastpaths", self.breaker_fastpaths);
+        out.gauge("degraded_ratio", self.degraded_ratio());
         let mut backend = out.nested("backend");
         self.backend.collect(&mut backend);
+    }
+}
+
+/// Degradation policy of a [`SamplingService`]: how hard to fight for an
+/// exact answer before settling for a partial one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Per-request time budget: once exceeded, no further retries — the
+    /// request falls back to a degraded answer rather than blowing its
+    /// deadline.
+    pub deadline: Duration,
+    /// Retries after the first attempt before falling back.
+    pub max_retries: u32,
+    /// Backoff before retry `n` sleeps `backoff_base * 2^(n-1)`, scaled
+    /// by a deterministic jitter in [0.5, 1.5).
+    pub backoff_base: Duration,
+    /// Failed attempts before a hedged re-dispatch is fired alongside
+    /// the retry ladder.
+    pub hedge_threshold: u32,
+    /// Consecutive backend failures that trip a shard's breaker open.
+    pub breaker_threshold: u32,
+    /// Dispatch decisions an open breaker waits before half-opening.
+    pub breaker_cooldown: u32,
+    /// Seed of the deterministic backoff-jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            deadline: Duration::from_millis(100),
+            max_retries: 4,
+            backoff_base: Duration::from_micros(50),
+            hedge_threshold: 2,
+            breaker_threshold: 8,
+            breaker_cooldown: 16,
+            jitter_seed: 0x5eed_cafe,
+        }
     }
 }
 
@@ -81,6 +174,8 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// How long a shard waits to grow a batch before dispatching.
     pub batch_deadline: Duration,
+    /// The degradation policy (only exercised under faults).
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ServiceConfig {
@@ -90,13 +185,53 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 16,
             batch_deadline: Duration::from_micros(200),
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// One served answer with its degradation provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleReply {
+    /// The sampled mini-batch (possibly partial).
+    pub batch: SampleBatch,
+    /// True when the batch is missing an unreachable shard's
+    /// contribution; the caller decides whether approximate is enough.
+    pub degraded: bool,
+    /// Nodes whose owner was unreachable (the size of the quality loss).
+    pub unreachable: u64,
+    /// `try_sample` attempts spent (0 when an open breaker short-
+    /// circuited straight to the fallback).
+    pub attempts: u32,
+    /// A hedged re-dispatch was fired for this request.
+    pub hedged: bool,
+}
+
+impl SampleReply {
+    fn exact(batch: SampleBatch) -> Self {
+        SampleReply {
+            batch,
+            degraded: false,
+            unreachable: 0,
+            attempts: 1,
+            hedged: false,
+        }
+    }
+
+    fn from_outcome(outcome: SampleOutcome, attempts: u32, hedged: bool) -> Self {
+        SampleReply {
+            batch: outcome.batch,
+            degraded: outcome.degraded,
+            unreachable: outcome.unreachable,
+            attempts,
+            hedged,
         }
     }
 }
 
 struct Job {
     req: SampleRequest,
-    reply: Sender<SampleBatch>,
+    reply: Sender<SampleReply>,
     submitted: Instant,
 }
 
@@ -104,18 +239,110 @@ struct Job {
 /// result.
 #[derive(Debug)]
 pub struct SampleTicket {
-    rx: Receiver<SampleBatch>,
+    rx: Receiver<SampleReply>,
 }
 
 impl SampleTicket {
-    /// Blocks until the service replies.
+    /// Blocks until the service replies, discarding degradation
+    /// metadata — the legacy synchronous path.
     ///
     /// # Panics
     ///
     /// Panics if the service shut down before serving the request.
     pub fn wait(self) -> SampleBatch {
+        self.wait_reply().batch
+    }
+
+    /// Blocks until the service replies, with degradation provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before serving the request.
+    pub fn wait_reply(self) -> SampleReply {
         self.rx.recv().expect("sampling service replies")
     }
+}
+
+/// Per-batch accounting a shard folds into [`ServiceStats`] under one
+/// lock acquisition.
+#[derive(Debug, Default)]
+struct ServeAcct {
+    faults: u64,
+    hedges: u64,
+    fallbacks: u64,
+    fastpaths: u64,
+}
+
+/// Serves one request through the full degradation ladder:
+/// breaker gate → retry loop (backoff + hedge) → degraded fallback.
+fn serve_one(
+    backend: &Arc<dyn SamplingBackend>,
+    req: &SampleRequest,
+    submitted: Instant,
+    degrade: &DegradeConfig,
+    breaker: &mut CircuitBreaker,
+    jitter: &ChaosRng,
+    acct: &mut ServeAcct,
+) -> SampleReply {
+    // Hedged attempts draw from a far-away attempt coordinate so their
+    // fault decision is decorrelated from the retry ladder's.
+    const HEDGE_SALT: u32 = 0x8000_0000;
+
+    if !breaker.allow() {
+        // Open breaker: don't touch the failing path at all. The
+        // fallback still reflects genuinely-down shards, so the answer
+        // is as good as retries would have eventually produced.
+        acct.fastpaths += 1;
+        acct.fallbacks += 1;
+        let outcome = backend.sample_excluding(req, &[]);
+        return SampleReply::from_outcome(outcome, 0, false);
+    }
+
+    let mut attempts = 0u32;
+    let mut hedged = false;
+    loop {
+        attempts += 1;
+        match backend.try_sample(req, attempts - 1) {
+            Ok(outcome) => {
+                breaker.record_success();
+                return SampleReply::from_outcome(outcome, attempts, hedged);
+            }
+            Err(_) => {
+                acct.faults += 1;
+                breaker.record_failure();
+            }
+        }
+        let exhausted = attempts > degrade.max_retries;
+        let over_deadline = submitted.elapsed() >= degrade.deadline;
+        if exhausted || over_deadline || !breaker.allow() {
+            break;
+        }
+        if attempts >= degrade.hedge_threshold && !hedged {
+            hedged = true;
+            acct.hedges += 1;
+            match backend.try_sample(req, HEDGE_SALT + attempts) {
+                Ok(outcome) => {
+                    breaker.record_success();
+                    return SampleReply::from_outcome(outcome, attempts, true);
+                }
+                Err(_) => {
+                    acct.faults += 1;
+                    breaker.record_failure();
+                }
+            }
+        }
+        // Exponential backoff with deterministic jitter in [0.5, 1.5).
+        let factor = 1u32 << (attempts - 1).min(10);
+        let scale = 0.5 + jitter.uniform(stream::BACKOFF_JITTER, req.seed, attempts as u64);
+        let sleep = degrade.backoff_base.mul_f64(factor as f64 * scale);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+    // The ladder ran out: answer from the never-failing degraded path.
+    acct.fallbacks += 1;
+    let outcome = backend.sample_excluding(req, &[]);
+    SampleReply::from_outcome(outcome, attempts, hedged)
 }
 
 /// The running service: worker shards over one shared backend.
@@ -126,6 +353,7 @@ pub struct SamplingService {
     stats: Arc<Mutex<ServiceStats>>,
     config: ServiceConfig,
     tracer: Option<Tracer>,
+    injector: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for SamplingService {
@@ -136,6 +364,7 @@ impl std::fmt::Debug for SamplingService {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     backend: Arc<dyn SamplingBackend>,
     rx: Receiver<Job>,
@@ -143,7 +372,24 @@ fn shard_loop(
     cfg: ServiceConfig,
     tracer: Option<Tracer>,
     shard: u32,
+    injector: Option<FaultInjector>,
 ) {
+    // Faults flow through serve_one only when a non-trivial plan is
+    // installed; otherwise the exact batched dispatch below runs,
+    // bit-identical to a service started without chaos.
+    let chaos = injector
+        .as_ref()
+        .filter(|inj| !inj.plan().is_zero_fault())
+        .cloned();
+    let mut breaker = CircuitBreaker::new(
+        cfg.degrade.breaker_threshold,
+        cfg.degrade.breaker_cooldown.max(1),
+    );
+    let jitter = ChaosRng::new(cfg.degrade.jitter_seed);
+    let panic_after = chaos
+        .as_ref()
+        .and_then(|inj| inj.plan().worker_panic_after(shard));
+    let mut dispatch_no = 0u64;
     // A closed queue (sender dropped) ends the shard once drained.
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
@@ -158,10 +404,47 @@ fn shard_loop(
                 Err(_) => break, // deadline hit or queue closed
             }
         }
+        dispatch_no += 1;
+        if let Some(inj) = &chaos {
+            if let Some(us) = inj.plan().queue_stall_us(shard, dispatch_no) {
+                inj.note_queue_stall();
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
         let queue_depth = rx.len() as u64;
         let dispatch_start = tracer.as_ref().map(|t| t.wall_us());
-        let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
-        let results = backend.sample_many(&reqs);
+        let mut acct = ServeAcct::default();
+        let breaker_opens_before = breaker.opens();
+        let replies: Vec<SampleReply> = match &chaos {
+            None => {
+                let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+                backend
+                    .sample_many(&reqs)
+                    .into_iter()
+                    .map(SampleReply::exact)
+                    .collect()
+            }
+            Some(inj) => jobs
+                .iter()
+                .map(|job| {
+                    let reply = serve_one(
+                        &backend,
+                        &job.req,
+                        job.submitted,
+                        &cfg.degrade,
+                        &mut breaker,
+                        &jitter,
+                        &mut acct,
+                    );
+                    if reply.degraded {
+                        inj.note_degraded_reply();
+                    } else {
+                        inj.note_exact_reply();
+                    }
+                    reply
+                })
+                .collect(),
+        };
         if let (Some(tracer), Some(start)) = (&tracer, dispatch_start) {
             tracer.span_args(
                 "service",
@@ -182,6 +465,17 @@ fn shard_loop(
             s.requests += jobs.len() as u64;
             s.queue_depth.record(queue_depth);
             s.batch_size.record(jobs.len() as u64);
+            s.faults += acct.faults;
+            s.hedges += acct.hedges;
+            s.fallbacks += acct.fallbacks;
+            s.breaker_fastpaths += acct.fastpaths;
+            s.breaker_opens += breaker.opens() - breaker_opens_before;
+            for reply in &replies {
+                if reply.degraded {
+                    s.degraded += 1;
+                }
+                s.retries.record(reply.attempts as u64);
+            }
             for job in &jobs {
                 let elapsed_us = job.submitted.elapsed().as_micros() as u64;
                 s.latency.record(Time::from_micros(elapsed_us));
@@ -198,9 +492,21 @@ fn shard_loop(
                 }
             }
         }
-        for (job, batch) in jobs.into_iter().zip(results) {
+        for (job, reply) in jobs.into_iter().zip(replies) {
             // A dropped ticket (caller gave up) is not an error.
-            let _ = job.reply.send(batch);
+            let _ = job.reply.send(reply);
+        }
+        if let Some(after) = panic_after {
+            if dispatch_no >= after {
+                // Injected worker crash: the shard dies *between* batches
+                // so no accepted job is lost; surviving shards keep
+                // draining the shared queue.
+                chaos
+                    .as_ref()
+                    .expect("panic implies chaos")
+                    .note_worker_panic();
+                return;
+            }
         }
     }
 }
@@ -212,7 +518,7 @@ impl SamplingService {
     ///
     /// Panics if `workers`, `queue_capacity` or `max_batch` is zero.
     pub fn start(backend: Box<dyn SamplingBackend>, config: ServiceConfig) -> Self {
-        Self::start_traced(backend, config, None)
+        Self::start_faulted(backend, config, None, None)
     }
 
     /// Like [`SamplingService::start`], but records wall-clock
@@ -227,6 +533,24 @@ impl SamplingService {
         backend: Box<dyn SamplingBackend>,
         config: ServiceConfig,
         tracer: Option<Tracer>,
+    ) -> Self {
+        Self::start_faulted(backend, config, tracer, None)
+    }
+
+    /// The chaos entry point: like [`SamplingService::start_traced`] but
+    /// with a [`FaultInjector`] whose plan schedules worker panics and
+    /// queue stalls at the service layer and whose counters receive the
+    /// degraded/exact reply tallies. A zero-fault plan leaves the exact
+    /// batched dispatch path untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_capacity` or `max_batch` is zero.
+    pub fn start_faulted(
+        backend: Box<dyn SamplingBackend>,
+        config: ServiceConfig,
+        tracer: Option<Tracer>,
+        injector: Option<FaultInjector>,
     ) -> Self {
         assert!(config.workers > 0, "need at least one worker shard");
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
@@ -247,8 +571,9 @@ impl SamplingService {
                 let rx = rx.clone();
                 let stats = stats.clone();
                 let tracer = tracer.clone();
+                let injector = injector.clone();
                 std::thread::spawn(move || {
-                    shard_loop(backend, rx, stats, config, tracer, shard as u32)
+                    shard_loop(backend, rx, stats, config, tracer, shard as u32, injector)
                 })
             })
             .collect();
@@ -259,6 +584,7 @@ impl SamplingService {
             stats,
             config,
             tracer,
+            injector,
         }
     }
 
@@ -270,6 +596,11 @@ impl SamplingService {
     /// The service configuration.
     pub fn config(&self) -> ServiceConfig {
         self.config
+    }
+
+    /// The fault injector this service was started with, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Enqueues a request, blocking while the queue is full
@@ -300,6 +631,11 @@ impl SamplingService {
     /// Submits and waits: the synchronous convenience path.
     pub fn sample(&self, req: SampleRequest) -> SampleBatch {
         self.submit(req).wait()
+    }
+
+    /// Submits and waits, keeping the degradation provenance.
+    pub fn sample_reply(&self, req: SampleRequest) -> SampleReply {
+        self.submit(req).wait_reply()
     }
 
     /// Gathers attributes straight through the backend (attribute reads
@@ -346,6 +682,8 @@ impl Drop for SamplingService {
 mod tests {
     use super::*;
     use crate::backend::CpuBackend;
+    use crate::chaos_backend::ChaosBackend;
+    use lsdgnn_chaos::{FaultPlan, ScenarioSpec};
     use lsdgnn_graph::{generators, AttributeStore};
 
     fn service(workers: usize) -> SamplingService {
@@ -367,6 +705,16 @@ mod tests {
             fanout: 4,
             seed,
         }
+    }
+
+    /// A chaos-wrapped service over a 4-partition CPU cluster.
+    fn chaos_service(spec: ScenarioSpec, config: ServiceConfig) -> SamplingService {
+        let g = generators::power_law(500, 8, 31);
+        let a = AttributeStore::synthetic(500, 8, 31);
+        let plan = FaultPlan::build(7, spec).unwrap();
+        let injector = FaultInjector::new(plan);
+        let backend = ChaosBackend::new(Box::new(CpuBackend::new(&g, &a, 4)), injector.clone());
+        SamplingService::start_faulted(Box::new(backend), config, None, Some(injector))
     }
 
     #[test]
@@ -395,6 +743,8 @@ mod tests {
         assert_eq!(s.latency.count(), 41);
         assert!(s.latency_p99_us() >= s.latency.percentile(0.5).as_micros_f64());
         assert!(s.backend.nodes_expanded > 0);
+        assert_eq!(s.degraded, 0, "no faults: nothing degrades");
+        assert_eq!(s.degraded_ratio(), 0.0);
         svc.shutdown();
     }
 
@@ -410,6 +760,7 @@ mod tests {
                 queue_capacity: 64,
                 max_batch: 8,
                 batch_deadline: Duration::from_millis(20),
+                ..ServiceConfig::default()
             },
         );
         let tickets: Vec<_> = (0..16).map(|s| svc.submit(req(s))).collect();
@@ -454,6 +805,9 @@ mod tests {
             snap.get("service/backend/nodes_expanded").unwrap().as_f64() > 0.0,
             "backend stats nest under the service scope"
         );
+        assert_eq!(snap.get("service/degraded").unwrap().as_f64(), 0.0);
+        assert!(snap.get("service/retries").is_some());
+        assert_eq!(snap.get("service/breaker_opens").unwrap().as_f64(), 0.0);
         svc.shutdown();
     }
 
@@ -485,5 +839,147 @@ mod tests {
             events.iter().any(|e| e.ph == 'i' && e.name == "submit"),
             "submit instants present"
         );
+    }
+
+    #[test]
+    fn zero_fault_injector_changes_nothing() {
+        let svc = chaos_service(ScenarioSpec::none(), ServiceConfig::default());
+        let plain = service(2);
+        for s in 0..6 {
+            let reply = svc.sample_reply(req(s));
+            assert!(!reply.degraded);
+            assert_eq!(reply.attempts, 1);
+            assert_eq!(reply.batch, plain.sample(req(s)));
+        }
+        let st = svc.stats();
+        assert_eq!(st.faults, 0);
+        assert_eq!(st.fallbacks, 0);
+        svc.shutdown();
+        plain.shutdown();
+    }
+
+    #[test]
+    fn request_loss_is_retried_into_answers() {
+        let svc = chaos_service(
+            ScenarioSpec::none().with_request_loss(0.4),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let replies: Vec<_> = (0..32).map(|s| svc.sample_reply(req(s))).collect();
+        let st = svc.stats();
+        assert_eq!(st.requests, 32, "every request answered");
+        assert!(st.faults > 0, "40% loss must fail some attempts");
+        assert!(
+            replies.iter().any(|r| r.attempts > 1),
+            "some request needed a retry"
+        );
+        // Retried requests still produce the exact per-seed answer.
+        for (s, r) in replies.iter().enumerate() {
+            if !r.degraded {
+                assert_eq!(
+                    r.batch,
+                    svc.backend().sample_neighbors(&req(s as u64)),
+                    "seed {s}"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn card_failure_yields_degraded_replies_not_errors() {
+        let svc = chaos_service(
+            ScenarioSpec::none().with_card_failure(1, 8),
+            ServiceConfig::default(),
+        );
+        let mut degraded = 0;
+        for s in 0..24 {
+            let reply = svc.sample_reply(req(s));
+            if reply.degraded {
+                degraded += 1;
+                assert!(reply.unreachable > 0, "degraded replies quantify loss");
+            }
+        }
+        assert!(degraded > 0, "requests past tick 8 lose card 1");
+        let st = svc.stats();
+        assert_eq!(st.degraded, degraded);
+        assert!(st.degraded_ratio() > 0.0);
+        let inj_stats = svc.injector().unwrap().stats();
+        assert_eq!(inj_stats.degraded_replies, degraded);
+        assert!(inj_stats.cards_downed >= 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn total_loss_falls_back_to_degraded_or_fallback_replies() {
+        // 100% request loss: the retry ladder always runs dry, every
+        // reply comes from the fallback path — and still arrives.
+        let svc = chaos_service(
+            ScenarioSpec::none().with_request_loss(1.0),
+            ServiceConfig {
+                workers: 1,
+                degrade: DegradeConfig {
+                    max_retries: 2,
+                    backoff_base: Duration::from_micros(1),
+                    ..DegradeConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        for s in 0..8 {
+            let reply = svc.sample_reply(req(s));
+            // Fallback bypasses the lossy transport; with no cards down
+            // the answer is exact.
+            assert!(!reply.degraded);
+            assert_eq!(reply.batch, svc.backend().sample_neighbors(&req(s)));
+        }
+        let st = svc.stats();
+        assert_eq!(st.fallbacks, 8);
+        assert!(st.hedges > 0, "hedges fire before the ladder runs dry");
+        assert!(
+            st.breaker_opens > 0,
+            "sustained failure must trip the breaker"
+        );
+        assert!(st.breaker_fastpaths > 0, "open breaker short-circuits");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_panic_does_not_lose_requests() {
+        // Shard 0 dies after 2 dispatches; shard 1 keeps serving.
+        let svc = chaos_service(
+            ScenarioSpec::none().with_worker_panic(0, 2),
+            ServiceConfig {
+                workers: 2,
+                max_batch: 1,
+                batch_deadline: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        );
+        for s in 0..24 {
+            let _ = svc.sample_reply(req(s));
+        }
+        let st = svc.stats();
+        assert_eq!(st.requests, 24, "the surviving shard answered them all");
+        assert_eq!(svc.injector().unwrap().stats().worker_panics, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queue_stall_delays_but_answers() {
+        let svc = chaos_service(
+            ScenarioSpec::none().with_queue_stall(0, 1, 2_000),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        for s in 0..4 {
+            let _ = svc.sample_reply(req(s));
+        }
+        assert!(svc.injector().unwrap().stats().queue_stalls >= 1);
+        svc.shutdown();
     }
 }

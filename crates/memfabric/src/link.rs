@@ -113,6 +113,27 @@ impl LinkModel {
         Self::new("gpu-fast-link", 500, 20, 300.0)
     }
 
+    /// A bandwidth-degraded copy of this link: peak rate scaled by
+    /// `factor`, latencies unchanged. This is the timing-model face of a
+    /// chaos `LinkDegrade` fault — a flaky QSFP lane or congested fabric
+    /// that still carries traffic, just slower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn degraded(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        LinkModel {
+            name: format!("{}-degraded", self.name),
+            base_latency_ns: self.base_latency_ns,
+            per_request_ns: self.per_request_ns,
+            peak_gbps: self.peak_gbps * factor,
+        }
+    }
+
     /// Pure transfer time of `bytes` at peak rate.
     pub fn transfer_time(&self, bytes: u64) -> Time {
         let ns = bytes as f64 / self.peak_gbps; // GB/s == bytes/ns
@@ -211,5 +232,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_panics() {
         let _ = LinkModel::new("bad", 0, 0, 0.0);
+    }
+
+    #[test]
+    fn degraded_link_scales_bandwidth_not_latency() {
+        let mof = LinkModel::mof(3);
+        let half = mof.degraded(0.5);
+        assert_eq!(half.name, "mof-degraded");
+        assert_eq!(half.base_latency_ns, mof.base_latency_ns);
+        assert_eq!(half.per_request_ns, mof.per_request_ns);
+        assert!((half.peak_gbps - mof.peak_gbps * 0.5).abs() < 1e-9);
+        // Large transfers roughly double; tiny latency-bound ones barely move.
+        let big = 1u64 << 20;
+        assert!(half.transfer_time(big) > mof.transfer_time(big));
+        let d = half.round_trip(8).as_nanos_f64() - mof.round_trip(8).as_nanos_f64();
+        assert!(d.abs() <= 2.0, "latency-bound trip shifted by {d} ns");
+        // A full-strength "degradation" is the identity on timing.
+        assert_eq!(mof.degraded(1.0).peak_gbps, mof.peak_gbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn degradation_factor_above_one_panics() {
+        let _ = LinkModel::mof(1).degraded(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn degradation_factor_zero_panics() {
+        let _ = LinkModel::mof(1).degraded(0.0);
     }
 }

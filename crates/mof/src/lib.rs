@@ -45,7 +45,7 @@ pub use frame::{
     ReadRequestPackage, ReadResponsePackage, WriteRequestPackage, MAX_REQUESTS_PER_PACKAGE,
 };
 pub use packing::{ByteBreakdown, PackingScheme};
-pub use reliability::{LinkOutcome, ReliableChannel};
+pub use reliability::{ChannelAbandoned, LinkOutcome, ReliableChannel};
 
 /// Errors produced by MoF encoding/decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]

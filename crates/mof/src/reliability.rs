@@ -4,7 +4,10 @@
 //! software overhead" (§4.3): hardware sequencing and CRC with go-back-N
 //! recovery instead of a kernel TCP stack. This module simulates that layer
 //! against a deterministic loss pattern to show in-order exactly-once
-//! delivery.
+//! delivery — and, since the chaos work, against a *bounded* recovery
+//! budget: a frame that keeps being dropped is eventually abandoned
+//! (mirroring [`crate::MofEndpoint`]'s abandon instant) instead of
+//! livelocking the link.
 
 use std::collections::VecDeque;
 
@@ -19,6 +22,30 @@ pub enum LinkOutcome {
     /// (go-back-N receivers only accept in-order frames).
     OutOfOrder,
 }
+
+/// The channel gave up on its head frame after exhausting the retry
+/// budget; undelivered frames remain in the pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelAbandoned {
+    /// Sequence number of the frame that exhausted its budget.
+    pub seq: u64,
+    /// Drops suffered by that frame alone.
+    pub retries: u64,
+    /// Frames still undelivered (including the abandoned head).
+    pub undelivered: usize,
+}
+
+impl std::fmt::Display for ChannelAbandoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame {} abandoned after {} retries ({} frames undelivered)",
+            self.seq, self.retries, self.undelivered
+        )
+    }
+}
+
+impl std::error::Error for ChannelAbandoned {}
 
 /// A reliable go-back-N sender/receiver pair over a lossy link.
 ///
@@ -46,6 +73,7 @@ pub struct ReliableChannel<T> {
     received: Vec<T>,
     transmissions: u64,
     drops: u64,
+    wasted_tail: u64,
     retransmissions: u64,
 }
 
@@ -63,6 +91,7 @@ impl<T: Clone> ReliableChannel<T> {
             received: Vec::new(),
             transmissions: 0,
             drops: 0,
+            wasted_tail: 0,
             retransmissions: 0,
         }
     }
@@ -72,29 +101,56 @@ impl<T: Clone> ReliableChannel<T> {
         self.pending.push_back(payload);
     }
 
-    /// Drives the link until all pending frames are delivered. `drop_fn`
-    /// is called once per transmission attempt with the frame's sequence
-    /// number; returning `true` drops that transmission.
+    /// Drives the link until all pending frames are delivered, with an
+    /// unbounded retry budget. `drop_fn` is called once per transmission
+    /// attempt with the frame's sequence number; returning `true` drops
+    /// that transmission.
     ///
     /// Go-back-N: when a frame in the window is dropped, the whole window
     /// from that frame onward is resent.
-    pub fn run<F: FnMut(u64) -> bool>(&mut self, mut drop_fn: F) {
+    ///
+    /// A `drop_fn` that returns `true` forever will loop forever — use
+    /// [`ReliableChannel::run_with_retries`] when the loss process is not
+    /// known to let every frame through eventually.
+    pub fn run<F: FnMut(u64) -> bool>(&mut self, drop_fn: F) {
+        self.run_with_retries(drop_fn, u64::MAX)
+            .expect("unbounded retry budget never abandons");
+    }
+
+    /// Like [`ReliableChannel::run`], but gives each frame at most
+    /// `max_retries` retransmissions before the channel abandons it —
+    /// the software mirror of the endpoint's abandon instant, and the
+    /// guard against a livelock when the link stays black.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelAbandoned`] when the window's head frame is
+    /// dropped more than `max_retries` times; the abandoned frame and
+    /// everything behind it stay in the pending queue (visible through
+    /// [`ReliableChannel::pending_frames`]) so the caller can fail over
+    /// or reroute.
+    pub fn run_with_retries<F: FnMut(u64) -> bool>(
+        &mut self,
+        mut drop_fn: F,
+        max_retries: u64,
+    ) -> Result<(), ChannelAbandoned> {
         let mut seq_base = self.received.len() as u64;
+        // Consecutive drops of the current head frame; delivering the
+        // head resets it. Only the head can starve: go-back-N always
+        // retries from the first undelivered frame.
+        let mut head_retries = 0u64;
         while !self.pending.is_empty() {
             let in_flight = self.window.min(self.pending.len());
             let mut delivered = 0usize;
             for i in 0..in_flight {
                 self.transmissions += 1;
-                if i > 0 {
-                    // Anything after the first frame this round is
-                    // speculative under go-back-N.
-                }
                 if drop_fn(seq_base + i as u64) {
                     self.drops += 1;
                     // Everything after the drop is wasted (receiver
                     // discards out-of-order frames); count retransmits.
-                    let wasted = in_flight - i - 1;
-                    self.transmissions += wasted as u64;
+                    let wasted = (in_flight - i - 1) as u64;
+                    self.transmissions += wasted;
+                    self.wasted_tail += wasted;
                     self.retransmissions += (in_flight - i) as u64;
                     break;
                 }
@@ -105,12 +161,30 @@ impl<T: Clone> ReliableChannel<T> {
                 self.received.push(frame);
             }
             seq_base += delivered as u64;
+            if delivered == 0 {
+                head_retries += 1;
+                if head_retries > max_retries {
+                    return Err(ChannelAbandoned {
+                        seq: seq_base,
+                        retries: head_retries,
+                        undelivered: self.pending.len(),
+                    });
+                }
+            } else {
+                head_retries = 0;
+            }
         }
+        Ok(())
     }
 
     /// Frames delivered so far, in order.
     pub fn received(&self) -> &[T] {
         &self.received
+    }
+
+    /// Frames still awaiting delivery (non-empty only after an abandon).
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
     }
 
     /// Total transmission attempts (including wasted window tails).
@@ -121,6 +195,12 @@ impl<T: Clone> ReliableChannel<T> {
     /// Transmissions the link dropped.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Speculative window-tail transmissions wasted behind a drop (sent,
+    /// but discarded out-of-order by the receiver).
+    pub fn wasted_tail(&self) -> u64 {
+        self.wasted_tail
     }
 
     /// Frames scheduled for retransmission.
@@ -135,6 +215,14 @@ impl<T: Clone> ReliableChannel<T> {
         } else {
             self.received.len() as f64 / self.transmissions as f64
         }
+    }
+
+    /// The go-back-N conservation law: every transmission either
+    /// delivered a frame, was dropped by the link, or was a wasted
+    /// window tail behind a drop. Exposed so tests (and debug asserts in
+    /// callers) can pin the accounting.
+    pub fn accounting_balances(&self) -> bool {
+        self.transmissions == self.received.len() as u64 + self.drops + self.wasted_tail
     }
 }
 
@@ -152,6 +240,7 @@ mod tests {
         assert_eq!(ch.received().len(), 100);
         assert_eq!(ch.efficiency(), 1.0);
         assert_eq!(ch.drops(), 0);
+        assert!(ch.accounting_balances());
     }
 
     #[test]
@@ -201,6 +290,91 @@ mod tests {
         // With loss, a huge window wastes more transmissions than a small
         // one (go-back-N discards the tail).
         assert!(run(32) > run(2));
+    }
+
+    #[test]
+    fn transmission_accounting_cannot_drift() {
+        // The invariant transmissions == delivered + drops + wasted_tail
+        // must hold at every loss rate and window size.
+        for window in [1usize, 2, 4, 8, 32] {
+            for modulo in [2u32, 3, 5, 10] {
+                let mut ch = ReliableChannel::new(window);
+                for i in 0..150u32 {
+                    ch.push(i);
+                }
+                let mut n = 0u32;
+                ch.run(|_| {
+                    n += 1;
+                    n % modulo == 0
+                });
+                assert!(
+                    ch.accounting_balances(),
+                    "window {window} 1/{modulo} loss: {} != {} + {} + {}",
+                    ch.transmissions(),
+                    ch.received().len(),
+                    ch.drops(),
+                    ch.wasted_tail()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn black_link_abandons_instead_of_livelocking() {
+        let mut ch = ReliableChannel::new(4);
+        for i in 0..10u32 {
+            ch.push(i);
+        }
+        let err = ch
+            .run_with_retries(|_| true, 16)
+            .expect_err("a 100%-loss link must abandon");
+        assert_eq!(err.seq, 0, "the head frame starves first");
+        assert_eq!(err.retries, 17, "budget exhausted one past max_retries");
+        assert_eq!(err.undelivered, 10);
+        assert_eq!(ch.pending_frames(), 10);
+        assert!(ch.received().is_empty());
+        assert!(ch.accounting_balances(), "abandon keeps the books straight");
+    }
+
+    #[test]
+    fn mid_stream_blackout_reports_partial_delivery() {
+        let mut ch = ReliableChannel::new(4);
+        for i in 0..20u32 {
+            ch.push(i);
+        }
+        // Healthy for 10 transmissions, then the link goes black.
+        let mut n = 0u32;
+        let err = ch
+            .run_with_retries(
+                |_| {
+                    n += 1;
+                    n > 10
+                },
+                8,
+            )
+            .expect_err("blackout must abandon");
+        assert_eq!(ch.received(), &(0..10).collect::<Vec<_>>()[..]);
+        assert_eq!(err.seq, 10);
+        assert_eq!(err.undelivered, 10);
+        assert!(ch.accounting_balances());
+    }
+
+    #[test]
+    fn bounded_retries_still_recover_from_survivable_loss() {
+        let mut ch = ReliableChannel::new(4);
+        for i in 0..50u32 {
+            ch.push(i);
+        }
+        let mut n = 0u32;
+        ch.run_with_retries(
+            |_| {
+                n += 1;
+                n.is_multiple_of(2)
+            },
+            64,
+        )
+        .expect("50% loss is survivable with a sane budget");
+        assert_eq!(ch.received(), &(0..50).collect::<Vec<_>>()[..]);
     }
 
     #[test]

@@ -87,6 +87,44 @@ pub fn uniformity_chi_square<R: Rng, S: NeighborSampler>(
         .sum()
 }
 
+/// Multiset recall of a degraded sample against the exact one: the
+/// fraction of the exact batch's sampled nodes (per hop, with
+/// multiplicity) that the degraded batch retained.
+///
+/// This is the quality-loss number a degraded serving reply is tagged
+/// with: a card failure that removes one of four shards should cost
+/// roughly a quarter of the frontier, and `batch_recall` measures exactly
+/// that. Two identical batches score 1.0; an empty degraded batch scores
+/// 0.0 (unless the exact batch is empty too, which scores 1.0 — nothing
+/// was lost).
+pub fn batch_recall(exact: &crate::SampleBatch, degraded: &crate::SampleBatch) -> f64 {
+    use std::collections::HashMap;
+    let mut total = 0u64;
+    let mut kept = 0u64;
+    let empty: Vec<NodeId> = Vec::new();
+    for (h, exact_hop) in exact.hops.iter().enumerate() {
+        let degraded_hop = degraded.hops.get(h).unwrap_or(&empty);
+        let mut avail: HashMap<NodeId, u64> = HashMap::new();
+        for &v in degraded_hop {
+            *avail.entry(v).or_insert(0) += 1;
+        }
+        for &v in exact_hop {
+            total += 1;
+            if let Some(n) = avail.get_mut(&v) {
+                if *n > 0 {
+                    *n -= 1;
+                    kept += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        kept as f64 / total as f64
+    }
+}
+
 /// The result of comparing two samplers on the proxy task.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityComparison {
@@ -185,5 +223,49 @@ mod tests {
         let g = generators::uniform_random(10, 2, 37);
         let mut rng = SmallRng::seed_from_u64(38);
         neighborhood_vote_accuracy(&mut rng, &g, &[0, 1], &StandardSampler, 2);
+    }
+
+    fn batch(hops: Vec<Vec<u64>>) -> crate::SampleBatch {
+        crate::SampleBatch {
+            roots: vec![NodeId(0)],
+            hops: hops
+                .into_iter()
+                .map(|h| h.into_iter().map(NodeId).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_batches_have_full_recall() {
+        let b = batch(vec![vec![1, 2, 3], vec![4, 4, 5]]);
+        assert_eq!(batch_recall(&b, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_degraded_batch_has_zero_recall() {
+        let exact = batch(vec![vec![1, 2, 3]]);
+        let degraded = batch(vec![vec![]]);
+        assert_eq!(batch_recall(&exact, &degraded), 0.0);
+        // Losing nothing from nothing costs nothing.
+        assert_eq!(batch_recall(&degraded, &degraded), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_multiplicity_per_hop() {
+        // Hop 0: exact {1,1,2}, degraded {1,2,9} → 2 of 3 kept.
+        // Hop 1: exact {5,6}, degraded {} (hop missing) → 0 of 2 kept.
+        let exact = batch(vec![vec![1, 1, 2], vec![5, 6]]);
+        let degraded = batch(vec![vec![1, 2, 9]]);
+        assert_eq!(batch_recall(&exact, &degraded), 2.0 / 5.0);
+        // Recall is against the exact batch: same hop sets, other direction.
+        assert_eq!(batch_recall(&degraded, &exact), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn cross_hop_matches_do_not_count() {
+        // Node 7 present in both batches but at different hops.
+        let exact = batch(vec![vec![7], vec![8]]);
+        let degraded = batch(vec![vec![8], vec![7]]);
+        assert_eq!(batch_recall(&exact, &degraded), 0.0);
     }
 }

@@ -114,12 +114,14 @@ fn parity_survives_the_service_pipeline() {
             queue_capacity: 4,
             max_batch: 1,
             batch_deadline: Duration::ZERO,
+            ..ServiceConfig::default()
         },
         ServiceConfig {
             workers: 3,
             queue_capacity: 64,
             max_batch: 8,
             batch_deadline: Duration::from_millis(5),
+            ..ServiceConfig::default()
         },
     ];
     let mut all_runs: Vec<Vec<_>> = Vec::new();
