@@ -45,6 +45,15 @@ grep -q '"any_degraded_success":true' BENCH_chaos.json \
 grep -q '"identical":true' BENCH_chaos.json \
     || { echo "FAIL: zero-fault plan not bit-identical to fault-free run"; exit 1; }
 
+echo "==> dataplane smoke: bench dataplane --quick"
+cargo run --release -q -p lsdgnn-bench -- dataplane --quick
+test -s BENCH_dataplane.json \
+    || { echo "FAIL: BENCH_dataplane.json missing or empty"; exit 1; }
+grep -q '"digests_match":true' BENCH_dataplane.json \
+    || { echo "FAIL: flat data plane not byte-identical to legacy path"; exit 1; }
+grep -q '"speedup_ok":true' BENCH_dataplane.json \
+    || { echo "FAIL: flat data plane slower than legacy path"; exit 1; }
+
 echo "==> parallel harness smoke: fig14 through --jobs 2"
 LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 --jobs 2
 

@@ -154,22 +154,23 @@ fn backend() -> Box<dyn SamplingBackend> {
     Box::new(CpuBackend::new(&g, &a, PARTITIONS))
 }
 
-/// FNV digest over reply content: batch roots + per-hop node ids + the
-/// degraded flag. Timing-free — the replayability fingerprint.
+/// FNV digest over reply content: flat block (roots, hop boundaries,
+/// node ids) + the degraded flag. Timing-free — the replayability
+/// fingerprint.
 fn digest_replies(replies: &[SampleReply]) -> u64 {
     let mut bytes = Vec::new();
     for r in replies {
         bytes.push(u8::from(r.degraded));
-        bytes.extend_from_slice(&(r.batch.roots.len() as u64).to_le_bytes());
-        for n in &r.batch.roots {
+        bytes.extend_from_slice(&(r.block.roots.len() as u64).to_le_bytes());
+        for n in &r.block.roots {
             bytes.extend_from_slice(&n.0.to_le_bytes());
         }
-        bytes.extend_from_slice(&(r.batch.hops.len() as u64).to_le_bytes());
-        for hop in &r.batch.hops {
-            bytes.extend_from_slice(&(hop.len() as u64).to_le_bytes());
-            for n in hop {
-                bytes.extend_from_slice(&n.0.to_le_bytes());
-            }
+        bytes.extend_from_slice(&(r.block.hop_offsets.len() as u64).to_le_bytes());
+        for o in &r.block.hop_offsets {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        for n in &r.block.nodes {
+            bytes.extend_from_slice(&n.0.to_le_bytes());
         }
     }
     fnv1a(&bytes)
@@ -253,7 +254,7 @@ fn run_cell(cell: &Cell, seed: u64, requests: u64, frames: u32) -> CellResult {
     let mut degraded = 0u64;
     for (s, reply) in replies.iter().enumerate() {
         let exact = reference.sample_neighbors(&request(s as u64));
-        let recall = quality::batch_recall(&exact, &reply.batch);
+        let recall = quality::batch_recall(&exact, &reply.block.to_batch());
         recall_sum += recall;
         min_recall = min_recall.min(recall);
         degraded += u64::from(reply.degraded);

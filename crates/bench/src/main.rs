@@ -31,6 +31,7 @@
 mod ablations;
 mod chaos_exp;
 mod characterization;
+mod dataplane;
 mod faas_exp;
 mod kernel_bench;
 mod microarch;
@@ -119,6 +120,7 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!("  kernel [--quick]   event-kernel throughput microbenchmark");
     eprintln!("  harness            --jobs wall-clock scaling benchmark");
     eprintln!("  chaos [--quick] [--seed N] [--out path]   fault-injection sweep");
+    eprintln!("  dataplane [--quick]   flat-buffer vs legacy serving-path benchmark");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
 }
@@ -185,6 +187,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "chaos") {
         chaos_exp::chaos(quick, seed, out.as_deref().unwrap_or("BENCH_chaos.json"));
+        return;
+    }
+    if args.iter().any(|a| a == "dataplane") {
+        dataplane::dataplane(quick);
         return;
     }
 

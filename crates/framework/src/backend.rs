@@ -10,8 +10,13 @@
 //! schedules over any of them, so a CPU-vs-AxE comparison is a one-line
 //! backend swap.
 //!
+//! The primary sampling verb is [`SamplingBackend::sample_block`],
+//! returning the flat [`SampleBlock`] the zero-copy data plane produces;
+//! [`SamplingBackend::sample_neighbors`] remains as a nested-`Vec`
+//! conversion shim for callers that still want a [`SampleBatch`].
+//!
 //! Determinism contract: a backend must produce the same
-//! [`SampleBatch`] for the same [`SampleRequest`] (including its `seed`),
+//! [`SampleBlock`] for the same [`SampleRequest`] (including its `seed`),
 //! regardless of when or on which worker thread the request executes.
 //! Both shipped backends honor it by seeding a fresh RNG per request and
 //! expanding frontiers in identical parent-major order, which is what the
@@ -20,7 +25,7 @@
 use crate::cluster::{Cluster, RequestStats};
 use crate::hot_cache::HotNodeCache;
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId, PartitionedGraph};
-use lsdgnn_sampler::SampleBatch;
+use lsdgnn_sampler::{SampleBatch, SampleBlock};
 use std::sync::Mutex;
 
 /// One sampling request: expand `roots` through `hops` levels at `fanout`
@@ -37,13 +42,13 @@ pub struct SampleRequest {
     pub seed: u64,
 }
 
-/// One sampling answer with its degradation provenance: the batch plus
-/// whether any shard was unreachable while producing it.
+/// One sampling answer with its degradation provenance: the flat block
+/// plus whether any shard was unreachable while producing it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleOutcome {
-    /// The sampled mini-batch (possibly partial).
-    pub batch: SampleBatch,
-    /// True when the batch is missing an unreachable shard's
+    /// The sampled mini-batch in flat-buffer form (possibly partial).
+    pub block: SampleBlock,
+    /// True when the block is missing an unreachable shard's
     /// contribution — still structurally valid, but approximate.
     pub degraded: bool,
     /// Nodes whose owner could not be reached (quantifies the quality
@@ -53,9 +58,9 @@ pub struct SampleOutcome {
 
 impl SampleOutcome {
     /// Wraps a fault-free result.
-    pub fn exact(batch: SampleBatch) -> Self {
+    pub fn exact(block: SampleBlock) -> Self {
         SampleOutcome {
-            batch,
+            block,
             degraded: false,
             unreachable: 0,
         }
@@ -92,8 +97,15 @@ impl std::error::Error for BackendError {}
 /// Implementations are shared across the service's worker shards, so all
 /// methods take `&self`; stats accumulation uses interior mutability.
 pub trait SamplingBackend: Send + Sync {
-    /// Expands one request into a sampled mini-batch.
-    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch;
+    /// Expands one request into a flat sampled mini-batch — the primary
+    /// sampling verb on the zero-copy data plane.
+    fn sample_block(&self, req: &SampleRequest) -> SampleBlock;
+
+    /// Expands one request into the legacy nested-`Vec` batch shape. The
+    /// default converts the flat block; samples are identical either way.
+    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch {
+        self.sample_block(req).into_batch()
+    }
 
     /// Gathers attribute vectors for `nodes`, order preserved.
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32>;
@@ -105,10 +117,17 @@ pub trait SamplingBackend: Send + Sync {
     /// the service on shutdown; a no-op for stateless backends.
     fn flush(&self) {}
 
-    /// Dispatches a coalesced batch of requests. The default executes
+    /// Dispatches a coalesced batch of requests, borrowed from the
+    /// service's queue — no per-batch request clone. The default executes
     /// them in order; hardware backends may overlap them.
-    fn sample_many(&self, reqs: &[SampleRequest]) -> Vec<SampleBatch> {
-        reqs.iter().map(|r| self.sample_neighbors(r)).collect()
+    fn sample_many(&self, reqs: &[&SampleRequest]) -> Vec<SampleBlock> {
+        reqs.iter().map(|r| self.sample_block(r)).collect()
+    }
+
+    /// Hands a finished block back for arena recycling. Callers that are
+    /// done with a reply can return it here; the default drops it.
+    fn recycle(&self, block: SampleBlock) {
+        let _ = block;
     }
 
     /// The fallible sampling verb behind the service's retry/hedge
@@ -118,7 +137,7 @@ pub trait SamplingBackend: Send + Sync {
     /// fault-free backends pay nothing for the degradation machinery.
     fn try_sample(&self, req: &SampleRequest, attempt: u32) -> Result<SampleOutcome, BackendError> {
         let _ = attempt;
-        Ok(SampleOutcome::exact(self.sample_neighbors(req)))
+        Ok(SampleOutcome::exact(self.sample_block(req)))
     }
 
     /// The degraded fallback: sample while treating `excluded` shards as
@@ -127,7 +146,7 @@ pub trait SamplingBackend: Send + Sync {
     /// without shard structure ignore the mask.
     fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
         let _ = excluded;
-        SampleOutcome::exact(self.sample_neighbors(req))
+        SampleOutcome::exact(self.sample_block(req))
     }
 
     /// Marks a shard as crashed (chaos hook). Returns `true` if the
@@ -146,18 +165,30 @@ pub trait SamplingBackend: Send + Sync {
 
 /// The AliGraph CPU path: a [`Cluster`] of server threads behind the
 /// backend interface.
+///
+/// By default requests run on the cluster's flat-buffer data plane
+/// (coalesced, pooled, zero-copy local reads). [`CpuBackend::new_legacy`]
+/// builds the same backend pinned to the nested-`Vec` path instead — the
+/// before/after arm of the `dataplane` bench and differential tests.
 pub struct CpuBackend {
     cluster: Cluster,
     stats: Mutex<RequestStats>,
+    legacy: bool,
 }
 
 impl std::fmt::Debug for CpuBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CpuBackend")
             .field("cluster", &self.cluster)
+            .field("legacy", &self.legacy)
             .finish()
     }
 }
+
+/// Requests fused per coalesced batch fetch in
+/// [`CpuBackend::sample_many`] — sized so a full service batch coalesces
+/// in one fused fetch.
+const COALESCE_WIDTH: usize = 32;
 
 impl CpuBackend {
     /// Spawns a `partitions`-way cluster over copies of the graph data.
@@ -167,11 +198,37 @@ impl CpuBackend {
         Self::from_cluster(Cluster::spawn(pg))
     }
 
+    /// Like [`CpuBackend::new`], but every sample runs on the legacy
+    /// nested-`Vec` path (converted to a block at the boundary). Samples
+    /// are byte-identical to the flat path; only the data movement
+    /// differs.
+    pub fn new_legacy(graph: &CsrGraph, attributes: &AttributeStore, partitions: u32) -> Self {
+        let mut b = Self::new(graph, attributes, partitions);
+        b.legacy = true;
+        b
+    }
+
+    /// Spawns a cluster over an already-partitioned graph — used when
+    /// the caller controls placement (e.g. pinning the hot head of a
+    /// skewed workload onto the worker-local shard).
+    pub fn from_partitioned(pg: PartitionedGraph) -> Self {
+        Self::from_cluster(Cluster::spawn(pg))
+    }
+
+    /// Like [`CpuBackend::from_partitioned`], on the legacy nested-`Vec`
+    /// path.
+    pub fn from_partitioned_legacy(pg: PartitionedGraph) -> Self {
+        let mut b = Self::from_partitioned(pg);
+        b.legacy = true;
+        b
+    }
+
     /// Wraps an already-running cluster.
     pub fn from_cluster(cluster: Cluster) -> Self {
         CpuBackend {
             cluster,
             stats: Mutex::new(RequestStats::default()),
+            legacy: false,
         }
     }
 
@@ -183,15 +240,44 @@ impl CpuBackend {
     fn record(&self, s: RequestStats) {
         self.stats.lock().expect("stats lock").merge(s);
     }
+
+    fn run(&self, req: &SampleRequest, excluded: &[u32]) -> (SampleBlock, RequestStats) {
+        if self.legacy {
+            let (batch, s) = self
+                .cluster
+                .sample_batch_excluding(&req.roots, req.hops, req.fanout, req.seed, excluded);
+            (SampleBlock::from_batch(&batch), s)
+        } else {
+            self.cluster
+                .sample_block_excluding(&req.roots, req.hops, req.fanout, req.seed, excluded)
+        }
+    }
 }
 
 impl SamplingBackend for CpuBackend {
-    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch {
-        let (batch, s) = self
-            .cluster
-            .sample_batch(&req.roots, req.hops, req.fanout, req.seed);
+    fn sample_block(&self, req: &SampleRequest) -> SampleBlock {
+        let (block, s) = self.run(req, &[]);
         self.record(s);
-        batch
+        block
+    }
+
+    fn sample_many(&self, reqs: &[&SampleRequest]) -> Vec<SampleBlock> {
+        if self.legacy {
+            // The legacy arm dispatches each request on its own, as the
+            // pre-flat-buffer service did.
+            return reqs.iter().map(|r| self.sample_block(r)).collect();
+        }
+        // Coalesce in chunks: a wider union frontier dedups more (the
+        // skewed head repeats across requests), but its lookup table and
+        // reply arenas eventually outgrow the cache, so the fused fetch
+        // is capped rather than unbounded.
+        let mut blocks = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(COALESCE_WIDTH) {
+            let (mut b, s) = self.cluster.sample_blocks_excluding(chunk, &[]);
+            self.record(s);
+            blocks.append(&mut b);
+        }
+        blocks
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
@@ -204,29 +290,29 @@ impl SamplingBackend for CpuBackend {
         *self.stats.lock().expect("stats lock")
     }
 
+    fn recycle(&self, block: SampleBlock) {
+        self.cluster.pool().put_block(block);
+    }
+
     fn try_sample(
         &self,
         req: &SampleRequest,
         _attempt: u32,
     ) -> Result<SampleOutcome, BackendError> {
-        let (batch, s) = self
-            .cluster
-            .sample_batch(&req.roots, req.hops, req.fanout, req.seed);
+        let (block, s) = self.run(req, &[]);
         self.record(s);
         Ok(SampleOutcome {
-            batch,
+            block,
             degraded: s.any_unreachable(),
             unreachable: s.unreachable_nodes,
         })
     }
 
     fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
-        let (batch, s) = self
-            .cluster
-            .sample_batch_excluding(&req.roots, req.hops, req.fanout, req.seed, excluded);
+        let (block, s) = self.run(req, excluded);
         self.record(s);
         SampleOutcome {
-            batch,
+            block,
             degraded: s.any_unreachable(),
             unreachable: s.unreachable_nodes,
         }
@@ -279,11 +365,19 @@ impl CachedBackend {
 }
 
 impl SamplingBackend for CachedBackend {
-    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch {
+    fn sample_block(&self, req: &SampleRequest) -> SampleBlock {
         // Structure traversal bypasses the cache: batch-random frontier
         // expansion sees ~zero temporal reuse (Tech-4 measurement in
         // `hot_cache`); only attribute gathers are worth caching.
-        self.inner.sample_neighbors(req)
+        self.inner.sample_block(req)
+    }
+
+    fn sample_many(&self, reqs: &[&SampleRequest]) -> Vec<SampleBlock> {
+        self.inner.sample_many(reqs)
+    }
+
+    fn recycle(&self, block: SampleBlock) {
+        self.inner.recycle(block);
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
@@ -314,10 +408,7 @@ impl SamplingBackend for CachedBackend {
                     .copy_from_slice(&fetched[idx * self.attr_len..(idx + 1) * self.attr_len]);
             }
             for (idx, &v) in missing.iter().enumerate() {
-                cache.insert(
-                    v,
-                    fetched[idx * self.attr_len..(idx + 1) * self.attr_len].to_vec(),
-                );
+                cache.insert(v, &fetched[idx * self.attr_len..(idx + 1) * self.attr_len]);
             }
         }
         out
@@ -415,7 +506,8 @@ mod tests {
         let outcome = b.try_sample(&req(5), 0).expect("healthy");
         assert!(!outcome.degraded);
         assert_eq!(outcome.unreachable, 0);
-        assert_eq!(outcome.batch, b.sample_neighbors(&req(5)));
+        assert_eq!(outcome.block, b.sample_block(&req(5)));
+        assert_eq!(outcome.block.to_batch(), b.sample_neighbors(&req(5)));
     }
 
     #[test]
@@ -428,7 +520,7 @@ mod tests {
         let outcome = b.try_sample(&req(5), 0).expect("degrades, not errors");
         assert!(outcome.degraded);
         assert!(outcome.unreachable > 0);
-        assert!(outcome.batch.total_sampled() <= exact.total_sampled());
+        assert!(outcome.block.total_sampled() <= exact.total_sampled());
         assert_eq!(b.shards(), 4);
     }
 
@@ -451,9 +543,37 @@ mod tests {
         let (g, a) = setup();
         let b = CpuBackend::new(&g, &a, 2);
         let reqs = [req(1), req(2), req(3)];
-        let many = b.sample_many(&reqs);
-        for (r, batch) in reqs.iter().zip(&many) {
-            assert_eq!(&b.sample_neighbors(r), batch);
+        let refs: Vec<&SampleRequest> = reqs.iter().collect();
+        let many = b.sample_many(&refs);
+        for (r, block) in reqs.iter().zip(&many) {
+            assert_eq!(&b.sample_block(r), block);
         }
+    }
+
+    #[test]
+    fn legacy_backend_matches_flat_backend_exactly() {
+        let (g, a) = setup();
+        let flat = CpuBackend::new(&g, &a, 4);
+        let legacy = CpuBackend::new_legacy(&g, &a, 4);
+        for seed in [0u64, 5, 99] {
+            let fb = flat.sample_block(&req(seed));
+            let lb = legacy.sample_block(&req(seed));
+            assert_eq!(fb, lb, "seed {seed}");
+            assert_eq!(fb.digest(), lb.digest());
+        }
+        // Coalescing only happens on the flat plane.
+        assert!(flat.stats().coalesce_lookups > 0);
+        assert_eq!(legacy.stats().coalesce_lookups, 0);
+    }
+
+    #[test]
+    fn recycled_blocks_feed_the_cluster_pool() {
+        let (g, a) = setup();
+        let b = CpuBackend::new(&g, &a, 2);
+        for seed in 0..4 {
+            let block = b.sample_block(&req(seed));
+            b.recycle(block);
+        }
+        assert!(b.cluster().pool().stats().reuses > 0);
     }
 }

@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn probe_success_closes_probe_failure_reopens() {
-        let mut trip = |outcome_ok: bool| {
+        let trip = |outcome_ok: bool| {
             let mut b = CircuitBreaker::new(1, 1);
             b.record_failure();
             assert!(b.allow(), "cooldown of 1 admits the next probe");

@@ -25,7 +25,7 @@ use crate::backend::{BackendError, SampleOutcome, SampleRequest, SamplingBackend
 use crate::cluster::RequestStats;
 use lsdgnn_chaos::FaultInjector;
 use lsdgnn_graph::NodeId;
-use lsdgnn_sampler::SampleBatch;
+use lsdgnn_sampler::SampleBlock;
 use std::time::Duration;
 
 /// A fault-injecting decorator over any sampling backend.
@@ -73,8 +73,12 @@ impl ChaosBackend {
 impl SamplingBackend for ChaosBackend {
     /// The fault-free path stays fault-free: parity tests compare this
     /// against the bare backend.
-    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch {
-        self.inner.sample_neighbors(req)
+    fn sample_block(&self, req: &SampleRequest) -> SampleBlock {
+        self.inner.sample_block(req)
+    }
+
+    fn recycle(&self, block: SampleBlock) {
+        self.inner.recycle(block);
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
@@ -164,7 +168,7 @@ mod tests {
         for s in 0..6 {
             let outcome = wrapped.try_sample(&req(s), 0).unwrap();
             assert!(!outcome.degraded);
-            assert_eq!(outcome.batch, bare.sample_neighbors(&req(s)));
+            assert_eq!(outcome.block, bare.sample_block(&req(s)));
         }
         assert_eq!(wrapped.injector().stats().requests_dropped, 0);
     }

@@ -1,26 +1,82 @@
 //! The distributed graph service: server threads own partitions, workers
 //! traverse and sample through channels.
+//!
+//! # The flat-buffer data plane
+//!
+//! The hot serving path ([`Cluster::sample_block`]) is built around three
+//! ideas, mirroring how the paper's AxE moves data:
+//!
+//! * **Flat buffers** — servers answer neighbor requests with one
+//!   `offsets` array plus one flat `nodes` array (CSR shape), and the
+//!   sampled result is a [`SampleBlock`] in the same shape. No
+//!   `Vec<Vec<_>>` per batch, no per-node allocations.
+//! * **Request coalescing** — each hop's frontier is deduplicated before
+//!   shard dispatch (the software analogue of the AxE's 8 KB coalescing
+//!   cache): a hub node appearing 40 times in a frontier is fetched once.
+//!   Sampling still runs per frontier *entry* with the per-request RNG,
+//!   so results are byte-identical to the uncoalesced path.
+//! * **Zero-copy local reads** — frontier nodes owned by the worker's
+//!   co-located partition never cross a channel: their neighbor lists are
+//!   [`Span::Csr`] ranges borrowed straight from the shared CSR target
+//!   array.
+//!
+//! All transient buffers (frontier scratch, server replies, attribute
+//! gathers, the result blocks) recycle through the cluster's shared
+//! [`BufferPool`]. The nested-`Vec` path ([`Cluster::sample_batch`])
+//! remains as the legacy arm; the `dataplane` differential tests pin both
+//! paths to identical samples.
 
+use crate::backend::SampleRequest;
+use crate::pool::BufferPool;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use lsdgnn_graph::{NodeId, PartitionId, PartitionedGraph};
-use lsdgnn_sampler::{NeighborSampler, SampleBatch, StreamingSampler};
+use lsdgnn_graph::mem::prefetch_read;
+use lsdgnn_graph::{NodeId, NodeMap, PartitionId, PartitionedGraph};
+use lsdgnn_sampler::{NeighborSampler, SampleBatch, SampleBlock, StreamingSampler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// A server's answer to a neighbor request: CSR-shaped (one boundary per
+/// requested node into one flat array), plus the request buffer handed
+/// back for recycling.
+struct NeighborsReply {
+    /// `nodes.len() + 1` boundaries starting at 0.
+    offsets: Vec<u32>,
+    /// All neighbor lists, concatenated in request order.
+    flat: Vec<NodeId>,
+    /// The request's node buffer, returned for the pool.
+    request: Vec<NodeId>,
+}
+
+/// A server's answer to an attribute gather, with the request buffer
+/// handed back for recycling.
+struct AttrsReply {
+    attrs: Vec<f32>,
+    request: Vec<NodeId>,
+}
+
 /// Requests a server shard handles.
 enum Request {
-    /// Neighbor lists for a batch of nodes this server owns.
+    /// Neighbor lists for a batch of nodes this server owns, answered
+    /// as one flat buffer.
     Neighbors {
+        nodes: Vec<NodeId>,
+        reply: Sender<NeighborsReply>,
+    },
+    /// The pre-flat-buffer wire format: one allocated `Vec<NodeId>` per
+    /// requested node. Kept verbatim for the legacy shim so the
+    /// `bench dataplane` before/after comparison measures the data plane
+    /// this PR replaced, not a retrofitted hybrid.
+    NeighborsNested {
         nodes: Vec<NodeId>,
         reply: Sender<Vec<Vec<NodeId>>>,
     },
     /// Attribute gather for owned nodes.
     Attrs {
         nodes: Vec<NodeId>,
-        reply: Sender<Vec<f32>>,
+        reply: Sender<AttrsReply>,
     },
     Shutdown,
 }
@@ -48,6 +104,18 @@ pub struct RequestStats {
     /// operation's result as *degraded* — structurally valid but missing
     /// the unreachable shard's contribution.
     pub unreachable_nodes: u64,
+    /// Frontier neighbor-list lookups on the coalescing path.
+    pub coalesce_lookups: u64,
+    /// Lookups answered by the per-batch coalescing table instead of a
+    /// fresh fetch (a hub appearing twice in a frontier is one fetch,
+    /// one hit).
+    pub coalesce_hits: u64,
+    /// Attribute rows requested on the coalescing gather path.
+    pub attr_coalesce_lookups: u64,
+    /// Attribute rows answered by the per-gather coalescing table
+    /// instead of a fresh fetch (a hub sampled 40 times in a mini-batch
+    /// is one row fetch, 39 hits).
+    pub attr_coalesce_hits: u64,
 }
 
 impl RequestStats {
@@ -61,6 +129,24 @@ impl RequestStats {
         }
     }
 
+    /// Fraction of coalescing-path lookups served without a fetch.
+    pub fn coalesce_hit_rate(&self) -> f64 {
+        if self.coalesce_lookups == 0 {
+            0.0
+        } else {
+            self.coalesce_hits as f64 / self.coalesce_lookups as f64
+        }
+    }
+
+    /// Fraction of attribute-row lookups served without a fetch.
+    pub fn attr_coalesce_hit_rate(&self) -> f64 {
+        if self.attr_coalesce_lookups == 0 {
+            0.0
+        } else {
+            self.attr_coalesce_hits as f64 / self.attr_coalesce_lookups as f64
+        }
+    }
+
     /// Folds another operation's accounting into this one (used by
     /// backends accumulating per-request stats into a running total).
     pub fn merge(&mut self, other: RequestStats) {
@@ -69,6 +155,10 @@ impl RequestStats {
         self.nodes_expanded += other.nodes_expanded;
         self.attrs_fetched += other.attrs_fetched;
         self.unreachable_nodes += other.unreachable_nodes;
+        self.coalesce_lookups += other.coalesce_lookups;
+        self.coalesce_hits += other.coalesce_hits;
+        self.attr_coalesce_lookups += other.attr_coalesce_lookups;
+        self.attr_coalesce_hits += other.attr_coalesce_hits;
     }
 
     /// True when any node's owner was unreachable during the operation.
@@ -84,7 +174,168 @@ impl lsdgnn_telemetry::MetricSource for RequestStats {
         out.counter("nodes_expanded", self.nodes_expanded);
         out.counter("attrs_fetched", self.attrs_fetched);
         out.counter("unreachable_nodes", self.unreachable_nodes);
+        out.counter("coalesce_lookups", self.coalesce_lookups);
+        out.counter("coalesce_hits", self.coalesce_hits);
+        out.counter("attr_coalesce_lookups", self.attr_coalesce_lookups);
+        out.counter("attr_coalesce_hits", self.attr_coalesce_hits);
         out.gauge("remote_fraction", self.remote_fraction());
+        out.gauge("coalesce_hit_rate", self.coalesce_hit_rate());
+        out.gauge("attr_coalesce_hit_rate", self.attr_coalesce_hit_rate());
+    }
+}
+
+/// Where one node's neighbor list lives in a [`NeighborTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// A range of the shared CSR target array — the zero-copy local path.
+    Csr {
+        /// Start index into `CsrGraph::targets()`.
+        start: usize,
+        /// Neighbor count.
+        len: usize,
+    },
+    /// A range of one of the table's arena buffers (a remote server's
+    /// flat reply, moved into the table without another copy).
+    Flat {
+        /// Arena index within the table.
+        arena: usize,
+        /// Start index into that arena.
+        start: usize,
+        /// Neighbor count.
+        len: usize,
+    },
+    /// The owner was unreachable: there is no list and the lookup counts
+    /// toward [`RequestStats::unreachable_nodes`].
+    Down,
+}
+
+impl Span {
+    /// The spanned list's length — available without touching the list
+    /// data, which is what lets pick generation run ahead of the reads.
+    /// `None` for an unreachable owner.
+    fn known_len(&self) -> Option<usize> {
+        match *self {
+            Span::Csr { len, .. } | Span::Flat { len, .. } => Some(len),
+            Span::Down => None,
+        }
+    }
+}
+
+/// One hop's coalesced neighbor lookup table: a span per *distinct*
+/// frontier node, resolving either into the shared CSR (local shard,
+/// zero-copy) or into an arena — a remote server's flat reply buffer,
+/// moved into the table as-is rather than copied again.
+struct NeighborTable {
+    spans: Vec<Span>,
+    arenas: Vec<Vec<NodeId>>,
+}
+
+impl NeighborTable {
+    fn from_pool(pool: &BufferPool) -> Self {
+        NeighborTable {
+            spans: pool.take_spans(),
+            arenas: Vec::new(),
+        }
+    }
+
+    /// Clears the table and sizes it for `n` distinct nodes, all
+    /// initially unreachable until a fetch fills them in. Spent arena
+    /// buffers return to the pool.
+    fn reset(&mut self, pool: &BufferPool, n: usize) {
+        self.spans.clear();
+        self.spans.resize(n, Span::Down);
+        for arena in self.arenas.drain(..) {
+            pool.put_nodes(arena);
+        }
+    }
+
+    /// The neighbor list of distinct-node `i`, or `None` if its owner
+    /// was unreachable. `csr` is the graph's shared target array.
+    fn list<'a>(&'a self, csr: &'a [NodeId], i: usize) -> Option<&'a [NodeId]> {
+        match self.spans[i] {
+            Span::Csr { start, len } => Some(&csr[start..start + len]),
+            Span::Flat { arena, start, len } => Some(&self.arenas[arena][start..start + len]),
+            Span::Down => None,
+        }
+    }
+
+    fn recycle(self, pool: &BufferPool) {
+        pool.put_spans(self.spans);
+        for arena in self.arenas {
+            pool.put_nodes(arena);
+        }
+    }
+}
+
+/// How many frontier entries the resolution pass prefetches ahead of
+/// the one it is consuming.
+const PICK_LOOKAHEAD: usize = 8;
+
+/// Pass one of a hop: draw every frontier entry's pick positions from
+/// the request RNG, using only each list's *length* (known from its
+/// span without reading the list). RNG consumption is identical to
+/// sampling in place — nothing for an unreachable or short list,
+/// `fanout` draws otherwise — so the resolution pass reproduces the
+/// one-pass samples byte-for-byte.
+fn generate_picks(
+    rng: &mut SmallRng,
+    table: &NeighborTable,
+    slots: &[u32],
+    fanout: usize,
+    picks: &mut Vec<u32>,
+) {
+    for &slot in slots {
+        if let Some(n) = table.spans[slot as usize].known_len() {
+            if n > fanout {
+                StreamingSampler.pick_into(rng, n, fanout, picks);
+            }
+        }
+    }
+}
+
+/// Pass two of a hop: read the picked neighbors into `out`. The hop's
+/// reads are random gathers into arrays far larger than cache (the CSR
+/// target array, remote reply arenas); with the picks already drawn,
+/// every address is known early, so the loop issues the loads for
+/// entries [`PICK_LOOKAHEAD`] positions ahead and the miss latency
+/// overlaps with the current entry's work instead of serializing.
+fn resolve_picks(
+    csr: &[NodeId],
+    table: &NeighborTable,
+    slots: &[u32],
+    picks: &[u32],
+    fanout: usize,
+    out: &mut Vec<NodeId>,
+    stats: &mut RequestStats,
+) {
+    // `cur` walks the picks consumed by resolved entries; `ahead` walks
+    // the picks of prefetched entries, `PICK_LOOKAHEAD` entries further
+    // along the frontier.
+    let mut cur = 0usize;
+    let mut ahead = 0usize;
+    let mut ahead_i = 0usize;
+    for (i, &slot) in slots.iter().enumerate() {
+        while ahead_i < slots.len() && ahead_i <= i + PICK_LOOKAHEAD {
+            if let Some(list) = table.list(csr, slots[ahead_i] as usize) {
+                if list.len() > fanout {
+                    for j in 0..fanout {
+                        prefetch_read(&list[picks[ahead + j] as usize]);
+                    }
+                    ahead += fanout;
+                } else {
+                    prefetch_read(list.as_ptr());
+                }
+            }
+            ahead_i += 1;
+        }
+        match table.list(csr, slot as usize) {
+            Some(list) if list.len() > fanout => {
+                out.extend(picks[cur..cur + fanout].iter().map(|&p| list[p as usize]));
+                cur += fanout;
+            }
+            Some(list) => out.extend_from_slice(list),
+            None => stats.unreachable_nodes += 1,
+        }
     }
 }
 
@@ -92,6 +343,7 @@ impl lsdgnn_telemetry::MetricSource for RequestStats {
 /// as the worker co-located with partition 0.
 pub struct Cluster {
     graph: Arc<PartitionedGraph>,
+    pool: Arc<BufferPool>,
     senders: Vec<Sender<Request>>,
     handles: Vec<JoinHandle<()>>,
     worker_partition: PartitionId,
@@ -111,10 +363,36 @@ impl std::fmt::Debug for Cluster {
     }
 }
 
-fn serve(graph: Arc<PartitionedGraph>, p: PartitionId, rx: Receiver<Request>) {
+fn serve(
+    graph: Arc<PartitionedGraph>,
+    pool: Arc<BufferPool>,
+    p: PartitionId,
+    rx: Receiver<Request>,
+) {
     while let Ok(req) = rx.recv() {
         match req {
             Request::Neighbors { nodes, reply } => {
+                let mut offsets = pool.take_offsets();
+                let mut flat = pool.take_nodes();
+                offsets.push(0);
+                for (i, &v) in nodes.iter().enumerate() {
+                    debug_assert!(graph.is_local(v, p), "misrouted request");
+                    // The per-node lists are random ranges of a CSR far
+                    // larger than cache; touch a few nodes ahead so the
+                    // copies below overlap their miss latency.
+                    if let Some(&w) = nodes.get(i + 4) {
+                        prefetch_read(graph.graph().neighbors(w).as_ptr());
+                    }
+                    flat.extend_from_slice(graph.graph().neighbors(v));
+                    offsets.push(flat.len() as u32);
+                }
+                let _ = reply.send(NeighborsReply {
+                    offsets,
+                    flat,
+                    request: nodes,
+                });
+            }
+            Request::NeighborsNested { nodes, reply } => {
                 let lists = nodes
                     .iter()
                     .map(|&v| {
@@ -125,11 +403,15 @@ fn serve(graph: Arc<PartitionedGraph>, p: PartitionId, rx: Receiver<Request>) {
                 let _ = reply.send(lists);
             }
             Request::Attrs { nodes, reply } => {
-                let attrs = graph
+                let mut attrs = pool.take_floats();
+                graph
                     .attributes()
                     .expect("cluster requires attributes")
-                    .gather(&nodes);
-                let _ = reply.send(attrs);
+                    .gather_into(&nodes, &mut attrs);
+                let _ = reply.send(AttrsReply {
+                    attrs,
+                    request: nodes,
+                });
             }
             Request::Shutdown => break,
         }
@@ -148,17 +430,20 @@ impl Cluster {
             "cluster requires an attribute store"
         );
         let graph = Arc::new(graph);
+        let pool = Arc::new(BufferPool::new());
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for p in 0..graph.partitions() {
             let (tx, rx) = bounded(SERVER_QUEUE_DEPTH);
             let g = graph.clone();
-            handles.push(std::thread::spawn(move || serve(g, PartitionId(p), rx)));
+            let pl = pool.clone();
+            handles.push(std::thread::spawn(move || serve(g, pl, PartitionId(p), rx)));
             senders.push(tx);
         }
         let down = (0..senders.len()).map(|_| AtomicBool::new(false)).collect();
         Cluster {
             graph,
+            pool,
             senders,
             handles,
             worker_partition: PartitionId(0),
@@ -169,6 +454,11 @@ impl Cluster {
     /// Number of server partitions.
     pub fn partitions(&self) -> u32 {
         self.senders.len() as u32
+    }
+
+    /// The shared buffer pool the data plane recycles through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Crashes partition `p`'s server: its thread stops and every future
@@ -216,8 +506,482 @@ impl Cluster {
         &self.graph
     }
 
+    /// Runs a full multi-hop sampling operation on the flat-buffer data
+    /// plane — coalesced fetches, pooled buffers, zero-copy local reads —
+    /// and returns the flat block plus request stats. Byte-identical
+    /// samples to [`Cluster::sample_batch`] for the same arguments.
+    pub fn sample_block(
+        &self,
+        roots: &[NodeId],
+        hops: u32,
+        fanout: usize,
+        seed: u64,
+    ) -> (SampleBlock, RequestStats) {
+        self.sample_block_excluding(roots, hops, fanout, seed, &[])
+    }
+
+    /// [`Cluster::sample_block`] with a per-operation shard exclusion
+    /// mask (see [`Cluster::sample_batch_excluding`] for the semantics).
+    pub fn sample_block_excluding(
+        &self,
+        roots: &[NodeId],
+        hops: u32,
+        fanout: usize,
+        seed: u64,
+        excluded: &[u32],
+    ) -> (SampleBlock, RequestStats) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = RequestStats::default();
+        let mut block = self.pool.take_block();
+        block.roots.extend_from_slice(roots);
+        let mut unique = self.pool.take_nodes();
+        let mut slot_of = self.pool.take_offsets();
+        let mut picks = self.pool.take_offsets();
+        let mut index = self.pool.take_stamps();
+        let mut table = NeighborTable::from_pool(&self.pool);
+        let csr = self.graph.graph().targets();
+        // The frontier lives inside the block: hop h's samples land at
+        // the tail of `block.nodes` and become hop h+1's frontier — no
+        // scratch buffers to fill, swap, or copy into the block.
+        let mut frontier_start = 0usize;
+        for h in 0..hops {
+            // Coalesce: fetch each distinct frontier node once, then
+            // sample per frontier *entry* so RNG consumption (and thus
+            // the result) matches the uncoalesced legacy path exactly.
+            // `slot_of` remembers each entry's table slot so the passes
+            // below never hash.
+            unique.clear();
+            slot_of.clear();
+            index.begin(self.graph.graph().num_nodes() as usize);
+            let frontier: &[NodeId] = if h == 0 {
+                &block.roots
+            } else {
+                &block.nodes[frontier_start..]
+            };
+            for &v in frontier {
+                let slot = match index.get(v.index()) {
+                    Some(s) => s,
+                    None => {
+                        let s = unique.len() as u32;
+                        index.set(v.index(), s);
+                        unique.push(v);
+                        s
+                    }
+                };
+                slot_of.push(slot);
+            }
+            stats.nodes_expanded += frontier.len() as u64;
+            stats.coalesce_lookups += frontier.len() as u64;
+            stats.coalesce_hits += (frontier.len() - unique.len()) as u64;
+            self.fetch_neighbors_table(&unique, excluded, &mut stats, &mut table);
+            picks.clear();
+            generate_picks(&mut rng, &table, &slot_of, fanout, &mut picks);
+            frontier_start = block.nodes.len();
+            resolve_picks(
+                csr,
+                &table,
+                &slot_of,
+                &picks,
+                fanout,
+                &mut block.nodes,
+                &mut stats,
+            );
+            block.hop_offsets.push(block.nodes.len() as u32);
+        }
+        table.recycle(&self.pool);
+        self.pool.put_nodes(unique);
+        self.pool.put_offsets(slot_of);
+        self.pool.put_offsets(picks);
+        self.pool.put_stamps(index);
+        // Attribute fetch for roots + samples, in deduplicated row form
+        // through pooled buffers: hub rows move once no matter how often
+        // the mini-batch resampled them.
+        let mut fetch = self.pool.take_nodes();
+        block.attr_fetch_into(&mut fetch);
+        let mut rows = self.pool.take_floats();
+        let mut row_of = self.pool.take_offsets();
+        let s = self.fetch_attr_rows_into(&fetch, excluded, &mut rows, &mut row_of);
+        stats.merge(s);
+        self.pool.put_floats(rows);
+        self.pool.put_offsets(row_of);
+        self.pool.put_nodes(fetch);
+        (block, stats)
+    }
+
+    /// The batch-level data plane: samples every request of a service
+    /// batch through *one* coalesced fetch per hop per partition.
+    ///
+    /// Where [`Cluster::sample_block_excluding`] dedupes within one
+    /// request's frontier, this dedupes the union of every active
+    /// request's frontier — a hub two requests both reached is fetched
+    /// once — and amortizes the per-hop channel round trips across the
+    /// whole batch. Each request still consumes its own seeded RNG per
+    /// frontier entry in order, so every block is byte-identical to a
+    /// solo [`Cluster::sample_block`] call with the same request.
+    pub fn sample_blocks_excluding(
+        &self,
+        reqs: &[&SampleRequest],
+        excluded: &[u32],
+    ) -> (Vec<SampleBlock>, RequestStats) {
+        let mut stats = RequestStats::default();
+        let mut rngs: Vec<SmallRng> = reqs
+            .iter()
+            .map(|r| SmallRng::seed_from_u64(r.seed))
+            .collect();
+        let mut blocks: Vec<SampleBlock> = reqs
+            .iter()
+            .map(|r| {
+                let mut b = self.pool.take_block();
+                b.roots.extend_from_slice(&r.roots);
+                b
+            })
+            .collect();
+        let mut unique = self.pool.take_nodes();
+        let mut slot_of = self.pool.take_offsets();
+        let mut picks = self.pool.take_offsets();
+        let mut index = self.pool.take_stamps();
+        let mut table = NeighborTable::from_pool(&self.pool);
+        let csr = self.graph.graph().targets();
+        // Per-request frontier start: each request's frontier is the
+        // tail of its own block, exactly as in the solo path.
+        let mut frontier_starts = vec![0usize; reqs.len()];
+        let max_hops = reqs.iter().map(|r| r.hops).max().unwrap_or(0);
+        for h in 0..max_hops {
+            // Coalesce the union of every active request's frontier.
+            unique.clear();
+            slot_of.clear();
+            index.begin(self.graph.graph().num_nodes() as usize);
+            let mut total = 0usize;
+            for (i, r) in reqs.iter().enumerate() {
+                if r.hops <= h {
+                    continue;
+                }
+                let frontier: &[NodeId] = if h == 0 {
+                    &blocks[i].roots
+                } else {
+                    &blocks[i].nodes[frontier_starts[i]..]
+                };
+                total += frontier.len();
+                for &v in frontier {
+                    let slot = match index.get(v.index()) {
+                        Some(s) => s,
+                        None => {
+                            let s = unique.len() as u32;
+                            index.set(v.index(), s);
+                            unique.push(v);
+                            s
+                        }
+                    };
+                    slot_of.push(slot);
+                }
+            }
+            stats.nodes_expanded += total as u64;
+            stats.coalesce_lookups += total as u64;
+            stats.coalesce_hits += (total - unique.len()) as u64;
+            self.fetch_neighbors_table(&unique, excluded, &mut stats, &mut table);
+            // Sample per request, per frontier entry, in order — the
+            // exact RNG consumption of the solo path.
+            let mut cursor = 0usize;
+            for (i, r) in reqs.iter().enumerate() {
+                if r.hops <= h {
+                    continue;
+                }
+                let flen = if h == 0 {
+                    blocks[i].roots.len()
+                } else {
+                    blocks[i].nodes.len() - frontier_starts[i]
+                };
+                let slots = &slot_of[cursor..cursor + flen];
+                cursor += flen;
+                picks.clear();
+                generate_picks(&mut rngs[i], &table, slots, r.fanout, &mut picks);
+                frontier_starts[i] = blocks[i].nodes.len();
+                resolve_picks(
+                    csr,
+                    &table,
+                    slots,
+                    &picks,
+                    r.fanout,
+                    &mut blocks[i].nodes,
+                    &mut stats,
+                );
+                let end = blocks[i].nodes.len() as u32;
+                blocks[i].hop_offsets.push(end);
+            }
+        }
+        table.recycle(&self.pool);
+        self.pool.put_nodes(unique);
+        self.pool.put_offsets(slot_of);
+        self.pool.put_offsets(picks);
+        self.pool.put_stamps(index);
+        // One combined attribute gather for the whole batch, in
+        // deduplicated row form: a hub any request resampled moves once
+        // for the entire batch.
+        let mut fetch = self.pool.take_nodes();
+        for b in &blocks {
+            b.attr_fetch_into(&mut fetch);
+        }
+        let mut rows = self.pool.take_floats();
+        let mut row_of = self.pool.take_offsets();
+        let s = self.fetch_attr_rows_into(&fetch, excluded, &mut rows, &mut row_of);
+        stats.merge(s);
+        self.pool.put_floats(rows);
+        self.pool.put_offsets(row_of);
+        self.pool.put_nodes(fetch);
+        (blocks, stats)
+    }
+
+    /// Fills `table` with one span per node of `unique`: local nodes
+    /// resolve to zero-copy CSR ranges without touching a channel,
+    /// remote nodes are fetched per partition as one flat reply, and
+    /// unreachable owners leave [`Span::Down`].
+    fn fetch_neighbors_table(
+        &self,
+        unique: &[NodeId],
+        excluded: &[u32],
+        stats: &mut RequestStats,
+        table: &mut NeighborTable,
+    ) {
+        table.reset(&self.pool, unique.len());
+        let parts = self.senders.len();
+        let local = self.worker_partition.0 as usize;
+        let local_up = !self.unreachable(local, excluded);
+        let g = self.graph.graph();
+        // One pass over the frontier: local nodes resolve to zero-copy
+        // CSR spans on the spot (no channel, no copy); remote positions
+        // are grouped for per-partition dispatch below.
+        let mut remote: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut local_seen = false;
+        for (i, &v) in unique.iter().enumerate() {
+            let p = self.graph.owner(v).0 as usize;
+            if p == local {
+                local_seen = true;
+                if local_up {
+                    let r = g.neighbor_range(v);
+                    table.spans[i] = Span::Csr {
+                        start: r.start,
+                        len: r.end - r.start,
+                    };
+                }
+            } else {
+                remote[p].push(i as u32);
+            }
+        }
+        if local_seen && local_up {
+            stats.local_requests += 1;
+        }
+        for (p, pos) in remote.into_iter().enumerate() {
+            if pos.is_empty() {
+                continue;
+            }
+            if self.unreachable(p, excluded) {
+                continue; // spans stay Down
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            let mut req_buf = self.pool.take_nodes();
+            req_buf.extend(pos.iter().map(|&i| unique[i as usize]));
+            let sent = self.senders[p].send(Request::Neighbors {
+                nodes: req_buf,
+                reply: reply_tx,
+            });
+            match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                Some(NeighborsReply {
+                    offsets,
+                    flat,
+                    request,
+                }) => {
+                    // The reply buffer becomes a table arena as-is: no
+                    // second copy of the adjacency data.
+                    let arena = table.arenas.len();
+                    for (w, &i) in offsets.windows(2).zip(&pos) {
+                        table.spans[i as usize] = Span::Flat {
+                            arena,
+                            start: w[0] as usize,
+                            len: (w[1] - w[0]) as usize,
+                        };
+                    }
+                    table.arenas.push(flat);
+                    self.pool.put_offsets(offsets);
+                    self.pool.put_nodes(request);
+                    stats.remote_requests += 1;
+                }
+                None => {
+                    // The server died between the down-check and the
+                    // send/recv: spans stay Down, same degraded answer.
+                }
+            }
+        }
+    }
+
+    /// Gathers attributes on the flat data plane, in the deduplicated
+    /// row format the plane delivers: the row list is coalesced first (a
+    /// hub sampled 40 times in a mini-batch is one fetch), each distinct
+    /// row is gathered once — local rows straight out of the shared
+    /// store, remote rows through pooled reply buffers. `rows` is
+    /// cleared and filled with one `attr_len` row per *distinct* node
+    /// (unreachable rows zeroed), and `slot_of` maps each of `nodes`
+    /// back to its row index — consumers keep the compact table and
+    /// index into it, instead of receiving (and paying the memory
+    /// traffic for) a buffer with every hub row duplicated per
+    /// occurrence.
+    pub fn fetch_attr_rows_into(
+        &self,
+        nodes: &[NodeId],
+        excluded: &[u32],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> RequestStats {
+        let store = self
+            .graph
+            .attributes()
+            .expect("cluster requires attributes");
+        let attr_len = store.attr_len();
+        let mut stats = RequestStats {
+            attrs_fetched: nodes.len() as u64,
+            ..Default::default()
+        };
+        let parts = self.senders.len();
+        let local = self.worker_partition.0 as usize;
+        let local_up = !self.unreachable(local, excluded);
+        // Coalesce: one slot per distinct row, one array load per
+        // lookup (no hashing — the stamp table resets in O(1) between
+        // gathers and recycles through the pool).
+        let mut table = self.pool.take_stamps();
+        table.begin(self.graph.graph().num_nodes() as usize);
+        let mut unique = self.pool.take_nodes();
+        slot_of.clear();
+        slot_of.reserve(nodes.len());
+        for &v in nodes {
+            let slot = match table.get(v.index()) {
+                Some(s) => s,
+                None => {
+                    let s = unique.len() as u32;
+                    table.set(v.index(), s);
+                    unique.push(v);
+                    s
+                }
+            };
+            slot_of.push(slot);
+        }
+        stats.attr_coalesce_lookups += nodes.len() as u64;
+        stats.attr_coalesce_hits += (nodes.len() - unique.len()) as u64;
+        // Gather each distinct row once into `rows` (slot order): local
+        // rows straight out of the shared store, remote positions
+        // grouped for per-partition dispatch. `down` marks slots whose
+        // owner was unreachable.
+        rows.clear();
+        rows.resize(unique.len() * attr_len, 0.0);
+        let mut down = self.pool.take_offsets();
+        down.resize(unique.len(), 0);
+        let mut remote: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut local_seen = false;
+        for (i, &v) in unique.iter().enumerate() {
+            // Distinct rows are a random walk over a store larger than
+            // cache; touch a few ahead so the copies overlap misses.
+            if let Some(&w) = unique.get(i + 8) {
+                if self.graph.owner(w).0 as usize == local {
+                    prefetch_read(store.get(w).as_ptr());
+                }
+            }
+            let p = self.graph.owner(v).0 as usize;
+            if p == local {
+                local_seen = true;
+                if local_up {
+                    rows[i * attr_len..(i + 1) * attr_len].copy_from_slice(store.get(v));
+                } else {
+                    down[i] = 1; // row unreachable: zeroed, degraded
+                }
+            } else {
+                remote[p].push(i as u32);
+            }
+        }
+        if local_seen && local_up {
+            stats.local_requests += 1;
+        }
+        for (p, pos) in remote.into_iter().enumerate() {
+            if pos.is_empty() {
+                continue;
+            }
+            if self.unreachable(p, excluded) {
+                for &i in &pos {
+                    down[i as usize] = 1;
+                }
+                continue; // rows stay zeroed: a degraded partial gather
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            let mut req_buf = self.pool.take_nodes();
+            req_buf.extend(pos.iter().map(|&i| unique[i as usize]));
+            let sent = self.senders[p].send(Request::Attrs {
+                nodes: req_buf,
+                reply: reply_tx,
+            });
+            match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                Some(AttrsReply { attrs, request }) => {
+                    for (j, &slot) in pos.iter().enumerate() {
+                        let slot = slot as usize;
+                        rows[slot * attr_len..(slot + 1) * attr_len]
+                            .copy_from_slice(&attrs[j * attr_len..(j + 1) * attr_len]);
+                    }
+                    self.pool.put_floats(attrs);
+                    self.pool.put_nodes(request);
+                    stats.remote_requests += 1;
+                }
+                None => {
+                    for &i in &pos {
+                        down[i as usize] = 1;
+                    }
+                }
+            }
+        }
+        // Unreachable rows count per *occurrence*, matching the
+        // uncoalesced accounting — a flag read per entry, not a row
+        // copy.
+        for &slot in slot_of.iter() {
+            stats.unreachable_nodes += u64::from(down[slot as usize]);
+        }
+        self.pool.put_stamps(table);
+        self.pool.put_nodes(unique);
+        self.pool.put_offsets(down);
+        stats
+    }
+
+    /// [`Cluster::fetch_attr_rows_into`] expanded back to the legacy
+    /// answer shape: `out` is cleared and filled with `nodes.len()` rows
+    /// in request order (unreachable rows zeroed), exactly as the
+    /// uncoalesced [`Cluster::fetch_attrs_masked`] path answers. The
+    /// expansion is a sequential append from the dense unique-row
+    /// buffer — kept for callers (and differential tests) that want the
+    /// per-occurrence layout; the sampling data plane itself stays in
+    /// row form.
+    pub fn fetch_attrs_into(
+        &self,
+        nodes: &[NodeId],
+        excluded: &[u32],
+        out: &mut Vec<f32>,
+    ) -> RequestStats {
+        let attr_len = self
+            .graph
+            .attributes()
+            .expect("cluster requires attributes")
+            .attr_len();
+        let mut rows = self.pool.take_floats();
+        let mut slot_of = self.pool.take_offsets();
+        let stats = self.fetch_attr_rows_into(nodes, excluded, &mut rows, &mut slot_of);
+        out.clear();
+        out.reserve(nodes.len() * attr_len);
+        for &slot in slot_of.iter() {
+            let s = slot as usize;
+            out.extend_from_slice(&rows[s * attr_len..(s + 1) * attr_len]);
+        }
+        self.pool.put_floats(rows);
+        self.pool.put_offsets(slot_of);
+        stats
+    }
+
     /// Runs a full multi-hop sampling operation (worker-side traversal,
-    /// server-side storage) and returns the batch plus request stats.
+    /// server-side storage) and returns the batch plus request stats —
+    /// the legacy nested-`Vec` arm kept for differential testing and
+    /// before/after benchmarking of the flat data plane.
     pub fn sample_batch(
         &self,
         roots: &[NodeId],
@@ -245,17 +1009,18 @@ impl Cluster {
     ) -> (SampleBatch, RequestStats) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut stats = RequestStats::default();
-        let mut frontier = roots.to_vec();
-        let mut hop_results = Vec::with_capacity(hops as usize);
-        for _ in 0..hops {
-            let (lists, s) = self.fetch_neighbors_masked(&frontier, excluded);
+        let mut hop_results: Vec<Vec<NodeId>> = Vec::with_capacity(hops as usize);
+        for h in 0..hops as usize {
+            // Each hop's frontier is borrowed from the previous hop's
+            // result — no per-hop clone of the frontier vector.
+            let frontier: &[NodeId] = if h == 0 { roots } else { &hop_results[h - 1] };
+            let (lists, s) = self.fetch_neighbors_masked(frontier, excluded);
             stats.merge(s);
             let mut next = Vec::with_capacity(frontier.len() * fanout);
             for list in lists {
                 next.extend(StreamingSampler.sample(&mut rng, &list, fanout));
             }
-            hop_results.push(next.clone());
-            frontier = next;
+            hop_results.push(next);
         }
         let batch = SampleBatch {
             roots: roots.to_vec(),
@@ -273,14 +1038,13 @@ impl Cluster {
     /// request-fusion optimization AliGraph applies (a 2-hop batch
     /// re-samples popular nodes constantly).
     pub fn fetch_attrs_deduped(&self, nodes: &[NodeId]) -> (Vec<f32>, RequestStats) {
-        use std::collections::HashMap;
         let attr_len = self
             .graph
             .attributes()
             .expect("cluster requires attributes")
             .attr_len();
         // Unique nodes in first-appearance order.
-        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut index: NodeMap<usize> = NodeMap::default();
         let mut unique: Vec<NodeId> = Vec::new();
         for &v in nodes {
             index.entry(v).or_insert_with(|| {
@@ -304,7 +1068,9 @@ impl Cluster {
     }
 
     /// [`Cluster::fetch_attrs`] with a per-operation shard exclusion
-    /// mask; unreachable nodes' rows stay zeroed and are counted.
+    /// mask; unreachable nodes' rows stay zeroed and are counted. The
+    /// legacy arm: every partition — the local one included — is reached
+    /// over its channel.
     pub fn fetch_attrs_masked(
         &self,
         nodes: &[NodeId],
@@ -340,8 +1106,8 @@ impl Cluster {
                 nodes: group,
                 reply: reply_tx,
             });
-            let attrs = match sent.ok().and_then(|()| reply_rx.recv().ok()) {
-                Some(attrs) => attrs,
+            let reply = match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                Some(reply) => reply,
                 None => {
                     // The server died between the down-check and the
                     // send/recv: same degraded answer, no panic.
@@ -356,8 +1122,10 @@ impl Cluster {
             }
             for (j, &orig) in pos.iter().enumerate() {
                 out[orig * attr_len..(orig + 1) * attr_len]
-                    .copy_from_slice(&attrs[j * attr_len..(j + 1) * attr_len]);
+                    .copy_from_slice(&reply.attrs[j * attr_len..(j + 1) * attr_len]);
             }
+            self.pool.put_floats(reply.attrs);
+            self.pool.put_nodes(reply.request);
         }
         (out, stats)
     }
@@ -370,6 +1138,11 @@ impl Cluster {
 
     /// [`Cluster::fetch_neighbors_indexed`] with a per-operation shard
     /// exclusion mask; unreachable nodes get empty lists and are counted.
+    ///
+    /// This is the legacy nested-`Vec` shape: the servers answer flat
+    /// (offsets + one array) and this shim splits the reply back into one
+    /// `Vec` per node — exactly the per-node allocation cost the flat
+    /// data plane removes.
     pub fn fetch_neighbors_masked(
         &self,
         nodes: &[NodeId],
@@ -396,7 +1169,7 @@ impl Cluster {
                 continue; // lists stay empty: the frontier loses this shard
             }
             let (reply_tx, reply_rx) = bounded(1);
-            let sent = self.senders[p].send(Request::Neighbors {
+            let sent = self.senders[p].send(Request::NeighborsNested {
                 nodes: group,
                 reply: reply_tx,
             });
@@ -542,6 +1315,120 @@ mod tests {
     }
 
     #[test]
+    fn flat_block_matches_legacy_batch_exactly() {
+        // The data-plane contract: same cluster, same request, the flat
+        // and nested paths produce byte-identical samples and agree on
+        // the degradation accounting.
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        for seed in [0u64, 7, 42, 1_000_003] {
+            let (batch, s_legacy) = c.sample_batch(&roots, 2, 5, seed);
+            let (block, s_flat) = c.sample_block(&roots, 2, 5, seed);
+            assert_eq!(block, SampleBlock::from_batch(&batch), "seed {seed}");
+            assert_eq!(block.digest(), SampleBlock::from_batch(&batch).digest());
+            assert_eq!(s_flat.nodes_expanded, s_legacy.nodes_expanded);
+            assert_eq!(s_flat.attrs_fetched, s_legacy.attrs_fetched);
+            assert_eq!(s_flat.unreachable_nodes, s_legacy.unreachable_nodes);
+            assert_eq!(s_flat.local_requests, s_legacy.local_requests);
+            assert_eq!(s_flat.remote_requests, s_legacy.remote_requests);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn batched_blocks_match_solo_blocks_exactly() {
+        // Batch-level coalescing (one fetch per hop per partition for
+        // the whole batch) must not change any request's samples, even
+        // with mixed hop counts, fanouts and seeds, or under exclusion.
+        let c = cluster(4);
+        let reqs: Vec<SampleRequest> = (0..5)
+            .map(|s| SampleRequest {
+                roots: (0..8).map(|r| NodeId((s * 31 + r) % 800)).collect(),
+                hops: 1 + (s % 3) as u32,
+                fanout: 3 + s as usize % 4,
+                seed: s,
+            })
+            .collect();
+        let refs: Vec<&SampleRequest> = reqs.iter().collect();
+        for excluded in [&[][..], &[2u32][..]] {
+            let (batched, stats) = c.sample_blocks_excluding(&refs, excluded);
+            for (r, block) in reqs.iter().zip(&batched) {
+                let (solo, _) =
+                    c.sample_block_excluding(&r.roots, r.hops, r.fanout, r.seed, excluded);
+                assert_eq!(block, &solo, "seed {} excluded {excluded:?}", r.seed);
+            }
+            assert_eq!(
+                stats.coalesce_lookups,
+                reqs.iter()
+                    .zip(&batched)
+                    .map(|(r, b)| r.roots.len() as u64
+                        + b.hops()
+                            .take(r.hops as usize - 1)
+                            .map(|h| h.len() as u64)
+                            .sum::<u64>())
+                    .sum::<u64>(),
+                "every frontier entry goes through the coalescing table"
+            );
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn flat_block_matches_legacy_under_exclusion() {
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let (batch, s_legacy) = c.sample_batch_excluding(&roots, 2, 5, 13, &[2]);
+        let (block, s_flat) = c.sample_block_excluding(&roots, 2, 5, 13, &[2]);
+        assert_eq!(block, SampleBlock::from_batch(&batch));
+        assert!(s_flat.unreachable_nodes > 0);
+        assert_eq!(s_flat.unreachable_nodes, s_legacy.unreachable_nodes);
+        c.shutdown();
+    }
+
+    #[test]
+    fn coalescing_counts_duplicate_lookups_without_changing_samples() {
+        let c = cluster(2);
+        // Duplicate roots force coalescing hits on the very first hop.
+        let roots = vec![NodeId(5), NodeId(5), NodeId(5), NodeId(9)];
+        let (batch, _) = c.sample_batch(&roots, 2, 4, 3);
+        let (block, stats) = c.sample_block(&roots, 2, 4, 3);
+        assert_eq!(block, SampleBlock::from_batch(&batch));
+        assert!(stats.coalesce_hits >= 2, "dup roots must hit the table");
+        assert!(stats.coalesce_lookups >= stats.coalesce_hits);
+        assert!(stats.coalesce_hit_rate() > 0.0);
+        // Each duplicate root still drew its own samples.
+        assert_eq!(block.hop(0).len(), batch.hops[0].len());
+        c.shutdown();
+    }
+
+    #[test]
+    fn pool_recycles_across_block_operations() {
+        let c = cluster(2);
+        let roots: Vec<NodeId> = (0..8).map(NodeId).collect();
+        for seed in 0..6 {
+            let (block, _) = c.sample_block(&roots, 2, 5, seed);
+            c.pool().put_block(block);
+        }
+        let s = c.pool().stats();
+        assert!(s.reuses > 0, "steady state must reuse buffers: {s:?}");
+        assert!(s.reuse_rate() > 0.3, "reuse rate {}", s.reuse_rate());
+        c.shutdown();
+    }
+
+    #[test]
+    fn fetch_attrs_into_matches_masked_path() {
+        let c = cluster(3);
+        let nodes: Vec<NodeId> = (0..60).map(|i| NodeId(i * 13 % 800)).collect();
+        let (want, s_want) = c.fetch_attrs_masked(&nodes, &[1]);
+        let mut got = Vec::new();
+        let s_got = c.fetch_attrs_into(&nodes, &[1], &mut got);
+        assert_eq!(got, want);
+        assert_eq!(s_got.attrs_fetched, s_want.attrs_fetched);
+        assert_eq!(s_got.unreachable_nodes, s_want.unreachable_nodes);
+        c.shutdown();
+    }
+
+    #[test]
     fn failed_partition_degrades_instead_of_hanging() {
         let c = cluster(4);
         assert!(c.fail_partition(PartitionId(1)));
@@ -599,6 +1486,10 @@ mod tests {
         let (batch, stats) = c.sample_batch(&roots, 2, 5, 1);
         assert_eq!(batch.total_sampled(), 0, "nothing reachable");
         assert!(stats.unreachable_nodes >= 4);
+        // The flat path agrees on total outage too.
+        let (block, s_flat) = c.sample_block(&roots, 2, 5, 1);
+        assert_eq!(block.total_sampled(), 0);
+        assert_eq!(s_flat.unreachable_nodes, stats.unreachable_nodes);
         c.shutdown();
     }
 }

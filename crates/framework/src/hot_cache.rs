@@ -8,15 +8,29 @@
 //! measurement that justifies the paper's split: batch-random sampling
 //! over a huge id space sees ~zero reuse, while skewed (hub-heavy)
 //! access patterns cache well.
+//!
+//! Storage is a slab: the FNV-keyed map holds slot indices into one
+//! `Vec` of entries, and an evicted slot's attribute buffer is reused in
+//! place for the incoming entry — steady-state churn (the uniform-batch
+//! case above, where every insert evicts) allocates nothing.
 
-use lsdgnn_graph::NodeId;
-use std::collections::HashMap;
+use lsdgnn_graph::{FnvHashMap, NodeId};
+
+/// One cached entry: the owning node, its last-use tick, and the
+/// attribute vector (reused in place across evictions).
+#[derive(Debug)]
+struct Slot {
+    node: NodeId,
+    tick: u64,
+    attrs: Vec<f32>,
+}
 
 /// An LRU cache of node attribute vectors.
 #[derive(Debug)]
 pub struct HotNodeCache {
     capacity: usize,
-    map: HashMap<NodeId, (u64, Vec<f32>)>, // node -> (last-use tick, attrs)
+    map: FnvHashMap<NodeId, usize>, // node -> slot index
+    slots: Vec<Slot>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -32,7 +46,8 @@ impl HotNodeCache {
         assert!(capacity > 0, "capacity must be non-zero");
         HotNodeCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: FnvHashMap::default(),
+            slots: Vec::with_capacity(capacity),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -42,11 +57,12 @@ impl HotNodeCache {
     /// Looks a node up, refreshing its recency on a hit.
     pub fn get(&mut self, v: NodeId) -> Option<&[f32]> {
         self.tick += 1;
-        match self.map.get_mut(&v) {
-            Some((t, attrs)) => {
-                *t = self.tick;
+        match self.map.get(&v) {
+            Some(&i) => {
+                let slot = &mut self.slots[i];
+                slot.tick = self.tick;
                 self.hits += 1;
-                Some(attrs.as_slice())
+                Some(slot.attrs.as_slice())
             }
             None => {
                 self.misses += 1;
@@ -56,25 +72,51 @@ impl HotNodeCache {
     }
 
     /// Inserts (or refreshes) a node's attributes, evicting the least
-    /// recently used entry when full.
-    pub fn insert(&mut self, v: NodeId, attrs: Vec<f32>) {
+    /// recently used entry when full. The evicted slot's buffer is
+    /// rewritten in place, so steady-state churn is allocation-free.
+    pub fn insert(&mut self, v: NodeId, attrs: &[f32]) {
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&v) {
-            if let Some((&evict, _)) = self.map.iter().min_by_key(|(_, (t, _))| *t) {
-                self.map.remove(&evict);
-            }
+        if let Some(&i) = self.map.get(&v) {
+            let slot = &mut self.slots[i];
+            slot.tick = self.tick;
+            slot.attrs.clear();
+            slot.attrs.extend_from_slice(attrs);
+            return;
         }
-        self.map.insert(v, (self.tick, attrs));
+        if self.slots.len() < self.capacity {
+            self.map.insert(v, self.slots.len());
+            self.slots.push(Slot {
+                node: v,
+                tick: self.tick,
+                attrs: attrs.to_vec(),
+            });
+            return;
+        }
+        // Full: reuse the least-recently-used slot.
+        let i = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.tick)
+            .map(|(i, _)| i)
+            .expect("capacity > 0 means at least one slot");
+        let slot = &mut self.slots[i];
+        self.map.remove(&slot.node);
+        slot.node = v;
+        slot.tick = self.tick;
+        slot.attrs.clear();
+        slot.attrs.extend_from_slice(attrs);
+        self.map.insert(v, i);
     }
 
     /// Entries currently held.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slots.is_empty()
     }
 
     /// Lookup hits.
@@ -111,10 +153,10 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let mut c = HotNodeCache::new(2);
-        c.insert(NodeId(1), attrs(NodeId(1)));
-        c.insert(NodeId(2), attrs(NodeId(2)));
+        c.insert(NodeId(1), &attrs(NodeId(1)));
+        c.insert(NodeId(2), &attrs(NodeId(2)));
         assert!(c.get(NodeId(1)).is_some()); // refresh 1
-        c.insert(NodeId(3), attrs(NodeId(3))); // evicts 2
+        c.insert(NodeId(3), &attrs(NodeId(3))); // evicts 2
         assert!(c.get(NodeId(2)).is_none());
         assert!(c.get(NodeId(1)).is_some());
         assert!(c.get(NodeId(3)).is_some());
@@ -132,7 +174,7 @@ mod tests {
             for _ in 0..512 {
                 let v = NodeId(rng.gen_range(0..id_space));
                 if c.get(v).is_none() {
-                    c.insert(v, attrs(v));
+                    c.insert(v, &attrs(v));
                 }
             }
         }
@@ -156,7 +198,7 @@ mod tests {
                 NodeId(rng.gen_range(0..10_000_000))
             };
             if c.get(v).is_none() {
-                c.insert(v, attrs(v));
+                c.insert(v, &attrs(v));
             }
         }
         assert!(
@@ -169,8 +211,22 @@ mod tests {
     #[test]
     fn cached_values_are_the_inserted_ones() {
         let mut c = HotNodeCache::new(4);
-        c.insert(NodeId(7), vec![1.0, 2.0]);
+        c.insert(NodeId(7), &[1.0, 2.0]);
         assert_eq!(c.get(NodeId(7)).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reinsert_overwrites_and_supports_shorter_vectors() {
+        // Slot reuse must not leak stale tail values when an entry is
+        // rewritten with a shorter attribute vector.
+        let mut c = HotNodeCache::new(1);
+        c.insert(NodeId(1), &[1.0, 2.0, 3.0, 4.0]);
+        c.insert(NodeId(2), &[9.0]); // evicts 1, reuses its slot
+        assert_eq!(c.get(NodeId(2)).unwrap(), &[9.0]);
+        assert!(c.get(NodeId(1)).is_none());
+        c.insert(NodeId(2), &[5.0, 6.0]); // refresh in place
+        assert_eq!(c.get(NodeId(2)).unwrap(), &[5.0, 6.0]);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod cpu_model;
 pub mod hot_cache;
 pub mod offload;
+pub mod pool;
 pub mod service;
 pub mod trainer;
 
@@ -60,10 +61,12 @@ pub use backend::{
 };
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use chaos_backend::ChaosBackend;
-pub use cluster::{Cluster, RequestStats};
+pub use cluster::{Cluster, RequestStats, Span};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
+pub use lsdgnn_sampler::SampleBlock;
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
+pub use pool::{BufferPool, PoolStats};
 pub use service::{
     DegradeConfig, SampleReply, SampleTicket, SamplingService, ServiceConfig, ServiceStats,
 };

@@ -11,7 +11,7 @@ use crate::service::{SamplingService, ServiceConfig, ServiceStats};
 use lsdgnn_axe::command::SampleMethod;
 use lsdgnn_axe::{AxeCommand, AxeResponse, CommandExecutor};
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId};
-use lsdgnn_sampler::SampleBatch;
+use lsdgnn_sampler::{SampleBatch, SampleBlock};
 use std::sync::{Arc, Mutex};
 
 /// Where sampling requests execute.
@@ -68,7 +68,7 @@ impl AxeBackend {
 }
 
 impl SamplingBackend for AxeBackend {
-    fn sample_neighbors(&self, req: &SampleRequest) -> SampleBatch {
+    fn sample_block(&self, req: &SampleRequest) -> SampleBlock {
         let resp = self.execute(
             &AxeCommand::SampleNHop {
                 roots: req.roots.clone(),
@@ -90,7 +90,7 @@ impl SamplingBackend for AxeBackend {
                 - batch.hops.last().map_or(0, Vec::len)) as u64,
             ..RequestStats::default()
         });
-        batch
+        SampleBlock::from_batch(&batch)
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {

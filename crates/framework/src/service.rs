@@ -42,7 +42,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_chaos::{rng::stream, ChaosRng, FaultInjector};
 use lsdgnn_desim::{Histogram, Time};
 use lsdgnn_graph::NodeId;
-use lsdgnn_sampler::SampleBatch;
+use lsdgnn_sampler::{SampleBatch, SampleBlock};
 use lsdgnn_telemetry::{pids, Log2Histogram, MetricSource, Scope, Tracer};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -193,9 +193,9 @@ impl Default for ServiceConfig {
 /// One served answer with its degradation provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleReply {
-    /// The sampled mini-batch (possibly partial).
-    pub batch: SampleBatch,
-    /// True when the batch is missing an unreachable shard's
+    /// The sampled mini-batch in flat-buffer form (possibly partial).
+    pub block: SampleBlock,
+    /// True when the block is missing an unreachable shard's
     /// contribution; the caller decides whether approximate is enough.
     pub degraded: bool,
     /// Nodes whose owner was unreachable (the size of the quality loss).
@@ -208,9 +208,9 @@ pub struct SampleReply {
 }
 
 impl SampleReply {
-    fn exact(batch: SampleBatch) -> Self {
+    fn exact(block: SampleBlock) -> Self {
         SampleReply {
-            batch,
+            block,
             degraded: false,
             unreachable: 0,
             attempts: 1,
@@ -220,7 +220,7 @@ impl SampleReply {
 
     fn from_outcome(outcome: SampleOutcome, attempts: u32, hedged: bool) -> Self {
         SampleReply {
-            batch: outcome.batch,
+            block: outcome.block,
             degraded: outcome.degraded,
             unreachable: outcome.unreachable,
             attempts,
@@ -244,13 +244,23 @@ pub struct SampleTicket {
 
 impl SampleTicket {
     /// Blocks until the service replies, discarding degradation
-    /// metadata — the legacy synchronous path.
+    /// metadata — the legacy synchronous path, in nested-`Vec` form.
     ///
     /// # Panics
     ///
     /// Panics if the service shut down before serving the request.
     pub fn wait(self) -> SampleBatch {
-        self.wait_reply().batch
+        self.wait_reply().block.into_batch()
+    }
+
+    /// Blocks until the service replies, keeping the flat block shape
+    /// and discarding degradation metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down before serving the request.
+    pub fn wait_block(self) -> SampleBlock {
+        self.wait_reply().block
     }
 
     /// Blocks until the service replies, with degradation provenance.
@@ -417,7 +427,9 @@ fn shard_loop(
         let breaker_opens_before = breaker.opens();
         let replies: Vec<SampleReply> = match &chaos {
             None => {
-                let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+                // Borrowed dispatch: the batch hands the backend
+                // references into the queued jobs, not request clones.
+                let reqs: Vec<&SampleRequest> = jobs.iter().map(|j| &j.req).collect();
                 backend
                     .sample_many(&reqs)
                     .into_iter()
@@ -631,6 +643,11 @@ impl SamplingService {
     /// Submits and waits: the synchronous convenience path.
     pub fn sample(&self, req: SampleRequest) -> SampleBatch {
         self.submit(req).wait()
+    }
+
+    /// Submits and waits, keeping the flat block shape.
+    pub fn sample_block(&self, req: SampleRequest) -> SampleBlock {
+        self.submit(req).wait_block()
     }
 
     /// Submits and waits, keeping the degradation provenance.
@@ -849,7 +866,7 @@ mod tests {
             let reply = svc.sample_reply(req(s));
             assert!(!reply.degraded);
             assert_eq!(reply.attempts, 1);
-            assert_eq!(reply.batch, plain.sample(req(s)));
+            assert_eq!(reply.block.to_batch(), plain.sample(req(s)));
         }
         let st = svc.stats();
         assert_eq!(st.faults, 0);
@@ -879,8 +896,8 @@ mod tests {
         for (s, r) in replies.iter().enumerate() {
             if !r.degraded {
                 assert_eq!(
-                    r.batch,
-                    svc.backend().sample_neighbors(&req(s as u64)),
+                    r.block,
+                    svc.backend().sample_block(&req(s as u64)),
                     "seed {s}"
                 );
             }
@@ -933,7 +950,7 @@ mod tests {
             // Fallback bypasses the lossy transport; with no cards down
             // the answer is exact.
             assert!(!reply.degraded);
-            assert_eq!(reply.batch, svc.backend().sample_neighbors(&req(s)));
+            assert_eq!(reply.block, svc.backend().sample_block(&req(s)));
         }
         let st = svc.stats();
         assert_eq!(st.fallbacks, 8);

@@ -86,8 +86,8 @@ proptest! {
                 );
             } else {
                 prop_assert_eq!(
-                    &reply.batch,
-                    &reference.sample_neighbors(&request(s as u64)),
+                    &reply.block,
+                    &reference.sample_block(&request(s as u64)),
                     "non-degraded replies are exact (seed {})", s
                 );
             }

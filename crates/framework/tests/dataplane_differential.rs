@@ -1,0 +1,108 @@
+//! Differential pinning of the flat-buffer data plane: for arbitrary
+//! graphs, partition counts, request shapes and shard-fault masks, the
+//! flat path (coalesced frontiers, pooled arenas, zero-copy local
+//! reads) must produce byte-identical samples to the legacy
+//! nested-`Vec` path — solo, batch-coalesced, cache-wrapped, and under
+//! chaos-injected card failures, where the degradation verdict
+//! (`degraded`, `unreachable`) must agree as well. The two arms share
+//! nothing but the graph and the RNG contract, so any divergence in
+//! frontier order, RNG consumption, or fault accounting fails here
+//! before it can skew a model downstream.
+
+use lsdgnn_chaos::{FaultInjector, FaultPlan, ScenarioSpec};
+use lsdgnn_framework::{CachedBackend, ChaosBackend, CpuBackend, SampleRequest, SamplingBackend};
+use lsdgnn_graph::{generators, AttributeStore, NodeId};
+use proptest::prelude::*;
+
+const NODES: u64 = 400;
+const ATTR_LEN: usize = 6;
+
+fn arms(gseed: u64, partitions: u32) -> (CpuBackend, CpuBackend) {
+    let g = generators::power_law(NODES, 8, gseed);
+    let a = AttributeStore::synthetic(NODES, ATTR_LEN, gseed);
+    (
+        CpuBackend::new(&g, &a, partitions),
+        CpuBackend::new_legacy(&g, &a, partitions),
+    )
+}
+
+fn request(seed: u64, roots: u64, hops: u32, fanout: usize) -> SampleRequest {
+    SampleRequest {
+        roots: (0..roots)
+            .map(|r| NodeId(seed.wrapping_mul(31).wrapping_add(r * 7) % NODES))
+            .collect(),
+        hops,
+        fanout,
+        seed,
+    }
+}
+
+proptest! {
+    #[test]
+    fn flat_path_is_byte_identical_to_legacy(
+        gseed in 0u64..1000,
+        partitions in 2u32..5,
+        roots in 1u64..12,
+        hops in 1u32..4,
+        fanout in 1usize..8,
+        batch in 2usize..6,
+        excluded in proptest::collection::vec(0u32..4, 0..3),
+        chaos_card in 0u32..4,
+        chaos_at in 0u64..8,
+    ) {
+        let (flat, legacy) = arms(gseed, partitions);
+        let mut excluded: Vec<u32> = excluded
+            .into_iter()
+            .filter(|&e| e < partitions)
+            .collect();
+        excluded.sort_unstable();
+        excluded.dedup();
+
+        // Solo: one request through each arm, fault-free.
+        for s in 0..3u64 {
+            let req = request(gseed + s, roots, hops, fanout);
+            let a = flat.sample_block(&req);
+            let b = legacy.sample_block(&req);
+            prop_assert_eq!(a.digest(), b.digest());
+            prop_assert_eq!(a, b, "solo blocks diverge (seed {})", req.seed);
+        }
+
+        // Batched: the coalesced union-frontier path must still answer
+        // every request exactly as its solo run would.
+        let reqs: Vec<SampleRequest> = (0..batch as u64)
+            .map(|s| request(gseed ^ (s + 101), roots, hops, fanout))
+            .collect();
+        let refs: Vec<&SampleRequest> = reqs.iter().collect();
+        let batched = flat.sample_many(&refs);
+        for (req, got) in reqs.iter().zip(&batched) {
+            prop_assert_eq!(got, &legacy.sample_block(req), "batched block diverges");
+        }
+
+        // Faulted: with shards masked out, samples *and* the
+        // degradation verdict must agree.
+        let req = request(gseed + 17, roots, hops, fanout);
+        let a = flat.sample_excluding(&req, &excluded);
+        let b = legacy.sample_excluding(&req, &excluded);
+        prop_assert_eq!(&a.block, &b.block, "faulted blocks diverge");
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.unreachable, b.unreachable);
+
+        // Decorated: the hot-node cache and the chaos layer sit above
+        // the data plane, so wrapping either arm must change nothing.
+        let (flat2, legacy2) = arms(gseed, partitions);
+        let cached = CachedBackend::new(Box::new(flat2), 64, ATTR_LEN);
+        prop_assert_eq!(cached.sample_block(&req), legacy2.sample_block(&req));
+
+        let spec = ScenarioSpec::none().with_card_failure(chaos_card % partitions, chaos_at);
+        let mk_chaos = |inner: Box<dyn SamplingBackend>| {
+            let plan = FaultPlan::build(gseed, spec.clone()).expect("valid spec");
+            ChaosBackend::new(inner, FaultInjector::new(plan))
+        };
+        let (flat3, legacy3) = arms(gseed, partitions);
+        let ca = mk_chaos(Box::new(flat3)).sample_excluding(&req, &excluded);
+        let cb = mk_chaos(Box::new(legacy3)).sample_excluding(&req, &excluded);
+        prop_assert_eq!(&ca.block, &cb.block, "chaos-faulted blocks diverge");
+        prop_assert_eq!(ca.degraded, cb.degraded);
+        prop_assert_eq!(ca.unreachable, cb.unreachable);
+    }
+}

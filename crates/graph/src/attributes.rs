@@ -138,10 +138,28 @@ impl AttributeStore {
     /// Panics if any node is out of range.
     pub fn gather(&self, nodes: &[NodeId]) -> Vec<f32> {
         let mut out = Vec::with_capacity(nodes.len() * self.attr_len);
-        for &v in nodes {
+        self.gather_into(nodes, &mut out);
+        out
+    }
+
+    /// [`Self::gather`] appending into a caller-provided buffer, so a
+    /// pooled scratch can be recycled across gathers instead of
+    /// reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    pub fn gather_into(&self, nodes: &[NodeId], out: &mut Vec<f32>) {
+        out.reserve(nodes.len() * self.attr_len);
+        for (i, &v) in nodes.iter().enumerate() {
+            // A mini-batch gather is a random walk over a store far
+            // larger than cache; touch a few rows ahead so the copies
+            // overlap their miss latency.
+            if let Some(&w) = nodes.get(i + 8) {
+                crate::mem::prefetch_read(self.get(w).as_ptr());
+            }
             out.extend_from_slice(self.get(v));
         }
-        out
     }
 }
 

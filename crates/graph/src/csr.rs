@@ -57,6 +57,26 @@ impl CsrGraph {
         &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
+    /// The flat CSR target array every neighbor list is a slice of.
+    ///
+    /// Together with [`Self::neighbor_range`] this lets a caller hold
+    /// *positions* into the adjacency instead of copying neighbor lists —
+    /// the zero-copy fast path of the serving data plane.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// The range of `v`'s neighbor list inside [`Self::targets`]
+    /// (`targets()[range]` equals `neighbors(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbor_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
     /// Edge weights parallel to [`Self::neighbors`], if the graph is weighted.
     pub fn edge_weights(&self, v: NodeId) -> Option<&[f32]> {
         let i = v.index();

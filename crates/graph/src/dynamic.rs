@@ -111,8 +111,8 @@ impl DynamicGraph {
     /// Edge events per node pair can repeat; this returns the repeat
     /// count of the hottest pair (a skew indicator for caching studies).
     pub fn max_pair_multiplicity(&self) -> u64 {
-        use std::collections::HashMap;
-        let mut counts: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        use crate::hash::FnvHashMap;
+        let mut counts: FnvHashMap<(NodeId, NodeId), u64> = FnvHashMap::default();
         for &(_, u, v) in &self.log {
             *counts.entry((u, v)).or_default() += 1;
         }

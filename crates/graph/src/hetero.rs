@@ -8,8 +8,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
+use crate::hash::FnvHashMap;
 use crate::types::NodeId;
-use std::collections::HashMap;
 
 /// An edge-type identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -112,7 +112,7 @@ impl HeteroGraph {
     }
 
     /// Per-type edge counts keyed by name (for characterization reports).
-    pub fn edge_histogram(&self) -> HashMap<String, u64> {
+    pub fn edge_histogram(&self) -> FnvHashMap<String, u64> {
         self.type_names
             .iter()
             .cloned()

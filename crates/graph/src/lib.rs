@@ -28,8 +28,10 @@ pub mod csr;
 pub mod datasets;
 pub mod dynamic;
 pub mod generators;
+pub mod hash;
 pub mod hetero;
 pub mod io;
+pub mod mem;
 pub mod partition;
 pub mod traversal;
 pub mod types;
@@ -38,5 +40,6 @@ pub use attributes::AttributeStore;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use datasets::{DatasetConfig, FootprintModel, SamplingConfig, PAPER_DATASETS};
+pub use hash::{FnvHashMap, FnvHashSet, NodeMap};
 pub use partition::{greedy_partition, PartitionId, PartitionedGraph};
 pub use types::NodeId;

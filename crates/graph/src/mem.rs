@@ -1,0 +1,19 @@
+//! Memory-access helpers for the data plane's gather loops.
+
+/// Hints the CPU to pull the cache line holding `ptr` toward L1.
+///
+/// The serving path's hot loops are random gathers into arrays far
+/// larger than cache (CSR targets, attribute rows); issuing the next
+/// few iterations' loads ahead of use overlaps their miss latency with
+/// the current iteration's work. A pure hint: prefetches never fault,
+/// so any address is fine, and the call compiles to nothing on
+/// architectures without a stable prefetch intrinsic.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}

@@ -305,7 +305,7 @@ mod tests {
                 let mut n = 0u32;
                 ch.run(|_| {
                     n += 1;
-                    n % modulo == 0
+                    n.is_multiple_of(modulo)
                 });
                 assert!(
                     ch.accounting_balances(),

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod alias;
+pub mod block;
 pub mod metapath;
 pub mod multihop;
 pub mod negative;
@@ -38,6 +39,7 @@ pub mod traffic;
 pub mod weighted;
 
 pub use alias::AliasTable;
+pub use block::SampleBlock;
 pub use metapath::{MetaPath, MetaPathBatch};
 pub use multihop::{MultiHopSampler, SampleBatch};
 pub use negative::NegativeSampler;
@@ -60,6 +62,25 @@ pub trait NeighborSampler {
     ///
     /// When `candidates.len() <= k`, all candidates are returned.
     fn sample<R: Rng>(&self, rng: &mut R, candidates: &[NodeId], k: usize) -> Vec<NodeId>;
+
+    /// [`Self::sample`] appending into a caller-provided buffer, so the
+    /// flat-buffer serving path can sample straight into pooled scratch
+    /// without a per-call allocation.
+    ///
+    /// Contract: must push exactly the nodes `sample` would return, in the
+    /// same order, consuming the RNG identically — the serving paths rely
+    /// on this to keep flat and nested sampling byte-identical under one
+    /// seed. The default delegates to `sample`; hot samplers override it
+    /// allocation-free.
+    fn sample_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        candidates: &[NodeId],
+        k: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.extend(self.sample(rng, candidates, k));
+    }
 
     /// Hardware cycles to sample `k` of `n`, per the paper's cost analysis
     /// (§4.2 Tech-2: conventional `N+K`, streaming `N`).

@@ -98,13 +98,13 @@ pub fn uniformity_chi_square<R: Rng, S: NeighborSampler>(
 /// 0.0 (unless the exact batch is empty too, which scores 1.0 — nothing
 /// was lost).
 pub fn batch_recall(exact: &crate::SampleBatch, degraded: &crate::SampleBatch) -> f64 {
-    use std::collections::HashMap;
+    use lsdgnn_graph::NodeMap;
     let mut total = 0u64;
     let mut kept = 0u64;
     let empty: Vec<NodeId> = Vec::new();
     for (h, exact_hop) in exact.hops.iter().enumerate() {
         let degraded_hop = degraded.hops.get(h).unwrap_or(&empty);
-        let mut avail: HashMap<NodeId, u64> = HashMap::new();
+        let mut avail: NodeMap<u64> = NodeMap::default();
         for &v in degraded_hop {
             *avail.entry(v).or_insert(0) += 1;
         }

@@ -39,18 +39,60 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamingSampler;
 
+impl StreamingSampler {
+    /// Emits the `k` positions [`NeighborSampler::sample_into`] would
+    /// read from a list of `n` candidates — the data plane's
+    /// pick-then-resolve split, where pick generation needs only the
+    /// list *length* and the reads happen later (prefetched, or against
+    /// whichever buffer the list landed in).
+    ///
+    /// RNG consumption is identical to sampling in place, so resolving
+    /// `list[pick]` afterwards reproduces the sampled stream
+    /// byte-for-byte. The caller handles `n <= k` itself (the whole
+    /// list is taken and no RNG is consumed).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `n > k` and `k > 0`.
+    pub fn pick_into<R: Rng>(&self, rng: &mut R, n: usize, k: usize, out: &mut Vec<u32>) {
+        debug_assert!(n > k && k > 0, "caller handles n <= k");
+        let base = n / k;
+        let extra = n % k;
+        out.reserve(k);
+        let mut start = 0usize;
+        for g in 0..k {
+            let len = base + usize::from(g < extra);
+            out.push((start + rng.gen_range(0..len)) as u32);
+            start += len;
+        }
+    }
+}
+
 impl NeighborSampler for StreamingSampler {
     fn sample<R: Rng>(&self, rng: &mut R, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(k.min(candidates.len()));
+        self.sample_into(rng, candidates, k, &mut out);
+        out
+    }
+
+    fn sample_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        candidates: &[NodeId],
+        k: usize,
+        out: &mut Vec<NodeId>,
+    ) {
         let n = candidates.len();
         if n <= k {
-            return candidates.to_vec();
+            out.extend_from_slice(candidates);
+            return;
         }
         // Split [0, n) into k groups whose sizes differ by at most one
         // (the first n % k groups get the extra element), mirroring how the
         // hardware divides the stream by arrival order.
         let base = n / k;
         let extra = n % k;
-        let mut out = Vec::with_capacity(k);
+        out.reserve(k);
         let mut start = 0usize;
         for g in 0..k {
             let len = base + usize::from(g < extra);
@@ -58,7 +100,6 @@ impl NeighborSampler for StreamingSampler {
             out.push(candidates[pick]);
             start += len;
         }
-        out
     }
 
     fn cycles(&self, n: usize, _k: usize) -> u64 {
@@ -120,6 +161,35 @@ mod tests {
             }
         }
         assert!(saw_last, "tail of stream never sampled");
+    }
+
+    #[test]
+    fn pick_into_matches_sample_into_exactly() {
+        // The pick-then-resolve split must consume the RNG identically
+        // to sampling in place, for every (n, k) shape.
+        for (n, k) in [(11usize, 10usize), (100, 10), (17, 5), (1000, 3)] {
+            let cands = ids(n as u64);
+            let mut direct = Vec::new();
+            StreamingSampler.sample_into(
+                &mut SmallRng::seed_from_u64(n as u64),
+                &cands,
+                k,
+                &mut direct,
+            );
+            let mut picks = Vec::new();
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            StreamingSampler.pick_into(&mut rng, n, k, &mut picks);
+            let resolved: Vec<NodeId> = picks.iter().map(|&p| cands[p as usize]).collect();
+            assert_eq!(resolved, direct, "n {n} k {k}");
+            // And the RNG states agree afterwards: the next draw matches.
+            let mut rng2 = SmallRng::seed_from_u64(n as u64);
+            let mut sink = Vec::new();
+            StreamingSampler.sample_into(&mut rng2, &cands, k, &mut sink);
+            assert_eq!(
+                rng.gen_range(0..1_000_000u64),
+                rng2.gen_range(0..1_000_000u64)
+            );
+        }
     }
 
     #[test]

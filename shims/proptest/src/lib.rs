@@ -273,7 +273,7 @@ mod tests {
         #[test]
         fn ranges_in_bounds(a in 3u64..17, b in 1usize..=4, f in 0.0f64..1.0) {
             prop_assert!((3..17).contains(&a));
-            prop_assert!(b >= 1 && b <= 4);
+            prop_assert!((1..=4).contains(&b));
             prop_assert!((0.0..1.0).contains(&f));
         }
 
