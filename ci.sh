@@ -54,6 +54,17 @@ grep -q '"digests_match":true' BENCH_dataplane.json \
 grep -q '"speedup_ok":true' BENCH_dataplane.json \
     || { echo "FAIL: flat data plane slower than legacy path"; exit 1; }
 
+echo "==> inference pipeline smoke: bench inference --quick"
+cargo run --release -q -p lsdgnn-bench -- inference --quick
+test -s BENCH_inference.json \
+    || { echo "FAIL: BENCH_inference.json missing or empty"; exit 1; }
+grep -q '"digests_match":true' BENCH_inference.json \
+    || { echo "FAIL: pipelined inference not bitwise-identical to sequential reference"; exit 1; }
+grep -q '"pipelined_p99_us":[0-9]' BENCH_inference.json \
+    || { echo "FAIL: end-to-end p99 absent from inference bench json"; exit 1; }
+grep -q '"speedup_ok":true' BENCH_inference.json \
+    || { echo "FAIL: pipelined inference slower than sequential reference"; exit 1; }
+
 echo "==> parallel harness smoke: fig14 through --jobs 2"
 LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 --jobs 2
 

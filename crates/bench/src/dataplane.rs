@@ -27,18 +27,18 @@ use lsdgnn_core::telemetry::Json;
 use std::time::Instant;
 
 /// Server partitions; partition 0 is the worker-local (zero-copy) shard.
-const PARTITIONS: u32 = 2;
-const HOPS: u32 = 2;
-const FANOUT: usize = 10;
+pub(crate) const PARTITIONS: u32 = 2;
+pub(crate) const HOPS: u32 = 2;
+pub(crate) const FANOUT: usize = 10;
 /// Roots per service request: hop-2 frontiers of ~640 entries, with the
 /// hub repetition coalescing exists for.
-const ROOTS_PER_REQ: u64 = 64;
+pub(crate) const ROOTS_PER_REQ: u64 = 64;
 /// Size of the hot head that popular traffic concentrates on.
-const HOT_SET: u64 = 256;
+pub(crate) const HOT_SET: u64 = 256;
 /// Feature width in floats — sized like a real GNN embedding table row
 /// (256 B/node), so attribute movement is a first-class cost the way the
 /// paper's GetAttribute stage is.
-const ATTR_LEN: usize = 64;
+pub(crate) const ATTR_LEN: usize = 64;
 /// Roots per inner-loop call (one big single-hop frontier fetch).
 const INNER_ROOTS: u64 = 512;
 
@@ -47,7 +47,7 @@ const QUICK_SERVICE_REQUESTS: u64 = 64;
 const INNER_ITERS: u64 = 256;
 const QUICK_INNER_ITERS: u64 = 32;
 
-fn graph(quick: bool) -> (CsrGraph, AttributeStore) {
+pub(crate) fn graph(quick: bool) -> (CsrGraph, AttributeStore) {
     let n = if quick { 20_000 } else { 100_000 };
     (
         generators::power_law(n, 48, 91),
@@ -61,7 +61,7 @@ fn graph(quick: bool) -> (CsrGraph, AttributeStore) {
 /// the default map does. The legacy arm runs over the *same* placement —
 /// it just cannot exploit it, because its wire format channels every
 /// lookup, local or not.
-fn placement(g: &CsrGraph, a: &AttributeStore) -> PartitionedGraph {
+pub(crate) fn placement(g: &CsrGraph, a: &AttributeStore) -> PartitionedGraph {
     let assignment: Vec<u32> = (0..g.num_nodes())
         .map(|v| {
             if v < HOT_SET {
@@ -79,7 +79,7 @@ fn placement(g: &CsrGraph, a: &AttributeStore) -> PartitionedGraph {
 /// distribution, and the generator's preferential attachment makes the
 /// low node ids the hubs, so cubing a uniform draw concentrates roots
 /// on hot, high-degree vertices — the workload coalescing exists for.
-fn skewed_root(seed: u64, i: u64, nodes: u64) -> NodeId {
+pub(crate) fn skewed_root(seed: u64, i: u64, nodes: u64) -> NodeId {
     let mut x = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -99,7 +99,7 @@ fn skewed_root(seed: u64, i: u64, nodes: u64) -> NodeId {
     }
 }
 
-fn request(seed: u64, nodes: u64, roots: u64) -> SampleRequest {
+pub(crate) fn request(seed: u64, nodes: u64, roots: u64) -> SampleRequest {
     SampleRequest {
         roots: (0..roots).map(|i| skewed_root(seed, i, nodes)).collect(),
         hops: HOPS,
@@ -110,7 +110,7 @@ fn request(seed: u64, nodes: u64, roots: u64) -> SampleRequest {
 
 /// Order-stable fold of per-request block digests: equal streams of
 /// samples produce equal fingerprints.
-fn fold(digest: u64, block_digest: u64) -> u64 {
+pub(crate) fn fold(digest: u64, block_digest: u64) -> u64 {
     digest.wrapping_mul(0x0000_0100_0000_01b3) ^ block_digest
 }
 

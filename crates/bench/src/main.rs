@@ -33,6 +33,7 @@ mod chaos_exp;
 mod characterization;
 mod dataplane;
 mod faas_exp;
+mod inference;
 mod kernel_bench;
 mod microarch;
 mod poc;
@@ -121,6 +122,7 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!("  harness            --jobs wall-clock scaling benchmark");
     eprintln!("  chaos [--quick] [--seed N] [--out path]   fault-injection sweep");
     eprintln!("  dataplane [--quick]   flat-buffer vs legacy serving-path benchmark");
+    eprintln!("  inference [--quick]   pipelined vs sequential end-to-end inference benchmark");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
 }
@@ -191,6 +193,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "dataplane") {
         dataplane::dataplane(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "inference") {
+        inference::inference(quick);
         return;
     }
 

@@ -110,6 +110,41 @@ pub trait SamplingBackend: Send + Sync {
     /// Gathers attribute vectors for `nodes`, order preserved.
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32>;
 
+    /// Gathers attributes in deduplicated row form — the gather verb of
+    /// the inference data plane. `rows` is cleared and filled with one
+    /// attribute row per *distinct* node in first-appearance order, and
+    /// `slot_of[i]` names the row of `nodes[i]`; returns the attribute
+    /// width. Consumers index the compact table instead of paying for a
+    /// buffer with every hub row duplicated per occurrence. The default
+    /// dedups in front of [`SamplingBackend::gather_attributes`];
+    /// cluster-backed backends answer from the coalesced fetch directly.
+    fn gather_attr_rows(
+        &self,
+        nodes: &[NodeId],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> usize {
+        let mut index: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        let mut unique: Vec<NodeId> = Vec::new();
+        slot_of.clear();
+        slot_of.reserve(nodes.len());
+        for &v in nodes {
+            let slot = *index.entry(v).or_insert_with(|| {
+                unique.push(v);
+                (unique.len() - 1) as u32
+            });
+            slot_of.push(slot);
+        }
+        let fetched = self.gather_attributes(&unique);
+        rows.clear();
+        rows.extend_from_slice(&fetched);
+        if unique.is_empty() {
+            0
+        } else {
+            fetched.len() / unique.len()
+        }
+    }
+
     /// Cumulative request accounting since the backend was created.
     fn stats(&self) -> RequestStats;
 
@@ -281,9 +316,28 @@ impl SamplingBackend for CpuBackend {
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
-        let (attrs, s) = self.cluster.fetch_attrs_deduped(nodes);
+        if self.legacy {
+            // The legacy arm keeps the channel-based scatter wrapper for
+            // before/after comparison; it records no coalesce telemetry.
+            let (attrs, s) = self.cluster.fetch_attrs_deduped(nodes);
+            self.record(s);
+            return attrs;
+        }
+        let mut out = Vec::new();
+        let s = self.cluster.fetch_attrs_into(nodes, &[], &mut out);
         self.record(s);
-        attrs
+        out
+    }
+
+    fn gather_attr_rows(
+        &self,
+        nodes: &[NodeId],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> usize {
+        let s = self.cluster.fetch_attr_rows_into(nodes, &[], rows, slot_of);
+        self.record(s);
+        self.cluster.attr_len()
     }
 
     fn stats(&self) -> RequestStats {
@@ -412,6 +466,51 @@ impl SamplingBackend for CachedBackend {
             }
         }
         out
+    }
+
+    fn gather_attr_rows(
+        &self,
+        nodes: &[NodeId],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> usize {
+        let mut cache = self.cache.lock().expect("cache lock");
+        let mut index: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        let mut unique: Vec<NodeId> = Vec::new();
+        slot_of.clear();
+        slot_of.reserve(nodes.len());
+        for &v in nodes {
+            let slot = *index.entry(v).or_insert_with(|| {
+                unique.push(v);
+                (unique.len() - 1) as u32
+            });
+            slot_of.push(slot);
+        }
+        // Serve hits row-natively; fetch each miss once through the inner
+        // backend, then remember it.
+        rows.clear();
+        rows.resize(unique.len() * self.attr_len, 0.0);
+        let mut missing: Vec<NodeId> = Vec::new();
+        let mut miss_rows: Vec<usize> = Vec::new();
+        for (i, &v) in unique.iter().enumerate() {
+            if let Some(attrs) = cache.get(v) {
+                rows[i * self.attr_len..(i + 1) * self.attr_len].copy_from_slice(attrs);
+            } else {
+                missing.push(v);
+                miss_rows.push(i);
+            }
+        }
+        if !missing.is_empty() {
+            let fetched = self.inner.gather_attributes(&missing);
+            for (j, &i) in miss_rows.iter().enumerate() {
+                rows[i * self.attr_len..(i + 1) * self.attr_len]
+                    .copy_from_slice(&fetched[j * self.attr_len..(j + 1) * self.attr_len]);
+            }
+            for (j, &v) in missing.iter().enumerate() {
+                cache.insert(v, &fetched[j * self.attr_len..(j + 1) * self.attr_len]);
+            }
+        }
+        self.attr_len
     }
 
     fn stats(&self) -> RequestStats {
@@ -564,6 +663,61 @@ mod tests {
         // Coalescing only happens on the flat plane.
         assert!(flat.stats().coalesce_lookups > 0);
         assert_eq!(legacy.stats().coalesce_lookups, 0);
+    }
+
+    #[test]
+    fn gather_attributes_routes_through_the_coalesced_path() {
+        let (g, a) = setup();
+        let flat = CpuBackend::new(&g, &a, 2);
+        let legacy = CpuBackend::new_legacy(&g, &a, 2);
+        let nodes: Vec<NodeId> = (0..40).map(|i| NodeId(i % 7)).collect();
+        // Same answer either way; only the flat arm records coalesce
+        // telemetry.
+        assert_eq!(
+            flat.gather_attributes(&nodes),
+            legacy.gather_attributes(&nodes)
+        );
+        let s = flat.stats();
+        assert_eq!(s.attr_coalesce_lookups, 40);
+        assert_eq!(s.attr_coalesce_hits, 33);
+        assert_eq!(legacy.stats().attr_coalesce_lookups, 0);
+    }
+
+    #[test]
+    fn gather_attr_rows_agrees_with_expanded_gather() {
+        let (g, a) = setup();
+        let b = CpuBackend::new(&g, &a, 2);
+        let nodes: Vec<NodeId> = (0..40).map(|i| NodeId(i % 7)).collect();
+        let mut rows = Vec::new();
+        let mut slot_of = Vec::new();
+        let attr_len = b.gather_attr_rows(&nodes, &mut rows, &mut slot_of);
+        assert_eq!(attr_len, a.attr_len());
+        assert_eq!(slot_of.len(), nodes.len());
+        assert_eq!(rows.len(), 7 * attr_len, "one row per distinct node");
+        let expanded = b.gather_attributes(&nodes);
+        for (i, &s) in slot_of.iter().enumerate() {
+            let s = s as usize;
+            assert_eq!(
+                &expanded[i * attr_len..(i + 1) * attr_len],
+                &rows[s * attr_len..(s + 1) * attr_len],
+                "occurrence {i}"
+            );
+        }
+
+        // The cached decorator's row-native path answers identically,
+        // cold and warm.
+        let cached = CachedBackend::new(Box::new(CpuBackend::new(&g, &a, 2)), 64, a.attr_len());
+        for pass in 0..2 {
+            let mut crows = Vec::new();
+            let mut cslots = Vec::new();
+            assert_eq!(
+                cached.gather_attr_rows(&nodes, &mut crows, &mut cslots),
+                attr_len
+            );
+            assert_eq!(crows, rows, "pass {pass}");
+            assert_eq!(cslots, slot_of, "pass {pass}");
+        }
+        assert!(cached.hit_rate() > 0.0, "second pass must hit");
     }
 
     #[test]

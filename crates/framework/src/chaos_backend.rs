@@ -85,6 +85,15 @@ impl SamplingBackend for ChaosBackend {
         self.inner.gather_attributes(nodes)
     }
 
+    fn gather_attr_rows(
+        &self,
+        nodes: &[NodeId],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> usize {
+        self.inner.gather_attr_rows(nodes, rows, slot_of)
+    }
+
     fn stats(&self) -> RequestStats {
         self.inner.stats()
     }

@@ -299,6 +299,13 @@ fn generate_picks(
 /// every address is known early, so the loop issues the loads for
 /// entries [`PICK_LOOKAHEAD`] positions ahead and the miss latency
 /// overlaps with the current entry's work instead of serializing.
+///
+/// This is also the only place each frontier entry's sampled-child count
+/// exists (full short lists, `fanout` picks from long ones, nothing from
+/// an unreachable owner), so the pass records one end offset per entry
+/// into `adj` — the per-parent adjacency table the GNN compute stage
+/// aggregates over ([`SampleBlock::adj_offsets`]).
+#[allow(clippy::too_many_arguments)]
 fn resolve_picks(
     csr: &[NodeId],
     table: &NeighborTable,
@@ -306,6 +313,7 @@ fn resolve_picks(
     picks: &[u32],
     fanout: usize,
     out: &mut Vec<NodeId>,
+    adj: &mut Vec<u32>,
     stats: &mut RequestStats,
 ) {
     // `cur` walks the picks consumed by resolved entries; `ahead` walks
@@ -336,6 +344,7 @@ fn resolve_picks(
             Some(list) => out.extend_from_slice(list),
             None => stats.unreachable_nodes += 1,
         }
+        adj.push(out.len() as u32);
     }
 }
 
@@ -454,6 +463,18 @@ impl Cluster {
     /// Number of server partitions.
     pub fn partitions(&self) -> u32 {
         self.senders.len() as u32
+    }
+
+    /// Attribute vector width of the cluster's store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster carries no attributes.
+    pub fn attr_len(&self) -> usize {
+        self.graph
+            .attributes()
+            .expect("cluster requires attributes")
+            .attr_len()
     }
 
     /// The shared buffer pool the data plane recycles through.
@@ -584,6 +605,7 @@ impl Cluster {
                 &picks,
                 fanout,
                 &mut block.nodes,
+                &mut block.adj_offsets,
                 &mut stats,
             );
             block.hop_offsets.push(block.nodes.len() as u32);
@@ -696,17 +718,19 @@ impl Cluster {
                 picks.clear();
                 generate_picks(&mut rngs[i], &table, slots, r.fanout, &mut picks);
                 frontier_starts[i] = blocks[i].nodes.len();
+                let b = &mut blocks[i];
                 resolve_picks(
                     csr,
                     &table,
                     slots,
                     &picks,
                     r.fanout,
-                    &mut blocks[i].nodes,
+                    &mut b.nodes,
+                    &mut b.adj_offsets,
                     &mut stats,
                 );
-                let end = blocks[i].nodes.len() as u32;
-                blocks[i].hop_offsets.push(end);
+                let end = b.nodes.len() as u32;
+                b.hop_offsets.push(end);
             }
         }
         table.recycle(&self.pool);
@@ -1398,6 +1422,55 @@ mod tests {
         assert!(stats.coalesce_hit_rate() > 0.0);
         // Each duplicate root still drew its own samples.
         assert_eq!(block.hop(0).len(), batch.hops[0].len());
+        c.shutdown();
+    }
+
+    #[test]
+    fn flat_blocks_carry_a_valid_adjacency_table() {
+        // The flat plane records per-parent child spans; they must tile
+        // each hop exactly, respect parent order, contain only genuine
+        // neighbors of their parent, and stay valid (empty spans for
+        // frontier entries on an excluded shard) under degradation.
+        let c = cluster(4);
+        let roots: Vec<NodeId> = (0..16).map(NodeId).collect();
+        for excluded in [&[][..], &[2u32][..]] {
+            let (block, _) = c.sample_block_excluding(&roots, 2, 5, 17, excluded);
+            assert!(block.has_adjacency());
+            assert_eq!(block.num_parents(), roots.len() + block.hop(0).len());
+            // Spans are monotone and end exactly at each hop boundary.
+            let mut prev = 0u32;
+            for &end in &block.adj_offsets {
+                assert!(end >= prev);
+                prev = end;
+            }
+            assert_eq!(
+                block.adj_offsets[roots.len() - 1],
+                block.hop_offsets[1],
+                "root spans tile hop 0"
+            );
+            assert_eq!(*block.adj_offsets.last().unwrap(), block.hop_offsets[2]);
+            // Every recorded child really neighbors its parent.
+            let g = c.graph().graph();
+            for (j, &parent) in roots.iter().chain(block.hop(0)).enumerate() {
+                let parent_list = g.neighbors(parent);
+                for &child in block.children(j) {
+                    assert!(
+                        parent_list.contains(&child),
+                        "child {child:?} not a neighbor of parent {parent:?}"
+                    );
+                }
+            }
+        }
+        // Batched sampling records the identical table.
+        let req = SampleRequest {
+            roots: roots.clone(),
+            hops: 2,
+            fanout: 5,
+            seed: 17,
+        };
+        let (batched, _) = c.sample_blocks_excluding(&[&req], &[]);
+        let (solo, _) = c.sample_block(&roots, 2, 5, 17);
+        assert_eq!(batched[0].adj_offsets, solo.adj_offsets);
         c.shutdown();
     }
 

@@ -51,6 +51,7 @@ pub mod chaos_backend;
 pub mod cluster;
 pub mod cpu_model;
 pub mod hot_cache;
+pub mod inference;
 pub mod offload;
 pub mod pool;
 pub mod service;
@@ -64,6 +65,10 @@ pub use chaos_backend::ChaosBackend;
 pub use cluster::{Cluster, RequestStats, Span};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
+pub use inference::{
+    run_sequential, InferenceConfig, InferenceReply, InferenceService, InferenceStats,
+    InferenceTicket,
+};
 pub use lsdgnn_sampler::SampleBlock;
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
 pub use pool::{BufferPool, PoolStats};

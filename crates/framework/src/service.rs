@@ -656,9 +656,24 @@ impl SamplingService {
     }
 
     /// Gathers attributes straight through the backend (attribute reads
-    /// are already batched by the caller's fetch list).
+    /// are already batched by the caller's fetch list). Cluster-backed
+    /// backends answer through the coalesced row fetch, so repeated hubs
+    /// surface in `attr_coalesce_*` telemetry.
     pub fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
         self.backend.gather_attributes(nodes)
+    }
+
+    /// Gathers attributes in deduplicated row form (see
+    /// [`SamplingBackend::gather_attr_rows`]); the inference pipeline's
+    /// gather stage feeds these rows and the slot index straight into
+    /// layer-0 aggregation. Returns the attribute width.
+    pub fn gather_attr_rows(
+        &self,
+        nodes: &[NodeId],
+        rows: &mut Vec<f32>,
+        slot_of: &mut Vec<u32>,
+    ) -> usize {
+        self.backend.gather_attr_rows(nodes, rows, slot_of)
     }
 
     /// A snapshot of service-level stats, with the backend's own

@@ -158,6 +158,27 @@ impl E2eModel {
     pub fn storage_to_model_ratio(&self, storage_bytes: u64) -> f64 {
         storage_bytes as f64 / (self.model_params() * 4) as f64
     }
+
+    /// Re-fits the two rate knobs against a measured serving run
+    /// (`bench inference` → `BENCH_inference.json`): given one batch's
+    /// measured data-plane seconds (sampling + attribute gather) and NN
+    /// compute seconds, back out the effective `sampling_rate` and
+    /// `nn_flops` the host actually delivers for this model's shape.
+    /// The shape knobs (`batch_size`, `fanout`, `hops`, `attr_len`)
+    /// must already describe the measured workload; the fitted rates
+    /// absorb any mismatch between this analytical model's layer stack
+    /// and the benched one, which is the point of calibration — after
+    /// this call, `breakdown(false)` reproduces the measured wall-clock
+    /// split exactly.
+    pub fn calibrate_from_run(&mut self, data_plane_s: f64, nn_s: f64) {
+        assert!(
+            data_plane_s > 0.0 && nn_s > 0.0,
+            "measured stage times must be positive"
+        );
+        self.sampling_rate = self.fetches_per_batch() as f64 / data_plane_s;
+        let (embed, sage, dssm) = self.phase_macs();
+        self.nn_flops = (embed + sage + dssm) as f64 * 2.0 / nn_s;
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +219,47 @@ mod tests {
         m.sampling_rate *= 900.0; // one FPGA ≈ 894 vCPU
         let f = m.breakdown(true).sampling_fraction();
         assert!(f < 0.05, "accelerated sampling fraction {f}");
+    }
+
+    #[test]
+    fn calibration_reproduces_measured_serving_split() {
+        // Measured on the serving bench (`bench inference`, sequential
+        // arm, 16-root requests on the 2-partition skewed workload):
+        // per-request p50 ≈ 811 µs split ≈ 68.8 % sampling + 17.8 %
+        // attribute gather + 13.4 % GNN compute. The analytical model
+        // folds gather into the sampling stage (the paper's "sampling"
+        // bar is the whole data plane), so the measured data-plane
+        // fraction is 86.6 % — inside Figure 3's 80–94 % inference
+        // window even on a single-core CPU backend with a toy model.
+        const REQ_S: f64 = 811.0e-6;
+        const DATA_PLANE_FRAC: f64 = 0.688 + 0.178;
+        let mut m = E2eModel {
+            batch_size: 16,
+            attr_len: 64,
+            ..E2eModel::default()
+        };
+        m.calibrate_from_run(REQ_S * DATA_PLANE_FRAC, REQ_S * (1.0 - DATA_PLANE_FRAC));
+        let b = m.breakdown(false);
+        assert!(
+            (b.sampling_fraction() - DATA_PLANE_FRAC).abs() < 1e-9,
+            "calibrated fraction {} != measured {DATA_PLANE_FRAC}",
+            b.sampling_fraction()
+        );
+        assert!(
+            (b.total_s() - REQ_S).abs() / REQ_S < 1e-9,
+            "calibrated total {} != measured {REQ_S}",
+            b.total_s()
+        );
+        assert!(
+            (0.80..0.94).contains(&b.sampling_fraction()),
+            "measured serving split left the Figure 3 inference window"
+        );
+        // Fitted host rates stay physical: the in-memory backend fetches
+        // faster per node than the paper's 120-worker distributed store
+        // only by a small factor, and a scalar single-core NN stack sits
+        // well under the 1 TFLOP/s effective-GPU default.
+        assert!(m.sampling_rate > 0.0 && m.sampling_rate < E2eModel::default().sampling_rate);
+        assert!(m.nn_flops > 0.0 && m.nn_flops < E2eModel::default().nn_flops);
     }
 
     #[test]

@@ -44,11 +44,29 @@ impl GradLinear {
 
     /// Forward pass, caching activations for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let pre = x.matmul(&self.weight).add_row_vector(&self.bias);
-        let out = if self.relu { pre.relu() } else { pre.clone() };
-        self.last_input = Some(x.clone());
-        self.last_pre = Some(pre);
+        let mut out = Matrix::zeros(1, 1);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// [`GradLinear::forward`] writing into a caller-provided buffer.
+    /// The activation caches reuse their storage from the previous step,
+    /// so a steady-state training loop allocates nothing here.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let mut pre = self.last_pre.take().unwrap_or_else(|| Matrix::zeros(1, 1));
+        x.matmul_into(&self.weight, &mut pre);
+        pre.add_row_vector_in_place(&self.bias);
+        out.copy_from(&pre);
+        if self.relu {
+            out.relu_in_place();
+        }
+        let mut cache = self
+            .last_input
+            .take()
+            .unwrap_or_else(|| Matrix::zeros(1, 1));
+        cache.copy_from(x);
+        self.last_input = Some(cache);
+        self.last_pre = Some(pre);
     }
 
     /// Backward pass: given `dL/dy`, applies the SGD update at rate `lr`
@@ -59,30 +77,38 @@ impl GradLinear {
     /// Panics if called before `forward` or with a mismatched gradient
     /// shape.
     pub fn backward(&mut self, grad_out: &Matrix, lr: f32) -> Matrix {
+        let mut dx = Matrix::zeros(1, 1);
+        self.backward_into(grad_out, lr, &mut dx);
+        dx
+    }
+
+    /// [`GradLinear::backward`] writing `dL/dx` into a caller-provided
+    /// buffer. The ReLU gate is applied at read time instead of
+    /// materializing `dL/dpre`, so no intermediate is allocated; values
+    /// are identical to the allocating form.
+    pub fn backward_into(&mut self, grad_out: &Matrix, lr: f32, dx: &mut Matrix) {
         let x = self.last_input.as_ref().expect("forward before backward");
         let pre = self.last_pre.as_ref().expect("forward before backward");
         let (batch, out_dim) = grad_out.shape();
         assert_eq!(pre.shape(), (batch, out_dim), "gradient shape mismatch");
         let (in_dim, _) = self.weight.shape();
 
-        // dL/dpre: gate by ReLU mask.
-        let mut dpre = grad_out.clone();
-        if self.relu {
-            for r in 0..batch {
-                for c in 0..out_dim {
-                    if pre.get(r, c) <= 0.0 {
-                        dpre.set(r, c, 0.0);
-                    }
-                }
+        // dL/dpre, gated by the ReLU mask at read time.
+        let relu = self.relu;
+        let dpre = |r: usize, k: usize| {
+            if relu && pre.get(r, k) <= 0.0 {
+                0.0
+            } else {
+                grad_out.get(r, k)
             }
-        }
+        };
         // dL/dx = dpre · Wᵀ  (computed without materializing Wᵀ).
-        let mut dx = Matrix::zeros(batch, in_dim);
+        dx.reset(batch, in_dim);
         for r in 0..batch {
             for c in 0..in_dim {
                 let mut acc = 0.0;
                 for k in 0..out_dim {
-                    acc += dpre.get(r, k) * self.weight.get(c, k);
+                    acc += dpre(r, k) * self.weight.get(c, k);
                 }
                 dx.set(r, c, acc);
             }
@@ -92,7 +118,7 @@ impl GradLinear {
             for k in 0..out_dim {
                 let mut acc = 0.0;
                 for r in 0..batch {
-                    acc += x.get(r, i) * dpre.get(r, k);
+                    acc += x.get(r, i) * dpre(r, k);
                 }
                 let w = self.weight.get(i, k) - lr * acc / batch as f32;
                 self.weight.set(i, k, w);
@@ -101,18 +127,46 @@ impl GradLinear {
         for (k, b) in self.bias.iter_mut().enumerate() {
             let mut acc = 0.0;
             for r in 0..batch {
-                acc += dpre.get(r, k);
+                acc += dpre(r, k);
             }
             *b -= lr * acc / batch as f32;
         }
-        dx
+    }
+}
+
+/// Reusable step buffers for [`GradMlp::train_mse`] — allocated on the
+/// first step, then recycled so the hot loop is allocation-free.
+#[derive(Debug, Clone)]
+struct TrainScratch {
+    y: Matrix,
+    ping: Matrix,
+    grad: Matrix,
+    back: Matrix,
+}
+
+impl TrainScratch {
+    fn new() -> Self {
+        TrainScratch {
+            y: Matrix::zeros(1, 1),
+            ping: Matrix::zeros(1, 1),
+            grad: Matrix::zeros(1, 1),
+            back: Matrix::zeros(1, 1),
+        }
     }
 }
 
 /// A trainable MLP (ReLU hidden layers, linear output).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GradMlp {
     layers: Vec<GradLinear>,
+    scratch: Option<Box<TrainScratch>>,
+}
+
+/// Equality is over the learnable state only; step scratch is excluded.
+impl PartialEq for GradMlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.layers == other.layers
+    }
 }
 
 impl GradMlp {
@@ -131,46 +185,78 @@ impl GradMlp {
                     GradLinear::new(w[0], w[1], i + 2 < widths.len(), seed + 31 * i as u64)
                 })
                 .collect(),
+            scratch: None,
         }
     }
 
     /// Forward pass (caches activations in every layer).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for l in &mut self.layers {
-            h = l.forward(&h);
+        let mut out = Matrix::zeros(1, 1);
+        let mut scratch = Matrix::zeros(1, 1);
+        self.forward_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`GradMlp::forward`] ping-ponging between two caller-provided
+    /// buffers; the final activation always lands in `out`.
+    pub fn forward_into(&mut self, x: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+        let (mut a, mut b) = if self.layers.len() % 2 == 1 {
+            (out, scratch)
+        } else {
+            (scratch, out)
+        };
+        let mut layers = self.layers.iter_mut();
+        layers
+            .next()
+            .expect("at least one layer")
+            .forward_into(x, a);
+        for l in layers {
+            l.forward_into(a, b);
+            std::mem::swap(&mut a, &mut b);
         }
-        h
     }
 
     /// Backward pass from `dL/dy`, updating all layers; returns `dL/dx`.
     pub fn backward(&mut self, grad_out: &Matrix, lr: f32) -> Matrix {
         let mut g = grad_out.clone();
+        let mut tmp = Matrix::zeros(1, 1);
         for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g, lr);
+            l.backward_into(&g, lr, &mut tmp);
+            std::mem::swap(&mut g, &mut tmp);
         }
         g
     }
 
     /// One MSE regression step on `(x, targets)`; returns the loss.
     ///
+    /// Per-step intermediates live in a persistent scratch, so repeated
+    /// calls (the training hot loop) allocate nothing after the first.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatches.
     pub fn train_mse(&mut self, x: &Matrix, targets: &Matrix, lr: f32) -> f32 {
-        let y = self.forward(x);
-        let (rows, cols) = y.shape();
+        let mut s = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(TrainScratch::new()));
+        self.forward_into(x, &mut s.ping, &mut s.y);
+        let (rows, cols) = s.y.shape();
         assert_eq!(targets.shape(), (rows, cols), "target shape mismatch");
-        let mut grad = Matrix::zeros(rows, cols);
+        s.grad.reset(rows, cols);
         let mut loss = 0.0;
         for r in 0..rows {
             for c in 0..cols {
-                let d = y.get(r, c) - targets.get(r, c);
+                let d = s.y.get(r, c) - targets.get(r, c);
                 loss += d * d;
-                grad.set(r, c, 2.0 * d);
+                s.grad.set(r, c, 2.0 * d);
             }
         }
-        self.backward(&grad, lr);
+        for l in self.layers.iter_mut().rev() {
+            l.backward_into(&s.grad, lr, &mut s.back);
+            std::mem::swap(&mut s.grad, &mut s.back);
+        }
+        self.scratch = Some(s);
         loss / (rows * cols) as f32
     }
 }
@@ -271,5 +357,50 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut l = GradLinear::new(2, 2, false, 0);
         l.backward(&Matrix::zeros(1, 2), 0.1);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_step() {
+        let x = Matrix::random(4, 3, 1.0, 60);
+        let grad = Matrix::random(4, 2, 1.0, 61);
+        let mut a = GradLinear::new(3, 2, true, 62);
+        let mut b = a.clone();
+        let ya = a.forward(&x);
+        let mut yb = Matrix::random(1, 7, 3.0, 63); // dirty target
+        b.forward_into(&x, &mut yb);
+        assert_eq!(ya, yb);
+        let dxa = a.backward(&grad, 0.05);
+        let mut dxb = Matrix::zeros(1, 1);
+        b.backward_into(&grad, 0.05, &mut dxb);
+        assert_eq!(dxa, dxb);
+        assert_eq!(a, b, "updated weights must match");
+    }
+
+    #[test]
+    fn train_mse_scratch_path_matches_manual_steps() {
+        let x = Matrix::random(6, 3, 1.0, 70);
+        let t = Matrix::random(6, 2, 1.0, 71);
+        let mut fast = GradMlp::new(&[3, 5, 2], 72);
+        let mut manual = fast.clone();
+        let mut fast_losses = Vec::new();
+        for _ in 0..5 {
+            fast_losses.push(fast.train_mse(&x, &t, 0.05));
+        }
+        for step in 0..5 {
+            let y = manual.forward(&x);
+            let (rows, cols) = y.shape();
+            let mut grad = Matrix::zeros(rows, cols);
+            let mut loss = 0.0;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let d = y.get(r, c) - t.get(r, c);
+                    loss += d * d;
+                    grad.set(r, c, 2.0 * d);
+                }
+            }
+            manual.backward(&grad, 0.05);
+            assert_eq!(fast_losses[step], loss / (rows * cols) as f32);
+        }
+        assert_eq!(fast, manual, "weights must evolve identically");
     }
 }

@@ -43,11 +43,23 @@ impl Linear {
     ///
     /// Panics if `x` has the wrong inner dimension.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let y = x.matmul(&self.weight).add_row_vector(&self.bias);
+        let mut y = Matrix::zeros(1, 1);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`Linear::forward`] writing into a caller-provided (typically
+    /// pooled) output matrix instead of allocating. `out` is reshaped to
+    /// `x.rows × out_dim`; the result is bitwise-identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong inner dimension.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight, out);
+        out.add_row_vector_in_place(&self.bias);
         if self.relu {
-            y.relu()
-        } else {
-            y
+            out.relu_in_place();
         }
     }
 
@@ -83,7 +95,28 @@ impl Mlp {
 
     /// Forward pass.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.layers.iter().fold(x.clone(), |h, l| l.forward(&h))
+        let mut out = Matrix::zeros(1, 1);
+        let mut scratch = Matrix::zeros(1, 1);
+        self.forward_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Mlp::forward`] ping-ponging between two caller-provided
+    /// (typically pooled) buffers; the final activation always lands in
+    /// `out`. Result is bitwise-identical to `forward`.
+    pub fn forward_into(&self, x: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+        // Pick starting buffers so the last layer's write ends in `out`:
+        // after the first layer, each subsequent layer swaps the pair.
+        let (mut a, mut b) = if self.layers.len() % 2 == 1 {
+            (out, scratch)
+        } else {
+            (scratch, out)
+        };
+        self.layers[0].forward_into(x, a);
+        for l in &self.layers[1..] {
+            l.forward_into(a, b);
+            std::mem::swap(&mut a, &mut b);
+        }
     }
 
     /// Total parameters.
@@ -152,5 +185,33 @@ mod tests {
     #[should_panic(expected = "input and output")]
     fn single_width_panics() {
         let _ = Mlp::new(&[4], 0);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        let x = Matrix::random(6, 16, 1.0, 40);
+        let l = Linear::new(16, 8, true, 41);
+        let mut out = Matrix::zeros(1, 1);
+        l.forward_into(&x, &mut out);
+        assert_eq!(out, l.forward(&x));
+
+        // Odd and even depths exercise both ping-pong starting orders.
+        for widths in [&[16usize, 8, 4][..], &[16, 12, 8, 4][..]] {
+            let m = Mlp::new(widths, 42);
+            let mut out = Matrix::zeros(1, 1);
+            let mut scratch = Matrix::zeros(1, 1);
+            m.forward_into(&x, &mut scratch, &mut out);
+            assert_eq!(out, m.forward(&x), "depth {}", m.depth());
+        }
+    }
+
+    #[test]
+    fn forward_into_reuses_dirty_buffers() {
+        let x = Matrix::random(3, 8, 1.0, 50);
+        let m = Mlp::new(&[8, 8, 8], 51);
+        let mut out = Matrix::random(7, 2, 5.0, 52);
+        let mut scratch = Matrix::random(1, 9, 5.0, 53);
+        m.forward_into(&x, &mut scratch, &mut out);
+        assert_eq!(out, m.forward(&x));
     }
 }

@@ -32,6 +32,6 @@ pub use dssm::Dssm;
 pub use e2e::{E2eBreakdown, E2eModel, Phase};
 pub use grad::{GradLinear, GradMlp};
 pub use layers::{Linear, Mlp};
-pub use sage::SageMaxLayer;
+pub use sage::{SageMaxLayer, SageModel, SageScratch};
 pub use tensor::Matrix;
 pub use train::LinkPredictor;

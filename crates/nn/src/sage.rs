@@ -74,6 +74,211 @@ impl SageMaxLayer {
     pub fn forward_macs(&self, n: usize) -> u64 {
         self.proj.forward_macs(n)
     }
+
+    /// CSR-span forward over a single feature matrix — the flat
+    /// `SampleBlock` data-plane form of [`SageMaxLayer::forward`], with no
+    /// `Vec<Vec<usize>>` re-materialization and no allocation beyond the
+    /// caller's scratch.
+    ///
+    /// Target `i`'s own embedding is `feats.row(target_rows[i])`; its
+    /// sampled children occupy positions `ends[i-1]..ends[i]` (0-based
+    /// start for `i == 0`) of `child_rows`, each naming a row of `feats`.
+    /// An empty span falls back to the target's own embedding, matching
+    /// the nested form. `concat` is scratch for the `[h_v | max h_u]`
+    /// concatenation; the projection lands in `out` (`n × out_dim`).
+    /// Values are bitwise-identical to the nested `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, `ends.len() != target_rows.len()`, or
+    /// out-of-range row indices.
+    pub fn forward_spans_into(
+        &self,
+        feats: &Matrix,
+        target_rows: &[u32],
+        child_rows: &[u32],
+        ends: &[u32],
+        concat: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let n = target_rows.len();
+        let d = self.in_dim;
+        assert_eq!(feats.shape().1, d, "feature width mismatch");
+        assert_eq!(ends.len(), n, "one adjacency span per target");
+        concat.reset(n, 2 * d);
+        let mut start = 0usize;
+        for i in 0..n {
+            let end = ends[i] as usize;
+            let row = concat.row_mut(i);
+            let own = feats.row(target_rows[i] as usize);
+            row[..d].copy_from_slice(own);
+            if start == end {
+                // Self-fallback, as in the nested form.
+                row[d..].copy_from_slice(own);
+            } else {
+                // Element-wise max over the span, mirroring
+                // `Matrix::max_over_rows` (seed with the first child).
+                row[d..].copy_from_slice(feats.row(child_rows[start] as usize));
+                for &cr in &child_rows[start + 1..end] {
+                    let child = feats.row(cr as usize);
+                    for (o, &v) in row[d..].iter_mut().zip(child) {
+                        *o = o.max(v);
+                    }
+                }
+            }
+            start = end;
+        }
+        self.proj.forward_into(concat, out);
+    }
+}
+
+/// Reusable buffers for [`SageModel::forward_block_into`].
+#[derive(Debug, Clone)]
+pub struct SageScratch {
+    identity: Vec<u32>,
+    cur: Matrix,
+    nxt: Matrix,
+    concat: Matrix,
+}
+
+impl SageScratch {
+    /// Empty scratch; buffers grow on first use and are then recycled.
+    pub fn new() -> Self {
+        SageScratch {
+            identity: Vec::new(),
+            cur: Matrix::zeros(1, 1),
+            nxt: Matrix::zeros(1, 1),
+            concat: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for SageScratch {
+    fn default() -> Self {
+        SageScratch::new()
+    }
+}
+
+/// A stack of [`SageMaxLayer`]s driven directly by a flat `SampleBlock`'s
+/// hop/adjacency offsets — one layer per sampling hop, innermost first.
+///
+/// The entry space unifies roots and sampled nodes: entry `e < num_roots`
+/// is root `e`, entry `e ≥ num_roots` is sampled node `e - num_roots`.
+/// Layer 1 reads deduplicated attribute rows through a slot index (so each
+/// unique node's raw features are touched once); later layers index the
+/// previous layer's output directly. Each layer `k` produces embeddings
+/// for the entries that still matter — roots plus hops `0..H-k` — until
+/// layer `H` leaves exactly the root embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SageModel {
+    layers: Vec<SageMaxLayer>,
+}
+
+impl SageModel {
+    /// Builds through the listed feature widths, e.g. `[64, 32, 16]` for
+    /// a two-hop model mapping 64-wide attributes to 16-wide embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need input and output widths");
+        SageModel {
+            layers: widths
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| SageMaxLayer::new(w[0], w[1], seed + 17 * i as u64))
+                .collect(),
+        }
+    }
+
+    /// Layer count == sampling hops consumed.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input attribute width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output embedding width.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Total parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(SageMaxLayer::params).sum()
+    }
+
+    /// Forward pass over a flat sample block, writing root embeddings
+    /// (`num_roots × out_dim`) into `out`.
+    ///
+    /// Inputs mirror `SampleBlock`'s flat planes without depending on the
+    /// sampler crate: `hop_offsets[i]` is the start of hop `i` in the node
+    /// plane, `adj_offsets[j]` the exclusive end of parent `j`'s children
+    /// (parents enumerate roots then hops `0..H-2`), and `slot_of[e]` maps
+    /// entry `e` to its row in `rows`, the deduplicated attribute matrix
+    /// from the coalesced gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_offsets.len() != num_layers()`, on adjacency/slot
+    /// length mismatches, or `num_roots == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_block_into(
+        &self,
+        num_roots: usize,
+        hop_offsets: &[u32],
+        adj_offsets: &[u32],
+        rows: &Matrix,
+        slot_of: &[u32],
+        scratch: &mut SageScratch,
+        out: &mut Matrix,
+    ) {
+        let h = self.layers.len();
+        assert!(num_roots > 0, "need at least one root");
+        assert_eq!(hop_offsets.len(), h, "one layer per sampling hop");
+        let parents = num_roots + hop_offsets[h - 1] as usize;
+        assert_eq!(adj_offsets.len(), parents, "one span end per parent");
+        let nodes = adj_offsets.last().map_or(0, |&e| e as usize);
+        let total = num_roots + nodes;
+        assert_eq!(slot_of.len(), total, "one attribute slot per entry");
+
+        // Layer 1: unique-row features through the slot index. Targets
+        // are every parent; children of parent j are node-plane entries
+        // adj_offsets[j-1]..adj_offsets[j], i.e. slots slot_of[num_roots..].
+        self.layers[0].forward_spans_into(
+            rows,
+            &slot_of[..parents],
+            &slot_of[num_roots..],
+            adj_offsets,
+            &mut scratch.concat,
+            &mut scratch.cur,
+        );
+
+        // Layers 2..=H: identity indexing into the previous layer's
+        // output; each layer narrows the live prefix to roots + hops
+        // 0..H-k (children of entry j stay at entries num_roots + span_j).
+        if h >= 2 && scratch.identity.len() < total {
+            scratch.identity.clear();
+            scratch.identity.extend(0..total as u32);
+        }
+        for k in 2..=h {
+            let n_k = num_roots + hop_offsets[h - k] as usize;
+            self.layers[k - 1].forward_spans_into(
+                &scratch.cur,
+                &scratch.identity[..n_k],
+                &scratch.identity[num_roots..],
+                &adj_offsets[..n_k],
+                &mut scratch.concat,
+                &mut scratch.nxt,
+            );
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+        }
+        out.copy_from(&scratch.cur);
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +346,168 @@ mod tests {
         let nodes = Matrix::zeros(2, 4);
         let neigh = Matrix::zeros(1, 4);
         layer.forward(&nodes, &neigh, &[vec![]]);
+    }
+
+    /// Stacks matrices row-wise (test helper for building a unified
+    /// feature plane out of the nested API's separate matrices).
+    fn vstack(mats: &[&Matrix]) -> Matrix {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for m in mats {
+            for r in 0..m.shape().0 {
+                rows.push(m.row(r).to_vec());
+            }
+        }
+        Matrix::from_rows(&rows.iter().map(|r| &r[..]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn span_forward_matches_nested_forward_bitwise() {
+        let layer = SageMaxLayer::new(8, 4, 1);
+        let nodes = Matrix::random(3, 8, 1.0, 2);
+        let neigh = Matrix::random(10, 8, 1.0, 3);
+        let adj = vec![vec![0usize, 1, 2], vec![5], vec![]];
+        let nested = layer.forward(&nodes, &neigh, &adj);
+
+        // Same computation in span form: one feature plane, targets at
+        // rows 0..3, neighbors at rows 3..13.
+        let feats = vstack(&[&nodes, &neigh]);
+        let target_rows = [0u32, 1, 2];
+        let mut child_rows = Vec::new();
+        let mut ends = Vec::new();
+        for samples in &adj {
+            child_rows.extend(samples.iter().map(|&j| 3 + j as u32));
+            ends.push(child_rows.len() as u32);
+        }
+        let mut concat = Matrix::zeros(1, 1);
+        let mut out = Matrix::zeros(1, 1);
+        layer.forward_spans_into(
+            &feats,
+            &target_rows,
+            &child_rows,
+            &ends,
+            &mut concat,
+            &mut out,
+        );
+        assert_eq!(out, nested);
+    }
+
+    #[test]
+    fn model_matches_manual_layerwise_reference() {
+        // A synthetic 2-root, 2-hop flat block:
+        //   entries: [root0, root1 | n0..n6], hop 0 = n0..n2, hop 1 = n3..n6
+        //   parents: roots + hop-0 nodes, children per adj_offsets spans.
+        let num_roots = 2usize;
+        let hop_offsets = [0u32, 3];
+        let adj_offsets = [2u32, 3, 5, 5, 7];
+        let slot_of = [0u32, 1, 2, 3, 1, 4, 5, 0, 2];
+        let rows = Matrix::random(6, 8, 1.0, 40);
+        let model = SageModel::new(&[8, 6, 4], 41);
+        assert_eq!(model.num_layers(), 2);
+        assert_eq!(model.in_dim(), 8);
+        assert_eq!(model.out_dim(), 4);
+
+        let mut scratch = SageScratch::new();
+        let mut out = Matrix::zeros(1, 1);
+        model.forward_block_into(
+            num_roots,
+            &hop_offsets,
+            &adj_offsets,
+            &rows,
+            &slot_of,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.shape(), (2, 4));
+
+        // Reference: expand slots to per-entry features and run the
+        // nested API layer by layer.
+        let entry_rows: Vec<&[f32]> = slot_of.iter().map(|&s| rows.row(s as usize)).collect();
+        let feats = Matrix::from_rows(&entry_rows);
+        let span = |j: usize| -> Vec<usize> {
+            let start = if j == 0 {
+                0
+            } else {
+                adj_offsets[j - 1] as usize
+            };
+            (start..adj_offsets[j] as usize).collect()
+        };
+        // Layer 1 over all 5 parents; neighbors indexed in the node plane
+        // (entry index minus num_roots).
+        let parents_feats = Matrix::from_rows(&(0..5).map(|e| feats.row(e)).collect::<Vec<_>>());
+        let node_feats = Matrix::from_rows(&(2..9).map(|e| feats.row(e)).collect::<Vec<_>>());
+        let l0 = SageMaxLayer::new(8, 6, 41);
+        let adj1: Vec<Vec<usize>> = (0..5).map(span).collect();
+        let cur = l0.forward(&parents_feats, &node_feats, &adj1);
+        // Layer 2 over the 2 roots; neighbors are the hop-0 embeddings
+        // (entries 2..5 of the layer-1 output).
+        let root_feats = Matrix::from_rows(&[cur.row(0), cur.row(1)]);
+        let neigh_feats = Matrix::from_rows(&(2..5).map(|e| cur.row(e)).collect::<Vec<_>>());
+        let l1 = SageMaxLayer::new(6, 4, 41 + 17);
+        let adj2: Vec<Vec<usize>> = (0..2).map(span).collect();
+        let reference = l1.forward(&root_feats, &neigh_feats, &adj2);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn degraded_block_with_no_nodes_falls_back_to_self() {
+        // A fully-degraded reply: roots only, every span empty.
+        let rows = Matrix::random(2, 4, 1.0, 50);
+        let model = SageModel::new(&[4, 3, 2], 51);
+        let mut scratch = SageScratch::new();
+        let mut out = Matrix::zeros(1, 1);
+        model.forward_block_into(2, &[0, 0], &[0, 0], &rows, &[0, 1], &mut scratch, &mut out);
+        let l0 = SageMaxLayer::new(4, 3, 51);
+        let l1 = SageMaxLayer::new(3, 2, 51 + 17);
+        let empty = [vec![], vec![]];
+        let mid = l0.forward(&rows, &rows, &empty);
+        let reference = l1.forward(&mid, &mid, &empty);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn scratch_is_safe_to_reuse_across_block_shapes() {
+        let model = SageModel::new(&[4, 4, 4], 60);
+        let mut scratch = SageScratch::new();
+        let rows_a = Matrix::random(5, 4, 1.0, 61);
+        let mut out_a = Matrix::zeros(1, 1);
+        let hop_a = [0u32, 2];
+        let adj_a = [1u32, 2, 3, 4];
+        let slot_a = [0u32, 1, 2, 3, 4, 0];
+        model.forward_block_into(
+            2,
+            &hop_a,
+            &adj_a,
+            &rows_a,
+            &slot_a,
+            &mut scratch,
+            &mut out_a,
+        );
+        // Re-run with fresh scratch: identical.
+        let mut out_b = Matrix::zeros(1, 1);
+        model.forward_block_into(
+            2,
+            &hop_a,
+            &adj_a,
+            &rows_a,
+            &slot_a,
+            &mut SageScratch::new(),
+            &mut out_b,
+        );
+        assert_eq!(out_a, out_b);
+        // Then a smaller block through the same (dirty, larger) scratch.
+        let rows_c = Matrix::random(1, 4, 1.0, 62);
+        let mut out_c = Matrix::zeros(1, 1);
+        model.forward_block_into(1, &[0, 0], &[0], &rows_c, &[0], &mut scratch, &mut out_c);
+        let mut out_d = Matrix::zeros(1, 1);
+        model.forward_block_into(
+            1,
+            &[0, 0],
+            &[0],
+            &rows_c,
+            &[0],
+            &mut SageScratch::new(),
+            &mut out_d,
+        );
+        assert_eq!(out_c, out_d);
     }
 }

@@ -64,6 +64,53 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Wraps a recycled buffer (e.g. from a buffer pool's float class) as
+    /// a zeroed `rows × cols` matrix, reusing its capacity. The inverse
+    /// of [`Matrix::into_vec`] — together they let matrices ride a pool's
+    /// free list between requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_pooled(rows: usize, cols: usize, mut buf: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
+    /// Surrenders the backing buffer (for returning to a pool).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes in place to a zeroed `rows × cols`, keeping the backing
+    /// buffer's capacity — the entry point of every `_into` operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Becomes an element-wise copy of `src` (any previous shape),
+    /// reusing the backing buffer's capacity.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// The identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
@@ -123,14 +170,37 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Matrix product `self × rhs`.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided (typically
+    /// pooled) output, which is reshaped to `self.rows × rhs.cols`.
+    /// Identical arithmetic and result to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` aliases an operand.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        out.reset(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -144,7 +214,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Element-wise ReLU.
@@ -156,20 +225,36 @@ impl Matrix {
         }
     }
 
+    /// Element-wise ReLU in place (same values as [`Matrix::relu`]).
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0);
+        }
+    }
+
     /// Adds a row vector (bias broadcast).
     ///
     /// # Panics
     ///
     /// Panics if `bias.len() != cols`.
     pub fn add_row_vector(&self, bias: &[f32]) -> Matrix {
-        assert_eq!(bias.len(), self.cols, "bias length mismatch");
         let mut out = self.clone();
-        for row in out.data.chunks_mut(self.cols) {
+        out.add_row_vector_in_place(bias);
+        out
+    }
+
+    /// [`Matrix::add_row_vector`] in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_vector_in_place(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_mut(self.cols) {
             for (o, b) in row.iter_mut().zip(bias) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Column-wise max over a set of rows; the graphSAGE-max aggregation.
@@ -298,5 +383,45 @@ mod tests {
     #[should_panic(expected = "inner dimensions")]
     fn mismatched_matmul_panics() {
         Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let a = Matrix::random(4, 6, 1.0, 21);
+        let b = Matrix::random(6, 3, 1.0, 22);
+        // A dirty, wrongly-shaped target must still produce the same
+        // product as the allocating form.
+        let mut out = Matrix::random(2, 9, 5.0, 23);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let mut r = a.clone();
+        r.relu_in_place();
+        assert_eq!(r, a.relu());
+
+        let bias = [0.5, -1.0, 2.0, 0.0, 1.0, -0.5];
+        let mut s = a.clone();
+        s.add_row_vector_in_place(&bias);
+        assert_eq!(s, a.add_row_vector(&bias));
+    }
+
+    #[test]
+    fn pooled_round_trip_reuses_capacity() {
+        let buf = vec![9.0; 64];
+        let cap = buf.capacity();
+        let m = Matrix::from_pooled(4, 4, buf);
+        assert_eq!(m, Matrix::zeros(4, 4));
+        let back = m.into_vec();
+        assert_eq!(back.capacity(), cap);
+    }
+
+    #[test]
+    fn reset_and_copy_from_reshape_in_place() {
+        let mut m = Matrix::random(3, 5, 1.0, 31);
+        m.reset(2, 4);
+        assert_eq!(m, Matrix::zeros(2, 4));
+        let src = Matrix::random(5, 2, 1.0, 32);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 }

@@ -22,7 +22,7 @@ use lsdgnn_graph::NodeId;
 /// `nodes.len()`, and has `num_hops() + 1` entries. Hop `h` is
 /// `nodes[hop_offsets[h]..hop_offsets[h + 1]]`, parent-major within the
 /// hop (same ordering contract as `SampleBatch`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SampleBlock {
     /// The root (seed) nodes of the mini-batch.
     pub roots: Vec<NodeId>,
@@ -30,6 +30,23 @@ pub struct SampleBlock {
     pub hop_offsets: Vec<u32>,
     /// Every sampled node, all hops concatenated, parent-major.
     pub nodes: Vec<NodeId>,
+    /// Optional per-parent child boundaries — the second CSR level the
+    /// GNN compute stage aggregates over. Parents enumerate as roots
+    /// first, then every hop's entries except the last hop's;
+    /// `adj_offsets[j]` is the *end* index into `nodes` of parent `j`'s
+    /// sampled children (the start is `adj_offsets[j - 1]`, or `0` for
+    /// the first parent). Per-parent child counts are data-dependent
+    /// (full short lists, `fanout` picks from long ones, nothing from an
+    /// unreachable owner), so only the sampling pass itself can record
+    /// them: the flat data plane fills this in, while conversions from
+    /// the nested legacy form leave it empty ([`Self::has_adjacency`]
+    /// tells the two apart).
+    ///
+    /// Derived routing metadata, not sample content: `PartialEq` and
+    /// [`Self::digest`] cover `roots`/`hop_offsets`/`nodes` only, so
+    /// legacy-vs-flat differential comparisons keep working on blocks
+    /// that agree on samples but differ in adjacency availability.
+    pub adj_offsets: Vec<u32>,
 }
 
 impl Default for SampleBlock {
@@ -38,6 +55,22 @@ impl Default for SampleBlock {
     }
 }
 
+/// Sample-content equality: two blocks are equal when they hold the same
+/// roots, hop boundaries and sampled nodes. `adj_offsets` is *derived*
+/// metadata (fully determined by the request under the per-seed
+/// determinism contract) and deliberately excluded, so a flat-plane
+/// block compares equal to the same samples converted from the legacy
+/// nested form, which cannot carry adjacency.
+impl PartialEq for SampleBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.roots == other.roots
+            && self.hop_offsets == other.hop_offsets
+            && self.nodes == other.nodes
+    }
+}
+
+impl Eq for SampleBlock {}
+
 impl SampleBlock {
     /// An empty block (no roots, no hops).
     pub fn new() -> Self {
@@ -45,16 +78,18 @@ impl SampleBlock {
             roots: Vec::new(),
             hop_offsets: vec![0],
             nodes: Vec::new(),
+            adj_offsets: Vec::new(),
         }
     }
 
-    /// Empties the block for reuse, keeping all three buffers' capacity —
-    /// the pool-recycling entry point.
+    /// Empties the block for reuse, keeping all buffers' capacity — the
+    /// pool-recycling entry point.
     pub fn clear(&mut self) {
         self.roots.clear();
         self.nodes.clear();
         self.hop_offsets.clear();
         self.hop_offsets.push(0);
+        self.adj_offsets.clear();
     }
 
     /// Number of hop levels.
@@ -85,6 +120,40 @@ impl SampleBlock {
     /// Total sampled nodes across hops (excluding roots).
     pub fn total_sampled(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of parent entries the adjacency table would cover: the
+    /// roots plus every hop's entries except the last hop's (leaves have
+    /// no children in the block). Zero-hop blocks have no parents.
+    pub fn num_parents(&self) -> usize {
+        match self.num_hops() {
+            0 => 0,
+            h => self.roots.len() + self.hop_offsets[h - 1] as usize,
+        }
+    }
+
+    /// Whether this block carries the per-parent adjacency table — true
+    /// for blocks produced by the flat sampling data plane, false for
+    /// conversions from the nested legacy form (whose per-parent counts
+    /// are unrecoverable).
+    pub fn has_adjacency(&self) -> bool {
+        self.num_hops() > 0 && self.adj_offsets.len() == self.num_parents()
+    }
+
+    /// The sampled children of parent entry `j` (see [`Self::adj_offsets`]
+    /// for the parent enumeration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no adjacency table or `j` is out of range.
+    pub fn children(&self, j: usize) -> &[NodeId] {
+        assert!(self.has_adjacency(), "block carries no adjacency table");
+        let start = if j == 0 {
+            0
+        } else {
+            self.adj_offsets[j - 1] as usize
+        };
+        &self.nodes[start..self.adj_offsets[j] as usize]
     }
 
     /// All nodes whose attributes a GNN layer would fetch: roots then
@@ -128,10 +197,11 @@ impl SampleBlock {
         block
     }
 
-    /// FNV-1a digest over the full content (roots, boundaries, nodes).
+    /// FNV-1a digest over the sample content (roots, boundaries, nodes).
     /// Two blocks are byte-identical iff their digests and lengths agree;
     /// the differential tests compare digests across the legacy and flat
-    /// serving paths.
+    /// serving paths. Like `PartialEq`, the digest excludes the derived
+    /// `adj_offsets` table so both paths fingerprint identically.
     pub fn digest(&self) -> u64 {
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -226,10 +296,44 @@ mod tests {
             roots: a.roots.clone(),
             hop_offsets: vec![0, 2, 5],
             nodes: a.nodes.clone(),
+            adj_offsets: Vec::new(),
         };
         assert_ne!(a.digest(), flat.digest());
         // Empty-vs-empty agrees.
         assert_eq!(SampleBlock::new().digest(), SampleBlock::new().digest());
+    }
+
+    #[test]
+    fn adjacency_spans_address_children_per_parent() {
+        // 2 roots, hop 0 of 3 nodes, hop 1 of 2 nodes. Parents are the
+        // roots (children in hop 0) and the hop-0 entries (children in
+        // hop 1): root 0 sampled 2 children, root 1 sampled 1; the first
+        // hop-0 entry sampled both hop-1 nodes, the other two none.
+        let mut block = SampleBlock::from_batch(&sample_batch());
+        assert!(!block.has_adjacency(), "conversions carry no adjacency");
+        block.adj_offsets = vec![2, 3, 5, 5, 5];
+        assert_eq!(block.num_parents(), 5);
+        assert!(block.has_adjacency());
+        assert_eq!(block.children(0), &[NodeId(3), NodeId(4)]);
+        assert_eq!(block.children(1), &[NodeId(5)]);
+        assert_eq!(block.children(2), &[NodeId(6), NodeId(7)]);
+        assert!(block.children(3).is_empty());
+        assert!(block.children(4).is_empty());
+    }
+
+    #[test]
+    fn equality_and_digest_ignore_derived_adjacency() {
+        // The legacy conversion cannot reconstruct adjacency; blocks that
+        // agree on samples must still compare (and fingerprint) equal.
+        let plain = SampleBlock::from_batch(&sample_batch());
+        let mut with_adj = plain.clone();
+        with_adj.adj_offsets = vec![2, 3, 5, 5, 5];
+        assert_eq!(plain, with_adj);
+        assert_eq!(plain.digest(), with_adj.digest());
+        // Clearing drops the adjacency with the rest.
+        with_adj.clear();
+        assert!(with_adj.adj_offsets.is_empty());
+        assert!(!with_adj.has_adjacency());
     }
 
     #[test]
