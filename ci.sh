@@ -65,6 +65,27 @@ grep -q '"pipelined_p99_us":[0-9]' BENCH_inference.json \
 grep -q '"speedup_ok":true' BENCH_inference.json \
     || { echo "FAIL: pipelined inference slower than sequential reference"; exit 1; }
 
+echo "==> observability smoke: bench obs --quick"
+cargo run --release -q -p lsdgnn-bench -- obs --quick
+test -s BENCH_obs.json \
+    || { echo "FAIL: BENCH_obs.json missing or empty"; exit 1; }
+grep -q '"overhead_ok":true' BENCH_obs.json \
+    || { echo "FAIL: instrumented serving overhead above budget"; exit 1; }
+grep -q '"digest_identical":true' BENCH_obs.json \
+    || { echo "FAIL: observed pipeline not digest-identical to plain pipeline"; exit 1; }
+grep -q '"blame_names_fault":true' BENCH_obs.json \
+    || { echo "FAIL: tail blame failed to name an injected fault"; exit 1; }
+if grep -q '"blame_stages":0,' BENCH_obs.json; then
+    echo "FAIL: blame table is empty"; exit 1
+fi
+grep -q '"merge_jobs_parity":true' BENCH_obs.json \
+    || { echo "FAIL: ledger merge digest depends on recorder threads"; exit 1; }
+
+echo "==> trace-report smoke: per-stage summary of the fig14 trace"
+cargo run --release -q -p lsdgnn-bench -- trace-report "$SMOKE_DIR/trace.json" \
+    | grep -q 'dispatch' \
+    || { echo "FAIL: trace-report did not summarize service spans"; exit 1; }
+
 echo "==> parallel harness smoke: fig14 through --jobs 2"
 LSDGNN_SCALE=800 LSDGNN_BATCHES=1 cargo run --release -q -p lsdgnn-bench -- fig14 --jobs 2
 

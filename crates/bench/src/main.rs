@@ -36,7 +36,9 @@ mod faas_exp;
 mod inference;
 mod kernel_bench;
 mod microarch;
+mod obs_exp;
 mod poc;
+mod trace_report;
 mod util;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -123,6 +125,10 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!("  chaos [--quick] [--seed N] [--out path]   fault-injection sweep");
     eprintln!("  dataplane [--quick]   flat-buffer vs legacy serving-path benchmark");
     eprintln!("  inference [--quick]   pipelined vs sequential end-to-end inference benchmark");
+    eprintln!(
+        "  obs [--quick] [--seed N] [--out path]   observability overhead + tail-blame benchmark"
+    );
+    eprintln!("  trace-report <trace.json>   per-stage summary of a --trace-out Chrome trace");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
 }
@@ -197,6 +203,21 @@ fn main() {
     }
     if args.iter().any(|a| a == "inference") {
         inference::inference(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "obs") {
+        obs_exp::obs(quick, seed, out.as_deref().unwrap_or("BENCH_obs.json"));
+        return;
+    }
+    if args.iter().any(|a| a == "trace-report") {
+        let path = args.iter().find(|a| *a != "trace-report").cloned().or(out);
+        match path {
+            Some(p) => trace_report::trace_report(&p),
+            None => {
+                eprintln!("trace-report needs a trace file: bench trace-report <trace.json>");
+                std::process::exit(2);
+            }
+        }
         return;
     }
 

@@ -114,3 +114,57 @@ fn chaos_sweep_is_byte_identical_across_jobs() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Runs `obs --quick` with timing fields zeroed, returning stdout and
+/// the artifact bytes.
+fn run_obs(jobs: &str, out: &PathBuf) -> (String, Vec<u8>) {
+    let cmd = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args(["obs", "--quick", "--jobs", jobs, "--seed", "42", "--out"])
+        .arg(out)
+        .env("LSDGNN_OBS_OMIT_TIMING", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        cmd.status.success(),
+        "obs --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&cmd.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cmd.stdout).replace(&out.display().to_string(), "<out>");
+    let artifact = std::fs::read(out).expect("obs artifact written");
+    (stdout, artifact)
+}
+
+/// The observability bench must not depend on `--jobs`: reply digests,
+/// blame attribution, chaos-arm verdicts and the canonical ledger-merge
+/// digest are all scheduling-independent, and `LSDGNN_OBS_OMIT_TIMING`
+/// zeroes the wall-clock-derived rest.
+#[test]
+fn obs_artifact_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_obs_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+
+    let (out1, art1) = run_obs("1", &dir.join("j1.json"));
+    let (out4, art4) = run_obs("4", &dir.join("j4.json"));
+    assert_eq!(out1, out4, "obs stdout must not depend on --jobs");
+    assert_eq!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&art4),
+        "obs artifact must not depend on --jobs"
+    );
+    let text = String::from_utf8_lossy(&art1);
+    assert!(
+        text.contains("\"digest_identical\":true"),
+        "instrumented replies must digest-match the baseline"
+    );
+    assert!(
+        text.contains("\"merge_jobs_parity\":true"),
+        "ledger merge must be order-independent"
+    );
+    for fault in ["request_loss", "card_down", "queue_stall"] {
+        assert!(
+            text.contains(&format!("\"top_fault\":\"{fault}\"")),
+            "blame must name the injected {fault} fault"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

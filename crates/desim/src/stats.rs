@@ -159,6 +159,16 @@ impl Histogram {
         if self.count == 0 {
             return Time::ZERO;
         }
+        // Edge quantiles are exact, not interpolated: q=0 is the smallest
+        // observed sample, q=1 the largest. (Within-bucket interpolation
+        // would otherwise report mid-bucket for q=0 whenever the first
+        // occupied bucket holds more than one sample.)
+        if q <= 0.0 {
+            return Time::from_ticks(self.min);
+        }
+        if q >= 1.0 {
+            return Time::from_ticks(self.max);
+        }
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
@@ -381,6 +391,65 @@ mod tests {
     #[should_panic(expected = "within")]
     fn bad_percentile_panics() {
         Histogram::new().percentile(-0.1);
+    }
+
+    #[test]
+    fn percentile_edge_quantiles_hit_min_and_max_exactly() {
+        // Regression: with >1 sample in the first occupied bucket,
+        // within-bucket interpolation used to report mid-bucket for q=0.
+        let mut h = Histogram::new();
+        for t in [4u64, 7, 7, 1500] {
+            h.record(Time::from_ticks(t));
+        }
+        assert_eq!(h.percentile(0.0), Time::from_ticks(4));
+        assert_eq!(h.percentile(1.0), Time::from_ticks(1500));
+    }
+
+    #[test]
+    fn percentile_single_bucket_many_samples_stays_in_bucket() {
+        let mut h = Histogram::new();
+        // All samples in [64,128).
+        for t in [64u64, 80, 100, 127] {
+            h.record(Time::from_ticks(t));
+        }
+        assert_eq!(h.percentile(0.0), Time::from_ticks(64));
+        assert_eq!(h.percentile(1.0), Time::from_ticks(127));
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let p = h.percentile(q);
+            assert!(p >= h.min() && p <= h.max(), "q={q} p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_properties_hold_for_pseudorandom_populations() {
+        // Property sweep over deterministic pseudo-random populations:
+        // for every q in [0,1], min <= percentile(q) <= max; percentile
+        // is monotone in q; q=0 and q=1 are exact.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for pop in 0..16 {
+            let mut h = Histogram::new();
+            let n = 1 + (pop * 17) % 200;
+            for _ in 0..n {
+                h.record(Time::from_ticks(next() % 1_000_000));
+            }
+            let qs: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+            let mut prev = Time::ZERO;
+            for &q in &qs {
+                let p = h.percentile(q);
+                assert!(p >= h.min(), "pop={pop} q={q}: {p} < min {}", h.min());
+                assert!(p <= h.max(), "pop={pop} q={q}: {p} > max {}", h.max());
+                assert!(p >= prev, "pop={pop} q={q}: not monotone");
+                prev = p;
+            }
+            assert_eq!(h.percentile(0.0), h.min(), "pop={pop}");
+            assert_eq!(h.percentile(1.0), h.max(), "pop={pop}");
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@ use crate::cluster::{Cluster, RequestStats};
 use crate::hot_cache::HotNodeCache;
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId, PartitionedGraph};
 use lsdgnn_sampler::{SampleBatch, SampleBlock};
+use lsdgnn_telemetry::ledger::{self, Stage, NO_SHARD};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One sampling request: expand `roots` through `hops` levels at `fanout`
 /// samples per node, with all randomness derived from `seed`.
@@ -306,10 +308,21 @@ impl SamplingBackend for CpuBackend {
         // skewed head repeats across requests), but its lookup table and
         // reply arenas eventually outgrow the cache, so the fused fetch
         // is capped rather than unbounded.
+        let obs_on = ledger::scope_active();
         let mut blocks = Vec::with_capacity(reqs.len());
         for chunk in reqs.chunks(COALESCE_WIDTH) {
+            let t0 = obs_on.then(Instant::now);
             let (mut b, s) = self.cluster.sample_blocks_excluding(chunk, &[]);
             self.record(s);
+            if let Some(t0) = t0 {
+                ledger::scope_record(
+                    Stage::Sampling,
+                    NO_SHARD,
+                    0.0,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                    chunk.len() as u64,
+                );
+            }
             blocks.append(&mut b);
         }
         blocks
@@ -348,13 +361,19 @@ impl SamplingBackend for CpuBackend {
         self.cluster.pool().put_block(block);
     }
 
-    fn try_sample(
-        &self,
-        req: &SampleRequest,
-        _attempt: u32,
-    ) -> Result<SampleOutcome, BackendError> {
+    fn try_sample(&self, req: &SampleRequest, attempt: u32) -> Result<SampleOutcome, BackendError> {
+        let t0 = ledger::scope_active().then(Instant::now);
         let (block, s) = self.run(req, &[]);
         self.record(s);
+        if let Some(t0) = t0 {
+            ledger::scope_record(
+                Stage::Sampling,
+                NO_SHARD,
+                0.0,
+                t0.elapsed().as_secs_f64() * 1e6,
+                u64::from(attempt),
+            );
+        }
         Ok(SampleOutcome {
             block,
             degraded: s.any_unreachable(),

@@ -26,6 +26,7 @@ use crate::cluster::RequestStats;
 use lsdgnn_chaos::FaultInjector;
 use lsdgnn_graph::NodeId;
 use lsdgnn_sampler::SampleBlock;
+use lsdgnn_telemetry::ledger::{self, faults, Stage, NO_SHARD};
 use std::time::Duration;
 
 /// A fault-injecting decorator over any sampling backend.
@@ -65,6 +66,9 @@ impl ChaosBackend {
         let card = (req.seed % self.inner.shards().max(1) as u64) as u32;
         let delay_us = self.injector.straggler_delay_us(card, req.seed);
         if delay_us > 0 {
+            if ledger::scope_active() {
+                ledger::scope_record(Stage::Fault, card, delay_us as f64, 0.0, faults::STRAGGLER);
+            }
             std::thread::sleep(Duration::from_micros(delay_us));
         }
     }
@@ -105,6 +109,9 @@ impl SamplingBackend for ChaosBackend {
     fn try_sample(&self, req: &SampleRequest, attempt: u32) -> Result<SampleOutcome, BackendError> {
         self.straggle(req);
         if self.injector.drop_request(req.seed, attempt) {
+            if ledger::scope_active() {
+                ledger::scope_record(Stage::Fault, NO_SHARD, 0.0, 0.0, faults::REQUEST_LOSS);
+            }
             return Err(BackendError::Injected);
         }
         let now = req.seed;
@@ -113,6 +120,11 @@ impl SamplingBackend for ChaosBackend {
             self.inner.try_sample(req, attempt)
         } else {
             self.injector.note_cards_down(&downs);
+            if ledger::scope_active() {
+                for &card in &downs {
+                    ledger::scope_record(Stage::Fault, card, 0.0, 0.0, faults::CARD_DOWN);
+                }
+            }
             Ok(self.inner.sample_excluding(req, &downs))
         }
     }
@@ -122,6 +134,11 @@ impl SamplingBackend for ChaosBackend {
     /// still honest about down cards — they stay excluded.
     fn sample_excluding(&self, req: &SampleRequest, excluded: &[u32]) -> SampleOutcome {
         let mut downs = self.downs_at(req.seed);
+        if ledger::scope_active() {
+            for &card in &downs {
+                ledger::scope_record(Stage::Fault, card, 0.0, 0.0, faults::CARD_DOWN);
+            }
+        }
         for &e in excluded {
             if !downs.contains(&e) {
                 downs.push(e);

@@ -32,11 +32,13 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_graph::mem::prefetch_read;
 use lsdgnn_graph::{NodeId, NodeMap, PartitionId, PartitionedGraph};
 use lsdgnn_sampler::{NeighborSampler, SampleBatch, SampleBlock, StreamingSampler};
+use lsdgnn_telemetry::ledger::{self, Stage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A server's answer to a neighbor request: CSR-shaped (one boundary per
 /// requested node into one flat array), plus the request buffer handed
@@ -564,8 +566,10 @@ impl Cluster {
         // The frontier lives inside the block: hop h's samples land at
         // the tail of `block.nodes` and become hop h+1's frontier — no
         // scratch buffers to fill, swap, or copy into the block.
+        let obs_on = ledger::scope_active();
         let mut frontier_start = 0usize;
         for h in 0..hops {
+            let hop_t0 = obs_on.then(Instant::now);
             // Coalesce: fetch each distinct frontier node once, then
             // sample per frontier *entry* so RNG consumption (and thus
             // the result) matches the uncoalesced legacy path exactly.
@@ -609,6 +613,15 @@ impl Cluster {
                 &mut stats,
             );
             block.hop_offsets.push(block.nodes.len() as u32);
+            if let Some(t0) = hop_t0 {
+                ledger::scope_record(
+                    Stage::SampleHop,
+                    self.worker_partition.0,
+                    0.0,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                    u64::from(h),
+                );
+            }
         }
         table.recycle(&self.pool);
         self.pool.put_nodes(unique);
@@ -666,9 +679,11 @@ impl Cluster {
         let csr = self.graph.graph().targets();
         // Per-request frontier start: each request's frontier is the
         // tail of its own block, exactly as in the solo path.
+        let obs_on = ledger::scope_active();
         let mut frontier_starts = vec![0usize; reqs.len()];
         let max_hops = reqs.iter().map(|r| r.hops).max().unwrap_or(0);
         for h in 0..max_hops {
+            let hop_t0 = obs_on.then(Instant::now);
             // Coalesce the union of every active request's frontier.
             unique.clear();
             slot_of.clear();
@@ -732,6 +747,15 @@ impl Cluster {
                 let end = b.nodes.len() as u32;
                 b.hop_offsets.push(end);
             }
+            if let Some(t0) = hop_t0 {
+                ledger::scope_record(
+                    Stage::SampleHop,
+                    self.worker_partition.0,
+                    0.0,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                    u64::from(h),
+                );
+            }
         }
         table.recycle(&self.pool);
         self.pool.put_nodes(unique);
@@ -794,6 +818,7 @@ impl Cluster {
         if local_seen && local_up {
             stats.local_requests += 1;
         }
+        let obs_on = ledger::scope_active();
         for (p, pos) in remote.into_iter().enumerate() {
             if pos.is_empty() {
                 continue;
@@ -801,6 +826,7 @@ impl Cluster {
             if self.unreachable(p, excluded) {
                 continue; // spans stay Down
             }
+            let leg_t0 = obs_on.then(Instant::now);
             let (reply_tx, reply_rx) = bounded(1);
             let mut req_buf = self.pool.take_nodes();
             req_buf.extend(pos.iter().map(|&i| unique[i as usize]));
@@ -808,7 +834,17 @@ impl Cluster {
                 nodes: req_buf,
                 reply: reply_tx,
             });
-            match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+            let got = sent.ok().and_then(|()| reply_rx.recv().ok());
+            if let Some(t0) = leg_t0 {
+                ledger::scope_record(
+                    Stage::RemoteLeg,
+                    p as u32,
+                    0.0,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                    pos.len() as u64,
+                );
+            }
+            match got {
                 Some(NeighborsReply {
                     offsets,
                     flat,
@@ -922,6 +958,7 @@ impl Cluster {
         if local_seen && local_up {
             stats.local_requests += 1;
         }
+        let obs_on = ledger::scope_active();
         for (p, pos) in remote.into_iter().enumerate() {
             if pos.is_empty() {
                 continue;
@@ -932,6 +969,7 @@ impl Cluster {
                 }
                 continue; // rows stay zeroed: a degraded partial gather
             }
+            let leg_t0 = obs_on.then(Instant::now);
             let (reply_tx, reply_rx) = bounded(1);
             let mut req_buf = self.pool.take_nodes();
             req_buf.extend(pos.iter().map(|&i| unique[i as usize]));
@@ -939,7 +977,17 @@ impl Cluster {
                 nodes: req_buf,
                 reply: reply_tx,
             });
-            match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+            let got = sent.ok().and_then(|()| reply_rx.recv().ok());
+            if let Some(t0) = leg_t0 {
+                ledger::scope_record(
+                    Stage::GatherLeg,
+                    p as u32,
+                    0.0,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                    pos.len() as u64,
+                );
+            }
+            match got {
                 Some(AttrsReply { attrs, request }) => {
                     for (j, &slot) in pos.iter().enumerate() {
                         let slot = slot as usize;

@@ -35,11 +35,13 @@
 //! [`InferenceReply::recall`] quantifying the loss.
 
 use crate::backend::SampleRequest;
+use crate::obs::Observability;
 use crate::pool::BufferPool;
 use crate::service::{SampleReply, SampleTicket, SamplingService};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_desim::{Histogram, Time};
 use lsdgnn_nn::{Matrix, SageModel, SageScratch};
+use lsdgnn_telemetry::ledger::{self, Stage, NO_SHARD};
 use lsdgnn_telemetry::{Log2Histogram, MetricSource, Scope};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -194,18 +196,32 @@ struct GatherJob {
     reply: Sender<InferenceReply>,
 }
 
+/// One request resolved by the gather stage: its sample reply plus the
+/// segment of the fused fetch it owns.
+struct Resolved {
+    sreply: SampleReply,
+    trace: u64,
+    slot_start: usize,
+    slot_len: usize,
+    fanout: usize,
+    submitted: Instant,
+    reply: Sender<InferenceReply>,
+}
+
 /// Gather stage → compute stage handoff. A fused gather batch shares
 /// one feature matrix and one slot table across its requests; each job
 /// owns a contiguous segment of the slot table (the `Arc`s drop back to
 /// the pool when the batch's last job finishes computing).
 struct ComputeJob {
     sreply: SampleReply,
+    trace: u64,
     feats: Arc<Matrix>,
     slots: Arc<Vec<u32>>,
     slot_start: usize,
     slot_len: usize,
     fanout: usize,
     submitted: Instant,
+    enqueued: Instant,
     reply: Sender<InferenceReply>,
 }
 
@@ -242,13 +258,22 @@ impl InferenceService {
         let (gather_tx, gather_rx) = bounded::<GatherJob>(config.stage_capacity.max(1));
         let (compute_tx, compute_rx) = bounded::<ComputeJob>(config.stage_capacity.max(1));
 
+        // When the sampling service carries an observability bundle, the
+        // pipeline becomes the finish authority: a request is only "done"
+        // (flight dumps, deadline checks) once its embeddings exist.
+        let obs = svc.observability().cloned();
+        if let Some(o) = &obs {
+            o.defer_sample_finish();
+        }
+
         let gather_handle = {
             let svc = Arc::clone(&svc);
             let pool = Arc::clone(&pool);
             let stats = Arc::clone(&stats);
             let batch = config.gather_batch.max(1);
+            let obs = obs.clone();
             std::thread::spawn(move || {
-                gather_loop(&svc, &pool, &stats, batch, &gather_rx, &compute_tx)
+                gather_loop(&svc, &pool, &stats, batch, &gather_rx, &compute_tx, obs)
             })
         };
         let compute_handle = {
@@ -256,7 +281,7 @@ impl InferenceService {
             let model = Arc::clone(&model);
             let pool = Arc::clone(&pool);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || compute_loop(&svc, &model, &pool, &stats, &compute_rx))
+            std::thread::spawn(move || compute_loop(&svc, &model, &pool, &stats, &compute_rx, obs))
         };
 
         InferenceService {
@@ -367,6 +392,7 @@ fn gather_loop(
     gather_batch: usize,
     rx: &Receiver<GatherJob>,
     tx: &Sender<ComputeJob>,
+    obs: Option<Observability>,
 ) {
     loop {
         // Block for one job, then drain peers already in the queue —
@@ -391,19 +417,50 @@ fn gather_loop(
 
         // Resolve in submission order and build the fused fetch list;
         // remember each request's entry segment.
+        let fused = jobs.len() as u64;
+        let wait_t0 = obs.as_ref().map(|_| Instant::now());
         let mut fetch = pool.take_nodes();
         let mut resolved = Vec::with_capacity(jobs.len());
         for job in jobs {
+            let trace = job.ticket.trace();
             let sreply = job.ticket.wait_reply();
-            let start = fetch.len();
+            let slot_start = fetch.len();
             fetch.extend_from_slice(&sreply.block.roots);
             fetch.extend_from_slice(&sreply.block.nodes);
-            let len = fetch.len() - start;
-            resolved.push((sreply, start, len, job.fanout, job.submitted, job.reply));
+            let slot_len = fetch.len() - slot_start;
+            resolved.push(Resolved {
+                sreply,
+                trace,
+                slot_start,
+                slot_len,
+                fanout: job.fanout,
+                submitted: job.submitted,
+                reply: job.reply,
+            });
         }
+        let wait_us = wait_t0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e6);
+        // The fused fetch runs inside a ledger scope covering every fused
+        // request, so the per-partition gather legs underneath attribute
+        // to each of them.
+        let _scope = obs
+            .as_ref()
+            .map(|o| ledger::enter_scope(o.ledger(), resolved.iter().map(|r| r.trace).collect()));
+        let fetch_t0 = obs.as_ref().map(|_| Instant::now());
         let mut rows = pool.take_floats();
         let mut slot_of = pool.take_offsets();
         let attr_len = svc.gather_attr_rows(&fetch, &mut rows, &mut slot_of);
+        if let Some(t0) = fetch_t0 {
+            // queue = time spent waiting on the sample tickets; service =
+            // the fused coalesced fetch; detail = requests fused.
+            ledger::scope_record(
+                Stage::Gather,
+                NO_SHARD,
+                wait_us,
+                t0.elapsed().as_secs_f64() * 1e6,
+                fused,
+            );
+        }
+        drop(_scope);
         pool.put_nodes(fetch);
 
         let feats = Arc::new(Matrix::from_vec(
@@ -412,16 +469,19 @@ fn gather_loop(
             rows,
         ));
         let slots = Arc::new(slot_of);
-        for (sreply, slot_start, slot_len, fanout, submitted, reply) in resolved {
+        let enqueued = Instant::now();
+        for r in resolved {
             let sent = tx.send(ComputeJob {
-                sreply,
+                sreply: r.sreply,
+                trace: r.trace,
                 feats: Arc::clone(&feats),
                 slots: Arc::clone(&slots),
-                slot_start,
-                slot_len,
-                fanout,
-                submitted,
-                reply,
+                slot_start: r.slot_start,
+                slot_len: r.slot_len,
+                fanout: r.fanout,
+                submitted: r.submitted,
+                enqueued,
+                reply: r.reply,
             });
             if sent.is_err() {
                 return; // compute stage gone: shutting down
@@ -438,9 +498,19 @@ fn compute_loop(
     pool: &Arc<BufferPool>,
     stats: &Mutex<InferenceStats>,
     rx: &Receiver<ComputeJob>,
+    obs: Option<Observability>,
 ) {
     let mut scratch = SageScratch::new();
+    let mut lh = obs.as_ref().map(|o| o.ledger().handle());
+    let mut marks: Vec<f64> = Vec::new();
     for job in rx.iter() {
+        let queue_us = if lh.is_some() {
+            job.enqueued.elapsed().as_secs_f64() * 1e6
+        } else {
+            0.0
+        };
+        let compute_t0 = lh.is_some().then(Instant::now);
+        marks.clear();
         let out_buf = pool.take_floats();
         let slots = &job.slots[job.slot_start..job.slot_start + job.slot_len];
         let reply = compute_stage(
@@ -451,6 +521,11 @@ fn compute_loop(
             &job.feats,
             slots,
             job.fanout,
+            |_k| {
+                if let Some(t0) = compute_t0 {
+                    marks.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            },
         );
         // The batch's last job returns the shared buffers to the pool.
         if let Ok(m) = Arc::try_unwrap(job.feats) {
@@ -468,6 +543,26 @@ fn compute_loop(
                 s.degraded += 1;
             }
             s.latency.record(Time::from_micros(elapsed_us));
+        }
+        if let (Some(o), Some(h)) = (obs.as_ref(), lh.as_mut()) {
+            // One ComputeLayer event per layer (service = that layer's
+            // share of the forward pass); the compute-queue wait is
+            // charged to layer 0.
+            let mut prev = 0.0;
+            for (k, &m) in marks.iter().enumerate() {
+                let q = if k == 0 { queue_us } else { 0.0 };
+                h.record(
+                    job.trace,
+                    Stage::ComputeLayer,
+                    NO_SHARD,
+                    q,
+                    m - prev,
+                    k as u64,
+                );
+                prev = m;
+            }
+            o.observe_e2e(elapsed_us as f64, reply.degraded);
+            h.finish(job.trace, elapsed_us as f64, reply.degraded);
         }
         // A dropped ticket just discards the reply.
         let _ = job.reply.send(reply);
@@ -497,7 +592,11 @@ fn gather_stage(
 /// batch-shared) feature matrix, and attach degradation provenance. The
 /// answer depends only on each entry's feature *values*, so a fused
 /// gather's global row order produces bitwise-identical embeddings.
-fn compute_stage(
+/// `after_layer` fires once per finished layer (the observability
+/// timing hook); the unobserved path passes a no-op closure that
+/// monomorphizes away.
+#[allow(clippy::too_many_arguments)]
+fn compute_stage<F: FnMut(usize)>(
     model: &SageModel,
     scratch: &mut SageScratch,
     out_buf: Vec<f32>,
@@ -505,6 +604,7 @@ fn compute_stage(
     feats: &Matrix,
     slot_of: &[u32],
     fanout: usize,
+    after_layer: F,
 ) -> InferenceReply {
     let block = &sreply.block;
     assert!(
@@ -515,7 +615,7 @@ fn compute_stage(
     // The block's boundary table carries a trailing end sentinel
     // (`nodes.len()`); the model wants only the per-hop starts.
     let hop_starts = &block.hop_offsets[..block.hop_offsets.len() - 1];
-    model.forward_block_into(
+    model.forward_block_observed(
         block.roots.len(),
         hop_starts,
         &block.adj_offsets,
@@ -523,6 +623,7 @@ fn compute_stage(
         slot_of,
         scratch,
         &mut out,
+        after_layer,
     );
     InferenceReply {
         embeddings: out,
@@ -571,6 +672,7 @@ pub fn run_sequential(
             &feats,
             &slot_of,
             fanout,
+            |_| {},
         );
         pool.put_floats(feats.into_vec());
         pool.put_offsets(slot_of);
@@ -745,6 +847,97 @@ mod tests {
             .expect("latency histogram exported");
         assert_eq!(lat.count, 4);
         assert!(lat.p99 >= lat.p50);
+    }
+
+    #[test]
+    fn observed_pipeline_records_causal_ledger_and_matches_plain() {
+        let obs = Observability::default();
+        let svc = SamplingService::start_observed(
+            backend(2),
+            service_cfg(1),
+            None,
+            None,
+            Some(obs.clone()),
+        );
+        let pipe = InferenceService::start(svc, model(), InferenceConfig::default());
+        assert!(
+            !obs.sample_finish_enabled(),
+            "pipeline owns the finish triggers"
+        );
+        let tickets: Vec<InferenceTicket> = (0..12).map(|s| pipe.submit(req(s))).collect();
+        let observed: Vec<InferenceReply> =
+            tickets.into_iter().map(InferenceTicket::wait).collect();
+
+        // Observability must never change answers.
+        let plain_svc = SamplingService::start(backend(2), service_cfg(1));
+        let plain = run_sequential(&plain_svc, &model(), (0..12).map(req));
+        for (i, (o, p)) in observed.iter().zip(&plain).enumerate() {
+            assert_eq!(o.digest(), p.digest(), "request {i}");
+        }
+
+        let snap = obs.ledger().snapshot();
+        assert_eq!(snap.finished, 12, "e2e finish per request");
+        let stages: Vec<Stage> = snap.events_for(1).iter().map(|e| e.stage).collect();
+        for want in [
+            Stage::Enqueue,
+            Stage::Admission,
+            Stage::Sampling,
+            Stage::SampleHop,
+            Stage::RemoteLeg,
+            Stage::SampleDone,
+            Stage::Gather,
+            Stage::GatherLeg,
+            Stage::ComputeLayer,
+            Stage::Done,
+        ] {
+            assert!(
+                stages.contains(&want),
+                "missing {} in {stages:?}",
+                want.name()
+            );
+        }
+        assert_eq!(
+            stages.iter().filter(|&&s| s == Stage::ComputeLayer).count(),
+            2,
+            "one compute event per model layer"
+        );
+        let blame = snap.blame(0.5);
+        assert!(blame.top_stage().is_some());
+        assert_eq!(obs.sampling_slo().total(), 12);
+        assert_eq!(obs.e2e_slo().total(), 12);
+    }
+
+    #[test]
+    fn degraded_observed_pipeline_dumps_flights_with_chaos_correlation() {
+        // Card 1 dead from tick 0: every reply is degraded, so every
+        // finish trips the flight recorder, correlated with the plan.
+        let plan = FaultPlan::build(42, ScenarioSpec::none().with_card_failure(1, 0)).unwrap();
+        let injector = FaultInjector::new(plan.clone());
+        let chaos = ChaosBackend::new(backend(2), injector.clone());
+        let obs = Observability::default();
+        let svc = SamplingService::start_observed(
+            Box::new(chaos),
+            service_cfg(1),
+            None,
+            Some(injector),
+            Some(obs.clone()),
+        );
+        let pipe = InferenceService::start(svc, model(), InferenceConfig::default());
+        for s in 0..6 {
+            let reply = pipe.infer(req(s));
+            assert!(reply.degraded);
+        }
+        let snap = obs.ledger().snapshot();
+        assert_eq!(snap.degraded_finishes, 6);
+        assert!(!snap.dumps.is_empty(), "degraded finishes must dump");
+        for d in &snap.dumps {
+            assert_eq!(d.chaos_seed, Some(plan.seed()), "replay correlation");
+            assert_eq!(d.plan_digest, Some(plan.digest()));
+            assert!(!d.events.is_empty(), "dump carries the causal tail");
+        }
+        // The injected fault layer is named by the tail blame.
+        let blame = snap.blame(0.0);
+        assert_eq!(blame.top_fault(), Some("card_down"));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod cpu_model;
 pub mod hot_cache;
 pub mod inference;
+pub mod obs;
 pub mod offload;
 pub mod pool;
 pub mod service;
@@ -70,6 +71,7 @@ pub use inference::{
     InferenceTicket,
 };
 pub use lsdgnn_sampler::SampleBlock;
+pub use obs::{ObsConfig, Observability};
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
 pub use pool::{BufferPool, PoolStats};
 pub use service::{

@@ -1,0 +1,152 @@
+//! Serving-stack observability wiring: one [`Observability`] handle
+//! bundles the per-request [`RequestLedger`] with the SLO monitors the
+//! serving layers evaluate inline.
+//!
+//! The handle is opt-in and `Option`-shaped everywhere it is threaded
+//! (mirroring the existing `Option<Tracer>` idiom): a service started
+//! without one takes exactly the code path it always had, and deep
+//! layers (cluster data plane, chaos decorator, retry ladder) only pay
+//! a thread-local `scope_active()` read when disabled — which is what
+//! keeps the instrumented-but-disabled digest identical.
+//!
+//! Layering of completion triggers: [`SamplingService`] observes its
+//! submit→reply latency against the *sampling* SLO and, when it is the
+//! outermost layer, runs the ledger's finish triggers (flight dumps).
+//! [`InferenceService::start`] calls [`Observability::defer_sample_finish`]
+//! so a wrapped sampling stage only contributes events and the pipeline's
+//! end-to-end completion is the single finish authority — otherwise every
+//! degraded sample would dump twice.
+//!
+//! [`SamplingService`]: crate::service::SamplingService
+//! [`InferenceService::start`]: crate::inference::InferenceService::start
+
+use lsdgnn_telemetry::ledger::LedgerConfig;
+use lsdgnn_telemetry::{RequestLedger, SloMonitor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Policy knobs of an [`Observability`] handle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Ledger sizing and flight-recorder trigger policy.
+    pub ledger: LedgerConfig,
+    /// Sampling-stage SLO: target p99 of submit→sample-reply, µs.
+    pub sampling_target_p99_us: f64,
+    /// End-to-end SLO: target p99 of submit→embedding, µs.
+    pub e2e_target_p99_us: f64,
+    /// Allowed violation fraction (0.01 = a p99 objective).
+    pub slo_budget: f64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            ledger: LedgerConfig::default(),
+            sampling_target_p99_us: 50_000.0,
+            e2e_target_p99_us: 100_000.0,
+            slo_budget: 0.01,
+        }
+    }
+}
+
+/// The cloneable observability bundle threaded through the serving
+/// stack: ledger + SLO monitors + the finish-authority switch.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    ledger: RequestLedger,
+    sampling_slo: Arc<Mutex<SloMonitor>>,
+    e2e_slo: Arc<Mutex<SloMonitor>>,
+    /// Whether sampling-level completion runs the ledger's finish
+    /// triggers; the inference pipeline clears this and takes over.
+    sample_finish: Arc<AtomicBool>,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability::new(ObsConfig::default())
+    }
+}
+
+impl Observability {
+    /// Builds the bundle from policy knobs.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Observability {
+            ledger: RequestLedger::new(cfg.ledger),
+            sampling_slo: Arc::new(Mutex::new(SloMonitor::new(
+                cfg.sampling_target_p99_us,
+                cfg.slo_budget,
+            ))),
+            e2e_slo: Arc::new(Mutex::new(SloMonitor::new(
+                cfg.e2e_target_p99_us,
+                cfg.slo_budget,
+            ))),
+            sample_finish: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The shared request ledger.
+    pub fn ledger(&self) -> &RequestLedger {
+        &self.ledger
+    }
+
+    /// Marks an outer pipeline layer as the finish authority: sampling
+    /// completions keep feeding events and the sampling SLO, but stop
+    /// running the ledger's flight-dump/deadline triggers.
+    pub fn defer_sample_finish(&self) {
+        self.sample_finish.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether sampling-level completion still owns the finish triggers.
+    pub fn sample_finish_enabled(&self) -> bool {
+        self.sample_finish.load(Ordering::Relaxed)
+    }
+
+    /// Accounts one sampling completion against the sampling SLO.
+    pub fn observe_sampling(&self, latency_us: f64, degraded: bool) {
+        self.sampling_slo
+            .lock()
+            .expect("sampling slo lock")
+            .observe(latency_us, degraded);
+    }
+
+    /// Accounts one end-to-end completion against the e2e SLO.
+    pub fn observe_e2e(&self, latency_us: f64, degraded: bool) {
+        self.e2e_slo
+            .lock()
+            .expect("e2e slo lock")
+            .observe(latency_us, degraded);
+    }
+
+    /// A snapshot of the sampling-stage SLO monitor.
+    pub fn sampling_slo(&self) -> SloMonitor {
+        self.sampling_slo.lock().expect("sampling slo lock").clone()
+    }
+
+    /// A snapshot of the end-to-end SLO monitor.
+    pub fn e2e_slo(&self) -> SloMonitor {
+        self.e2e_slo.lock().expect("e2e slo lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_finish_authority_toggle() {
+        let obs = Observability::default();
+        assert!(obs.sample_finish_enabled());
+        obs.defer_sample_finish();
+        assert!(!obs.sample_finish_enabled());
+        // Clones share the switch and the monitors.
+        let clone = obs.clone();
+        assert!(!clone.sample_finish_enabled());
+        clone.observe_sampling(10.0, false);
+        clone.observe_e2e(200_000.0, true);
+        assert_eq!(obs.sampling_slo().total(), 1);
+        let e2e = obs.e2e_slo();
+        assert_eq!(e2e.total(), 1);
+        assert_eq!(e2e.violations(), 1, "200ms > 100ms target");
+        assert!(e2e.budget_exhausted());
+    }
+}

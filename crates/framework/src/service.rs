@@ -38,11 +38,13 @@
 use crate::backend::{SampleOutcome, SampleRequest, SamplingBackend};
 use crate::breaker::CircuitBreaker;
 use crate::cluster::RequestStats;
+use crate::obs::Observability;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_chaos::{rng::stream, ChaosRng, FaultInjector};
 use lsdgnn_desim::{Histogram, Time};
 use lsdgnn_graph::NodeId;
 use lsdgnn_sampler::{SampleBatch, SampleBlock};
+use lsdgnn_telemetry::ledger::{self, faults, Stage, NO_SHARD};
 use lsdgnn_telemetry::{pids, Log2Histogram, MetricSource, Scope, Tracer};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -233,6 +235,8 @@ struct Job {
     req: SampleRequest,
     reply: Sender<SampleReply>,
     submitted: Instant,
+    /// Ledger trace id (0 = untraced: no observability installed).
+    trace: u64,
 }
 
 /// A pending request's handle; [`SampleTicket::wait`] blocks for the
@@ -240,9 +244,16 @@ struct Job {
 #[derive(Debug)]
 pub struct SampleTicket {
     rx: Receiver<SampleReply>,
+    trace: u64,
 }
 
 impl SampleTicket {
+    /// The request's ledger trace id (0 when the service was started
+    /// without observability). Outer pipeline layers use this to append
+    /// their own stages to the same causal record.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
     /// Blocks until the service replies, discarding degradation
     /// metadata — the legacy synchronous path, in nested-`Vec` form.
     ///
@@ -298,13 +309,26 @@ fn serve_one(
     // fault decision is decorrelated from the retry ladder's.
     const HEDGE_SALT: u32 = 0x8000_0000;
 
+    // Ladder events land in whatever recording scope the shard
+    // installed for this request; without one (observability off) no
+    // clocks are read and every record call is a no-op.
+    let obs_on = ledger::scope_active();
+    let us_since = |t0: Option<Instant>| t0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e6);
+
     if !breaker.allow() {
         // Open breaker: don't touch the failing path at all. The
         // fallback still reflects genuinely-down shards, so the answer
         // is as good as retries would have eventually produced.
         acct.fastpaths += 1;
         acct.fallbacks += 1;
+        if obs_on {
+            ledger::scope_record(Stage::BreakerTrip, NO_SHARD, 0.0, 0.0, 0);
+        }
+        let t0 = obs_on.then(Instant::now);
         let outcome = backend.sample_excluding(req, &[]);
+        if obs_on {
+            ledger::scope_record(Stage::Fallback, NO_SHARD, 0.0, us_since(t0), 0);
+        }
         return SampleReply::from_outcome(outcome, 0, false);
     }
 
@@ -312,6 +336,7 @@ fn serve_one(
     let mut hedged = false;
     loop {
         attempts += 1;
+        let t0 = obs_on.then(Instant::now);
         match backend.try_sample(req, attempts - 1) {
             Ok(outcome) => {
                 breaker.record_success();
@@ -322,22 +347,52 @@ fn serve_one(
                 breaker.record_failure();
             }
         }
+        let failed_us = us_since(t0);
         let exhausted = attempts > degrade.max_retries;
         let over_deadline = submitted.elapsed() >= degrade.deadline;
         if exhausted || over_deadline || !breaker.allow() {
+            if obs_on {
+                ledger::scope_record(Stage::Retry, NO_SHARD, 0.0, failed_us, attempts as u64);
+            }
             break;
         }
         if attempts >= degrade.hedge_threshold && !hedged {
             hedged = true;
             acct.hedges += 1;
+            let h0 = obs_on.then(Instant::now);
             match backend.try_sample(req, HEDGE_SALT + attempts) {
                 Ok(outcome) => {
                     breaker.record_success();
+                    if obs_on {
+                        ledger::scope_record(
+                            Stage::Hedge,
+                            NO_SHARD,
+                            0.0,
+                            us_since(h0),
+                            attempts as u64,
+                        );
+                        ledger::scope_record(
+                            Stage::Retry,
+                            NO_SHARD,
+                            0.0,
+                            failed_us,
+                            attempts as u64,
+                        );
+                    }
                     return SampleReply::from_outcome(outcome, attempts, true);
                 }
                 Err(_) => {
                     acct.faults += 1;
                     breaker.record_failure();
+                    if obs_on {
+                        ledger::scope_record(
+                            Stage::Hedge,
+                            NO_SHARD,
+                            0.0,
+                            us_since(h0),
+                            attempts as u64,
+                        );
+                    }
                 }
             }
         }
@@ -345,13 +400,34 @@ fn serve_one(
         let factor = 1u32 << (attempts - 1).min(10);
         let scale = 0.5 + jitter.uniform(stream::BACKOFF_JITTER, req.seed, attempts as u64);
         let sleep = degrade.backoff_base.mul_f64(factor as f64 * scale);
+        if obs_on {
+            // The failed attempt and the backoff it bought: service time
+            // is the attempt, queue time the deliberate wait after it.
+            ledger::scope_record(
+                Stage::Retry,
+                NO_SHARD,
+                sleep.as_secs_f64() * 1e6,
+                failed_us,
+                attempts as u64,
+            );
+        }
         if !sleep.is_zero() {
             std::thread::sleep(sleep);
         }
     }
     // The ladder ran out: answer from the never-failing degraded path.
     acct.fallbacks += 1;
+    let t0 = obs_on.then(Instant::now);
     let outcome = backend.sample_excluding(req, &[]);
+    if obs_on {
+        ledger::scope_record(
+            Stage::Fallback,
+            NO_SHARD,
+            0.0,
+            us_since(t0),
+            attempts as u64,
+        );
+    }
     SampleReply::from_outcome(outcome, attempts, hedged)
 }
 
@@ -364,6 +440,7 @@ pub struct SamplingService {
     config: ServiceConfig,
     tracer: Option<Tracer>,
     injector: Option<FaultInjector>,
+    obs: Option<Observability>,
 }
 
 impl std::fmt::Debug for SamplingService {
@@ -383,6 +460,7 @@ fn shard_loop(
     tracer: Option<Tracer>,
     shard: u32,
     injector: Option<FaultInjector>,
+    obs: Option<Observability>,
 ) {
     // Faults flow through serve_one only when a non-trivial plan is
     // installed; otherwise the exact batched dispatch below runs,
@@ -399,6 +477,9 @@ fn shard_loop(
     let panic_after = chaos
         .as_ref()
         .and_then(|inj| inj.plan().worker_panic_after(shard));
+    // The shard's private ledger buffer: events accumulate lock-free and
+    // merge into the shared ring once per batch.
+    let mut lh = obs.as_ref().map(|o| o.ledger().handle());
     let mut dispatch_no = 0u64;
     // A closed queue (sender dropped) ends the shard once drained.
     while let Ok(first) = rx.recv() {
@@ -418,15 +499,52 @@ fn shard_loop(
         if let Some(inj) = &chaos {
             if let Some(us) = inj.plan().queue_stall_us(shard, dispatch_no) {
                 inj.note_queue_stall();
+                if let Some(h) = &mut lh {
+                    for job in &jobs {
+                        h.record(job.trace, Stage::Stall, shard, us as f64, 0.0, 0);
+                        h.record(
+                            job.trace,
+                            Stage::Fault,
+                            shard,
+                            0.0,
+                            0.0,
+                            faults::QUEUE_STALL,
+                        );
+                    }
+                }
                 std::thread::sleep(Duration::from_micros(us));
             }
         }
         let queue_depth = rx.len() as u64;
         let dispatch_start = tracer.as_ref().map(|t| t.wall_us());
+        if let Some(h) = &mut lh {
+            // Batch admission: the submit→dispatch wait is pure queueing.
+            let admitted = Instant::now();
+            for job in &jobs {
+                let wait_us = admitted
+                    .saturating_duration_since(job.submitted)
+                    .as_secs_f64()
+                    * 1e6;
+                h.record(
+                    job.trace,
+                    Stage::Admission,
+                    shard,
+                    wait_us,
+                    0.0,
+                    jobs.len() as u64,
+                );
+            }
+        }
         let mut acct = ServeAcct::default();
         let breaker_opens_before = breaker.opens();
         let replies: Vec<SampleReply> = match &chaos {
             None => {
+                // Shared batch work (the fused dispatch and everything
+                // the data plane does inside it) attributes to every
+                // request in the batch.
+                let _scope = obs.as_ref().map(|o| {
+                    ledger::enter_scope(o.ledger(), jobs.iter().map(|j| j.trace).collect())
+                });
                 // Borrowed dispatch: the batch hands the backend
                 // references into the queued jobs, not request clones.
                 let reqs: Vec<&SampleRequest> = jobs.iter().map(|j| &j.req).collect();
@@ -439,6 +557,11 @@ fn shard_loop(
             Some(inj) => jobs
                 .iter()
                 .map(|job| {
+                    // Per-request scope: the retry ladder's events must
+                    // attribute to the one request being served.
+                    let _scope = obs
+                        .as_ref()
+                        .map(|o| ledger::enter_scope(o.ledger(), vec![job.trace]));
                     let reply = serve_one(
                         &backend,
                         &job.req,
@@ -488,7 +611,7 @@ fn shard_loop(
                 }
                 s.retries.record(reply.attempts as u64);
             }
-            for job in &jobs {
+            for (job, reply) in jobs.iter().zip(&replies) {
                 let elapsed_us = job.submitted.elapsed().as_micros() as u64;
                 s.latency.record(Time::from_micros(elapsed_us));
                 if let Some(tracer) = &tracer {
@@ -502,7 +625,31 @@ fn shard_loop(
                         elapsed_us as f64,
                     );
                 }
+                if let (Some(o), Some(h)) = (obs.as_ref(), lh.as_mut()) {
+                    h.record(
+                        job.trace,
+                        Stage::SampleDone,
+                        shard,
+                        0.0,
+                        elapsed_us as f64,
+                        u64::from(reply.degraded),
+                    );
+                    o.observe_sampling(elapsed_us as f64, reply.degraded);
+                    if o.sample_finish_enabled() {
+                        // Outermost layer: run the flight-dump/deadline
+                        // triggers here. (A wrapping pipeline defers
+                        // this to its own end-to-end completion.)
+                        h.flush();
+                        o.ledger()
+                            .finish(job.trace, elapsed_us as f64, reply.degraded);
+                    }
+                }
             }
+        }
+        if let Some(h) = &mut lh {
+            // Batch boundary: merge this dispatch's events off the hot
+            // path in one lock acquisition.
+            h.flush();
         }
         for (job, reply) in jobs.into_iter().zip(replies) {
             // A dropped ticket (caller gave up) is not an error.
@@ -564,6 +711,31 @@ impl SamplingService {
         tracer: Option<Tracer>,
         injector: Option<FaultInjector>,
     ) -> Self {
+        Self::start_observed(backend, config, tracer, injector, None)
+    }
+
+    /// The fully-instrumented entry point: [`SamplingService::start_faulted`]
+    /// plus an optional [`Observability`] bundle. With one installed,
+    /// every request gets a ledger trace id and the shards record
+    /// enqueue/admission/dispatch/degradation events with queue-wait vs
+    /// service-time split; without one (`None`, what every other
+    /// constructor passes) the service runs the exact code path it
+    /// always had.
+    ///
+    /// When a chaos injector with a non-trivial plan is also installed,
+    /// the ledger is correlated with the plan's seed and digest so
+    /// flight dumps name the replay coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_capacity` or `max_batch` is zero.
+    pub fn start_observed(
+        backend: Box<dyn SamplingBackend>,
+        config: ServiceConfig,
+        tracer: Option<Tracer>,
+        injector: Option<FaultInjector>,
+        obs: Option<Observability>,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one worker shard");
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(config.max_batch > 0, "max batch must be non-zero");
@@ -573,6 +745,12 @@ impl SamplingService {
                 tracer.name_thread(pids::SERVICE, shard as u32, &format!("shard{shard}"));
             }
             tracer.name_thread(pids::SERVICE, config.workers as u32, "clients");
+        }
+        if let (Some(o), Some(inj)) = (&obs, &injector) {
+            let plan = inj.plan();
+            if !plan.is_zero_fault() {
+                o.ledger().set_chaos(plan.seed(), plan.digest());
+            }
         }
         let backend: Arc<dyn SamplingBackend> = Arc::from(backend);
         let stats = Arc::new(Mutex::new(ServiceStats::default()));
@@ -584,8 +762,18 @@ impl SamplingService {
                 let stats = stats.clone();
                 let tracer = tracer.clone();
                 let injector = injector.clone();
+                let obs = obs.clone();
                 std::thread::spawn(move || {
-                    shard_loop(backend, rx, stats, config, tracer, shard as u32, injector)
+                    shard_loop(
+                        backend,
+                        rx,
+                        stats,
+                        config,
+                        tracer,
+                        shard as u32,
+                        injector,
+                        obs,
+                    )
                 })
             })
             .collect();
@@ -597,6 +785,7 @@ impl SamplingService {
             config,
             tracer,
             injector,
+            obs,
         }
     }
 
@@ -615,6 +804,13 @@ impl SamplingService {
         self.injector.as_ref()
     }
 
+    /// The observability bundle this service was started with, if any.
+    /// Outer layers (the inference pipeline) thread their own events
+    /// through the same ledger.
+    pub fn observability(&self) -> Option<&Observability> {
+        self.obs.as_ref()
+    }
+
     /// Enqueues a request, blocking while the queue is full
     /// (backpressure), and returns a ticket for the result.
     pub fn submit(&self, req: SampleRequest) -> SampleTicket {
@@ -627,6 +823,23 @@ impl SamplingService {
                 tracer.wall_us(),
             );
         }
+        let trace = match &self.obs {
+            None => 0,
+            Some(o) => {
+                let trace = o.ledger().next_trace();
+                // Transient handle: one buffered event, flushed on drop.
+                let mut h = o.ledger().handle();
+                h.record(
+                    trace,
+                    Stage::Enqueue,
+                    NO_SHARD,
+                    0.0,
+                    0.0,
+                    req.roots.len() as u64,
+                );
+                trace
+            }
+        };
         let (reply, rx) = bounded(1);
         self.tx
             .as_ref()
@@ -635,9 +848,10 @@ impl SamplingService {
                 req,
                 reply,
                 submitted: Instant::now(),
+                trace,
             })
             .expect("worker shards alive");
-        SampleTicket { rx }
+        SampleTicket { rx, trace }
     }
 
     /// Submits and waits: the synchronous convenience path.

@@ -35,6 +35,12 @@ pub struct EndpointStats {
     pub completed: u64,
     /// Responses that matched nothing (late duplicates), dropped.
     pub orphans: u64,
+    /// Ticks completed packages spent in loss recovery (submission →
+    /// last transmission) — the queue-wait half of the latency split.
+    pub recovery_wait_ticks: u64,
+    /// Ticks completed packages spent on their final, answered flight
+    /// (last transmission → completion) — the service-time half.
+    pub service_ticks: u64,
 }
 
 impl MetricSource for EndpointStats {
@@ -43,10 +49,22 @@ impl MetricSource for EndpointStats {
         out.counter("retransmissions", self.retransmissions);
         out.counter("completed", self.completed);
         out.counter("orphans", self.orphans);
+        out.counter("recovery_wait_ticks", self.recovery_wait_ticks);
+        out.counter("service_ticks", self.service_ticks);
         if self.transmissions > 0 {
             out.gauge(
                 "retransmit_rate",
                 self.retransmissions as f64 / self.transmissions as f64,
+            );
+        }
+        if self.completed > 0 {
+            out.gauge(
+                "mean_recovery_wait_ticks",
+                self.recovery_wait_ticks as f64 / self.completed as f64,
+            );
+            out.gauge(
+                "mean_service_ticks",
+                self.service_ticks as f64 / self.completed as f64,
             );
         }
     }
@@ -149,6 +167,12 @@ impl MofEndpoint {
             Some(p) => {
                 self.flow.return_credit();
                 self.stats.completed += 1;
+                // Split the package's lifetime at its last transmission:
+                // everything before is loss recovery (timeouts waiting
+                // for retransmits), everything after is the flight the
+                // responder actually answered.
+                self.stats.recovery_wait_ticks += p.sent_at.saturating_sub(p.first_sent);
+                self.stats.service_ticks += self.last_now.max(p.sent_at) - p.sent_at;
                 if let Some((tracer, tid)) = &self.tracer {
                     let ts = ticks_to_us(p.first_sent);
                     let end = ticks_to_us(self.last_now.max(p.first_sent));
@@ -361,6 +385,20 @@ mod tests {
         assert_eq!(span.cat, "mof");
         assert!(span.args.iter().any(|(k, v)| k == "retries" && *v == 1.0));
         assert!(events.iter().any(|e| e.ph == 'i' && e.name == "retransmit"));
+    }
+
+    #[test]
+    fn latency_split_charges_recovery_and_service_separately() {
+        let mut ep = MofEndpoint::new(4, 10, 3);
+        let f = ep.submit_read(0, 0x40, &[0, 8], 8).unwrap().unwrap();
+        // One timeout at tick 10: everything before the retransmission is
+        // loss recovery; the answered flight then takes 4 more ticks.
+        assert_eq!(ep.poll_timeouts(10).len(), 1);
+        assert!(ep.poll_timeouts(14).is_empty());
+        assert!(ep.deliver(&respond(&f)).unwrap().is_some());
+        let s = ep.stats();
+        assert_eq!(s.recovery_wait_ticks, 10);
+        assert_eq!(s.service_ticks, 4);
     }
 
     #[test]

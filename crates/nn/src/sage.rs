@@ -237,6 +237,39 @@ impl SageModel {
         scratch: &mut SageScratch,
         out: &mut Matrix,
     ) {
+        self.forward_block_observed(
+            num_roots,
+            hop_offsets,
+            adj_offsets,
+            rows,
+            slot_of,
+            scratch,
+            out,
+            |_| {},
+        );
+    }
+
+    /// [`SageModel::forward_block_into`] with a per-layer observation
+    /// hook: `after_layer(k)` fires as each 0-based layer's output lands,
+    /// letting a caller time layers individually. The closure is
+    /// monomorphized, so the plain entry point (a no-op closure) compiles
+    /// to the unobserved loop — instrumented-but-disabled costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SageModel::forward_block_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_block_observed<F: FnMut(usize)>(
+        &self,
+        num_roots: usize,
+        hop_offsets: &[u32],
+        adj_offsets: &[u32],
+        rows: &Matrix,
+        slot_of: &[u32],
+        scratch: &mut SageScratch,
+        out: &mut Matrix,
+        mut after_layer: F,
+    ) {
         let h = self.layers.len();
         assert!(num_roots > 0, "need at least one root");
         assert_eq!(hop_offsets.len(), h, "one layer per sampling hop");
@@ -257,6 +290,7 @@ impl SageModel {
             &mut scratch.concat,
             &mut scratch.cur,
         );
+        after_layer(0);
 
         // Layers 2..=H: identity indexing into the previous layer's
         // output; each layer narrows the live prefix to roots + hops
@@ -276,6 +310,7 @@ impl SageModel {
                 &mut scratch.nxt,
             );
             std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+            after_layer(k - 1);
         }
         out.copy_from(&scratch.cur);
     }
@@ -446,6 +481,41 @@ mod tests {
         let adj2: Vec<Vec<usize>> = (0..2).map(span).collect();
         let reference = l1.forward(&root_feats, &neigh_feats, &adj2);
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn observed_forward_fires_per_layer_and_matches_plain() {
+        let num_roots = 2usize;
+        let hop_offsets = [0u32, 3];
+        let adj_offsets = [2u32, 3, 5, 5, 7];
+        let slot_of = [0u32, 1, 2, 3, 1, 4, 5, 0, 2];
+        let rows = Matrix::random(6, 8, 1.0, 40);
+        let model = SageModel::new(&[8, 6, 4], 41);
+        let mut scratch = SageScratch::new();
+        let mut plain = Matrix::zeros(1, 1);
+        model.forward_block_into(
+            num_roots,
+            &hop_offsets,
+            &adj_offsets,
+            &rows,
+            &slot_of,
+            &mut scratch,
+            &mut plain,
+        );
+        let mut observed = Matrix::zeros(1, 1);
+        let mut layers_seen = Vec::new();
+        model.forward_block_observed(
+            num_roots,
+            &hop_offsets,
+            &adj_offsets,
+            &rows,
+            &slot_of,
+            &mut scratch,
+            &mut observed,
+            |k| layers_seen.push(k),
+        );
+        assert_eq!(layers_seen, vec![0, 1], "hook fires once per layer");
+        assert_eq!(observed, plain, "the hook never changes the answer");
     }
 
     #[test]

@@ -10,16 +10,26 @@
 //!   instants and counter series in simulated time (desim ticks via
 //!   [`ticks_to_us`]) or wall time, exported as Chrome trace-event JSON
 //!   loadable in `chrome://tracing` or Perfetto.
+//! - **Request ledger**: a per-request causal event log
+//!   ([`RequestLedger`]) with queue-wait vs service-time split per
+//!   stage, a tail-attribution [`BlameReport`], a degradation
+//!   [`FlightDump`] recorder, and [`SloMonitor`] error-budget burn
+//!   accounting.
 //!
 //! The crate is dependency-free by design: the workspace's `serde` is a
 //! no-op shim, so [`json`] carries its own small encoder and
 //! recursive-descent parser.
 
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
 pub use json::{Json, JsonError};
+pub use ledger::{
+    BlameReport, DumpReason, FlightDump, LedgerConfig, LedgerEvent, LedgerHandle, LedgerSnapshot,
+    RequestLedger, SloMonitor, Stage,
+};
 pub use metrics::{
     HistogramSnapshot, Log2Histogram, Metric, MetricSource, MetricValue, Registry, Scope, Snapshot,
 };

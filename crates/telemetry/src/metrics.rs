@@ -509,6 +509,15 @@ impl Log2Histogram {
         if self.count == 0 {
             return 0.0;
         }
+        // Edge quantiles are exact (mirrors `desim::Histogram::percentile`):
+        // interpolation would report mid-bucket for q=0 whenever the first
+        // occupied bucket holds more than one sample.
+        if q <= 0.0 {
+            return self.min() as f64;
+        }
+        if q >= 1.0 {
+            return self.max as f64;
+        }
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {

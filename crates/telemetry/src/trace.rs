@@ -24,6 +24,7 @@
 //! ```
 
 use crate::json::Json;
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -71,16 +72,17 @@ pub struct TraceEvent {
 
 #[derive(Debug)]
 struct Buf {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
 }
 
 /// A cloneable handle to a shared trace buffer.
 ///
-/// The buffer is bounded: beyond `capacity` events new records are
-/// counted as dropped instead of growing memory without limit (a trace
-/// of a large run is a sample, not an unbounded log).
+/// The buffer is a bounded ring: beyond `capacity` events the *oldest*
+/// records evict first (counted in [`Tracer::dropped`]) instead of
+/// growing memory without limit — the trace of a large run keeps its
+/// most recent window, which is the part a tail investigation needs.
 #[derive(Debug, Clone)]
 pub struct Tracer {
     buf: Arc<Mutex<Buf>>,
@@ -112,7 +114,7 @@ impl Tracer {
         assert!(capacity > 0, "tracer capacity must be non-zero");
         Tracer {
             buf: Arc::new(Mutex::new(Buf {
-                events: Vec::new(),
+                events: VecDeque::new(),
                 capacity,
                 dropped: 0,
             })),
@@ -123,10 +125,10 @@ impl Tracer {
     fn push(&self, ev: TraceEvent) {
         let mut buf = self.buf.lock().expect("trace buffer lock");
         if buf.events.len() >= buf.capacity {
+            buf.events.pop_front();
             buf.dropped += 1;
-        } else {
-            buf.events.push(ev);
         }
+        buf.events.push_back(ev);
     }
 
     /// Microseconds of wall clock since this tracer was created.
@@ -234,16 +236,16 @@ impl Tracer {
 
     /// Appends already-built events (e.g. drained from a worker thread's
     /// private tracer) into this buffer, respecting its capacity — the
-    /// overflow is counted as dropped exactly like locally recorded
-    /// events.
+    /// ring evicts its oldest events on overflow, counted as dropped
+    /// exactly like locally recorded events.
     pub fn absorb(&self, events: Vec<TraceEvent>) {
         let mut buf = self.buf.lock().expect("trace buffer lock");
         for ev in events {
             if buf.events.len() >= buf.capacity {
+                buf.events.pop_front();
                 buf.dropped += 1;
-            } else {
-                buf.events.push(ev);
             }
+            buf.events.push_back(ev);
         }
     }
 
@@ -257,14 +259,21 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Events rejected after the buffer filled.
+    /// Events evicted from the ring after the buffer filled (oldest
+    /// records go first).
     pub fn dropped(&self) -> u64 {
         self.buf.lock().expect("trace buffer lock").dropped
     }
 
-    /// A copy of the buffered events (test/introspection hook).
+    /// A copy of the buffered events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.lock().expect("trace buffer lock").events.clone()
+        self.buf
+            .lock()
+            .expect("trace buffer lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Serializes the buffer to Chrome trace-event JSON
@@ -376,6 +385,34 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_spans_first() {
+        let t = Tracer::with_capacity(3);
+        for i in 0..7 {
+            t.instant("x", "e", 1, 0, i as f64);
+            assert!(t.len() <= 3, "count must never exceed the cap");
+        }
+        // The ring keeps the newest window: timestamps 4, 5, 6.
+        let ts: Vec<f64> = t.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![4.0, 5.0, 6.0]);
+        assert_eq!(t.dropped(), 4);
+    }
+
+    #[test]
+    fn absorb_overflow_also_evicts_oldest_first() {
+        let main = Tracer::with_capacity(2);
+        main.instant("x", "old", 1, 0, 0.0);
+        let worker = Tracer::new();
+        worker.instant("x", "new-a", 1, 0, 1.0);
+        worker.instant("x", "new-b", 1, 0, 2.0);
+        main.absorb(worker.events());
+        assert_eq!(main.len(), 2);
+        assert_eq!(main.dropped(), 1);
+        let names: Vec<String> = main.events().into_iter().map(|e| e.name).collect();
+        // "old" was evicted; the absorbed events survive in order.
+        assert_eq!(names, vec!["new-a", "new-b"]);
     }
 
     #[test]
