@@ -54,6 +54,17 @@ grep -q '"digests_match":true' BENCH_dataplane.json \
 grep -q '"speedup_ok":true' BENCH_dataplane.json \
     || { echo "FAIL: flat data plane slower than legacy path"; exit 1; }
 
+echo "==> wire smoke: bench wire --quick"
+cargo run --release -q -p lsdgnn-bench -- wire --quick
+test -s BENCH_wire.json \
+    || { echo "FAIL: BENCH_wire.json missing or empty"; exit 1; }
+grep -q '"digests_equivalent":true' BENCH_wire.json \
+    || { echo "FAIL: reordered/wired sampling not isomorphic to the baseline path"; exit 1; }
+grep -q '"compression_ratio_ok":true' BENCH_wire.json \
+    || { echo "FAIL: BDI did not shrink the sampled remote traffic"; exit 1; }
+grep -q '"coalesce_ok":true' BENCH_wire.json \
+    || { echo "FAIL: no reorder policy beat the scrambled baseline's locality"; exit 1; }
+
 echo "==> inference pipeline smoke: bench inference --quick"
 cargo run --release -q -p lsdgnn-bench -- inference --quick
 test -s BENCH_inference.json \

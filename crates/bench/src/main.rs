@@ -40,6 +40,7 @@ mod obs_exp;
 mod poc;
 mod trace_report;
 mod util;
+mod wire;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use util::{capture, Telemetry, TelemetrySink};
@@ -124,6 +125,9 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!("  harness            --jobs wall-clock scaling benchmark");
     eprintln!("  chaos [--quick] [--seed N] [--out path]   fault-injection sweep");
     eprintln!("  dataplane [--quick]   flat-buffer vs legacy serving-path benchmark");
+    eprintln!(
+        "  wire [--quick] [--seed N] [--out path]   reorder x BDI-compression wire-byte sweep"
+    );
     eprintln!("  inference [--quick]   pipelined vs sequential end-to-end inference benchmark");
     eprintln!(
         "  obs [--quick] [--seed N] [--out path]   observability overhead + tail-blame benchmark"
@@ -199,6 +203,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "dataplane") {
         dataplane::dataplane(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "wire") {
+        wire::wire(quick, seed, out.as_deref().unwrap_or("BENCH_wire.json"));
         return;
     }
     if args.iter().any(|a| a == "inference") {

@@ -134,6 +134,65 @@ fn run_obs(jobs: &str, out: &PathBuf) -> (String, Vec<u8>) {
     (stdout, artifact)
 }
 
+/// Runs `wire --quick` with timing fields zeroed, returning stdout and
+/// the artifact bytes.
+fn run_wire(jobs: &str, seed: &str, out: &PathBuf) -> (String, Vec<u8>) {
+    let cmd = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args(["wire", "--quick", "--jobs", jobs, "--seed", seed, "--out"])
+        .arg(out)
+        .env("LSDGNN_WIRE_OMIT_TIMING", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        cmd.status.success(),
+        "wire --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&cmd.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cmd.stdout).replace(&out.display().to_string(), "<out>");
+    let artifact = std::fs::read(out).expect("wire artifact written");
+    (stdout, artifact)
+}
+
+/// The wire sweep is deterministic at a fixed seed: permutations, wire
+/// bytes, locality rates and back-mapped digests are all functions of
+/// the graph and the request stream; `LSDGNN_WIRE_OMIT_TIMING` zeroes
+/// the only wall-clock field (requests/sec).
+#[test]
+fn wire_artifact_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_wire_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+
+    let (out1, art1) = run_wire("1", "42", &dir.join("j1.json"));
+    let (out4, art4) = run_wire("4", "42", &dir.join("j4.json"));
+    assert_eq!(out1, out4, "wire stdout must not depend on --jobs");
+    assert!(!art1.is_empty(), "wire artifact is non-empty");
+    assert_eq!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&art4),
+        "wire artifact must not depend on --jobs"
+    );
+    let text = String::from_utf8_lossy(&art1);
+    assert!(
+        text.contains("\"digests_equivalent\":true"),
+        "every reorder/compression arm must back-map to identical samples"
+    );
+    assert!(
+        text.contains("\"compression_ratio_ok\":true"),
+        "BDI must shrink the sampled remote traffic"
+    );
+
+    // A different scramble seed changes the layout under measurement
+    // (and thus the locality rates in the artifact) but not the
+    // logical samples.
+    let (_, other) = run_wire("1", "43", &dir.join("seed43.json"));
+    assert_ne!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&other),
+        "the scramble seed must be part of the measurement identity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The observability bench must not depend on `--jobs`: reply digests,
 /// blame attribution, chaos-arm verdicts and the canonical ledger-merge
 /// digest are all scheduling-independent, and `LSDGNN_OBS_OMIT_TIMING`

@@ -22,7 +22,7 @@
 //! expanding frontiers in identical parent-major order, which is what the
 //! `integration_backend_parity` test pins down.
 
-use crate::cluster::{Cluster, RequestStats};
+use crate::cluster::{Cluster, RequestStats, WireConfig, WireSnapshot};
 use crate::hot_cache::HotNodeCache;
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId, PartitionedGraph};
 use lsdgnn_sampler::{SampleBatch, SampleBlock};
@@ -260,6 +260,20 @@ impl CpuBackend {
         b
     }
 
+    /// Like [`CpuBackend::from_partitioned`], with the MoF wire plane
+    /// enabled: every remote sampling and gather leg is accounted through
+    /// request packing and BDI compression per `config`. Replies are
+    /// byte-identical to the unwired path — the plane measures, it does
+    /// not transform.
+    pub fn from_partitioned_wired(pg: PartitionedGraph, config: WireConfig) -> Self {
+        Self::from_cluster(Cluster::spawn_wired(pg, config))
+    }
+
+    /// Wire-plane telemetry so far, when spawned wired.
+    pub fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        self.cluster.wire_snapshot()
+    }
+
     /// Wraps an already-running cluster.
     pub fn from_cluster(cluster: Cluster) -> Self {
         CpuBackend {
@@ -434,6 +448,27 @@ impl CachedBackend {
     /// Attribute-cache hit rate so far.
     pub fn hit_rate(&self) -> f64 {
         self.cache.lock().expect("cache lock").hit_rate()
+    }
+
+    /// Rebuilds the decorator over a relabeled inner backend, carrying
+    /// the warm cache across the reorder: every cached key is rewritten
+    /// through `map` (old id → new id), and keys the map drops are
+    /// invalidated. Without this step a cache warmed on the old labeling
+    /// would serve node `k`'s attributes for whatever node now holds id
+    /// `k` — the correctness hazard the relabeling regression test pins.
+    pub fn into_reordered(
+        self,
+        inner: Box<dyn SamplingBackend>,
+        map: impl FnMut(NodeId) -> Option<NodeId>,
+    ) -> Self {
+        let mut cache = self.cache.into_inner().expect("cache lock");
+        cache.rekey(map);
+        CachedBackend {
+            inner,
+            cache: Mutex::new(cache),
+            capacity: self.capacity,
+            attr_len: self.attr_len,
+        }
     }
 }
 

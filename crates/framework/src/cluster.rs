@@ -31,11 +31,15 @@ use crate::pool::BufferPool;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_graph::mem::prefetch_read;
 use lsdgnn_graph::{NodeId, NodeMap, PartitionId, PartitionedGraph};
+use lsdgnn_memfabric::LinkModel;
+use lsdgnn_mof::{
+    pack_read_requests, BdiStreamSizer, CRC_BYTES, HEADER_BYTES, MAX_REQUESTS_PER_PACKAGE,
+};
 use lsdgnn_sampler::{NeighborSampler, SampleBatch, SampleBlock, StreamingSampler};
 use lsdgnn_telemetry::ledger::{self, Stage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -118,6 +122,21 @@ pub struct RequestStats {
     /// instead of a fresh fetch (a hub sampled 40 times in a mini-batch
     /// is one row fetch, 39 hits).
     pub attr_coalesce_hits: u64,
+    /// Frontier lookups at 64-byte-line granularity
+    /// ([`FRONTIER_LINE_NODES`] ids per line). The exact-id coalesce
+    /// counters above depend only on topology and roots — they are
+    /// *invariant* under node relabeling — whereas a line hit needs two
+    /// frontier ids to be numerically close, so this pair is the counter
+    /// that moves when locality-aware reordering works.
+    pub frontier_line_lookups: u64,
+    /// Frontier lookups whose 64-byte line was already touched this hop.
+    pub frontier_line_hits: u64,
+    /// Attribute-row lookups at page granularity ([`ATTR_PAGE_ROWS`]
+    /// rows per page) — the layout-sensitive analogue of
+    /// `attr_coalesce_lookups`.
+    pub attr_page_lookups: u64,
+    /// Attribute-row lookups whose page was already touched this gather.
+    pub attr_page_hits: u64,
 }
 
 impl RequestStats {
@@ -149,6 +168,27 @@ impl RequestStats {
         }
     }
 
+    /// Fraction of frontier lookups landing on a 64-byte line already
+    /// touched this hop — layout locality, not just id duplication (see
+    /// [`RequestStats::frontier_line_lookups`]).
+    pub fn frontier_line_hit_rate(&self) -> f64 {
+        if self.frontier_line_lookups == 0 {
+            0.0
+        } else {
+            self.frontier_line_hits as f64 / self.frontier_line_lookups as f64
+        }
+    }
+
+    /// Fraction of attribute-row lookups landing on a page already
+    /// touched this gather.
+    pub fn attr_page_hit_rate(&self) -> f64 {
+        if self.attr_page_lookups == 0 {
+            0.0
+        } else {
+            self.attr_page_hits as f64 / self.attr_page_lookups as f64
+        }
+    }
+
     /// Folds another operation's accounting into this one (used by
     /// backends accumulating per-request stats into a running total).
     pub fn merge(&mut self, other: RequestStats) {
@@ -161,6 +201,10 @@ impl RequestStats {
         self.coalesce_hits += other.coalesce_hits;
         self.attr_coalesce_lookups += other.attr_coalesce_lookups;
         self.attr_coalesce_hits += other.attr_coalesce_hits;
+        self.frontier_line_lookups += other.frontier_line_lookups;
+        self.frontier_line_hits += other.frontier_line_hits;
+        self.attr_page_lookups += other.attr_page_lookups;
+        self.attr_page_hits += other.attr_page_hits;
     }
 
     /// True when any node's owner was unreachable during the operation.
@@ -180,9 +224,324 @@ impl lsdgnn_telemetry::MetricSource for RequestStats {
         out.counter("coalesce_hits", self.coalesce_hits);
         out.counter("attr_coalesce_lookups", self.attr_coalesce_lookups);
         out.counter("attr_coalesce_hits", self.attr_coalesce_hits);
+        out.counter("frontier_line_lookups", self.frontier_line_lookups);
+        out.counter("frontier_line_hits", self.frontier_line_hits);
+        out.counter("attr_page_lookups", self.attr_page_lookups);
+        out.counter("attr_page_hits", self.attr_page_hits);
         out.gauge("remote_fraction", self.remote_fraction());
         out.gauge("coalesce_hit_rate", self.coalesce_hit_rate());
         out.gauge("attr_coalesce_hit_rate", self.attr_coalesce_hit_rate());
+        out.gauge("frontier_line_hit_rate", self.frontier_line_hit_rate());
+        out.gauge("attr_page_hit_rate", self.attr_page_hit_rate());
+    }
+}
+
+/// Node ids per 64-byte memory line (8 × 8-byte ids) — the granularity
+/// of [`RequestStats::frontier_line_lookups`].
+pub const FRONTIER_LINE_NODES: u64 = 8;
+
+/// Attribute rows per locality page for
+/// [`RequestStats::attr_page_lookups`]: 16 rows ≈ one 4 KB page at the
+/// serving workload's 64-float rows.
+pub const ATTR_PAGE_ROWS: u64 = 16;
+
+/// A Gen-Z-style *unpacked* read request (header + full 8-byte address +
+/// CRC, one package per request) — the baseline MoF Tech-1 packing is
+/// measured against, per the paper's ~33 % small-read utilization figure.
+pub const UNPACKED_REQUEST_BYTES: u64 = HEADER_BYTES + 8 + CRC_BYTES;
+
+/// Configuration of the MoF wire accounting plane (see [`WirePlane`]).
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Route remote read addresses through MoF multi-request packing
+    /// (§4.3 Tech-1: up to 64 requests share one base address; spans
+    /// beyond the 4-byte offset range split into extra packages).
+    pub packing: bool,
+    /// BDI-compress response payloads per 64-byte line (§4.3 Tech-2)
+    /// and charge the link with compressed bytes.
+    pub compression: bool,
+    /// The link model charged with every leg's wire bytes.
+    pub link: LinkModel,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            packing: true,
+            compression: true,
+            link: LinkModel::mof(3),
+        }
+    }
+}
+
+/// Which remote verb a wire leg served — BDI behaves very differently
+/// on the two payload kinds (node-id streams compress, float rows
+/// mostly do not), so response bytes are also accounted per leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireLeg {
+    /// A neighbor-list fetch: the payload is node ids.
+    Sampling,
+    /// An attribute-row gather: the payload is packed f32 rows.
+    Attrs,
+}
+
+/// Shared counters of the wire plane (atomics: server legs run on the
+/// worker thread but service workers share one cluster).
+#[derive(Debug, Default)]
+struct WireCounters {
+    remote_legs: AtomicU64,
+    request_packages: AtomicU64,
+    packed_requests: AtomicU64,
+    overflow_splits: AtomicU64,
+    raw_request_bytes: AtomicU64,
+    wire_request_bytes: AtomicU64,
+    raw_response_bytes: AtomicU64,
+    wire_response_bytes: AtomicU64,
+    sampling_raw_response_bytes: AtomicU64,
+    sampling_wire_response_bytes: AtomicU64,
+    attr_raw_response_bytes: AtomicU64,
+    attr_wire_response_bytes: AtomicU64,
+    simulated_wire_ns: AtomicU64,
+}
+
+/// A point-in-time copy of the wire plane's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Remote legs accounted (one per per-partition dispatch).
+    pub remote_legs: u64,
+    /// Request packages emitted (equals `packed_requests` with packing
+    /// off).
+    pub request_packages: u64,
+    /// Read requests carried by those packages.
+    pub packed_requests: u64,
+    /// Packages closed early because the next address exceeded the
+    /// 4-byte offset range from the open package's base.
+    pub overflow_splits: u64,
+    /// Request bytes at the unpacked Gen-Z-style baseline.
+    pub raw_request_bytes: u64,
+    /// Request bytes actually charged to the link.
+    pub wire_request_bytes: u64,
+    /// Response bytes before compression (payload + package framing).
+    pub raw_response_bytes: u64,
+    /// Response bytes actually charged to the link.
+    pub wire_response_bytes: u64,
+    /// Raw response bytes on neighbor-fetch (sampling) legs only.
+    pub sampling_raw_response_bytes: u64,
+    /// Wire response bytes on neighbor-fetch (sampling) legs only.
+    pub sampling_wire_response_bytes: u64,
+    /// Raw response bytes on attribute-gather legs only.
+    pub attr_raw_response_bytes: u64,
+    /// Wire response bytes on attribute-gather legs only.
+    pub attr_wire_response_bytes: u64,
+    /// Link-model time for every leg's round trip at wire size,
+    /// accumulated in nanoseconds — *simulated* latency, reported rather
+    /// than asserted.
+    pub simulated_wire_ns: u64,
+}
+
+impl WireSnapshot {
+    /// Measured response-payload compression ratio (raw / wire); > 1
+    /// means BDI shrank the responses.
+    pub fn compression_ratio(&self) -> f64 {
+        ratio(self.raw_response_bytes, self.wire_response_bytes)
+    }
+
+    /// Compression ratio on sampled remote traffic only (neighbor-id
+    /// payloads — the Table 6 measurement): BDI earns its keep here,
+    /// while float attribute rows mostly ride raw-fallback lines.
+    pub fn sampling_compression_ratio(&self) -> f64 {
+        ratio(
+            self.sampling_raw_response_bytes,
+            self.sampling_wire_response_bytes,
+        )
+    }
+
+    /// Compression ratio on attribute-gather responses only.
+    pub fn attr_compression_ratio(&self) -> f64 {
+        ratio(self.attr_raw_response_bytes, self.attr_wire_response_bytes)
+    }
+
+    /// Request-side packing ratio (unpacked baseline / wire).
+    pub fn request_packing_ratio(&self) -> f64 {
+        if self.wire_request_bytes == 0 {
+            1.0
+        } else {
+            self.raw_request_bytes as f64 / self.wire_request_bytes as f64
+        }
+    }
+
+    /// Mean requests per package relative to the 64-request capacity —
+    /// the Table 5 utilization figure, measured on serving traffic.
+    pub fn packing_occupancy(&self) -> f64 {
+        if self.request_packages == 0 {
+            0.0
+        } else {
+            self.packed_requests as f64
+                / (self.request_packages as f64 * MAX_REQUESTS_PER_PACKAGE as f64)
+        }
+    }
+
+    /// Total bytes charged to the link (requests + responses).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_request_bytes + self.wire_response_bytes
+    }
+
+    /// Total bytes the same traffic would cost unpacked and uncompressed.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_request_bytes + self.raw_response_bytes
+    }
+}
+
+/// Raw/wire byte ratio, 1.0 when no bytes moved.
+fn ratio(raw: u64, wire: u64) -> f64 {
+    if wire == 0 {
+        1.0
+    } else {
+        raw as f64 / wire as f64
+    }
+}
+
+impl lsdgnn_telemetry::MetricSource for WireSnapshot {
+    fn collect(&self, out: &mut lsdgnn_telemetry::Scope<'_>) {
+        out.counter("remote_legs", self.remote_legs);
+        out.counter("request_packages", self.request_packages);
+        out.counter("packed_requests", self.packed_requests);
+        out.counter("overflow_splits", self.overflow_splits);
+        out.counter("raw_request_bytes", self.raw_request_bytes);
+        out.counter("wire_request_bytes", self.wire_request_bytes);
+        out.counter("raw_response_bytes", self.raw_response_bytes);
+        out.counter("wire_response_bytes", self.wire_response_bytes);
+        out.counter(
+            "sampling_raw_response_bytes",
+            self.sampling_raw_response_bytes,
+        );
+        out.counter(
+            "sampling_wire_response_bytes",
+            self.sampling_wire_response_bytes,
+        );
+        out.counter("attr_raw_response_bytes", self.attr_raw_response_bytes);
+        out.counter("attr_wire_response_bytes", self.attr_wire_response_bytes);
+        out.counter("simulated_wire_ns", self.simulated_wire_ns);
+        out.gauge("compression_ratio", self.compression_ratio());
+        out.gauge(
+            "sampling_compression_ratio",
+            self.sampling_compression_ratio(),
+        );
+        out.gauge("attr_compression_ratio", self.attr_compression_ratio());
+        out.gauge("request_packing_ratio", self.request_packing_ratio());
+        out.gauge("packing_occupancy", self.packing_occupancy());
+    }
+}
+
+/// The MoF wire accounting plane: when a cluster is spawned with
+/// [`Cluster::spawn_wired`], every remote leg's read addresses run
+/// through real [`pack_read_requests`] packing and every response
+/// payload through the real per-line BDI sizer
+/// ([`BdiStreamSizer`]) — *measured on the actual serving
+/// traffic*, with the link model charged the wire (compressed) byte
+/// count. Replies themselves are untouched, so sampled results are
+/// byte-identical with the plane on or off; only the accounting and the
+/// simulated latency differ.
+struct WirePlane {
+    config: WireConfig,
+    counters: WireCounters,
+}
+
+impl WirePlane {
+    fn new(config: WireConfig) -> Self {
+        WirePlane {
+            config,
+            counters: WireCounters::default(),
+        }
+    }
+
+    /// Accounts one remote leg: `addrs` are the leg's read addresses in
+    /// dispatch order, `request_bytes` the nominal per-read size,
+    /// `payload` the response payload as 64-bit words, and
+    /// `incompressible` extra response bytes BDI does not touch (the
+    /// CSR boundary array of a neighbor reply).
+    fn account_leg(
+        &self,
+        leg: WireLeg,
+        addrs: &[u64],
+        request_bytes: u16,
+        payload: impl ExactSizeIterator<Item = u64>,
+        incompressible: u64,
+    ) {
+        let c = &self.counters;
+        let raw_req = UNPACKED_REQUEST_BYTES * addrs.len() as u64;
+        let wire_req = if self.config.packing {
+            let packed = pack_read_requests(addrs, request_bytes, 0);
+            c.request_packages
+                .fetch_add(packed.packages.len() as u64, Ordering::Relaxed);
+            c.packed_requests
+                .fetch_add(packed.requests, Ordering::Relaxed);
+            c.overflow_splits
+                .fetch_add(packed.overflow_splits, Ordering::Relaxed);
+            packed.wire_bytes()
+        } else {
+            c.request_packages
+                .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+            c.packed_requests
+                .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+            raw_req
+        };
+        // Response: framing (header + CRC per 64-response package) plus
+        // the payload, compressed per 64-byte line when enabled.
+        let framing = (addrs.len() as u64).div_ceil(MAX_REQUESTS_PER_PACKAGE as u64)
+            * (HEADER_BYTES + CRC_BYTES);
+        let (raw_payload, wire_payload) = if self.config.compression {
+            let mut sizer = BdiStreamSizer::new();
+            for w in payload {
+                sizer.push(w);
+            }
+            sizer.finish()
+        } else {
+            let n = 8 * payload.len() as u64;
+            (n, n)
+        };
+        let raw_resp = framing + incompressible + raw_payload;
+        let wire_resp = framing + incompressible + wire_payload;
+        c.raw_request_bytes.fetch_add(raw_req, Ordering::Relaxed);
+        c.wire_request_bytes.fetch_add(wire_req, Ordering::Relaxed);
+        c.raw_response_bytes.fetch_add(raw_resp, Ordering::Relaxed);
+        c.wire_response_bytes
+            .fetch_add(wire_resp, Ordering::Relaxed);
+        let (raw_by_leg, wire_by_leg) = match leg {
+            WireLeg::Sampling => (
+                &c.sampling_raw_response_bytes,
+                &c.sampling_wire_response_bytes,
+            ),
+            WireLeg::Attrs => (&c.attr_raw_response_bytes, &c.attr_wire_response_bytes),
+        };
+        raw_by_leg.fetch_add(raw_resp, Ordering::Relaxed);
+        wire_by_leg.fetch_add(wire_resp, Ordering::Relaxed);
+        let ns = self
+            .config
+            .link
+            .round_trip(wire_req + wire_resp)
+            .as_nanos_f64() as u64;
+        c.simulated_wire_ns.fetch_add(ns, Ordering::Relaxed);
+        c.remote_legs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireSnapshot {
+        let c = &self.counters;
+        WireSnapshot {
+            remote_legs: c.remote_legs.load(Ordering::Relaxed),
+            request_packages: c.request_packages.load(Ordering::Relaxed),
+            packed_requests: c.packed_requests.load(Ordering::Relaxed),
+            overflow_splits: c.overflow_splits.load(Ordering::Relaxed),
+            raw_request_bytes: c.raw_request_bytes.load(Ordering::Relaxed),
+            wire_request_bytes: c.wire_request_bytes.load(Ordering::Relaxed),
+            raw_response_bytes: c.raw_response_bytes.load(Ordering::Relaxed),
+            wire_response_bytes: c.wire_response_bytes.load(Ordering::Relaxed),
+            sampling_raw_response_bytes: c.sampling_raw_response_bytes.load(Ordering::Relaxed),
+            sampling_wire_response_bytes: c.sampling_wire_response_bytes.load(Ordering::Relaxed),
+            attr_raw_response_bytes: c.attr_raw_response_bytes.load(Ordering::Relaxed),
+            attr_wire_response_bytes: c.attr_wire_response_bytes.load(Ordering::Relaxed),
+            simulated_wire_ns: c.simulated_wire_ns.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -363,6 +722,10 @@ pub struct Cluster {
     /// empty neighbor lists / zeroed attributes and counted as
     /// [`RequestStats::unreachable_nodes`] instead of blocking forever.
     down: Vec<AtomicBool>,
+    /// The MoF wire accounting plane, present when spawned via
+    /// [`Cluster::spawn_wired`]. `None` keeps the remote legs entirely
+    /// free of wire bookkeeping.
+    wire: Option<WirePlane>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -436,6 +799,19 @@ impl Cluster {
     ///
     /// Panics if the graph has no attribute store attached.
     pub fn spawn(graph: PartitionedGraph) -> Self {
+        Self::spawn_with_wire(graph, None)
+    }
+
+    /// [`Cluster::spawn`] with the MoF wire accounting plane attached:
+    /// remote sampling and gather legs are routed through real request
+    /// packing and per-line BDI sizing, with `config.link` charged the
+    /// wire bytes. Replies are untouched — sampled results stay
+    /// byte-identical to an unwired cluster.
+    pub fn spawn_wired(graph: PartitionedGraph, config: WireConfig) -> Self {
+        Self::spawn_with_wire(graph, Some(config))
+    }
+
+    fn spawn_with_wire(graph: PartitionedGraph, wire: Option<WireConfig>) -> Self {
         assert!(
             graph.attributes().is_some(),
             "cluster requires an attribute store"
@@ -459,7 +835,14 @@ impl Cluster {
             handles,
             worker_partition: PartitionId(0),
             down,
+            wire: wire.map(WirePlane::new),
         }
+    }
+
+    /// A copy of the wire plane's accounting, or `None` for an unwired
+    /// cluster.
+    pub fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        self.wire.as_ref().map(|w| w.snapshot())
     }
 
     /// Number of server partitions.
@@ -561,8 +944,10 @@ impl Cluster {
         let mut slot_of = self.pool.take_offsets();
         let mut picks = self.pool.take_offsets();
         let mut index = self.pool.take_stamps();
+        let mut line_index = self.pool.take_stamps();
         let mut table = NeighborTable::from_pool(&self.pool);
         let csr = self.graph.graph().targets();
+        let num_nodes = self.graph.graph().num_nodes() as usize;
         // The frontier lives inside the block: hop h's samples land at
         // the tail of `block.nodes` and become hop h+1's frontier — no
         // scratch buffers to fill, swap, or copy into the block.
@@ -577,7 +962,8 @@ impl Cluster {
             // below never hash.
             unique.clear();
             slot_of.clear();
-            index.begin(self.graph.graph().num_nodes() as usize);
+            index.begin(num_nodes);
+            line_index.begin(num_nodes / FRONTIER_LINE_NODES as usize + 1);
             let frontier: &[NodeId] = if h == 0 {
                 &block.roots
             } else {
@@ -594,10 +980,17 @@ impl Cluster {
                     }
                 };
                 slot_of.push(slot);
+                let line = v.index() / FRONTIER_LINE_NODES as usize;
+                if line_index.get(line).is_some() {
+                    stats.frontier_line_hits += 1;
+                } else {
+                    line_index.set(line, 0);
+                }
             }
             stats.nodes_expanded += frontier.len() as u64;
             stats.coalesce_lookups += frontier.len() as u64;
             stats.coalesce_hits += (frontier.len() - unique.len()) as u64;
+            stats.frontier_line_lookups += frontier.len() as u64;
             self.fetch_neighbors_table(&unique, excluded, &mut stats, &mut table);
             picks.clear();
             generate_picks(&mut rng, &table, &slot_of, fanout, &mut picks);
@@ -628,6 +1021,7 @@ impl Cluster {
         self.pool.put_offsets(slot_of);
         self.pool.put_offsets(picks);
         self.pool.put_stamps(index);
+        self.pool.put_stamps(line_index);
         // Attribute fetch for roots + samples, in deduplicated row form
         // through pooled buffers: hub rows move once no matter how often
         // the mini-batch resampled them.
@@ -675,8 +1069,10 @@ impl Cluster {
         let mut slot_of = self.pool.take_offsets();
         let mut picks = self.pool.take_offsets();
         let mut index = self.pool.take_stamps();
+        let mut line_index = self.pool.take_stamps();
         let mut table = NeighborTable::from_pool(&self.pool);
         let csr = self.graph.graph().targets();
+        let num_nodes = self.graph.graph().num_nodes() as usize;
         // Per-request frontier start: each request's frontier is the
         // tail of its own block, exactly as in the solo path.
         let obs_on = ledger::scope_active();
@@ -687,7 +1083,8 @@ impl Cluster {
             // Coalesce the union of every active request's frontier.
             unique.clear();
             slot_of.clear();
-            index.begin(self.graph.graph().num_nodes() as usize);
+            index.begin(num_nodes);
+            line_index.begin(num_nodes / FRONTIER_LINE_NODES as usize + 1);
             let mut total = 0usize;
             for (i, r) in reqs.iter().enumerate() {
                 if r.hops <= h {
@@ -710,11 +1107,18 @@ impl Cluster {
                         }
                     };
                     slot_of.push(slot);
+                    let line = v.index() / FRONTIER_LINE_NODES as usize;
+                    if line_index.get(line).is_some() {
+                        stats.frontier_line_hits += 1;
+                    } else {
+                        line_index.set(line, 0);
+                    }
                 }
             }
             stats.nodes_expanded += total as u64;
             stats.coalesce_lookups += total as u64;
             stats.coalesce_hits += (total - unique.len()) as u64;
+            stats.frontier_line_lookups += total as u64;
             self.fetch_neighbors_table(&unique, excluded, &mut stats, &mut table);
             // Sample per request, per frontier entry, in order — the
             // exact RNG consumption of the solo path.
@@ -762,6 +1166,7 @@ impl Cluster {
         self.pool.put_offsets(slot_of);
         self.pool.put_offsets(picks);
         self.pool.put_stamps(index);
+        self.pool.put_stamps(line_index);
         // One combined attribute gather for the whole batch, in
         // deduplicated row form: a hub any request resampled moves once
         // for the entire batch.
@@ -850,6 +1255,23 @@ impl Cluster {
                     flat,
                     request,
                 }) => {
+                    if let Some(wire) = &self.wire {
+                        // Request addresses are the byte offsets of each
+                        // node's neighbor list in the remote CSR; the
+                        // payload is the flat neighbor-id buffer plus the
+                        // per-node offsets header (incompressible here).
+                        let addrs: Vec<u64> = pos
+                            .iter()
+                            .map(|&i| (g.neighbor_range(unique[i as usize]).start as u64) * 8)
+                            .collect();
+                        wire.account_leg(
+                            WireLeg::Sampling,
+                            &addrs,
+                            64,
+                            flat.iter().map(|v| v.0),
+                            4 * offsets.len() as u64,
+                        );
+                    }
                     // The reply buffer becomes a table arena as-is: no
                     // second copy of the adjacency data.
                     let arena = table.arenas.len();
@@ -906,8 +1328,11 @@ impl Cluster {
         // Coalesce: one slot per distinct row, one array load per
         // lookup (no hashing — the stamp table resets in O(1) between
         // gathers and recycles through the pool).
+        let num_nodes = self.graph.graph().num_nodes() as usize;
         let mut table = self.pool.take_stamps();
-        table.begin(self.graph.graph().num_nodes() as usize);
+        table.begin(num_nodes);
+        let mut page_index = self.pool.take_stamps();
+        page_index.begin(num_nodes / ATTR_PAGE_ROWS as usize + 1);
         let mut unique = self.pool.take_nodes();
         slot_of.clear();
         slot_of.reserve(nodes.len());
@@ -922,9 +1347,16 @@ impl Cluster {
                 }
             };
             slot_of.push(slot);
+            let page = v.index() / ATTR_PAGE_ROWS as usize;
+            if page_index.get(page).is_some() {
+                stats.attr_page_hits += 1;
+            } else {
+                page_index.set(page, 0);
+            }
         }
         stats.attr_coalesce_lookups += nodes.len() as u64;
         stats.attr_coalesce_hits += (nodes.len() - unique.len()) as u64;
+        stats.attr_page_lookups += nodes.len() as u64;
         // Gather each distinct row once into `rows` (slot order): local
         // rows straight out of the shared store, remote positions
         // grouped for per-partition dispatch. `down` marks slots whose
@@ -989,6 +1421,25 @@ impl Cluster {
             }
             match got {
                 Some(AttrsReply { attrs, request }) => {
+                    if let Some(wire) = &self.wire {
+                        // One request per distinct row; the payload is
+                        // the row data itself, packed two f32 per word.
+                        let addrs: Vec<u64> = pos
+                            .iter()
+                            .map(|&i| unique[i as usize].index() as u64 * attr_len as u64 * 4)
+                            .collect();
+                        wire.account_leg(
+                            WireLeg::Attrs,
+                            &addrs,
+                            (attr_len * 4).min(u16::MAX as usize) as u16,
+                            attrs.chunks(2).map(|c| {
+                                let lo = c[0].to_bits() as u64;
+                                let hi = c.get(1).map_or(0, |v| v.to_bits()) as u64;
+                                lo | (hi << 32)
+                            }),
+                            0,
+                        );
+                    }
                     for (j, &slot) in pos.iter().enumerate() {
                         let slot = slot as usize;
                         rows[slot * attr_len..(slot + 1) * attr_len]
@@ -1012,6 +1463,7 @@ impl Cluster {
             stats.unreachable_nodes += u64::from(down[slot as usize]);
         }
         self.pool.put_stamps(table);
+        self.pool.put_stamps(page_index);
         self.pool.put_nodes(unique);
         self.pool.put_offsets(down);
         stats

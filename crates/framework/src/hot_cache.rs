@@ -109,6 +109,31 @@ impl HotNodeCache {
         self.map.insert(v, i);
     }
 
+    /// Rewrites every cached key through `map` — the hook that keeps the
+    /// cache honest across a graph relabeling. Entries whose key maps to
+    /// `None` are invalidated (their node no longer exists under the new
+    /// layout); if two old keys collide on one new id, the more recently
+    /// used entry wins. Hit/miss counters are preserved: a rekey is a
+    /// layout change, not a workload change.
+    pub fn rekey(&mut self, mut map: impl FnMut(NodeId) -> Option<NodeId>) {
+        let old = std::mem::take(&mut self.slots);
+        self.map.clear();
+        for mut slot in old {
+            let Some(new) = map(slot.node) else {
+                continue; // invalidated: stale key under the new layout
+            };
+            slot.node = new;
+            match self.map.get(&new).copied() {
+                Some(i) if self.slots[i].tick >= slot.tick => {}
+                Some(i) => self.slots[i] = slot,
+                None => {
+                    self.map.insert(new, self.slots.len());
+                    self.slots.push(slot);
+                }
+            }
+        }
+    }
+
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -233,5 +258,40 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = HotNodeCache::new(0);
+    }
+
+    #[test]
+    fn rekey_moves_entries_to_their_new_ids() {
+        let mut c = HotNodeCache::new(4);
+        c.insert(NodeId(1), &[1.0]);
+        c.insert(NodeId(2), &[2.0]);
+        // Relabel: 1 -> 10, 2 -> 20.
+        c.rekey(|v| Some(NodeId(v.0 * 10)));
+        assert_eq!(c.get(NodeId(10)).unwrap(), &[1.0]);
+        assert_eq!(c.get(NodeId(20)).unwrap(), &[2.0]);
+        assert!(c.get(NodeId(1)).is_none(), "stale key must not hit");
+        assert!(c.get(NodeId(2)).is_none(), "stale key must not hit");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rekey_invalidates_dropped_keys() {
+        let mut c = HotNodeCache::new(4);
+        c.insert(NodeId(1), &[1.0]);
+        c.insert(NodeId(2), &[2.0]);
+        c.rekey(|v| (v.0 != 2).then_some(v));
+        assert!(c.get(NodeId(1)).is_some());
+        assert!(c.get(NodeId(2)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn rekey_collision_keeps_the_most_recent_entry() {
+        let mut c = HotNodeCache::new(4);
+        c.insert(NodeId(1), &[1.0]);
+        c.insert(NodeId(2), &[2.0]); // newer tick
+        c.rekey(|_| Some(NodeId(9)));
+        assert_eq!(c.get(NodeId(9)).unwrap(), &[2.0]);
+        assert_eq!(c.len(), 1);
     }
 }

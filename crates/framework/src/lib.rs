@@ -63,7 +63,10 @@ pub use backend::{
 };
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use chaos_backend::ChaosBackend;
-pub use cluster::{Cluster, RequestStats, Span};
+pub use cluster::{
+    Cluster, RequestStats, Span, WireConfig, WireSnapshot, ATTR_PAGE_ROWS, FRONTIER_LINE_NODES,
+    UNPACKED_REQUEST_BYTES,
+};
 pub use cpu_model::CpuClusterModel;
 pub use hot_cache::HotNodeCache;
 pub use inference::{

@@ -33,6 +33,7 @@ pub mod hetero;
 pub mod io;
 pub mod mem;
 pub mod partition;
+pub mod reorder;
 pub mod traversal;
 pub mod types;
 
@@ -42,4 +43,5 @@ pub use csr::CsrGraph;
 pub use datasets::{DatasetConfig, FootprintModel, SamplingConfig, PAPER_DATASETS};
 pub use hash::{FnvHashMap, FnvHashSet, NodeMap};
 pub use partition::{greedy_partition, PartitionId, PartitionedGraph};
+pub use reorder::{Permutation, ReorderPolicy};
 pub use types::NodeId;

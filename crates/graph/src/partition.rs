@@ -7,6 +7,7 @@
 
 use crate::attributes::AttributeStore;
 use crate::csr::CsrGraph;
+use crate::reorder::{self, Permutation, ReorderPolicy};
 use crate::types::NodeId;
 use std::fmt;
 
@@ -170,6 +171,38 @@ impl PartitionedGraph {
     pub fn bytes_per_partition(&self) -> u64 {
         let attr = self.attributes.as_ref().map_or(0, |a| a.total_bytes());
         (self.graph.structure_bytes() + attr) / self.partitions as u64
+    }
+
+    /// Relabels the partitioned graph under `policy` (see
+    /// [`crate::reorder`]), returning the reordered graph and the
+    /// old↔new [`Permutation`] callers must use to remap roots,
+    /// hot-cache keys and any other id they still hold.
+    ///
+    /// Logical ownership is preserved exactly: the new graph carries an
+    /// explicit assignment with `owner(perm.to_new(v)) == self.owner(v)`
+    /// for every node, and the partition *count* is kept even if some
+    /// partition ends up empty — so local/remote splits, per-shard
+    /// server topology and degradation behavior are unchanged by the
+    /// relabeling. Attributes, if attached, move with their nodes.
+    pub fn reorder(&self, policy: ReorderPolicy) -> (PartitionedGraph, Permutation) {
+        let perm = reorder::compute_permutation(&self.graph, policy);
+        let graph = reorder::relabel_graph(&self.graph, &perm);
+        let attributes = self
+            .attributes
+            .as_ref()
+            .map(|a| reorder::relabel_attributes(a, &perm));
+        let mut assignment = vec![0u32; graph.num_nodes() as usize];
+        for old in 0..self.graph.num_nodes() {
+            let v = NodeId(old);
+            assignment[perm.to_new(v).index()] = self.owner(v).0;
+        }
+        let pg = PartitionedGraph {
+            graph,
+            attributes,
+            partitions: self.partitions,
+            map: PartitionMap::Explicit(assignment),
+        };
+        (pg, perm)
     }
 }
 

@@ -25,6 +25,20 @@ pub enum CompressedBlock {
         /// Number of words in the block.
         count: usize,
     },
+    /// Base + fixed-width *signed* deltas — covers blocks whose first
+    /// word is not the minimum (locality-relabeled neighbor lists keep
+    /// their original relative order, so ids dip below the list head;
+    /// standard BDI handles this with two's-complement deltas).
+    SignedBaseDelta {
+        /// The block's first word, used as the base.
+        base: u64,
+        /// Bytes per delta: 1, 2 or 4.
+        delta_width: u8,
+        /// Signed deltas of each word from `base`.
+        deltas: Vec<i32>,
+        /// Number of words in the block.
+        count: usize,
+    },
 }
 
 impl CompressedBlock {
@@ -35,6 +49,9 @@ impl CompressedBlock {
             CompressedBlock::Raw(words) => 1 + 8 * words.len() as u64,
             CompressedBlock::BaseDelta {
                 delta_width, count, ..
+            }
+            | CompressedBlock::SignedBaseDelta {
+                delta_width, count, ..
             } => 1 + 8 + *delta_width as u64 * *count as u64,
         }
     }
@@ -43,13 +60,21 @@ impl CompressedBlock {
     pub fn original_bytes(&self) -> u64 {
         match self {
             CompressedBlock::Raw(words) => 8 * words.len() as u64,
-            CompressedBlock::BaseDelta { count, .. } => 8 * *count as u64,
+            CompressedBlock::BaseDelta { count, .. }
+            | CompressedBlock::SignedBaseDelta { count, .. } => 8 * *count as u64,
         }
     }
 
     /// Compression ratio (compressed / original); > 1 means expansion.
     pub fn ratio(&self) -> f64 {
         self.compressed_bytes() as f64 / self.original_bytes() as f64
+    }
+
+    /// Savings ratio (original / compressed); ≥ 1 means the block
+    /// genuinely shrank. Raw blocks report slightly below 1 (the honest
+    /// metadata byte).
+    pub fn savings_ratio(&self) -> f64 {
+        self.original_bytes() as f64 / self.compressed_bytes() as f64
     }
 }
 
@@ -61,49 +86,63 @@ impl CompressedBlock {
 pub fn bdi_compress(words: &[u64]) -> CompressedBlock {
     assert!(!words.is_empty(), "cannot compress an empty block");
     let base = words[0];
-    // Find max delta; deltas must be non-negative (base = min would be
-    // better, but hardware uses first-word base for streaming).
-    let mut max_delta = 0u64;
-    let mut ok = true;
+    let Some((delta_width, signed)) = delta_encoding(words) else {
+        return CompressedBlock::Raw(words.to_vec());
+    };
+    let compressed = 1 + 8 + delta_width as u64 * words.len() as u64;
+    if compressed >= 8 * words.len() as u64 {
+        return CompressedBlock::Raw(words.to_vec());
+    }
+    if signed {
+        CompressedBlock::SignedBaseDelta {
+            base,
+            delta_width,
+            deltas: words
+                .iter()
+                .map(|&w| (w as i128 - base as i128) as i32)
+                .collect(),
+            count: words.len(),
+        }
+    } else {
+        CompressedBlock::BaseDelta {
+            base,
+            delta_width,
+            deltas: if delta_width == 0 {
+                Vec::new()
+            } else {
+                words.iter().map(|&w| (w - base) as u32).collect()
+            },
+            count: words.len(),
+        }
+    }
+}
+
+/// The narrowest delta encoding covering `words` against a first-word
+/// base: `Some((width_bytes, signed))` with widths 0 (all equal), 1, 2
+/// or 4, preferring unsigned at equal width (the cheaper datapath), or
+/// `None` when some delta exceeds 32 bits either way.
+fn delta_encoding(words: &[u64]) -> Option<(u8, bool)> {
+    let base = words[0] as i128;
+    let mut min_d = 0i128;
+    let mut max_d = 0i128;
     for &w in words {
-        match w.checked_sub(base) {
-            Some(d) => max_delta = max_delta.max(d),
-            None => {
-                ok = false;
-                break;
-            }
+        let d = w as i128 - base;
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    if min_d == 0 && max_d == 0 {
+        return Some((0, false));
+    }
+    for width in [1u8, 2, 4] {
+        let bits = 8 * width as u32;
+        if min_d >= 0 && max_d < (1i128 << bits) {
+            return Some((width, false));
+        }
+        if min_d >= -(1i128 << (bits - 1)) && max_d < (1i128 << (bits - 1)) {
+            return Some((width, true));
         }
     }
-    if ok {
-        let delta_width: u8 = if max_delta == 0 {
-            0
-        } else if max_delta <= u8::MAX as u64 {
-            1
-        } else if max_delta <= u16::MAX as u64 {
-            2
-        } else if max_delta <= u32::MAX as u64 {
-            4
-        } else {
-            u8::MAX // sentinel: incompressible
-        };
-        if delta_width != u8::MAX {
-            let compressed = 1 + 8 + delta_width as u64 * words.len() as u64;
-            if compressed < 8 * words.len() as u64 {
-                let deltas = if delta_width == 0 {
-                    Vec::new()
-                } else {
-                    words.iter().map(|&w| (w - base) as u32).collect()
-                };
-                return CompressedBlock::BaseDelta {
-                    base,
-                    delta_width,
-                    deltas,
-                    count: words.len(),
-                };
-            }
-        }
-    }
-    CompressedBlock::Raw(words.to_vec())
+    None
 }
 
 /// Decompresses a block back to its words.
@@ -129,6 +168,20 @@ pub fn bdi_decompress(block: &CompressedBlock) -> Result<Vec<u64>, MofError> {
             }
             Ok(deltas.iter().map(|&d| base + d as u64).collect())
         }
+        CompressedBlock::SignedBaseDelta {
+            base,
+            deltas,
+            count,
+            ..
+        } => {
+            if deltas.len() != *count {
+                return Err(MofError::Malformed("delta count mismatch"));
+            }
+            Ok(deltas
+                .iter()
+                .map(|&d| base.wrapping_add(d as i64 as u64))
+                .collect())
+        }
     }
 }
 
@@ -150,6 +203,64 @@ pub fn bdi_compressed_bytes(bytes: &[u8]) -> u64 {
         })
         .collect();
     bdi_compress(&words).compressed_bytes()
+}
+
+/// Words per BDI line: 8 × u64 = one 64-byte memory line, the
+/// granularity hardware BDI compresses at.
+pub const BDI_LINE_WORDS: usize = 8;
+
+/// Encoded size in bytes of `words` as one BDI block, without
+/// materializing the block: the better of base+delta (when an encoding
+/// exists) and the 1-byte-tagged raw fallback. Matches
+/// [`CompressedBlock::compressed_bytes`] for the same input.
+pub fn bdi_block_bytes(words: &[u64]) -> u64 {
+    assert!(!words.is_empty(), "cannot size an empty block");
+    let raw = 1 + 8 * words.len() as u64;
+    match delta_encoding(words) {
+        Some((width, _)) => raw.min(1 + 8 + width as u64 * words.len() as u64),
+        None => raw,
+    }
+}
+
+/// Allocation-free streaming BDI accountant: feed a payload as 64-bit
+/// words; it sizes each [`BDI_LINE_WORDS`]-word line independently (the
+/// hardware compresses per memory line, not per message) and accumulates
+/// raw vs compressed byte totals. This is what the serving path charges
+/// the wire with — measured on the actual response payload, per line,
+/// with the raw fallback's expansion honestly included.
+#[derive(Debug, Clone, Default)]
+pub struct BdiStreamSizer {
+    buf: [u64; BDI_LINE_WORDS],
+    len: usize,
+    raw_bytes: u64,
+    wire_bytes: u64,
+}
+
+impl BdiStreamSizer {
+    /// A fresh accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one 64-bit word.
+    pub fn push(&mut self, w: u64) {
+        self.buf[self.len] = w;
+        self.len += 1;
+        self.raw_bytes += 8;
+        if self.len == BDI_LINE_WORDS {
+            self.wire_bytes += bdi_block_bytes(&self.buf);
+            self.len = 0;
+        }
+    }
+
+    /// Flushes a partial trailing line and returns
+    /// `(raw_bytes, compressed_bytes)`.
+    pub fn finish(mut self) -> (u64, u64) {
+        if self.len > 0 {
+            self.wire_bytes += bdi_block_bytes(&self.buf[..self.len]);
+        }
+        (self.raw_bytes, self.wire_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -192,11 +303,78 @@ mod tests {
     }
 
     #[test]
-    fn descending_first_word_forces_raw() {
-        // base = first word; an earlier-smaller pattern underflows.
+    fn descending_first_word_compresses_signed() {
+        // base = first word; earlier-smaller values need signed deltas
+        // (order-preserved relabeled neighbor lists look exactly like
+        // this). 3 words -> 1 + 8 + 3 = 12 bytes vs 24 raw.
         let words = vec![100u64, 5, 7];
         let block = bdi_compress(&words);
-        assert!(matches!(block, CompressedBlock::Raw(_)));
+        assert!(matches!(
+            block,
+            CompressedBlock::SignedBaseDelta { delta_width: 1, .. }
+        ));
+        assert_eq!(block.compressed_bytes(), 12);
+        assert_eq!(bdi_decompress(&block).unwrap(), words);
+    }
+
+    #[test]
+    fn signed_prefers_unsigned_at_equal_width() {
+        // Monotone-up small deltas still take the unsigned path.
+        let words: Vec<u64> = (0..16).map(|i| 50 + i).collect();
+        let block = bdi_compress(&words);
+        assert!(matches!(
+            block,
+            CompressedBlock::BaseDelta { delta_width: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn signed_width_boundaries() {
+        // Delta of exactly i8::MIN fits width 1; one below needs 2.
+        let w1 = vec![1000u64, 1000 - 128];
+        assert!(matches!(
+            bdi_compress(&w1),
+            CompressedBlock::SignedBaseDelta { delta_width: 1, .. }
+        ));
+        let w2 = vec![1000u64, 1000 - 129, 5000];
+        assert!(matches!(
+            bdi_compress(&w2),
+            CompressedBlock::SignedBaseDelta { delta_width: 2, .. }
+        ));
+        for w in [w1, w2] {
+            assert_eq!(bdi_decompress(&bdi_compress(&w)).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn stream_sizer_matches_per_line_blocks() {
+        // 20 words = two full 8-word lines + a 4-word tail.
+        let words: Vec<u64> = (0..20).map(|i| 0x1000 + i * 3).collect();
+        let mut sizer = BdiStreamSizer::new();
+        for &w in &words {
+            sizer.push(w);
+        }
+        let (raw, wire) = sizer.finish();
+        assert_eq!(raw, 160);
+        let expect: u64 = words.chunks(BDI_LINE_WORDS).map(bdi_block_bytes).sum();
+        assert_eq!(wire, expect);
+        assert!(wire < raw);
+    }
+
+    #[test]
+    fn block_bytes_agrees_with_compressor() {
+        for words in [
+            vec![42u64; 8],
+            (0..8).map(|i| 1_000_000 + i).collect(),
+            vec![100u64, 5, 7],
+            vec![0u64, u64::MAX / 2, 3, u64::MAX - 10],
+        ] {
+            assert_eq!(
+                bdi_block_bytes(&words),
+                bdi_compress(&words).compressed_bytes(),
+                "words {words:?}"
+            );
+        }
     }
 
     #[test]
@@ -239,6 +417,71 @@ mod tests {
             }
             let block = bdi_compress(&words);
             prop_assert_eq!(bdi_decompress(&block).unwrap(), words);
+        }
+
+        // Adversarial payload classes from the serving path. Each pins
+        // (a) lossless round-trip, (b) honest size accounting: a block
+        // claiming savings (savings_ratio >= 1.0) must not be Raw, and
+        // no block understates its encoded size.
+        #[test]
+        fn adversarial_all_equal(w in any::<u64>(), n in 1usize..256) {
+            let words = vec![w; n];
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words);
+            prop_assert_eq!(block.compressed_bytes(), 9);
+            if n > 1 {
+                prop_assert!(block.savings_ratio() >= 1.0);
+            }
+        }
+
+        #[test]
+        fn adversarial_random(words in proptest::collection::vec(any::<u64>(), 1..256)) {
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words.clone());
+            // Accounting honesty: savings claims require a delta encoding.
+            if block.savings_ratio() >= 1.0 {
+                prop_assert!(!matches!(block, CompressedBlock::Raw(_)));
+            }
+            prop_assert!(block.compressed_bytes() >= 9u64.min(1 + 8 * words.len() as u64));
+        }
+
+        #[test]
+        fn adversarial_monotone_id_runs(start in 0u64..1_000_000_000, step in 1u64..64, n in 2usize..256) {
+            // Relabeled neighbor-id runs: monotone with small strides —
+            // the case locality reordering manufactures. Must compress.
+            let words: Vec<u64> = (0..n as u64).map(|i| start + i * step).collect();
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words);
+            if n >= 3 {
+                prop_assert!(block.savings_ratio() >= 1.0, "n={} step={} -> {:.3}", n, step, block.savings_ratio());
+            }
+        }
+
+        #[test]
+        fn adversarial_attr_floats_as_words(vals in proptest::collection::vec(-1.0f32..1.0, 2..128)) {
+            // Attribute rows cross the wire as f32 pairs packed into u64
+            // words; round-trip must reproduce the exact bit patterns.
+            let words: Vec<u64> = vals.chunks(2).map(|c| {
+                let lo = c[0].to_bits() as u64;
+                let hi = c.get(1).map_or(0, |v| v.to_bits()) as u64;
+                lo | (hi << 32)
+            }).collect();
+            let block = bdi_compress(&words);
+            prop_assert_eq!(bdi_decompress(&block).unwrap(), words.clone());
+            // Float payloads are usually incompressible: the accountant
+            // must charge the expansion, never claim savings it lacks.
+            prop_assert!(block.compressed_bytes() <= 1 + 8 * words.len() as u64);
+        }
+
+        #[test]
+        fn stream_sizer_never_exceeds_tagged_raw(words in proptest::collection::vec(any::<u64>(), 1..512)) {
+            let mut sizer = BdiStreamSizer::new();
+            for &w in &words { sizer.push(w); }
+            let (raw, wire) = sizer.finish();
+            prop_assert_eq!(raw, 8 * words.len() as u64);
+            let lines = words.len().div_ceil(BDI_LINE_WORDS) as u64;
+            prop_assert!(wire <= raw + lines);
+            prop_assert!(wire >= lines * 9u64.min(8 * words.len() as u64 + 1));
         }
     }
 }

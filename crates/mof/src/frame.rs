@@ -400,6 +400,101 @@ impl WriteRequestPackage {
     }
 }
 
+/// The outcome of packing an address stream into request packages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedRequests {
+    /// The packages, in stream order.
+    pub packages: Vec<ReadRequestPackage>,
+    /// Total requests packed (sum of per-package counts).
+    pub requests: u64,
+    /// Packages closed early because the next address could not be
+    /// expressed as a 4-byte offset from the open package's base —
+    /// base + offset overflow splits, as opposed to plain 64-request
+    /// capacity splits.
+    pub overflow_splits: u64,
+}
+
+impl PackedRequests {
+    /// Total wire bytes of every package.
+    pub fn wire_bytes(&self) -> u64 {
+        self.packages.iter().map(|p| p.wire_bytes()).sum()
+    }
+
+    /// Mean requests per package relative to the 64-request capacity —
+    /// the Table 5 utilization figure for this stream.
+    pub fn occupancy(&self) -> f64 {
+        if self.packages.is_empty() {
+            return 0.0;
+        }
+        self.requests as f64 / (self.packages.len() * MAX_REQUESTS_PER_PACKAGE) as f64
+    }
+}
+
+/// Packs an arrival-ordered address stream into [`ReadRequestPackage`]s
+/// greedily: each package keeps the *minimum* address seen so far as its
+/// base (rebasing earlier offsets when a smaller address arrives), adds
+/// requests while the package's address span fits a 4-byte offset, and
+/// splits — rather than erroring — when the span would overflow or the
+/// 64-request capacity is reached. Never fails: any address stream packs
+/// into some sequence of valid packages.
+///
+/// Sequence numbers count up from `first_seq`.
+pub fn pack_read_requests(addresses: &[u64], request_bytes: u16, first_seq: u32) -> PackedRequests {
+    let mut packages = Vec::new();
+    let mut overflow_splits = 0u64;
+    let mut seq = first_seq;
+    // The open package: base (current minimum address) + offsets from it.
+    let mut base = 0u64;
+    let mut max_addr = 0u64;
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut close = |base: u64, offsets: &mut Vec<u32>, packages: &mut Vec<ReadRequestPackage>| {
+        if !offsets.is_empty() {
+            let pkg = ReadRequestPackage::new(seq, base, offsets, request_bytes)
+                .expect("packer maintains the package invariants");
+            seq = seq.wrapping_add(1);
+            packages.push(pkg);
+            offsets.clear();
+        }
+    };
+    for &addr in addresses {
+        if offsets.is_empty() {
+            base = addr;
+            max_addr = addr;
+            offsets.push(0);
+            continue;
+        }
+        let new_base = base.min(addr);
+        let new_max = max_addr.max(addr);
+        if new_max - new_base > u32::MAX as u64 {
+            overflow_splits += 1;
+            close(base, &mut offsets, &mut packages);
+            base = addr;
+            max_addr = addr;
+            offsets.push(0);
+            continue;
+        }
+        if new_base < base {
+            // Rebase: shift every recorded offset up to the new minimum.
+            let shift = (base - new_base) as u32;
+            for o in offsets.iter_mut() {
+                *o += shift;
+            }
+            base = new_base;
+        }
+        max_addr = new_max;
+        offsets.push((addr - base) as u32);
+        if offsets.len() == MAX_REQUESTS_PER_PACKAGE {
+            close(base, &mut offsets, &mut packages);
+        }
+    }
+    close(base, &mut offsets, &mut packages);
+    PackedRequests {
+        packages,
+        requests: addresses.len() as u64,
+        overflow_splits,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,5 +596,77 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32/IEEE of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn pack_span_at_exactly_offset_range_stays_whole() {
+        // max - min == u32::MAX is representable: one package.
+        let packed = pack_read_requests(&[0, 500, u32::MAX as u64], 8, 0);
+        assert_eq!(packed.packages.len(), 1);
+        assert_eq!(packed.overflow_splits, 0);
+        assert_eq!(packed.packages[0].base_address, 0);
+        assert_eq!(packed.packages[0].offsets, vec![0, 500, u32::MAX]);
+    }
+
+    #[test]
+    fn pack_span_one_past_offset_range_splits() {
+        // One byte beyond the 4-byte offset range must split, not error.
+        let packed = pack_read_requests(&[0, u32::MAX as u64 + 1], 8, 7);
+        assert_eq!(packed.packages.len(), 2);
+        assert_eq!(packed.overflow_splits, 1);
+        assert_eq!(packed.packages[0].seq, 7);
+        assert_eq!(packed.packages[1].seq, 8);
+        assert_eq!(packed.packages[1].base_address, u32::MAX as u64 + 1);
+        assert_eq!(packed.requests, 2);
+        for (i, &addr) in [0u64, u32::MAX as u64 + 1].iter().enumerate() {
+            assert_eq!(packed.packages[i].address(0), addr);
+        }
+    }
+
+    #[test]
+    fn pack_rebases_when_a_smaller_address_arrives() {
+        // Arrival order is not address order: the base shifts down and
+        // existing offsets shift up, as long as the span still fits.
+        let packed = pack_read_requests(&[1000, 4000, 200], 8, 0);
+        assert_eq!(packed.packages.len(), 1);
+        let p = &packed.packages[0];
+        assert_eq!(p.base_address, 200);
+        assert_eq!(p.offsets, vec![800, 3800, 0]);
+        for (i, &addr) in [1000u64, 4000, 200].iter().enumerate() {
+            assert_eq!(p.address(i), addr);
+        }
+    }
+
+    #[test]
+    fn pack_capacity_split_is_not_an_overflow_split() {
+        let addrs: Vec<u64> = (0..65).map(|i| i * 8).collect();
+        let packed = pack_read_requests(&addrs, 8, 0);
+        assert_eq!(packed.packages.len(), 2);
+        assert_eq!(packed.overflow_splits, 0);
+        assert_eq!(packed.packages[0].request_count(), 64);
+        assert_eq!(packed.packages[1].request_count(), 1);
+        assert!((packed.occupancy() - 65.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pack_empty_stream_yields_no_packages() {
+        let packed = pack_read_requests(&[], 8, 0);
+        assert!(packed.packages.is_empty());
+        assert_eq!(packed.wire_bytes(), 0);
+        assert_eq!(packed.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn packed_packages_encode_and_decode() {
+        let addrs: Vec<u64> = (0..100).map(|i| 0xAA00_0000 + i * 72).collect();
+        let packed = pack_read_requests(&addrs, 64, 3);
+        let mut recovered = Vec::new();
+        for p in &packed.packages {
+            let rt = ReadRequestPackage::decode(&p.encode()).unwrap();
+            for i in 0..rt.request_count() {
+                recovered.push(rt.address(i));
+            }
+        }
+        assert_eq!(recovered, addrs);
     }
 }

@@ -38,11 +38,14 @@ pub mod frame;
 pub mod packing;
 pub mod reliability;
 
-pub use bdi::{bdi_compress, bdi_decompress, CompressedBlock};
+pub use bdi::{
+    bdi_block_bytes, bdi_compress, bdi_decompress, BdiStreamSizer, CompressedBlock, BDI_LINE_WORDS,
+};
 pub use endpoint::{EndpointStats, MofEndpoint};
 pub use flow::CreditFlow;
 pub use frame::{
-    ReadRequestPackage, ReadResponsePackage, WriteRequestPackage, MAX_REQUESTS_PER_PACKAGE,
+    pack_read_requests, PackedRequests, ReadRequestPackage, ReadResponsePackage,
+    WriteRequestPackage, CRC_BYTES, HEADER_BYTES, MAX_REQUESTS_PER_PACKAGE,
 };
 pub use packing::{ByteBreakdown, PackingScheme};
 pub use reliability::{ChannelAbandoned, LinkOutcome, ReliableChannel};
