@@ -92,6 +92,19 @@ fi
 grep -q '"merge_jobs_parity":true' BENCH_obs.json \
     || { echo "FAIL: ledger merge digest depends on recorder threads"; exit 1; }
 
+echo "==> traffic smoke: bench traffic --quick"
+cargo run --release -q -p lsdgnn-bench -- traffic --quick
+test -s BENCH_traffic.json \
+    || { echo "FAIL: BENCH_traffic.json missing or empty"; exit 1; }
+grep -q '"digests_match":true' BENCH_traffic.json \
+    || { echo "FAIL: unshaped ShapedService not digest-identical to the plain service"; exit 1; }
+grep -q '"slo_met_improved":true' BENCH_traffic.json \
+    || { echo "FAIL: shaping did not improve interactive SLO attainment"; exit 1; }
+grep -q '"no_unbounded_queue":true' BENCH_traffic.json \
+    || { echo "FAIL: shaped lanes exceeded their bounds or did not cap the backlog"; exit 1; }
+grep -q '"autoscaler_cost_ok":true' BENCH_traffic.json \
+    || { echo "FAIL: autoscaler costs more per SLO-met than static peak provisioning"; exit 1; }
+
 echo "==> trace-report smoke: per-stage summary of the fig14 trace"
 cargo run --release -q -p lsdgnn-bench -- trace-report "$SMOKE_DIR/trace.json" \
     | grep -q 'dispatch' \

@@ -145,6 +145,7 @@ fn cell_config() -> ServiceConfig {
             backoff_base: Duration::from_micros(10),
             ..DegradeConfig::default()
         },
+        ..ServiceConfig::default()
     }
 }
 

@@ -39,6 +39,7 @@ mod microarch;
 mod obs_exp;
 mod poc;
 mod trace_report;
+mod traffic_exp;
 mod util;
 mod wire;
 
@@ -132,6 +133,9 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!(
         "  obs [--quick] [--seed N] [--out path]   observability overhead + tail-blame benchmark"
     );
+    eprintln!(
+        "  traffic [--quick] [--seed N] [--out path]   overload-control + autoscaler policy sweep"
+    );
     eprintln!("  trace-report <trace.json>   per-stage summary of a --trace-out Chrome trace");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
@@ -215,6 +219,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "obs") {
         obs_exp::obs(quick, seed, out.as_deref().unwrap_or("BENCH_obs.json"));
+        return;
+    }
+    if args.iter().any(|a| a == "traffic") {
+        traffic_exp::traffic(quick, seed, out.as_deref().unwrap_or("BENCH_traffic.json"));
         return;
     }
     if args.iter().any(|a| a == "trace-report") {

@@ -107,6 +107,7 @@ fn chaos_cfg() -> ServiceConfig {
             backoff_base: Duration::from_micros(10),
             ..DegradeConfig::default()
         },
+        ..ServiceConfig::default()
     }
 }
 

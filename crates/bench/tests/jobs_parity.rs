@@ -193,6 +193,70 @@ fn wire_artifact_is_byte_identical_across_jobs() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Runs `traffic --quick` with timing fields zeroed, returning stdout
+/// and the artifact bytes.
+fn run_traffic(jobs: &str, seed: &str, out: &PathBuf) -> (String, Vec<u8>) {
+    let cmd = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args([
+            "traffic", "--quick", "--jobs", jobs, "--seed", seed, "--out",
+        ])
+        .arg(out)
+        .env("LSDGNN_TRAFFIC_OMIT_TIMING", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        cmd.status.success(),
+        "traffic --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&cmd.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cmd.stdout).replace(&out.display().to_string(), "<out>");
+    let artifact = std::fs::read(out).expect("traffic artifact written");
+    (stdout, artifact)
+}
+
+/// The traffic sweep is deterministic at a fixed seed: traces, admission
+/// verdicts (virtual-time bucket arithmetic), simulation outcomes and
+/// reply digests are all pure functions of `(seed, config)`;
+/// `LSDGNN_TRAFFIC_OMIT_TIMING` zeroes the only wall-clock field.
+#[test]
+fn traffic_artifact_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_traffic_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+
+    let (out1, art1) = run_traffic("1", "42", &dir.join("j1.json"));
+    let (out4, art4) = run_traffic("4", "42", &dir.join("j4.json"));
+    assert_eq!(out1, out4, "traffic stdout must not depend on --jobs");
+    assert!(!art1.is_empty(), "traffic artifact is non-empty");
+    assert_eq!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&art4),
+        "traffic artifact must not depend on --jobs"
+    );
+    let text = String::from_utf8_lossy(&art1);
+    assert!(
+        text.contains("\"digests_match\":true"),
+        "unshaped ShapedService must replay the plain service"
+    );
+    assert!(
+        text.contains("\"slo_met_improved\":true"),
+        "shaping must improve interactive SLO attainment"
+    );
+    assert!(
+        text.contains("\"no_unbounded_queue\":true"),
+        "shaped lanes must stay bounded"
+    );
+
+    // A different seed changes the traces (and thus the per-cell
+    // digests and counts) — the seed is the replay identity.
+    let (_, other) = run_traffic("1", "43", &dir.join("seed43.json"));
+    assert_ne!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&other),
+        "seed must be part of the replay identity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The observability bench must not depend on `--jobs`: reply digests,
 /// blame attribution, chaos-arm verdicts and the canonical ledger-merge
 /// digest are all scheduling-independent, and `LSDGNN_OBS_OMIT_TIMING`

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod arch;
+pub mod autoscaler;
 pub mod cost;
 pub mod discussion;
 pub mod dse;
@@ -28,6 +29,9 @@ pub mod perf;
 pub mod planner;
 
 pub use arch::{ArchKind, Architecture, Coupling};
+pub use autoscaler::{
+    simulate, AutoscalerConfig, BatchSim, ClassOutcome, PolicyReport, Scaling, SimConfig, SimPolicy,
+};
 pub use cost::{CostModel, InstanceSpec, QuoteSet};
 pub use dse::{DseCell, DseResult};
 pub use instance::InstanceSize;

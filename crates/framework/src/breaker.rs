@@ -5,12 +5,32 @@
 //! failures are counted and `threshold` of them trip the breaker.
 //! **Open**: the fault path is skipped entirely — requests go straight to
 //! the degraded fallback — for `cooldown` dispatch decisions. **Half
-//! open**: one probe request is let through; success closes the breaker,
-//! failure re-opens it.
+//! open**: a *bounded quota* of probe requests is let through; success
+//! closes the breaker, failure re-opens it.
 //!
 //! Cooldown is measured in *dispatch decisions*, not wall-clock time: the
 //! breaker's trajectory is then a pure function of the success/failure
 //! sequence it observes, which keeps chaos runs replayable.
+//!
+//! # Priority lanes
+//!
+//! With multi-tenant shaping ([`crate::admission`]) in front, the probe
+//! quota is a scarce recovery resource and must not be burned by traffic
+//! nobody is waiting on. [`CircuitBreaker::allow_for`] therefore accounts
+//! probes by [`Priority`]:
+//!
+//! * **Interactive** traffic may consume every probe, including the last.
+//! * **Batch** traffic may probe only while *more than one* probe
+//!   remains — the final probe is reserved for interactive traffic.
+//! * **Best-effort** traffic never probes: while the breaker is open or
+//!   half-open it goes straight to the degraded fallback.
+//!
+//! The class-less [`CircuitBreaker::allow`] is interactive by definition
+//! (the pre-lanes serving path), and with the default quota of one probe
+//! per half-open episode its trajectory is identical to the historical
+//! breaker.
+
+use crate::admission::Priority;
 
 /// The breaker's observable state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +39,8 @@ pub enum BreakerState {
     Closed,
     /// Tripped: the fault path is skipped until the cooldown elapses.
     Open,
-    /// Probing: one request is allowed through to test recovery.
+    /// Probing: a bounded quota of requests is allowed through to test
+    /// recovery.
     HalfOpen,
 }
 
@@ -29,6 +50,10 @@ pub struct CircuitBreaker {
     state: BreakerState,
     threshold: u32,
     cooldown: u32,
+    /// Probes admitted per half-open episode.
+    probe_quota: u32,
+    /// Probes left in the current half-open episode.
+    probes_left: u32,
     failures: u32,
     waited: u32,
     opens: u64,
@@ -36,17 +61,31 @@ pub struct CircuitBreaker {
 
 impl CircuitBreaker {
     /// Creates a closed breaker tripping after `threshold` consecutive
-    /// failures and staying open for `cooldown` dispatch decisions.
+    /// failures and staying open for `cooldown` dispatch decisions, with
+    /// a single probe per half-open episode (the historical behavior).
     ///
     /// # Panics
     ///
     /// Panics if `threshold` is zero (a breaker that trips on nothing).
     pub fn new(threshold: u32, cooldown: u32) -> Self {
+        Self::with_probes(threshold, cooldown, 1)
+    }
+
+    /// Like [`CircuitBreaker::new`] with an explicit half-open probe
+    /// quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` or `probe_quota` is zero.
+    pub fn with_probes(threshold: u32, cooldown: u32, probe_quota: u32) -> Self {
         assert!(threshold > 0, "threshold must be non-zero");
+        assert!(probe_quota > 0, "probe quota must be non-zero");
         CircuitBreaker {
             state: BreakerState::Closed,
             threshold,
             cooldown,
+            probe_quota,
+            probes_left: 0,
             failures: 0,
             waited: 0,
             opens: 0,
@@ -55,21 +94,46 @@ impl CircuitBreaker {
 
     /// One dispatch decision: may this request take the normal (fault-
     /// prone) path? `false` means go straight to the degraded fallback.
-    /// While open, each call counts toward the cooldown; once it elapses
-    /// the breaker half-opens and admits a probe.
+    /// Interactive by definition — see [`CircuitBreaker::allow_for`].
     pub fn allow(&mut self) -> bool {
+        self.allow_for(Priority::Interactive)
+    }
+
+    /// One dispatch decision for a request of the given priority class.
+    /// While open, each call counts toward the cooldown regardless of
+    /// class (the trajectory stays a pure function of the decision
+    /// sequence); once it elapses the breaker half-opens with
+    /// `probe_quota` probes, consumed interactive-first: best-effort
+    /// never probes, batch leaves the last probe for interactive.
+    pub fn allow_for(&mut self, class: Priority) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => self.take_probe(class),
             BreakerState::Open => {
                 self.waited += 1;
                 if self.waited >= self.cooldown {
                     self.state = BreakerState::HalfOpen;
-                    true
+                    self.probes_left = self.probe_quota;
+                    self.take_probe(class)
                 } else {
                     false
                 }
             }
         }
+    }
+
+    /// Consumes one half-open probe if this class is entitled to it.
+    fn take_probe(&mut self, class: Priority) -> bool {
+        let entitled = match class {
+            Priority::Interactive => self.probes_left > 0,
+            // The last probe is reserved for interactive traffic.
+            Priority::Batch => self.probes_left > 1,
+            Priority::BestEffort => false,
+        };
+        if entitled {
+            self.probes_left -= 1;
+        }
+        entitled
     }
 
     /// The guarded path succeeded: a half-open probe (or any success)
@@ -98,12 +162,18 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.failures = 0;
         self.waited = 0;
+        self.probes_left = 0;
         self.opens += 1;
     }
 
     /// Current state.
     pub fn state(&self) -> BreakerState {
         self.state
+    }
+
+    /// Probes left in the current half-open episode (0 unless half-open).
+    pub fn probes_left(&self) -> u32 {
+        self.probes_left
     }
 
     /// Times the breaker has tripped open (including re-opens from a
@@ -192,5 +262,90 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_threshold_panics() {
         let _ = CircuitBreaker::new(0, 1);
+    }
+
+    /// Opens a breaker and burns the cooldown with best-effort decisions
+    /// (which count toward it but never probe).
+    fn half_open(probes: u32) -> CircuitBreaker {
+        let mut b = CircuitBreaker::with_probes(1, 1, probes);
+        b.record_failure();
+        assert!(
+            !b.allow_for(Priority::BestEffort),
+            "best-effort advanced the cooldown but must not probe"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b
+    }
+
+    #[test]
+    fn best_effort_never_consumes_the_probe_quota() {
+        let mut b = half_open(2);
+        assert_eq!(b.probes_left(), 2);
+        for _ in 0..4 {
+            assert!(!b.allow_for(Priority::BestEffort));
+        }
+        assert_eq!(
+            b.probes_left(),
+            2,
+            "best-effort probes are rejected, not counted"
+        );
+        assert!(
+            b.allow_for(Priority::Interactive),
+            "quota intact for interactive"
+        );
+    }
+
+    #[test]
+    fn batch_leaves_the_last_probe_for_interactive() {
+        // Quota 2: batch may take the first probe, not the last.
+        let mut b = half_open(2);
+        assert!(b.allow_for(Priority::Batch), "batch takes probe 1 of 2");
+        assert_eq!(b.probes_left(), 1);
+        assert!(
+            !b.allow_for(Priority::Batch),
+            "the final probe is reserved for interactive"
+        );
+        assert_eq!(
+            b.probes_left(),
+            1,
+            "the denied batch probe was not consumed"
+        );
+        assert!(
+            b.allow_for(Priority::Interactive),
+            "interactive takes the last probe"
+        );
+        assert_eq!(b.probes_left(), 0);
+        assert!(
+            !b.allow_for(Priority::Interactive),
+            "quota exhausted until the probe outcome is recorded"
+        );
+    }
+
+    #[test]
+    fn probe_quota_resets_per_half_open_episode() {
+        let mut b = half_open(3);
+        assert!(b.allow_for(Priority::Interactive));
+        b.record_failure(); // probe failed: re-open, quota cleared
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.probes_left(), 0);
+        assert_eq!(b.opens(), 2);
+        assert!(
+            b.allow_for(Priority::Interactive),
+            "cooldown 1: next decision probes"
+        );
+        assert_eq!(b.probes_left(), 2, "fresh episode starts with a full quota");
+    }
+
+    #[test]
+    fn default_quota_matches_the_legacy_single_probe_breaker() {
+        // The class-less path is interactive with quota 1: one probe per
+        // episode, exactly the historical trajectory.
+        let mut b = CircuitBreaker::new(1, 2);
+        b.record_failure();
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 }

@@ -45,6 +45,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod admission;
 pub mod backend;
 pub mod breaker;
 pub mod chaos_backend;
@@ -56,8 +57,14 @@ pub mod obs;
 pub mod offload;
 pub mod pool;
 pub mod service;
+pub mod traffic;
 pub mod trainer;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, BrownoutConfig, BucketConfig,
+    ClassCounters, Priority, RejectReason, ShapedRequest, ShapedService, SubmitVerdict,
+    TenantConfig, TokenBucket, Verdict, CLASSES,
+};
 pub use backend::{
     BackendError, CachedBackend, CpuBackend, SampleOutcome, SampleRequest, SamplingBackend,
 };
@@ -78,6 +85,8 @@ pub use obs::{ObsConfig, Observability};
 pub use offload::{AxeBackend, GraphLearnSession, SamplerBackend};
 pub use pool::{BufferPool, PoolStats};
 pub use service::{
-    DegradeConfig, SampleReply, SampleTicket, SamplingService, ServiceConfig, ServiceStats,
+    BatchPolicy, DegradeConfig, SampleReply, SampleTicket, SamplingService, ServiceConfig,
+    ServiceStats,
 };
+pub use traffic::{replay_open_loop, Arrival, TenantSpec, TrafficConfig, TrafficTrace};
 pub use trainer::{EpochReport, TrainerConfig, TrainingJob};

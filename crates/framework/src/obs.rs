@@ -117,6 +117,16 @@ impl Observability {
             .observe(latency_us, degraded);
     }
 
+    /// The sampling SLO's current burn rate (violation rate / budget)
+    /// without cloning the monitor — the admission controller's brownout
+    /// feed, read on every shaped submission.
+    pub fn sampling_burn_rate(&self) -> f64 {
+        self.sampling_slo
+            .lock()
+            .expect("sampling slo lock")
+            .burn_rate()
+    }
+
     /// A snapshot of the sampling-stage SLO monitor.
     pub fn sampling_slo(&self) -> SloMonitor {
         self.sampling_slo.lock().expect("sampling slo lock").clone()

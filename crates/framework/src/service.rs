@@ -35,6 +35,7 @@
 //! degradation counters (degraded replies, retries, hedges, breaker
 //! trips) the fault model adds.
 
+use crate::admission::Priority;
 use crate::backend::{SampleOutcome, SampleRequest, SamplingBackend};
 use crate::breaker::CircuitBreaker;
 use crate::cluster::RequestStats;
@@ -147,6 +148,10 @@ pub struct DegradeConfig {
     pub breaker_threshold: u32,
     /// Dispatch decisions an open breaker waits before half-opening.
     pub breaker_cooldown: u32,
+    /// Probes a half-open breaker admits, consumed interactive-first
+    /// (see [`CircuitBreaker::allow_for`]); 1 = the classic single-probe
+    /// breaker.
+    pub breaker_probes: u32,
     /// Seed of the deterministic backoff-jitter stream.
     pub jitter_seed: u64,
 }
@@ -160,9 +165,30 @@ impl Default for DegradeConfig {
             hedge_threshold: 2,
             breaker_threshold: 8,
             breaker_cooldown: 16,
+            breaker_probes: 1,
             jitter_seed: 0x5eed_cafe,
         }
     }
+}
+
+/// How a shard decides a growing batch is done waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Close `batch_deadline` after the batch's first request arrived —
+    /// the original fixed-timer path, retained for differential tests.
+    FixedDeadline,
+    /// Deadline-aware close: keep growing only while every admitted
+    /// request still has *slack* — `deadline − elapsed − est_service` —
+    /// left. The batch closes the moment the tightest request's slack
+    /// runs out, so coalescing can never be the reason a request misses
+    /// its deadline. Requests without a deadline contribute the fixed
+    /// `batch_deadline` wait, making the two policies identical on
+    /// deadline-less traffic.
+    SlackDriven {
+        /// Estimated service time of one dispatched batch (reserved out
+        /// of every request's slack).
+        est_service: Duration,
+    },
 }
 
 /// Tuning knobs of a [`SamplingService`].
@@ -176,6 +202,8 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// How long a shard waits to grow a batch before dispatching.
     pub batch_deadline: Duration,
+    /// Batch-close rule (fixed timer vs deadline slack).
+    pub batch: BatchPolicy,
     /// The degradation policy (only exercised under faults).
     pub degrade: DegradeConfig,
 }
@@ -187,6 +215,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 16,
             batch_deadline: Duration::from_micros(200),
+            batch: BatchPolicy::FixedDeadline,
             degrade: DegradeConfig::default(),
         }
     }
@@ -235,6 +264,11 @@ struct Job {
     req: SampleRequest,
     reply: Sender<SampleReply>,
     submitted: Instant,
+    /// Absolute deadline for slack-driven batch close; `None` means the
+    /// request tolerates the full fixed `batch_deadline` wait.
+    deadline: Option<Instant>,
+    /// Priority class, consulted by the breaker's probe accounting.
+    class: Priority,
     /// Ledger trace id (0 = untraced: no observability installed).
     trace: u64,
 }
@@ -248,6 +282,13 @@ pub struct SampleTicket {
 }
 
 impl SampleTicket {
+    /// Assembles a ticket from a reply channel and trace id (the shaped
+    /// front door creates the channel at admission time so the ticket
+    /// exists before the request reaches the service queue).
+    pub(crate) fn from_parts(rx: Receiver<SampleReply>, trace: u64) -> Self {
+        SampleTicket { rx, trace }
+    }
+
     /// The request's ledger trace id (0 when the service was started
     /// without observability). Outer pipeline layers use this to append
     /// their own stages to the same causal record.
@@ -296,10 +337,14 @@ struct ServeAcct {
 
 /// Serves one request through the full degradation ladder:
 /// breaker gate → retry loop (backoff + hedge) → degraded fallback.
+/// The request's priority class governs breaker probe accounting:
+/// best-effort traffic never consumes a half-open probe.
+#[allow(clippy::too_many_arguments)]
 fn serve_one(
     backend: &Arc<dyn SamplingBackend>,
     req: &SampleRequest,
     submitted: Instant,
+    class: Priority,
     degrade: &DegradeConfig,
     breaker: &mut CircuitBreaker,
     jitter: &ChaosRng,
@@ -315,7 +360,7 @@ fn serve_one(
     let obs_on = ledger::scope_active();
     let us_since = |t0: Option<Instant>| t0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e6);
 
-    if !breaker.allow() {
+    if !breaker.allow_for(class) {
         // Open breaker: don't touch the failing path at all. The
         // fallback still reflects genuinely-down shards, so the answer
         // is as good as retries would have eventually produced.
@@ -350,7 +395,7 @@ fn serve_one(
         let failed_us = us_since(t0);
         let exhausted = attempts > degrade.max_retries;
         let over_deadline = submitted.elapsed() >= degrade.deadline;
-        if exhausted || over_deadline || !breaker.allow() {
+        if exhausted || over_deadline || !breaker.allow_for(class) {
             if obs_on {
                 ledger::scope_record(Stage::Retry, NO_SHARD, 0.0, failed_us, attempts as u64);
             }
@@ -469,9 +514,10 @@ fn shard_loop(
         .as_ref()
         .filter(|inj| !inj.plan().is_zero_fault())
         .cloned();
-    let mut breaker = CircuitBreaker::new(
+    let mut breaker = CircuitBreaker::with_probes(
         cfg.degrade.breaker_threshold,
         cfg.degrade.breaker_cooldown.max(1),
+        cfg.degrade.breaker_probes.max(1),
     );
     let jitter = ChaosRng::new(cfg.degrade.jitter_seed);
     let panic_after = chaos
@@ -482,17 +528,32 @@ fn shard_loop(
     let mut lh = obs.as_ref().map(|o| o.ledger().handle());
     let mut dispatch_no = 0u64;
     // A closed queue (sender dropped) ends the shard once drained.
+    // Slack-driven batching: a joining job may only *shrink* the close
+    // time, to the latest instant at which dispatching still leaves
+    // `est_service` before that job's deadline. A job with no deadline
+    // tolerates the full fixed wait — on deadline-less traffic the two
+    // policies close identically.
+    let job_close = |job: &Job, fallback: Instant| match (cfg.batch, job.deadline) {
+        (BatchPolicy::SlackDriven { est_service }, Some(deadline)) => {
+            deadline.checked_sub(est_service).unwrap_or(fallback)
+        }
+        _ => fallback,
+    };
     while let Ok(first) = rx.recv() {
+        let fixed_close = Instant::now() + cfg.batch_deadline;
+        let mut close_at = job_close(&first, fixed_close).min(fixed_close);
         let mut jobs = vec![first];
-        let deadline = Instant::now() + cfg.batch_deadline;
         while jobs.len() < cfg.max_batch {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= close_at {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(job),
-                Err(_) => break, // deadline hit or queue closed
+            match rx.recv_timeout(close_at - now) {
+                Ok(job) => {
+                    close_at = close_at.min(job_close(&job, fixed_close));
+                    jobs.push(job);
+                }
+                Err(_) => break, // close time hit or queue closed
             }
         }
         dispatch_no += 1;
@@ -566,6 +627,7 @@ fn shard_loop(
                         &backend,
                         &job.req,
                         job.submitted,
+                        job.class,
                         &cfg.degrade,
                         &mut breaker,
                         &jitter,
@@ -811,9 +873,12 @@ impl SamplingService {
         self.obs.as_ref()
     }
 
-    /// Enqueues a request, blocking while the queue is full
-    /// (backpressure), and returns a ticket for the result.
-    pub fn submit(&self, req: SampleRequest) -> SampleTicket {
+    /// Registers a client submission with the tracer and ledger,
+    /// returning the request's trace id (0 with observability off).
+    /// The shaped front door calls this at *admission* time so lane
+    /// waits are part of the request's causal record; the plain
+    /// [`SamplingService::submit`] calls it inline.
+    pub fn register_submit(&self, req: &SampleRequest) -> u64 {
         if let Some(tracer) = &self.tracer {
             tracer.instant(
                 "service",
@@ -823,7 +888,7 @@ impl SamplingService {
                 tracer.wall_us(),
             );
         }
-        let trace = match &self.obs {
+        match &self.obs {
             None => 0,
             Some(o) => {
                 let trace = o.ledger().next_trace();
@@ -839,19 +904,69 @@ impl SamplingService {
                 );
                 trace
             }
-        };
+        }
+    }
+
+    /// Enqueues a request, blocking while the queue is full
+    /// (backpressure), and returns a ticket for the result.
+    pub fn submit(&self, req: SampleRequest) -> SampleTicket {
+        let trace = self.register_submit(&req);
         let (reply, rx) = bounded(1);
+        self.submit_routed(
+            req,
+            Instant::now(),
+            None,
+            Priority::Interactive,
+            trace,
+            reply,
+        );
+        SampleTicket { rx, trace }
+    }
+
+    /// Like [`SamplingService::submit`], but with a relative deadline:
+    /// slack-driven batch formation will not let coalescing push this
+    /// request past `deadline`.
+    pub fn submit_with_deadline(&self, req: SampleRequest, deadline: Duration) -> SampleTicket {
+        let trace = self.register_submit(&req);
+        let (reply, rx) = bounded(1);
+        let now = Instant::now();
+        self.submit_routed(
+            req,
+            now,
+            Some(now + deadline),
+            Priority::Interactive,
+            trace,
+            reply,
+        );
+        SampleTicket { rx, trace }
+    }
+
+    /// The routed enqueue the shaped front door uses: the caller owns
+    /// the reply channel (the ticket was handed out at admission), the
+    /// original submission instant (so lane waits count toward latency),
+    /// the absolute deadline, the priority class, and a pre-registered
+    /// trace id. Blocks while the queue is full (backpressure).
+    pub fn submit_routed(
+        &self,
+        req: SampleRequest,
+        submitted: Instant,
+        deadline: Option<Instant>,
+        class: Priority,
+        trace: u64,
+        reply: Sender<SampleReply>,
+    ) {
         self.tx
             .as_ref()
             .expect("service running")
             .send(Job {
                 req,
                 reply,
-                submitted: Instant::now(),
+                submitted,
+                deadline,
+                class,
                 trace,
             })
             .expect("worker shards alive");
-        SampleTicket { rx, trace }
     }
 
     /// Submits and waits: the synchronous convenience path.
@@ -1018,6 +1133,97 @@ mod tests {
         assert!(
             s.dispatches < 16,
             "no coalescing happened: {} dispatches",
+            s.dispatches
+        );
+        assert!(s.batch_size.max() > 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn slack_driven_close_dispatches_tight_deadlines_immediately() {
+        // Same long fixed wait in both arms; the slack arm's requests
+        // carry deadlines with no slack left, so batches close at once
+        // instead of sitting out the 20ms growth timer.
+        let g = generators::power_law(300, 8, 32);
+        let a = AttributeStore::synthetic(300, 8, 32);
+        let build = |policy| {
+            SamplingService::start(
+                Box::new(CpuBackend::new(&g, &a, 1)),
+                ServiceConfig {
+                    workers: 1,
+                    // Larger than the burst so the fixed arm cannot close
+                    // early on batch size and must sit out the timer.
+                    max_batch: 16,
+                    batch_deadline: Duration::from_millis(20),
+                    batch: policy,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let fixed = build(BatchPolicy::FixedDeadline);
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..8)
+            .map(|s| fixed.submit_with_deadline(req(s), Duration::from_millis(1)))
+            .collect();
+        tickets.into_iter().for_each(|t| {
+            t.wait();
+        });
+        let fixed_elapsed = t0.elapsed();
+        let fixed_dispatches = fixed.stats().dispatches;
+        fixed.shutdown();
+
+        let slack = build(BatchPolicy::SlackDriven {
+            est_service: Duration::from_millis(5),
+        });
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..8)
+            .map(|s| slack.submit_with_deadline(req(s), Duration::from_millis(1)))
+            .collect();
+        tickets.into_iter().for_each(|t| {
+            t.wait();
+        });
+        let slack_elapsed = t0.elapsed();
+        let slack_dispatches = slack.stats().dispatches;
+        slack.shutdown();
+
+        assert!(
+            slack_dispatches > fixed_dispatches,
+            "zero-slack requests must stop coalescing ({slack_dispatches} vs {fixed_dispatches})"
+        );
+        assert!(
+            slack_elapsed < fixed_elapsed,
+            "slack close must not sit out the growth timer ({slack_elapsed:?} vs {fixed_elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn slack_policy_matches_fixed_on_deadline_less_traffic() {
+        // Requests without deadlines contribute the fixed wait, so the
+        // slack policy still coalesces a queued burst.
+        let g = generators::power_law(300, 8, 32);
+        let a = AttributeStore::synthetic(300, 8, 32);
+        let svc = SamplingService::start(
+            Box::new(CpuBackend::new(&g, &a, 1)),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 8,
+                batch_deadline: Duration::from_millis(20),
+                batch: BatchPolicy::SlackDriven {
+                    est_service: Duration::from_millis(5),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..16).map(|s| svc.submit(req(s))).collect();
+        for t in tickets {
+            t.wait();
+        }
+        let s = svc.stats();
+        assert_eq!(s.requests, 16);
+        assert!(
+            s.dispatches < 16,
+            "deadline-less traffic still coalesces: {} dispatches",
             s.dispatches
         );
         assert!(s.batch_size.max() > 1);

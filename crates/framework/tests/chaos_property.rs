@@ -68,6 +68,7 @@ proptest! {
                     backoff_base: Duration::from_micros(5),
                     ..DegradeConfig::default()
                 },
+                ..ServiceConfig::default()
             },
             None,
             Some(injector),

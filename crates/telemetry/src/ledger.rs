@@ -55,6 +55,15 @@ pub enum Stage {
     /// Pulled off the queue into a coalesced batch; `queue_us` is the
     /// submit→dispatch wait, `detail` the batch size.
     Admission,
+    /// The admission controller rejected the request (`detail` = reject
+    /// code: 1 = rate limit, 2 = class queue full).
+    Reject,
+    /// Brownout load shedding dropped the request before it queued
+    /// (`detail` = priority-class index).
+    Shed,
+    /// The request was admitted under brownout with degraded fanout
+    /// (`detail` = priority-class index).
+    Brownout,
     /// Injected queue stall before dispatch (`queue_us` = stall time).
     Stall,
     /// One backend sampling call (`detail` = batch size or attempt).
@@ -90,9 +99,12 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in causal-rank order.
-    pub const ALL: [Stage; 16] = [
+    pub const ALL: [Stage; 19] = [
         Stage::Enqueue,
         Stage::Admission,
+        Stage::Reject,
+        Stage::Shed,
+        Stage::Brownout,
         Stage::Stall,
         Stage::Sampling,
         Stage::SampleHop,
@@ -114,6 +126,9 @@ impl Stage {
         match self {
             Stage::Enqueue => "enqueue",
             Stage::Admission => "admission",
+            Stage::Reject => "reject",
+            Stage::Shed => "shed",
+            Stage::Brownout => "brownout",
             Stage::Stall => "stall",
             Stage::Sampling => "sampling",
             Stage::SampleHop => "sample_hop",
