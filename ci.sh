@@ -105,6 +105,21 @@ grep -q '"no_unbounded_queue":true' BENCH_traffic.json \
 grep -q '"autoscaler_cost_ok":true' BENCH_traffic.json \
     || { echo "FAIL: autoscaler costs more per SLO-met than static peak provisioning"; exit 1; }
 
+echo "==> cache smoke: bench cache --quick"
+cargo run --release -q -p lsdgnn-bench -- cache --quick
+test -s BENCH_cache.json \
+    || { echo "FAIL: BENCH_cache.json missing or empty"; exit 1; }
+grep -q '"digests_match":true' BENCH_cache.json \
+    || { echo "FAIL: a cached arm diverged from the cache-off digest"; exit 1; }
+grep -q '"remote_cut_ok":true' BENCH_cache.json \
+    || { echo "FAIL: warm cache did not cut remote requests >=2x at the reference cell"; exit 1; }
+grep -q '"speedup_ok":true' BENCH_cache.json \
+    || { echo "FAIL: cached serving throughput below the gate floor"; exit 1; }
+grep -q '"wire_cut_ok":true' BENCH_cache.json \
+    || { echo "FAIL: cache hits did not shrink WirePlane response bytes"; exit 1; }
+grep -q '"cache_hit_blamed":true' BENCH_cache.json \
+    || { echo "FAIL: blame report never attributed time to cache_hit"; exit 1; }
+
 echo "==> trace-report smoke: per-stage summary of the fig14 trace"
 cargo run --release -q -p lsdgnn-bench -- trace-report "$SMOKE_DIR/trace.json" \
     | grep -q 'dispatch' \

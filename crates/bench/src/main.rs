@@ -29,6 +29,7 @@
 //! * `LSDGNN_JOBS`    — default worker count when `--jobs` is absent
 
 mod ablations;
+mod cache_exp;
 mod chaos_exp;
 mod characterization;
 mod dataplane;
@@ -136,6 +137,9 @@ fn usage_and_exit(unknown: &str) -> ! {
     eprintln!(
         "  traffic [--quick] [--seed N] [--out path]   overload-control + autoscaler policy sweep"
     );
+    eprintln!(
+        "  cache [--quick] [--seed N] [--out path]   hot-set cache skew x capacity x tier sweep"
+    );
     eprintln!("  trace-report <trace.json>   per-stage summary of a --trace-out Chrome trace");
     eprintln!("(see DESIGN.md for the experiment index)");
     std::process::exit(2);
@@ -219,6 +223,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "obs") {
         obs_exp::obs(quick, seed, out.as_deref().unwrap_or("BENCH_obs.json"));
+        return;
+    }
+    if args.iter().any(|a| a == "cache") {
+        cache_exp::cache(quick, seed, out.as_deref().unwrap_or("BENCH_cache.json"));
         return;
     }
     if args.iter().any(|a| a == "traffic") {

@@ -291,3 +291,70 @@ fn obs_artifact_is_byte_identical_across_jobs() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Runs `cache --quick` with timing fields zeroed, returning stdout and
+/// the artifact bytes.
+fn run_cache(jobs: &str, seed: &str, out: &PathBuf) -> (String, Vec<u8>) {
+    let cmd = Command::new(env!("CARGO_BIN_EXE_lsdgnn-bench"))
+        .args(["cache", "--quick", "--jobs", jobs, "--seed", seed, "--out"])
+        .arg(out)
+        .env("LSDGNN_CACHE_OMIT_TIMING", "1")
+        .output()
+        .expect("spawn bench binary");
+    assert!(
+        cmd.status.success(),
+        "cache --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&cmd.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cmd.stdout).replace(&out.display().to_string(), "<out>");
+    let artifact = std::fs::read(out).expect("cache artifact written");
+    (stdout, artifact)
+}
+
+/// The hot-set cache sweep must not depend on `--jobs`: per-cell
+/// digests, remote-request counts, tier counters and the wire-cut leg
+/// are all deterministic under a fixed seed, and
+/// `LSDGNN_CACHE_OMIT_TIMING` zeroes the throughput and blame-share
+/// fields that ride on wall-clock batching.
+#[test]
+fn cache_artifact_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("lsdgnn_cache_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+
+    let (out1, art1) = run_cache("1", "42", &dir.join("j1.json"));
+    let (out4, art4) = run_cache("4", "42", &dir.join("j4.json"));
+    assert_eq!(out1, out4, "cache stdout must not depend on --jobs");
+    assert!(!art1.is_empty(), "cache artifact is non-empty");
+    assert_eq!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&art4),
+        "cache artifact must not depend on --jobs"
+    );
+    let text = String::from_utf8_lossy(&art1);
+    assert!(
+        text.contains("\"digests_match\":true"),
+        "cached arms must digest-match the cache-off arm"
+    );
+    assert!(
+        text.contains("\"remote_cut_ok\":true"),
+        "the warm cache must cut remote requests at the reference cell"
+    );
+    assert!(
+        text.contains("\"wire_cut_ok\":true"),
+        "cache hits must skip WirePlane accounting"
+    );
+    assert!(
+        text.contains("\"cache_hit_blamed\":true"),
+        "the blame report must attribute time to cache_hit"
+    );
+
+    // A different seed changes the request stream (and thus the per-cell
+    // digests) — the seed is the replay identity.
+    let (_, other) = run_cache("1", "43", &dir.join("seed43.json"));
+    assert_ne!(
+        String::from_utf8_lossy(&art1),
+        String::from_utf8_lossy(&other),
+        "seed must be part of the replay identity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,7 +23,7 @@
 //! `integration_backend_parity` test pins down.
 
 use crate::cluster::{Cluster, RequestStats, WireConfig, WireSnapshot};
-use crate::hot_cache::HotNodeCache;
+use crate::hot_cache::{AttrTier, CacheConfig, CacheSnapshot, ShardedTier};
 use lsdgnn_graph::{AttributeStore, CsrGraph, NodeId, PartitionedGraph};
 use lsdgnn_sampler::{SampleBatch, SampleBlock};
 use lsdgnn_telemetry::ledger::{self, Stage, NO_SHARD};
@@ -198,6 +198,13 @@ pub trait SamplingBackend: Send + Sync {
     fn shards(&self) -> u32 {
         1
     }
+
+    /// Hot-set cache counters, when a cache sits on this backend's data
+    /// plane (`None` for uncached backends). Decorators forward to their
+    /// inner backend's tiers where they have none of their own.
+    fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        None
+    }
 }
 
 /// The AliGraph CPU path: a [`Cluster`] of server threads behind the
@@ -267,6 +274,22 @@ impl CpuBackend {
     /// not transform.
     pub fn from_partitioned_wired(pg: PartitionedGraph, config: WireConfig) -> Self {
         Self::from_cluster(Cluster::spawn_wired(pg, config))
+    }
+
+    /// Like [`CpuBackend::from_partitioned`], with the two-tier hot-set
+    /// cache mounted inline on the cluster's remote data plane.
+    pub fn from_partitioned_cached(pg: PartitionedGraph, cache: CacheConfig) -> Self {
+        Self::from_cluster(Cluster::spawn_cached(pg, cache))
+    }
+
+    /// Wire plane *and* hot-set cache together — the arm that shows
+    /// sampled wire bytes dropping with the neighbor-tier hit rate.
+    pub fn from_partitioned_wired_cached(
+        pg: PartitionedGraph,
+        wire: WireConfig,
+        cache: CacheConfig,
+    ) -> Self {
+        Self::from_cluster(Cluster::spawn_wired_cached(pg, wire, cache))
     }
 
     /// Wire-plane telemetry so far, when spawned wired.
@@ -413,15 +436,20 @@ impl SamplingBackend for CpuBackend {
     fn shards(&self) -> u32 {
         self.cluster.partitions()
     }
+
+    fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.cluster.cache_snapshot()
+    }
 }
 
-/// A decorator folding the framework-level [`HotNodeCache`] in front of
-/// any backend's attribute path (the paper's Tech-4 premise: system-level
-/// caching lives in the framework, not the hardware).
+/// A decorator folding a framework-level attribute tier in front of any
+/// backend's attribute path (the paper's Tech-4 premise: system-level
+/// caching lives in the framework, not the hardware). The tier is the
+/// same sharded [`AttrTier`] the cluster's inline cache uses — no global
+/// lock around the whole cache.
 pub struct CachedBackend {
     inner: Box<dyn SamplingBackend>,
-    cache: Mutex<HotNodeCache>,
-    capacity: usize,
+    tier: AttrTier,
     attr_len: usize,
 }
 
@@ -439,15 +467,14 @@ impl CachedBackend {
     pub fn new(inner: Box<dyn SamplingBackend>, capacity: usize, attr_len: usize) -> Self {
         CachedBackend {
             inner,
-            cache: Mutex::new(HotNodeCache::new(capacity)),
-            capacity,
+            tier: ShardedTier::new(capacity, 16, true),
             attr_len,
         }
     }
 
     /// Attribute-cache hit rate so far.
     pub fn hit_rate(&self) -> f64 {
-        self.cache.lock().expect("cache lock").hit_rate()
+        self.tier.hit_rate()
     }
 
     /// Rebuilds the decorator over a relabeled inner backend, carrying
@@ -461,12 +488,10 @@ impl CachedBackend {
         inner: Box<dyn SamplingBackend>,
         map: impl FnMut(NodeId) -> Option<NodeId>,
     ) -> Self {
-        let mut cache = self.cache.into_inner().expect("cache lock");
-        cache.rekey(map);
+        self.tier.rekey(map);
         CachedBackend {
             inner,
-            cache: Mutex::new(cache),
-            capacity: self.capacity,
+            tier: self.tier,
             attr_len: self.attr_len,
         }
     }
@@ -489,16 +514,16 @@ impl SamplingBackend for CachedBackend {
     }
 
     fn gather_attributes(&self, nodes: &[NodeId]) -> Vec<f32> {
-        let mut cache = self.cache.lock().expect("cache lock");
         let mut out = vec![0.0f32; nodes.len() * self.attr_len];
         // Serve hits; collect each missing node once, in first-appearance
         // order (the dedup the cluster path also applies).
         let mut missing: Vec<NodeId> = Vec::new();
         let mut miss_slots: Vec<(usize, usize)> = Vec::new(); // (out row, missing idx)
         for (i, &v) in nodes.iter().enumerate() {
-            if let Some(attrs) = cache.get(v) {
-                out[i * self.attr_len..(i + 1) * self.attr_len].copy_from_slice(attrs);
-            } else {
+            if !self
+                .tier
+                .copy_to(v, &mut out[i * self.attr_len..(i + 1) * self.attr_len])
+            {
                 let idx = match missing.iter().position(|&m| m == v) {
                     Some(idx) => idx,
                     None => {
@@ -516,7 +541,8 @@ impl SamplingBackend for CachedBackend {
                     .copy_from_slice(&fetched[idx * self.attr_len..(idx + 1) * self.attr_len]);
             }
             for (idx, &v) in missing.iter().enumerate() {
-                cache.insert(v, &fetched[idx * self.attr_len..(idx + 1) * self.attr_len]);
+                self.tier
+                    .admit(v, &fetched[idx * self.attr_len..(idx + 1) * self.attr_len]);
             }
         }
         out
@@ -528,7 +554,6 @@ impl SamplingBackend for CachedBackend {
         rows: &mut Vec<f32>,
         slot_of: &mut Vec<u32>,
     ) -> usize {
-        let mut cache = self.cache.lock().expect("cache lock");
         let mut index: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
         let mut unique: Vec<NodeId> = Vec::new();
         slot_of.clear();
@@ -547,9 +572,10 @@ impl SamplingBackend for CachedBackend {
         let mut missing: Vec<NodeId> = Vec::new();
         let mut miss_rows: Vec<usize> = Vec::new();
         for (i, &v) in unique.iter().enumerate() {
-            if let Some(attrs) = cache.get(v) {
-                rows[i * self.attr_len..(i + 1) * self.attr_len].copy_from_slice(attrs);
-            } else {
+            if !self
+                .tier
+                .copy_to(v, &mut rows[i * self.attr_len..(i + 1) * self.attr_len])
+            {
                 missing.push(v);
                 miss_rows.push(i);
             }
@@ -561,7 +587,8 @@ impl SamplingBackend for CachedBackend {
                     .copy_from_slice(&fetched[j * self.attr_len..(j + 1) * self.attr_len]);
             }
             for (j, &v) in missing.iter().enumerate() {
-                cache.insert(v, &fetched[j * self.attr_len..(j + 1) * self.attr_len]);
+                self.tier
+                    .admit(v, &fetched[j * self.attr_len..(j + 1) * self.attr_len]);
             }
         }
         self.attr_len
@@ -572,10 +599,11 @@ impl SamplingBackend for CachedBackend {
     }
 
     fn flush(&self) {
-        // Drop cached entries and flush whatever is underneath.
-        let mut cache = self.cache.lock().expect("cache lock");
-        *cache = HotNodeCache::new(self.capacity);
-        drop(cache);
+        // Release cached entries in place — O(occupied), every slot
+        // buffer retained for the refill — and flush whatever is
+        // underneath. (The old implementation rebuilt a whole new cache
+        // under its global lock.)
+        self.tier.clear();
         self.inner.flush();
     }
 
@@ -596,6 +624,15 @@ impl SamplingBackend for CachedBackend {
 
     fn shards(&self) -> u32 {
         self.inner.shards()
+    }
+
+    fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        // The decorator owns the attribute tier; a neighbor tier can only
+        // come from an inline cluster cache underneath.
+        Some(CacheSnapshot {
+            neigh: self.inner.cache_snapshot().and_then(|s| s.neigh),
+            attr: Some(self.tier.snapshot()),
+        })
     }
 }
 

@@ -158,6 +158,10 @@ impl SamplingBackend for ChaosBackend {
     fn shards(&self) -> u32 {
         self.inner.shards()
     }
+
+    fn cache_snapshot(&self) -> Option<crate::hot_cache::CacheSnapshot> {
+        self.inner.cache_snapshot()
+    }
 }
 
 #[cfg(test)]

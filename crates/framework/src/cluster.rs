@@ -27,6 +27,7 @@
 //! paths to identical samples.
 
 use crate::backend::SampleRequest;
+use crate::hot_cache::{CacheConfig, CacheSnapshot, HotSetCache};
 use crate::pool::BufferPool;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_graph::mem::prefetch_read;
@@ -726,6 +727,11 @@ pub struct Cluster {
     /// [`Cluster::spawn_wired`]. `None` keeps the remote legs entirely
     /// free of wire bookkeeping.
     wire: Option<WirePlane>,
+    /// The two-tier hot-set cache consulted inline on the remote data
+    /// plane, present when spawned via [`Cluster::spawn_cached`]. A tier
+    /// hit serves byte-identical data while skipping the remote leg *and*
+    /// its wire accounting.
+    cache: Option<Arc<HotSetCache>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -808,10 +814,36 @@ impl Cluster {
     /// wire bytes. Replies are untouched — sampled results stay
     /// byte-identical to an unwired cluster.
     pub fn spawn_wired(graph: PartitionedGraph, config: WireConfig) -> Self {
-        Self::spawn_with_wire(graph, Some(config))
+        Self::spawn_inner(graph, Some(config), None)
+    }
+
+    /// [`Cluster::spawn`] with the two-tier hot-set cache mounted inline:
+    /// remote neighbor-list and attribute fetches consult the tiers
+    /// before dispatching, and replies warm them. When
+    /// `cache.warm_top_degree > 0`, the degree prior is applied (and the
+    /// top-degree remote hot set preloaded) before the first request.
+    pub fn spawn_cached(graph: PartitionedGraph, cache: CacheConfig) -> Self {
+        Self::spawn_inner(graph, None, Some(cache))
+    }
+
+    /// Wire plane and hot-set cache together.
+    pub fn spawn_wired_cached(
+        graph: PartitionedGraph,
+        wire: WireConfig,
+        cache: CacheConfig,
+    ) -> Self {
+        Self::spawn_inner(graph, Some(wire), Some(cache))
     }
 
     fn spawn_with_wire(graph: PartitionedGraph, wire: Option<WireConfig>) -> Self {
+        Self::spawn_inner(graph, wire, None)
+    }
+
+    fn spawn_inner(
+        graph: PartitionedGraph,
+        wire: Option<WireConfig>,
+        cache: Option<CacheConfig>,
+    ) -> Self {
         assert!(
             graph.attributes().is_some(),
             "cluster requires an attribute store"
@@ -828,15 +860,34 @@ impl Cluster {
             senders.push(tx);
         }
         let down = (0..senders.len()).map(|_| AtomicBool::new(false)).collect();
+        let worker_partition = PartitionId(0);
+        let cache = cache.map(|cfg| {
+            let c = HotSetCache::new(cfg);
+            if cfg.warm_top_degree > 0 {
+                c.warm_degree_prior(&graph, worker_partition, cfg.warm_top_degree);
+            }
+            Arc::new(c)
+        });
         Cluster {
             graph,
             pool,
             senders,
             handles,
-            worker_partition: PartitionId(0),
+            worker_partition,
             down,
             wire: wire.map(WirePlane::new),
+            cache,
         }
+    }
+
+    /// The inline hot-set cache, when mounted.
+    pub fn cache(&self) -> Option<&Arc<HotSetCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Per-tier cache counters, or `None` for an uncached cluster.
+    pub fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.cache.as_ref().map(|c| c.snapshot())
     }
 
     /// A copy of the wire plane's accounting, or `None` for an unwired
@@ -1202,8 +1253,20 @@ impl Cluster {
         let g = self.graph.graph();
         // One pass over the frontier: local nodes resolve to zero-copy
         // CSR spans on the spot (no channel, no copy); remote positions
-        // are grouped for per-partition dispatch below.
-        let mut remote: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        // are grouped for per-partition dispatch below — unless the
+        // hot-set neighbor tier already holds the span, in which case the
+        // cached bytes land in a pooled arena and the node never joins a
+        // remote leg (nor its wire accounting). A hit while the owner
+        // partition is unreachable is counted as a partition save: the
+        // cached span is the same truth the dead server would have sent,
+        // so the reply legally avoids degrading.
+        let obs_on = ledger::scope_active();
+        let neigh_tier = self.cache.as_deref().and_then(HotSetCache::neigh);
+        let cache_t0 = (obs_on && neigh_tier.is_some()).then(Instant::now);
+        let mut cache_hits: u64 = 0;
+        let mut cache_flat = self.pool.take_nodes();
+        let mut cache_spans: Vec<(u32, usize, usize)> = Vec::new();
+        let mut remote = self.pool.take_groups(parts);
         let mut local_seen = false;
         for (i, &v) in unique.iter().enumerate() {
             let p = self.graph.owner(v).0 as usize;
@@ -1217,14 +1280,42 @@ impl Cluster {
                     };
                 }
             } else {
+                if let Some(tier) = neigh_tier {
+                    let start = cache_flat.len();
+                    if let Some(len) = tier.append_to(v, &mut cache_flat) {
+                        cache_spans.push((i as u32, start, len));
+                        cache_hits += 1;
+                        if self.unreachable(p, excluded) {
+                            tier.note_partition_save();
+                        }
+                        continue;
+                    }
+                }
                 remote[p].push(i as u32);
             }
         }
         if local_seen && local_up {
             stats.local_requests += 1;
         }
-        let obs_on = ledger::scope_active();
-        for (p, pos) in remote.into_iter().enumerate() {
+        if cache_spans.is_empty() {
+            self.pool.put_nodes(cache_flat);
+        } else {
+            let arena = table.arenas.len();
+            for &(i, start, len) in &cache_spans {
+                table.spans[i as usize] = Span::Flat { arena, start, len };
+            }
+            table.arenas.push(cache_flat);
+        }
+        if let (Some(t0), true) = (cache_t0, cache_hits > 0) {
+            ledger::scope_record(
+                Stage::CacheHit,
+                ledger::NO_SHARD,
+                0.0,
+                t0.elapsed().as_secs_f64() * 1e6,
+                cache_hits,
+            );
+        }
+        for (p, pos) in remote.iter().enumerate() {
             if pos.is_empty() {
                 continue;
             }
@@ -1275,12 +1366,17 @@ impl Cluster {
                     // The reply buffer becomes a table arena as-is: no
                     // second copy of the adjacency data.
                     let arena = table.arenas.len();
-                    for (w, &i) in offsets.windows(2).zip(&pos) {
+                    for (w, &i) in offsets.windows(2).zip(pos.iter()) {
                         table.spans[i as usize] = Span::Flat {
                             arena,
                             start: w[0] as usize,
                             len: (w[1] - w[0]) as usize,
                         };
+                        // Offer the fetched span to the neighbor tier —
+                        // the next request for this hub skips the leg.
+                        if let Some(tier) = neigh_tier {
+                            tier.admit(unique[i as usize], &flat[w[0] as usize..w[1] as usize]);
+                        }
                     }
                     table.arenas.push(flat);
                     self.pool.put_offsets(offsets);
@@ -1293,6 +1389,7 @@ impl Cluster {
                 }
             }
         }
+        self.pool.put_groups(remote);
     }
 
     /// Gathers attributes on the flat data plane, in the deduplicated
@@ -1365,7 +1462,16 @@ impl Cluster {
         rows.resize(unique.len() * attr_len, 0.0);
         let mut down = self.pool.take_offsets();
         down.resize(unique.len(), 0);
-        let mut remote: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        // Remote rows consult the hot-set attribute tier before joining
+        // a dispatch group: a hit copies the row straight into place and
+        // skips the gather leg, its wire accounting, and — when the
+        // owner partition is down — the degraded marking (the cached row
+        // is the truth; count the save).
+        let obs_on = ledger::scope_active();
+        let attr_tier = self.cache.as_deref().and_then(HotSetCache::attr);
+        let cache_t0 = (obs_on && attr_tier.is_some()).then(Instant::now);
+        let mut cache_hits: u64 = 0;
+        let mut remote = self.pool.take_groups(parts);
         let mut local_seen = false;
         for (i, &v) in unique.iter().enumerate() {
             // Distinct rows are a random walk over a store larger than
@@ -1384,19 +1490,36 @@ impl Cluster {
                     down[i] = 1; // row unreachable: zeroed, degraded
                 }
             } else {
+                if let Some(tier) = attr_tier {
+                    if tier.copy_to(v, &mut rows[i * attr_len..(i + 1) * attr_len]) {
+                        cache_hits += 1;
+                        if self.unreachable(p, excluded) {
+                            tier.note_partition_save();
+                        }
+                        continue;
+                    }
+                }
                 remote[p].push(i as u32);
             }
         }
         if local_seen && local_up {
             stats.local_requests += 1;
         }
-        let obs_on = ledger::scope_active();
-        for (p, pos) in remote.into_iter().enumerate() {
+        if let (Some(t0), true) = (cache_t0, cache_hits > 0) {
+            ledger::scope_record(
+                Stage::CacheHit,
+                ledger::NO_SHARD,
+                0.0,
+                t0.elapsed().as_secs_f64() * 1e6,
+                cache_hits,
+            );
+        }
+        for (p, pos) in remote.iter().enumerate() {
             if pos.is_empty() {
                 continue;
             }
             if self.unreachable(p, excluded) {
-                for &i in &pos {
+                for &i in pos.iter() {
                     down[i as usize] = 1;
                 }
                 continue; // rows stay zeroed: a degraded partial gather
@@ -1442,20 +1565,25 @@ impl Cluster {
                     }
                     for (j, &slot) in pos.iter().enumerate() {
                         let slot = slot as usize;
-                        rows[slot * attr_len..(slot + 1) * attr_len]
-                            .copy_from_slice(&attrs[j * attr_len..(j + 1) * attr_len]);
+                        let fetched = &attrs[j * attr_len..(j + 1) * attr_len];
+                        rows[slot * attr_len..(slot + 1) * attr_len].copy_from_slice(fetched);
+                        // Offer the fetched row to the attribute tier.
+                        if let Some(tier) = attr_tier {
+                            tier.admit(unique[slot], fetched);
+                        }
                     }
                     self.pool.put_floats(attrs);
                     self.pool.put_nodes(request);
                     stats.remote_requests += 1;
                 }
                 None => {
-                    for &i in &pos {
+                    for &i in pos.iter() {
                         down[i as usize] = 1;
                     }
                 }
             }
         }
+        self.pool.put_groups(remote);
         // Unreachable rows count per *occurrence*, matching the
         // uncoalesced accounting — a flag read per entry, not a row
         // copy.

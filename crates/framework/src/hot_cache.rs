@@ -1,159 +1,223 @@
-//! System-level hot-node caching.
+//! The sharded hot-set cache of the remote data plane.
 //!
 //! The paper's Tech-4 argument rests on the framework already doing its
 //! job: "framework (i.e., AliGraph) already provides system-level caching
 //! for the most frequently used nodes. Therefore ... caching temporal
 //! reuse is not efficient in the hardware." This module is that
-//! framework-level cache — an LRU over fetched node attributes — plus the
-//! measurement that justifies the paper's split: batch-random sampling
-//! over a huge id space sees ~zero reuse, while skewed (hub-heavy)
-//! access patterns cache well.
+//! framework-level cache, grown from a single-`Mutex` attribute LRU into
+//! the two-tier hot-set cache the cluster data plane consults inline:
 //!
-//! Storage is a slab: the FNV-keyed map holds slot indices into one
-//! `Vec` of entries, and an evicted slot's attribute buffer is reused in
-//! place for the incoming entry — steady-state churn (the uniform-batch
-//! case above, where every insert evicts) allocates nothing.
+//! * **Tier N** ([`NeighborTier`]) caches remote **neighbor-list CSR
+//!   spans**. A hit returns byte-identical span data to what the owning
+//!   server would have replied, so the sampler's RNG stream — which draws
+//!   only from span *lengths* — and every downstream digest are
+//!   untouched. Caching structure is safe precisely because the cache
+//!   stores the truth, not an approximation of it.
+//! * **Tier A** ([`AttrTier`]) caches remote **attribute rows**, subsuming
+//!   the old `HotNodeCache` that [`crate::backend::CachedBackend`] kept
+//!   behind one global lock.
+//!
+//! Both tiers are a [`ShardedTier`]: segments selected by node hash, each
+//! behind its own small `Mutex`, so concurrent service workers contend
+//! only when they touch the same segment ("lock-light", not lock-free —
+//! the segment critical sections are a map probe and a row memcpy).
+//!
+//! **Admission** is frequency-based in the TinyLFU mold: every segment
+//! keeps a 4-bit count-min sketch; a candidate only displaces the
+//! segment's LRU victim when its estimated frequency is at least the
+//! victim's. One-hit wonders bounce off a warm cache instead of flushing
+//! it. [`HotSetCache::warm_degree_prior`] seeds the sketch (and the
+//! tiers) from vertex degree — the paper's degree-aware hot-node
+//! identification — so hubs are admitted from the first request.
+//!
+//! **Invalidation** is epoch-stamped: every entry records the tier epoch
+//! at insert, [`ShardedTier::invalidate_all`] bumps the epoch in O(1) and
+//! stale entries read as misses (their slots recycle in place on the next
+//! admit). [`ShardedTier::rekey`] instead *rewrites* keys through a
+//! relabeling permutation so a warm cache survives a graph reorder, and
+//! [`ShardedTier::clear`] releases entries in O(occupied) without
+//! dropping a single slot buffer.
 
-use lsdgnn_graph::{FnvHashMap, NodeId};
+use lsdgnn_graph::{FnvHashMap, NodeId, PartitionId, PartitionedGraph};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// One cached entry: the owning node, its last-use tick, and the
-/// attribute vector (reused in place across evictions).
+/// SplitMix64 — the shard selector and sketch hash. One multiply-xor
+/// chain, good dispersion on dense node ids.
+#[inline]
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A 4-bit count-min sketch (4 rows folded into one array) — the
+/// TinyLFU frequency estimator behind segment admission.
+///
+/// Counters saturate at 15 and halve once the op count reaches a sample
+/// window proportional to the segment capacity, so the estimate tracks
+/// *recent* popularity rather than all of history.
 #[derive(Debug)]
-struct Slot {
+struct FreqSketch {
+    /// 16 packed 4-bit counters per word.
+    words: Vec<u64>,
+    mask: u64,
+    ops: u32,
+    window: u32,
+}
+
+impl FreqSketch {
+    fn new(capacity: usize) -> Self {
+        let counters = (capacity * 8).next_power_of_two().max(64);
+        FreqSketch {
+            words: vec![0; counters / 16],
+            mask: (counters - 1) as u64,
+            ops: 0,
+            // Floor the sample window so tiny segments don't age their
+            // history away mid-scan: aging keeps estimates *recent*, but
+            // a window smaller than one adversarial burst erases the
+            // hot set's defense exactly when it is needed.
+            window: ((capacity as u32) * 16).max(4096),
+        }
+    }
+
+    #[inline]
+    fn get(&self, pos: u64) -> u64 {
+        let word = (pos >> 4) as usize;
+        let shift = (pos & 15) * 4;
+        (self.words[word] >> shift) & 0xf
+    }
+
+    #[inline]
+    fn put(&mut self, pos: u64, val: u64) {
+        let word = (pos >> 4) as usize;
+        let shift = (pos & 15) * 4;
+        self.words[word] = (self.words[word] & !(0xf << shift)) | (val << shift);
+    }
+
+    /// The i-th probe position for hash `h` (double hashing keeps the
+    /// four probes independent without four hash functions).
+    #[inline]
+    fn pos(&self, h: u64, i: u64) -> u64 {
+        h.wrapping_add(i.wrapping_mul(h >> 32 | 1)) & self.mask
+    }
+
+    /// Counts one access, aging the sketch when the window fills.
+    fn increment(&mut self, h: u64) {
+        for i in 0..4 {
+            let p = self.pos(h, i);
+            let c = self.get(p);
+            if c < 15 {
+                self.put(p, c + 1);
+            }
+        }
+        self.ops += 1;
+        if self.ops >= self.window {
+            self.age();
+        }
+    }
+
+    /// Estimated access count (min over the four probes).
+    fn estimate(&self, h: u64) -> u64 {
+        (0..4).map(|i| self.get(self.pos(h, i))).min().unwrap_or(0)
+    }
+
+    /// Raises the estimate to at least `val` — the degree-prior hook:
+    /// hub nodes start warm instead of earning admission one miss at a
+    /// time.
+    fn raise(&mut self, h: u64, val: u64) {
+        let val = val.min(15);
+        for i in 0..4 {
+            let p = self.pos(h, i);
+            if self.get(p) < val {
+                self.put(p, val);
+            }
+        }
+    }
+
+    /// Halves every counter — the TinyLFU reset that forgets old epochs
+    /// of popularity.
+    fn age(&mut self) {
+        for w in &mut self.words {
+            // Halve all 16 packed counters at once: shift, then mask the
+            // bit that would leak in from the neighbor's low bit.
+            *w = (*w >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.ops = 0;
+    }
+}
+
+/// One cached entry: the owning node, its last-use tick (global across
+/// segments so rekey collisions resolve by true recency), the tier epoch
+/// it was written under, and the payload (reused in place forever).
+#[derive(Debug)]
+struct Slot<T> {
     node: NodeId,
     tick: u64,
-    attrs: Vec<f32>,
+    epoch: u32,
+    data: Vec<T>,
 }
 
-/// An LRU cache of node attribute vectors.
+/// One lock's worth of the tier.
 #[derive(Debug)]
-pub struct HotNodeCache {
-    capacity: usize,
-    map: FnvHashMap<NodeId, usize>, // node -> slot index
-    slots: Vec<Slot>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
+struct Segment<T> {
+    map: FnvHashMap<NodeId, u32>,
+    slots: Vec<Slot<T>>,
+    /// Indices of slots not currently in `map` — their buffers are
+    /// reused in place by the next admit.
+    free: Vec<u32>,
+    sketch: FreqSketch,
+    cap: usize,
 }
 
-impl HotNodeCache {
-    /// Creates a cache holding at most `capacity` node entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be non-zero");
-        HotNodeCache {
-            capacity,
-            map: FnvHashMap::default(),
-            slots: Vec::with_capacity(capacity),
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+impl<T> Segment<T> {
+    /// The live slot with the oldest tick — the LRU eviction victim.
+    fn victim(&self) -> Option<u32> {
+        self.map
+            .values()
+            .copied()
+            .min_by_key(|&i| self.slots[i as usize].tick)
     }
+}
 
-    /// Looks a node up, refreshing its recency on a hit.
-    pub fn get(&mut self, v: NodeId) -> Option<&[f32]> {
-        self.tick += 1;
-        match self.map.get(&v) {
-            Some(&i) => {
-                let slot = &mut self.slots[i];
-                slot.tick = self.tick;
-                self.hits += 1;
-                Some(slot.attrs.as_slice())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
+/// Counter block shared by a tier's segments (all relaxed atomics — the
+/// counters are telemetry, not synchronization).
+#[derive(Debug, Default)]
+struct TierCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admits: AtomicU64,
+    evicts: AtomicU64,
+    rejects: AtomicU64,
+    partition_saves: AtomicU64,
+    bytes: AtomicU64,
+    data_allocs: AtomicU64,
+}
 
-    /// Inserts (or refreshes) a node's attributes, evicting the least
-    /// recently used entry when full. The evicted slot's buffer is
-    /// rewritten in place, so steady-state churn is allocation-free.
-    pub fn insert(&mut self, v: NodeId, attrs: &[f32]) {
-        self.tick += 1;
-        if let Some(&i) = self.map.get(&v) {
-            let slot = &mut self.slots[i];
-            slot.tick = self.tick;
-            slot.attrs.clear();
-            slot.attrs.extend_from_slice(attrs);
-            return;
-        }
-        if self.slots.len() < self.capacity {
-            self.map.insert(v, self.slots.len());
-            self.slots.push(Slot {
-                node: v,
-                tick: self.tick,
-                attrs: attrs.to_vec(),
-            });
-            return;
-        }
-        // Full: reuse the least-recently-used slot.
-        let i = self
-            .slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.tick)
-            .map(|(i, _)| i)
-            .expect("capacity > 0 means at least one slot");
-        let slot = &mut self.slots[i];
-        self.map.remove(&slot.node);
-        slot.node = v;
-        slot.tick = self.tick;
-        slot.attrs.clear();
-        slot.attrs.extend_from_slice(attrs);
-        self.map.insert(v, i);
-    }
+/// A point-in-time copy of one tier's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Lookups served from the tier.
+    pub hits: u64,
+    /// Lookups that fell through to the remote leg.
+    pub misses: u64,
+    /// Entries written (fresh inserts and stale-epoch rewrites).
+    pub admits: u64,
+    /// Entries displaced (LRU eviction, stale-epoch reclaim, rekey drops).
+    pub evicts: u64,
+    /// Candidates the admission sketch turned away.
+    pub rejects: u64,
+    /// Hits that served a node whose owning partition was unreachable —
+    /// each one legally avoided a degraded reply.
+    pub partition_saves: u64,
+    /// Payload bytes currently resident.
+    pub bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
 
-    /// Rewrites every cached key through `map` — the hook that keeps the
-    /// cache honest across a graph relabeling. Entries whose key maps to
-    /// `None` are invalidated (their node no longer exists under the new
-    /// layout); if two old keys collide on one new id, the more recently
-    /// used entry wins. Hit/miss counters are preserved: a rekey is a
-    /// layout change, not a workload change.
-    pub fn rekey(&mut self, mut map: impl FnMut(NodeId) -> Option<NodeId>) {
-        let old = std::mem::take(&mut self.slots);
-        self.map.clear();
-        for mut slot in old {
-            let Some(new) = map(slot.node) else {
-                continue; // invalidated: stale key under the new layout
-            };
-            slot.node = new;
-            match self.map.get(&new).copied() {
-                Some(i) if self.slots[i].tick >= slot.tick => {}
-                Some(i) => self.slots[i] = slot,
-                None => {
-                    self.map.insert(new, self.slots.len());
-                    self.slots.push(slot);
-                }
-            }
-        }
-    }
-
-    /// Entries currently held.
-    pub fn len(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
-    }
-
-    /// Lookup hits.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Lookup misses.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
+impl TierSnapshot {
     /// Hit rate over all lookups.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -165,9 +229,630 @@ impl HotNodeCache {
     }
 }
 
+impl lsdgnn_telemetry::MetricSource for TierSnapshot {
+    fn collect(&self, out: &mut lsdgnn_telemetry::Scope<'_>) {
+        out.counter("cache_hit", self.hits);
+        out.counter("cache_miss", self.misses);
+        out.counter("cache_admit", self.admits);
+        out.counter("cache_evict", self.evicts);
+        out.counter("cache_reject", self.rejects);
+        out.counter("cache_partition_save", self.partition_saves);
+        out.counter("cache_bytes", self.bytes);
+        out.counter("cache_entries", self.entries);
+        out.gauge("cache_hit_rate", self.hit_rate());
+    }
+}
+
+/// A sharded, epoch-stamped, frequency-admitted cache of per-node
+/// payload vectors — the building block behind both hot-set tiers.
+#[derive(Debug)]
+pub struct ShardedTier<T> {
+    segments: Vec<Mutex<Segment<T>>>,
+    shard_mask: usize,
+    capacity: usize,
+    admission: bool,
+    epoch: AtomicU32,
+    tick: AtomicU64,
+    counters: TierCounters,
+}
+
+impl<T: Copy> ShardedTier<T> {
+    /// A tier holding at most `capacity` entries across `shards`
+    /// segments (rounded to a power of two and clamped so every segment
+    /// holds at least one entry). `admission` gates inserts through the
+    /// frequency sketch; without it the tier degrades to plain
+    /// segment-LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, shards: usize, admission: bool) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        let shards = shards.clamp(1, capacity).next_power_of_two();
+        let shards = if shards > capacity {
+            shards / 2
+        } else {
+            shards
+        };
+        let shards = shards.max(1);
+        let seg_cap = capacity.div_ceil(shards);
+        let segments = (0..shards)
+            .map(|_| {
+                Mutex::new(Segment {
+                    map: FnvHashMap::default(),
+                    slots: Vec::new(),
+                    free: Vec::new(),
+                    sketch: FreqSketch::new(seg_cap),
+                    cap: seg_cap,
+                })
+            })
+            .collect();
+        ShardedTier {
+            segments,
+            shard_mask: shards - 1,
+            capacity,
+            admission,
+            epoch: AtomicU32::new(0),
+            tick: AtomicU64::new(0),
+            counters: TierCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn segment(&self, v: NodeId) -> (&Mutex<Segment<T>>, u64) {
+        let h = mix(v.0);
+        (&self.segments[(h as usize) & self.shard_mask], h)
+    }
+
+    #[inline]
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("segment lock").map.len())
+            .sum()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fresh slot buffers ever allocated — the reallocation pin for
+    /// [`ShardedTier::clear`]: clear + refill of the same working set
+    /// must not move this counter.
+    pub fn data_allocs(&self) -> u64 {
+        self.counters.data_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate over all lookups so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.snapshot().hit_rate()
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> TierSnapshot {
+        let c = &self.counters;
+        TierSnapshot {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            admits: c.admits.load(Ordering::Relaxed),
+            evicts: c.evicts.load(Ordering::Relaxed),
+            rejects: c.rejects.load(Ordering::Relaxed),
+            partition_saves: c.partition_saves.load(Ordering::Relaxed),
+            bytes: c.bytes.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// Counts one hit that served a node behind an unreachable
+    /// partition — the "cache hit legally avoids a degraded reply"
+    /// event the chaos plane wants quantified.
+    pub fn note_partition_save(&self) {
+        self.counters
+            .partition_saves
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks `v` up; on a hit the payload is *appended* to `out` and its
+    /// length returned. The spans-into-arena shape tier N needs: the
+    /// caller owns where cached bytes land.
+    pub fn append_to(&self, v: NodeId, out: &mut Vec<T>) -> Option<usize> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let (seg, h) = self.segment(v);
+        let mut seg = seg.lock().expect("segment lock");
+        seg.sketch.increment(h);
+        match self.lookup(&mut seg, v, epoch) {
+            Some(i) => {
+                let slot = &seg.slots[i as usize];
+                out.extend_from_slice(&slot.data);
+                Some(slot.data.len())
+            }
+            None => None,
+        }
+    }
+
+    /// Looks `v` up; on a hit the payload is copied into `dst` (which
+    /// must be exactly the payload length) and `true` returned. The
+    /// fixed-width row shape tier A needs.
+    pub fn copy_to(&self, v: NodeId, dst: &mut [T]) -> bool {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let (seg, h) = self.segment(v);
+        let mut seg = seg.lock().expect("segment lock");
+        seg.sketch.increment(h);
+        match self.lookup(&mut seg, v, epoch) {
+            Some(i) => {
+                let slot = &seg.slots[i as usize];
+                debug_assert_eq!(slot.data.len(), dst.len(), "row width mismatch");
+                dst.copy_from_slice(&slot.data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The locked lookup core: refresh + hit count on a live entry,
+    /// lazy reclaim + miss count on a stale-epoch one.
+    fn lookup(&self, seg: &mut Segment<T>, v: NodeId, epoch: u32) -> Option<u32> {
+        match seg.map.get(&v).copied() {
+            Some(i) if seg.slots[i as usize].epoch == epoch => {
+                seg.slots[i as usize].tick = self.next_tick();
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(i)
+            }
+            Some(i) => {
+                // Invalidated by an epoch bump: reclaim the slot (buffer
+                // stays in place for the next admit) and miss.
+                seg.map.remove(&v);
+                seg.free.push(i);
+                self.release_bytes(&seg.slots[i as usize]);
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn release_bytes(&self, slot: &Slot<T>) {
+        self.counters.bytes.fetch_sub(
+            std::mem::size_of_val(slot.data.as_slice()) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn claim_bytes(&self, data: &[T]) {
+        self.counters
+            .bytes
+            .fetch_add(std::mem::size_of_val(data) as u64, Ordering::Relaxed);
+    }
+
+    /// Writes `data` into slot `i` (reusing its buffer), rebinding it to
+    /// `v` in the map.
+    fn write_slot(
+        &self,
+        seg: &mut Segment<T>,
+        i: u32,
+        v: NodeId,
+        tick: u64,
+        epoch: u32,
+        data: &[T],
+    ) {
+        let slot = &mut seg.slots[i as usize];
+        slot.node = v;
+        slot.tick = tick;
+        slot.epoch = epoch;
+        slot.data.clear();
+        slot.data.extend_from_slice(data);
+        seg.map.insert(v, i);
+        self.claim_bytes(data);
+    }
+
+    /// Offers `(v, data)` for caching after a remote fetch. Present
+    /// entries are refreshed; fresh entries fill free capacity; a full
+    /// segment evicts its LRU victim only if the sketch says the
+    /// candidate is at least as popular (ties admit, so a cold sketch
+    /// behaves like plain LRU).
+    pub fn admit(&self, v: NodeId, data: &[T]) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let (seg, h) = self.segment(v);
+        let mut seg = seg.lock().expect("segment lock");
+        seg.sketch.increment(h);
+        let tick = self.next_tick();
+        if let Some(&i) = seg.map.get(&v) {
+            let slot = &mut seg.slots[i as usize];
+            if slot.epoch == epoch {
+                slot.tick = tick;
+                return; // cached graph data is immutable: touch, don't copy
+            }
+            // Stale epoch: rewrite in place under the current epoch.
+            self.release_bytes(&seg.slots[i as usize]);
+            self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+            seg.map.remove(&v);
+            self.write_slot(&mut seg, i, v, tick, epoch, data);
+            self.counters.admits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(i) = seg.free.pop() {
+            self.write_slot(&mut seg, i, v, tick, epoch, data);
+            self.counters.admits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if seg.slots.len() < seg.cap {
+            let i = seg.slots.len() as u32;
+            seg.slots.push(Slot {
+                node: v,
+                tick,
+                epoch,
+                data: data.to_vec(),
+            });
+            seg.map.insert(v, i);
+            self.claim_bytes(data);
+            self.counters.data_allocs.fetch_add(1, Ordering::Relaxed);
+            self.counters.admits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let Some(vi) = seg.victim() else { return };
+        if self.admission {
+            let victim = &seg.slots[vi as usize];
+            // A stale-epoch victim is free real estate; a live one
+            // defends its slot with its own frequency estimate. Strictly
+            // greater wins: ties keep the incumbent, which is what makes
+            // a warm cache scan-resistant (a one-hit wonder's estimate
+            // can tie a decayed resident's, but never beat it).
+            let defense = if victim.epoch == epoch {
+                seg.sketch.estimate(mix(victim.node.0))
+            } else {
+                0
+            };
+            if seg.sketch.estimate(h) <= defense {
+                self.counters.rejects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let victim_node = seg.slots[vi as usize].node;
+        seg.map.remove(&victim_node);
+        self.release_bytes(&seg.slots[vi as usize]);
+        self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+        self.write_slot(&mut seg, vi, v, tick, epoch, data);
+        self.counters.admits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Warmup insert: caches `(v, data)` only while the segment has free
+    /// capacity — no eviction, so earlier (higher-priority) warm entries
+    /// are never displaced by later ones. Returns whether it stuck.
+    pub fn insert_warm(&self, v: NodeId, data: &[T]) -> bool {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let (seg, _) = self.segment(v);
+        let mut seg = seg.lock().expect("segment lock");
+        if seg.map.contains_key(&v) {
+            return true;
+        }
+        let tick = self.next_tick();
+        if let Some(i) = seg.free.pop() {
+            self.write_slot(&mut seg, i, v, tick, epoch, data);
+        } else if seg.slots.len() < seg.cap {
+            let i = seg.slots.len() as u32;
+            seg.slots.push(Slot {
+                node: v,
+                tick,
+                epoch,
+                data: data.to_vec(),
+            });
+            seg.map.insert(v, i);
+            self.claim_bytes(data);
+            self.counters.data_allocs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            return false;
+        }
+        self.counters.admits.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Raises `v`'s sketch estimate to at least `level` without caching
+    /// anything — the degree-prior half of warmup.
+    pub fn raise_prior(&self, v: NodeId, level: u64) {
+        let (seg, h) = self.segment(v);
+        seg.lock().expect("segment lock").sketch.raise(h, level);
+    }
+
+    /// O(1) invalidation: bumps the tier epoch, turning every resident
+    /// entry into a miss. Slots are reclaimed lazily as lookups and
+    /// admits touch them — nothing is freed here.
+    pub fn invalidate_all(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Eager O(occupied) release: every live entry's slot moves to the
+    /// free list with its payload buffer intact, so a clear-and-refill
+    /// cycle reallocates nothing (pinned by [`ShardedTier::data_allocs`]).
+    pub fn clear(&self) {
+        for seg in &self.segments {
+            let mut seg = seg.lock().expect("segment lock");
+            let mut live: Vec<u32> = seg.map.values().copied().collect();
+            for &i in &live {
+                self.release_bytes(&seg.slots[i as usize]);
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+            }
+            seg.free.append(&mut live);
+            seg.map.clear();
+        }
+    }
+
+    /// Rewrites every cached key through `map` — the hook that keeps a
+    /// warm cache honest across a graph relabeling. Entries whose key
+    /// maps to `None` are invalidated; when two old keys collide on one
+    /// new id, the more recently used entry wins (ticks are global, so
+    /// recency compares across segments). Hit/miss counters are
+    /// preserved: a rekey is a layout change, not a workload change.
+    pub fn rekey(&self, mut map: impl FnMut(NodeId) -> Option<NodeId>) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        // Drain every live entry (payload buffers move out; the empty
+        // slot shells stay behind as free capacity)...
+        let mut moved: Vec<(NodeId, u64, Vec<T>)> = Vec::new();
+        for segm in &self.segments {
+            let mut seg = segm.lock().expect("segment lock");
+            let mut live: Vec<u32> = seg.map.values().copied().collect();
+            for &i in &live {
+                let slot = &mut seg.slots[i as usize];
+                self.counters.bytes.fetch_sub(
+                    (slot.data.len() * std::mem::size_of::<T>()) as u64,
+                    Ordering::Relaxed,
+                );
+                if slot.epoch == epoch {
+                    if let Some(new) = map(slot.node) {
+                        moved.push((new, slot.tick, std::mem::take(&mut slot.data)));
+                        continue;
+                    }
+                }
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+            }
+            seg.free.append(&mut live);
+            seg.map.clear();
+        }
+        // ...then re-home each one under its new key. Most-recent wins
+        // on collision or a full segment.
+        for (v, tick, data) in moved {
+            self.reinsert(v, tick, epoch, &data);
+        }
+    }
+
+    fn reinsert(&self, v: NodeId, tick: u64, epoch: u32, data: &[T]) {
+        let (seg, _) = self.segment(v);
+        let mut seg = seg.lock().expect("segment lock");
+        if let Some(&i) = seg.map.get(&v) {
+            if seg.slots[i as usize].tick >= tick {
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+                return; // resident entry is more recent
+            }
+            self.release_bytes(&seg.slots[i as usize]);
+            seg.map.remove(&v);
+            self.write_slot(&mut seg, i, v, tick, epoch, data);
+            self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(i) = seg.free.pop() {
+            self.write_slot(&mut seg, i, v, tick, epoch, data);
+            return;
+        }
+        if seg.slots.len() < seg.cap {
+            let i = seg.slots.len() as u32;
+            seg.slots.push(Slot {
+                node: v,
+                tick,
+                epoch,
+                data: data.to_vec(),
+            });
+            seg.map.insert(v, i);
+            self.claim_bytes(data);
+            self.counters.data_allocs.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match seg.victim() {
+            Some(vi) if seg.slots[vi as usize].tick < tick => {
+                let victim_node = seg.slots[vi as usize].node;
+                seg.map.remove(&victim_node);
+                self.release_bytes(&seg.slots[vi as usize]);
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+                self.write_slot(&mut seg, vi, v, tick, epoch, data);
+            }
+            _ => {
+                self.counters.evicts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Tier N: remote neighbor-list spans, keyed by node.
+pub type NeighborTier = ShardedTier<NodeId>;
+/// Tier A: remote attribute rows, keyed by node.
+pub type AttrTier = ShardedTier<f32>;
+
+/// Sizing and policy of a [`HotSetCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Tier-N capacity in neighbor lists; `0` disables the tier.
+    pub neigh_capacity: usize,
+    /// Tier-A capacity in attribute rows; `0` disables the tier.
+    pub attr_capacity: usize,
+    /// Segments per tier (rounded to a power of two, clamped to the
+    /// tier capacity).
+    pub shards: usize,
+    /// Whether the TinyLFU admission sketch gates inserts.
+    pub admission: bool,
+    /// Degree-prior warmup: boost (and preload) the top-K-degree nodes
+    /// at spawn. `0` starts cold.
+    pub warm_top_degree: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            neigh_capacity: 4096,
+            attr_capacity: 4096,
+            shards: 16,
+            admission: true,
+            warm_top_degree: 0,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with both tiers sized to `capacity` each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig {
+            neigh_capacity: capacity,
+            attr_capacity: capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Disables tier N, keeping only attribute rows (the attr-only
+    /// bench arm).
+    pub fn attr_only(mut self) -> Self {
+        self.neigh_capacity = 0;
+        self
+    }
+}
+
+/// The two-tier hot-set cache the cluster data plane consults inline.
+#[derive(Debug)]
+pub struct HotSetCache {
+    neigh: Option<NeighborTier>,
+    attr: Option<AttrTier>,
+}
+
+/// Per-tier counter snapshots, `None` for a disabled tier. Registers
+/// into telemetry as `neigh/cache_*` and `attr/cache_*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// Tier-N (neighbor span) counters.
+    pub neigh: Option<TierSnapshot>,
+    /// Tier-A (attribute row) counters.
+    pub attr: Option<TierSnapshot>,
+}
+
+impl lsdgnn_telemetry::MetricSource for CacheSnapshot {
+    fn collect(&self, out: &mut lsdgnn_telemetry::Scope<'_>) {
+        if let Some(n) = &self.neigh {
+            n.collect(&mut out.nested("neigh"));
+        }
+        if let Some(a) = &self.attr {
+            a.collect(&mut out.nested("attr"));
+        }
+    }
+}
+
+impl HotSetCache {
+    /// Builds the cache; a tier with zero capacity is disabled.
+    pub fn new(config: CacheConfig) -> Self {
+        let neigh = (config.neigh_capacity > 0)
+            .then(|| ShardedTier::new(config.neigh_capacity, config.shards, config.admission));
+        let attr = (config.attr_capacity > 0)
+            .then(|| ShardedTier::new(config.attr_capacity, config.shards, config.admission));
+        HotSetCache { neigh, attr }
+    }
+
+    /// The neighbor-span tier, if enabled.
+    pub fn neigh(&self) -> Option<&NeighborTier> {
+        self.neigh.as_ref()
+    }
+
+    /// The attribute-row tier, if enabled.
+    pub fn attr(&self) -> Option<&AttrTier> {
+        self.attr.as_ref()
+    }
+
+    /// Per-tier counter snapshots.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            neigh: self.neigh.as_ref().map(|t| t.snapshot()),
+            attr: self.attr.as_ref().map(|t| t.snapshot()),
+        }
+    }
+
+    /// O(occupied) eager release of both tiers (buffers retained).
+    pub fn clear(&self) {
+        if let Some(t) = &self.neigh {
+            t.clear();
+        }
+        if let Some(t) = &self.attr {
+            t.clear();
+        }
+    }
+
+    /// O(1) epoch-bump invalidation of both tiers.
+    pub fn invalidate_all(&self) {
+        if let Some(t) = &self.neigh {
+            t.invalidate_all();
+        }
+        if let Some(t) = &self.attr {
+            t.invalidate_all();
+        }
+    }
+
+    /// Rewrites both tiers' keys through a relabeling map — call with
+    /// the reorder permutation's old→new mapping so a warm cache keeps
+    /// serving *correct* rows after [`PartitionedGraph::reorder`].
+    pub fn rekey(&self, mut map: impl FnMut(NodeId) -> Option<NodeId>) {
+        if let Some(t) = &self.neigh {
+            t.rekey(&mut map);
+        }
+        if let Some(t) = &self.attr {
+            t.rekey(&mut map);
+        }
+    }
+
+    /// Degree-prior warmup (the paper's degree-aware hot-node
+    /// identification): raises the admission-sketch estimate of the
+    /// top-`k`-degree nodes proportionally to `log2(degree)`, and
+    /// preloads the *remote-owned* ones (owner ≠ `local`) into both
+    /// tiers — highest degree first, stopping at tier capacity. Preload
+    /// reads the shared graph directly: warmup costs zero channel
+    /// round trips and the preloaded bytes are the same truth a server
+    /// reply would carry.
+    pub fn warm_degree_prior(&self, pg: &PartitionedGraph, local: PartitionId, k: usize) {
+        let g = pg.graph();
+        let store = pg.attributes();
+        let mut neigh_full = false;
+        let mut attr_full = false;
+        for v in g.top_degree_nodes(k) {
+            let level = u64::from(64 - g.degree(v).leading_zeros());
+            if let Some(t) = &self.neigh {
+                t.raise_prior(v, level);
+            }
+            if let Some(t) = &self.attr {
+                t.raise_prior(v, level);
+            }
+            if pg.owner(v) == local {
+                continue; // local reads never touch the cache
+            }
+            if let (Some(t), false) = (&self.neigh, neigh_full) {
+                neigh_full = !t.insert_warm(v, g.neighbors(v));
+            }
+            if let (Some(t), Some(s), false) = (&self.attr, store, attr_full) {
+                attr_full = !t.insert_warm(v, s.get(v));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsdgnn_graph::{generators, AttributeStore};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -175,16 +860,27 @@ mod tests {
         vec![v.0 as f32; 4]
     }
 
+    /// A single-segment LRU tier without admission: the old
+    /// `HotNodeCache` behavior, as a baseline for the semantics tests.
+    fn lru(capacity: usize) -> AttrTier {
+        ShardedTier::new(capacity, 1, false)
+    }
+
+    fn get(c: &AttrTier, v: NodeId) -> Option<Vec<f32>> {
+        let mut out = Vec::new();
+        c.append_to(v, &mut out).map(|_| out)
+    }
+
     #[test]
     fn lru_evicts_oldest() {
-        let mut c = HotNodeCache::new(2);
-        c.insert(NodeId(1), &attrs(NodeId(1)));
-        c.insert(NodeId(2), &attrs(NodeId(2)));
-        assert!(c.get(NodeId(1)).is_some()); // refresh 1
-        c.insert(NodeId(3), &attrs(NodeId(3))); // evicts 2
-        assert!(c.get(NodeId(2)).is_none());
-        assert!(c.get(NodeId(1)).is_some());
-        assert!(c.get(NodeId(3)).is_some());
+        let c = lru(2);
+        c.admit(NodeId(1), &attrs(NodeId(1)));
+        c.admit(NodeId(2), &attrs(NodeId(2)));
+        assert!(get(&c, NodeId(1)).is_some()); // refresh 1
+        c.admit(NodeId(3), &attrs(NodeId(3))); // evicts 2
+        assert!(get(&c, NodeId(2)).is_none());
+        assert!(get(&c, NodeId(1)).is_some());
+        assert!(get(&c, NodeId(3)).is_some());
         assert_eq!(c.len(), 2);
     }
 
@@ -193,13 +889,13 @@ mod tests {
         // The paper's Tech-4 premise: 512-node batches against a huge id
         // space — a realistic cache can't help.
         let id_space = 10_000_000u64;
-        let mut c = HotNodeCache::new(10_000);
+        let c: AttrTier = ShardedTier::new(10_000, 16, true);
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..20 {
             for _ in 0..512 {
                 let v = NodeId(rng.gen_range(0..id_space));
-                if c.get(v).is_none() {
-                    c.insert(v, &attrs(v));
+                if get(&c, v).is_none() {
+                    c.admit(v, &attrs(v));
                 }
             }
         }
@@ -214,7 +910,7 @@ mod tests {
     fn skewed_hub_access_caches_well() {
         // The flip side: AliGraph's "most frequently used nodes" cache —
         // an 80/20 hub access pattern hits hard.
-        let mut c = HotNodeCache::new(1_000);
+        let c: AttrTier = ShardedTier::new(1_000, 16, true);
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..20_000 {
             let v = if rng.gen_bool(0.8) {
@@ -222,8 +918,8 @@ mod tests {
             } else {
                 NodeId(rng.gen_range(0..10_000_000))
             };
-            if c.get(v).is_none() {
-                c.insert(v, &attrs(v));
+            if get(&c, v).is_none() {
+                c.admit(v, &attrs(v));
             }
         }
         assert!(
@@ -234,64 +930,230 @@ mod tests {
     }
 
     #[test]
+    fn admission_sketch_protects_hot_entries_from_scan_churn() {
+        // Fill a tiny tier with hot entries, touch them repeatedly, then
+        // stream one-hit wonders through. With TinyLFU admission the hot
+        // set survives; plain LRU would have been flushed.
+        let hot: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let c: AttrTier = ShardedTier::new(8, 1, true);
+        for &v in &hot {
+            c.admit(v, &attrs(v));
+        }
+        for _ in 0..20 {
+            for &v in &hot {
+                assert!(get(&c, v).is_some());
+            }
+        }
+        for i in 1000..1200 {
+            let v = NodeId(i);
+            assert!(get(&c, v).is_none());
+            c.admit(v, &attrs(v));
+        }
+        let survivors = hot.iter().filter(|&&v| get(&c, v).is_some()).count();
+        assert!(
+            survivors >= 7,
+            "scan resistance: {survivors}/8 hot entries survived"
+        );
+        assert!(c.snapshot().rejects > 0, "the sketch must have rejected");
+    }
+
+    #[test]
     fn cached_values_are_the_inserted_ones() {
-        let mut c = HotNodeCache::new(4);
-        c.insert(NodeId(7), &[1.0, 2.0]);
-        assert_eq!(c.get(NodeId(7)).unwrap(), &[1.0, 2.0]);
+        let c = lru(4);
+        c.admit(NodeId(7), &[1.0, 2.0]);
+        assert_eq!(get(&c, NodeId(7)).unwrap(), vec![1.0, 2.0]);
+        // The fixed-width copy path answers the same bytes.
+        let mut row = [0.0f32; 2];
+        assert!(c.copy_to(NodeId(7), &mut row));
+        assert_eq!(row, [1.0, 2.0]);
     }
 
     #[test]
     fn reinsert_overwrites_and_supports_shorter_vectors() {
         // Slot reuse must not leak stale tail values when an entry is
-        // rewritten with a shorter attribute vector.
-        let mut c = HotNodeCache::new(1);
-        c.insert(NodeId(1), &[1.0, 2.0, 3.0, 4.0]);
-        c.insert(NodeId(2), &[9.0]); // evicts 1, reuses its slot
-        assert_eq!(c.get(NodeId(2)).unwrap(), &[9.0]);
-        assert!(c.get(NodeId(1)).is_none());
-        c.insert(NodeId(2), &[5.0, 6.0]); // refresh in place
-        assert_eq!(c.get(NodeId(2)).unwrap(), &[5.0, 6.0]);
+        // rewritten with a shorter payload.
+        let c = lru(1);
+        c.admit(NodeId(1), &[1.0, 2.0, 3.0, 4.0]);
+        c.admit(NodeId(2), &[9.0]); // evicts 1, reuses its slot
+        assert_eq!(get(&c, NodeId(2)).unwrap(), vec![9.0]);
+        assert!(get(&c, NodeId(1)).is_none());
         assert_eq!(c.len(), 1);
+        assert_eq!(c.snapshot().bytes, 4, "one f32 resident");
     }
 
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
-        let _ = HotNodeCache::new(0);
+        let _: AttrTier = ShardedTier::new(0, 4, true);
     }
 
     #[test]
     fn rekey_moves_entries_to_their_new_ids() {
-        let mut c = HotNodeCache::new(4);
-        c.insert(NodeId(1), &[1.0]);
-        c.insert(NodeId(2), &[2.0]);
+        let c = lru(4);
+        c.admit(NodeId(1), &[1.0]);
+        c.admit(NodeId(2), &[2.0]);
         // Relabel: 1 -> 10, 2 -> 20.
         c.rekey(|v| Some(NodeId(v.0 * 10)));
-        assert_eq!(c.get(NodeId(10)).unwrap(), &[1.0]);
-        assert_eq!(c.get(NodeId(20)).unwrap(), &[2.0]);
-        assert!(c.get(NodeId(1)).is_none(), "stale key must not hit");
-        assert!(c.get(NodeId(2)).is_none(), "stale key must not hit");
+        assert_eq!(get(&c, NodeId(10)).unwrap(), vec![1.0]);
+        assert_eq!(get(&c, NodeId(20)).unwrap(), vec![2.0]);
+        assert!(get(&c, NodeId(1)).is_none(), "stale key must not hit");
+        assert!(get(&c, NodeId(2)).is_none(), "stale key must not hit");
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn rekey_invalidates_dropped_keys() {
-        let mut c = HotNodeCache::new(4);
-        c.insert(NodeId(1), &[1.0]);
-        c.insert(NodeId(2), &[2.0]);
+        let c = lru(4);
+        c.admit(NodeId(1), &[1.0]);
+        c.admit(NodeId(2), &[2.0]);
         c.rekey(|v| (v.0 != 2).then_some(v));
-        assert!(c.get(NodeId(1)).is_some());
-        assert!(c.get(NodeId(2)).is_none());
+        assert!(get(&c, NodeId(1)).is_some());
+        assert!(get(&c, NodeId(2)).is_none());
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn rekey_collision_keeps_the_most_recent_entry() {
-        let mut c = HotNodeCache::new(4);
-        c.insert(NodeId(1), &[1.0]);
-        c.insert(NodeId(2), &[2.0]); // newer tick
+        // Many shards: ticks are tier-global, so recency comparison
+        // works even when colliding keys lived in different segments.
+        let c: AttrTier = ShardedTier::new(64, 8, false);
+        c.admit(NodeId(1), &[1.0]);
+        c.admit(NodeId(2), &[2.0]); // newer tick
         c.rekey(|_| Some(NodeId(9)));
-        assert_eq!(c.get(NodeId(9)).unwrap(), &[2.0]);
+        assert_eq!(get(&c, NodeId(9)).unwrap(), vec![2.0]);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_is_in_place_and_refill_reallocates_nothing() {
+        let c: AttrTier = ShardedTier::new(32, 4, false);
+        for i in 0..32 {
+            c.admit(NodeId(i), &attrs(NodeId(i)));
+        }
+        // Hashing spreads the 32 ids unevenly over the 4 segments, so an
+        // overfull segment evicts — resident count is whatever survived.
+        let resident = c.len();
+        assert!(resident >= 16, "most of the fill survives");
+        let allocs = c.data_allocs();
+        assert!(allocs > 0);
+        assert_eq!(c.snapshot().bytes, resident as u64 * 4 * 4);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.snapshot().bytes, 0, "clear releases all bytes");
+        assert!(get(&c, NodeId(3)).is_none(), "cleared entries miss");
+        for i in 0..32 {
+            c.admit(NodeId(i), &attrs(NodeId(i)));
+        }
+        assert_eq!(
+            c.data_allocs(),
+            allocs,
+            "refill after clear must reuse every slot buffer"
+        );
+        assert_eq!(c.len(), resident, "same fill pattern, same residency");
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_in_o1_and_slots_recycle() {
+        let c: AttrTier = ShardedTier::new(8, 2, false);
+        for i in 0..8 {
+            c.admit(NodeId(i), &attrs(NodeId(i)));
+        }
+        let allocs = c.data_allocs();
+        c.invalidate_all();
+        assert!(get(&c, NodeId(0)).is_none(), "stale epoch reads as miss");
+        // Readmitting reuses the lazily-reclaimed slot.
+        c.admit(NodeId(0), &[5.0]);
+        assert_eq!(get(&c, NodeId(0)).unwrap(), vec![5.0]);
+        assert_eq!(c.data_allocs(), allocs, "stale slot reused in place");
+    }
+
+    #[test]
+    fn snapshot_registers_as_metric_source() {
+        let cache = HotSetCache::new(CacheConfig::with_capacity(16));
+        cache
+            .neigh()
+            .unwrap()
+            .admit(NodeId(1), &[NodeId(2), NodeId(3)]);
+        let mut out = Vec::new();
+        assert!(cache
+            .neigh()
+            .unwrap()
+            .append_to(NodeId(1), &mut out)
+            .is_some());
+        cache.attr().unwrap().admit(NodeId(1), &[0.5]);
+        let mut reg = lsdgnn_telemetry::Registry::new();
+        reg.register("cache", &[], Box::new(cache.snapshot()));
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("cache/neigh/cache_hit").unwrap().as_f64(), 1.0);
+        assert_eq!(snap.get("cache/neigh/cache_admit").unwrap().as_f64(), 1.0);
+        assert_eq!(snap.get("cache/attr/cache_admit").unwrap().as_f64(), 1.0);
+        assert_eq!(
+            snap.get("cache/neigh/cache_bytes").unwrap().as_f64(),
+            2.0 * std::mem::size_of::<NodeId>() as f64
+        );
+        assert!(snap.get("cache/attr/cache_hit_rate").is_some());
+    }
+
+    #[test]
+    fn disabled_tiers_stay_none() {
+        let cache = HotSetCache::new(CacheConfig {
+            neigh_capacity: 0,
+            attr_capacity: 8,
+            ..Default::default()
+        });
+        assert!(cache.neigh().is_none());
+        assert!(cache.attr().is_some());
+        let snap = cache.snapshot();
+        assert!(snap.neigh.is_none());
+        assert!(snap.attr.is_some());
+    }
+
+    #[test]
+    fn degree_prior_warmup_preloads_remote_hubs_only() {
+        let g = generators::power_law(500, 8, 7);
+        let store = AttributeStore::synthetic(500, 4, 7);
+        let pg = lsdgnn_graph::PartitionedGraph::new(g, 2).with_attributes(store.clone());
+        let cache = HotSetCache::new(CacheConfig::with_capacity(64));
+        cache.warm_degree_prior(&pg, PartitionId(0), 32);
+        let top = pg.graph().top_degree_nodes(32);
+        let mut remote_seen = 0;
+        for v in top {
+            let mut out = Vec::new();
+            let hit = cache.neigh().unwrap().append_to(v, &mut out).is_some();
+            if pg.owner(v) == PartitionId(0) {
+                assert!(!hit, "local node {v:?} must not be preloaded");
+            } else if hit {
+                remote_seen += 1;
+                assert_eq!(out, pg.graph().neighbors(v), "span bytes are the truth");
+                let mut row = vec![0.0; 4];
+                assert!(cache.attr().unwrap().copy_to(v, &mut row));
+                assert_eq!(row, store.get(v), "row bytes are the truth");
+            }
+        }
+        assert!(remote_seen > 0, "some top-degree nodes are remote");
+    }
+
+    #[test]
+    fn partition_saves_are_counted() {
+        let c = lru(4);
+        c.admit(NodeId(1), &[1.0]);
+        assert!(get(&c, NodeId(1)).is_some());
+        c.note_partition_save();
+        assert_eq!(c.snapshot().partition_saves, 1);
+    }
+
+    #[test]
+    fn sketch_ages_without_corrupting_neighbors() {
+        let mut s = FreqSketch::new(4);
+        let h = mix(42);
+        for _ in 0..9 {
+            s.increment(h);
+        }
+        assert!(s.estimate(h) >= 4, "pre-age estimate");
+        s.age();
+        let e = s.estimate(h);
+        assert!(e >= 2 && e <= 7, "aging halves, got {e}");
+        s.raise(h, 15);
+        assert_eq!(s.estimate(h), 15);
     }
 }

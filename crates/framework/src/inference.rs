@@ -801,6 +801,18 @@ mod tests {
         for (p, s) in piped.iter().zip(&seq) {
             assert_eq!(p.digest(), s.digest());
         }
+        // The cache behind the pipeline is observable from the
+        // inference layer: the sampling service surfaces its tiers.
+        let cache = pipe
+            .sampling()
+            .stats()
+            .cache
+            .expect("cached backend surfaces tier counters");
+        let attr = cache.attr.expect("attr tier on");
+        assert!(
+            attr.hits + attr.misses > 0,
+            "gather stage consulted the tier"
+        );
     }
 
     #[test]

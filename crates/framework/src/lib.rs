@@ -11,8 +11,9 @@
 //! * [`backend`] — the hardware-abstraction layer: the
 //!   [`SamplingBackend`] trait plus its implementations — `CpuBackend`
 //!   (the cluster), `AxeBackend` (the Access Engine, in [`offload`]) and
-//!   the `CachedBackend` decorator folding [`hot_cache`] in front of any
-//!   of them.
+//!   the `CachedBackend` decorator folding a [`hot_cache`] attribute tier
+//!   in front of any of them; the cluster itself can mount the full
+//!   two-tier [`hot_cache::HotSetCache`] inline on its remote data plane.
 //! * [`service`] — the batched, backpressured [`SamplingService`]:
 //!   worker shards coalescing `SampleRequest`s from a bounded queue into
 //!   deadline-bounded batches, with queue/batch/latency histograms.
@@ -75,7 +76,9 @@ pub use cluster::{
     UNPACKED_REQUEST_BYTES,
 };
 pub use cpu_model::CpuClusterModel;
-pub use hot_cache::HotNodeCache;
+pub use hot_cache::{
+    AttrTier, CacheConfig, CacheSnapshot, HotSetCache, NeighborTier, ShardedTier, TierSnapshot,
+};
 pub use inference::{
     run_sequential, InferenceConfig, InferenceReply, InferenceService, InferenceStats,
     InferenceTicket,

@@ -141,6 +141,50 @@ impl Observability {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{CpuBackend, SampleRequest};
+    use crate::hot_cache::CacheConfig;
+    use crate::service::{SamplingService, ServiceConfig};
+    use lsdgnn_graph::{generators, AttributeStore, NodeId, PartitionedGraph};
+    use lsdgnn_telemetry::ledger::Stage;
+
+    /// A warm cache on an observed service must leave `cache_hit`
+    /// events in the ledger — the blame table can tell cache-served
+    /// time apart from the remote leg.
+    #[test]
+    fn cache_hits_reach_the_ledger() {
+        let g = generators::power_law(300, 6, 9);
+        let a = AttributeStore::synthetic(300, 4, 9);
+        let pg = PartitionedGraph::new(g, 3).with_attributes(a);
+        let backend = CpuBackend::from_partitioned_cached(pg, CacheConfig::with_capacity(2048));
+        let obs = Observability::new(ObsConfig::default());
+        let svc = SamplingService::start_observed(
+            Box::new(backend),
+            ServiceConfig::default(),
+            None,
+            None,
+            Some(obs.clone()),
+        );
+        // Two rounds over the same roots: round 0 warms, round 1 hits.
+        for round in 0..2u64 {
+            for s in 0..6u64 {
+                let block = svc
+                    .submit(SampleRequest {
+                        roots: (0..4).map(|i| NodeId((s * 13 + i) % 40)).collect(),
+                        hops: 2,
+                        fanout: 4,
+                        seed: s ^ (round << 8),
+                    })
+                    .wait_block();
+                svc.backend().recycle(block);
+            }
+        }
+        let snap = obs.ledger().snapshot();
+        assert!(
+            snap.events.iter().any(|e| e.stage == Stage::CacheHit),
+            "warm rounds must record cache_hit ledger events"
+        );
+        svc.shutdown();
+    }
 
     #[test]
     fn defaults_and_finish_authority_toggle() {

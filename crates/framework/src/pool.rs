@@ -36,6 +36,7 @@ pub struct BufferPool {
     spans: Mutex<Vec<Vec<Span>>>,
     blocks: Mutex<Vec<SampleBlock>>,
     stamps: Mutex<Vec<StampTable>>,
+    groups: Mutex<Vec<Vec<Vec<u32>>>>,
     max_per_class: usize,
     allocs: AtomicU64,
     reuses: AtomicU64,
@@ -170,6 +171,7 @@ impl BufferPool {
             spans: Mutex::new(Vec::new()),
             blocks: Mutex::new(Vec::new()),
             stamps: Mutex::new(Vec::new()),
+            groups: Mutex::new(Vec::new()),
             max_per_class,
             allocs: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
@@ -212,6 +214,39 @@ impl BufferPool {
         if list.len() < self.max_per_class {
             self.recycled.fetch_add(1, Ordering::Relaxed);
             list.push(table);
+        }
+    }
+
+    /// Pops a group buffer — `parts` empty inner `Vec<u32>`s, as the
+    /// per-partition remote-position scratch of the fetch paths — or
+    /// allocates one. Inner vectors keep their capacities across
+    /// recycling, so steady-state classification loops stop paying
+    /// `parts` allocations per call.
+    pub fn take_groups(&self, parts: usize) -> Vec<Vec<u32>> {
+        let mut groups = match self.groups.lock().expect("pool lock").pop() {
+            Some(g) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                g
+            }
+            None => {
+                self.allocs.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        groups.resize_with(parts, Vec::new);
+        groups
+    }
+
+    /// Returns a group buffer, clearing each inner vector in place
+    /// (capacities retained). Dropped if the class is full.
+    pub fn put_groups(&self, mut groups: Vec<Vec<u32>>) {
+        for g in &mut groups {
+            g.clear();
+        }
+        let mut list = self.groups.lock().expect("pool lock");
+        if list.len() < self.max_per_class {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            list.push(groups);
         }
     }
 
@@ -308,6 +343,24 @@ mod tests {
         assert_eq!(t.get(3), None);
         assert_eq!(t.get(19), None, "begin() grows the id range");
         assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn group_buffers_keep_inner_capacities_across_recycling() {
+        let pool = BufferPool::new();
+        let mut g = pool.take_groups(4);
+        assert_eq!(g.len(), 4);
+        g[0].extend(0..100);
+        g[3].extend(0..50);
+        let caps: Vec<usize> = g.iter().map(Vec::capacity).collect();
+        pool.put_groups(g);
+        // A smaller partition count truncates; inner capacities survive.
+        let g = pool.take_groups(2);
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(Vec::is_empty), "inner vecs come back cleared");
+        assert!(g[0].capacity() >= caps[0], "inner capacity retained");
+        let s = pool.stats();
+        assert_eq!((s.allocs, s.reuses, s.recycled), (1, 1, 1));
     }
 
     #[test]

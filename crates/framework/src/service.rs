@@ -39,6 +39,7 @@ use crate::admission::Priority;
 use crate::backend::{SampleOutcome, SampleRequest, SamplingBackend};
 use crate::breaker::CircuitBreaker;
 use crate::cluster::RequestStats;
+use crate::hot_cache::CacheSnapshot;
 use crate::obs::Observability;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lsdgnn_chaos::{rng::stream, ChaosRng, FaultInjector};
@@ -89,6 +90,9 @@ pub struct ServiceStats {
     pub breaker_fastpaths: u64,
     /// The backend's cumulative request accounting.
     pub backend: RequestStats,
+    /// Hot-set cache counters, when a cache sits on the backend's data
+    /// plane (`None` for uncached backends).
+    pub cache: Option<CacheSnapshot>,
 }
 
 impl ServiceStats {
@@ -125,6 +129,9 @@ impl MetricSource for ServiceStats {
         out.gauge("degraded_ratio", self.degraded_ratio());
         let mut backend = out.nested("backend");
         self.backend.collect(&mut backend);
+        if let Some(cache) = &self.cache {
+            cache.collect(&mut out.nested("cache"));
+        }
     }
 }
 
@@ -1010,6 +1017,7 @@ impl SamplingService {
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.stats.lock().expect("stats lock").clone();
         s.backend = self.backend.stats();
+        s.cache = self.backend.cache_snapshot();
         s
     }
 

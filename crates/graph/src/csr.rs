@@ -103,6 +103,24 @@ impl CsrGraph {
             .unwrap_or(0)
     }
 
+    /// The `k` highest-out-degree nodes, highest first, ties broken by
+    /// node id — the degree prior behind hot-set cache warmup: under
+    /// power-law sampling traffic, access frequency tracks degree, so
+    /// these are the nodes worth admitting before a single request runs.
+    pub fn top_degree_nodes(&self, k: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.num_nodes()).map(NodeId).collect();
+        let k = k.min(nodes.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < nodes.len() {
+            nodes.select_nth_unstable_by_key(k - 1, |&v| (std::cmp::Reverse(self.degree(v)), v.0));
+            nodes.truncate(k);
+        }
+        nodes.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v.0));
+        nodes
+    }
+
     /// Mean out-degree.
     pub fn avg_degree(&self) -> f64 {
         if self.num_nodes() == 0 {
@@ -231,6 +249,19 @@ mod tests {
         let g = diamond();
         assert_eq!(g.max_degree(), 2);
         assert_eq!(g.avg_degree(), 1.0);
+    }
+
+    #[test]
+    fn top_degree_nodes_orders_by_degree_then_id() {
+        let g = diamond(); // degrees: 0->2, 1->1, 2->1, 3->0
+        assert_eq!(g.top_degree_nodes(0), vec![]);
+        assert_eq!(g.top_degree_nodes(1), vec![NodeId(0)]);
+        assert_eq!(g.top_degree_nodes(3), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // k past the node count clamps.
+        assert_eq!(
+            g.top_degree_nodes(100),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum Stage {
     Sampling,
     /// One hop of frontier expansion (`detail` = hop index).
     SampleHop,
+    /// A hot-set cache consult that served hits, short-circuiting remote
+    /// legs (`detail` = nodes served from cache; `service_us` covers the
+    /// consult-and-copy, the time that *replaces* the skipped legs).
+    CacheHit,
     /// One remote neighbor fetch leg (`shard` = partition).
     RemoteLeg,
     /// A failed attempt in the retry ladder (`detail` = attempt,
@@ -99,7 +103,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in causal-rank order.
-    pub const ALL: [Stage; 19] = [
+    pub const ALL: [Stage; 20] = [
         Stage::Enqueue,
         Stage::Admission,
         Stage::Reject,
@@ -108,6 +112,7 @@ impl Stage {
         Stage::Stall,
         Stage::Sampling,
         Stage::SampleHop,
+        Stage::CacheHit,
         Stage::RemoteLeg,
         Stage::Retry,
         Stage::Hedge,
@@ -132,6 +137,7 @@ impl Stage {
             Stage::Stall => "stall",
             Stage::Sampling => "sampling",
             Stage::SampleHop => "sample_hop",
+            Stage::CacheHit => "cache_hit",
             Stage::RemoteLeg => "remote_leg",
             Stage::Retry => "retry",
             Stage::Hedge => "hedge",
